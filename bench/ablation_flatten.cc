@@ -1,0 +1,83 @@
+// Ablations for the design choices DESIGN.md calls out around flattening:
+//   1. definition sorting — the paper sorts merged definitions "so that the
+//      definition of each function comes before as many uses as possible (to
+//      encourage inlining)"; our per-TU inliner (like 1990s gcc) only inlines
+//      already-seen definitions, so unsorted merging should lose most of the win;
+//   2. flattening granularity — per-unit objects vs the router subtree vs the
+//      whole program ("Knit can merge files at any unit boundary, as directed by
+//      the programmer via the unit specifications").
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/clack/corpus.h"
+
+namespace knit {
+namespace {
+
+bool Measure(const char* label, const char* top, KnitcOptions options,
+             const std::vector<TracePacket>& trace) {
+  Diagnostics diags;
+  Result<RouterProgram> program =
+      RouterProgram::FromClack(top, options, diags, RouterCostModel());
+  if (!program.ok()) {
+    std::fprintf(stderr, "build failed for %s:\n%s", label, diags.ToString().c_str());
+    return false;
+  }
+  Result<RouterStats> stats = program.value().RunTrace(trace, diags);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "run failed for %s:\n%s", label, diags.ToString().c_str());
+    return false;
+  }
+  PrintRouterRow(label, stats.value());
+  return true;
+}
+
+int Run() {
+  std::vector<TracePacket> trace = RouterTrace();
+  std::printf("=== Ablation: flattener definition sorting ===\n");
+  std::printf("  %-28s %10s %14s %12s\n", "configuration", "cycles/pkt", "ifetch-stall",
+              "text bytes");
+  KnitcOptions sorted;
+  KnitcOptions unsorted;
+  unsorted.sort_definitions = false;
+  KnitcOptions callers_first;
+  callers_first.callers_first_definitions = true;
+  if (!Measure("flattened, defs sorted", "ClackRouterFlat", sorted, trace) ||
+      !Measure("flattened, source order", "ClackRouterFlat", unsorted, trace) ||
+      !Measure("flattened, callers first", "ClackRouterFlat", callers_first, trace)) {
+    return 1;
+  }
+  std::printf("  (source order here is already bottom-up; callers-first is the "
+              "adversarial case)\n");
+
+  std::printf("\n=== Ablation: flattening granularity ===\n");
+  std::printf("  %-28s %10s %14s %12s\n", "configuration", "cycles/pkt", "ifetch-stall",
+              "text bytes");
+  KnitcOptions none;
+  none.flatten = false;
+  KnitcOptions marker;  // honor the `flatten` marker on the router compound
+  KnitcOptions everything;
+  everything.flatten_everything = true;
+  if (!Measure("per-unit objects", "ClackRouterFlat", none, trace) ||
+      !Measure("router subtree merged", "ClackRouterFlat", marker, trace) ||
+      !Measure("whole program merged", "ClackRouter", everything, trace)) {
+    return 1;
+  }
+
+  std::printf("\n=== Ablation: per-TU optimizer entirely off (-O0) ===\n");
+  std::printf("  %-28s %10s %14s %12s\n", "configuration", "cycles/pkt", "ifetch-stall",
+              "text bytes");
+  KnitcOptions o0;
+  o0.optimize = false;
+  if (!Measure("modular -O2", "ClackRouter", KnitcOptions(), trace) ||
+      !Measure("modular -O0", "ClackRouter", o0, trace)) {
+    return 1;
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace knit
+
+int main() { return knit::Run(); }

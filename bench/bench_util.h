@@ -1,0 +1,48 @@
+// Shared helpers for the experiment harnesses. Each bench binary regenerates one
+// of the paper's tables/figures and prints paper-reported values next to measured
+// ones (absolute numbers come from a simulated machine; shapes are the claim).
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/clack/harness.h"
+#include "src/clack/trace.h"
+
+namespace knit {
+
+// The Table-1/2 machine: the paper's Pentium Pro had an 8 KB L1I covering a 109 KB
+// kernel text (~1:14). Our router images are ~6 KB, so the router experiments scale
+// the simulated L1I to 1 KB to preserve the text:cache ratio; everything else uses
+// the default cost model.
+inline CostModel RouterCostModel() {
+  CostModel cost;
+  cost.icache_bytes = 1024;
+  return cost;
+}
+
+inline std::vector<TracePacket> RouterTrace(int count = 1000) {
+  TraceOptions options;
+  options.count = count;
+  return GenerateTrace(options);
+}
+
+inline std::map<std::string, std::string> ClickEntryNames() {
+  return {
+      {"in0", "click_in0"},           {"in1", "click_in1"},
+      {"statsIn0", "click_stats_in0"}, {"statsIn1", "click_stats_in1"},
+      {"statsIp", "click_stats_ip"},   {"statsOut", "click_stats_out"},
+      {"statsDrop", "click_stats_drop"},
+  };
+}
+
+inline void PrintRouterRow(const char* label, const RouterStats& stats) {
+  std::printf("  %-28s %10.0f %14.0f %12d\n", label, stats.CyclesPerPacket(),
+              stats.StallsPerPacket(), stats.text_bytes);
+}
+
+}  // namespace knit
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Regenerates the paper's section-6 build-time observations: "Our prototype
+// implementation is acceptably fast — more than 95% of build time is spent in the
+// C compiler and linker — although constraint-checking more than doubles the time
+// taken to run Knit."
+//
+// google-benchmark timings of the full pipeline plus a one-shot phase breakdown.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/clack/corpus.h"
+#include "src/driver/knitc.h"
+#include "src/oskit/corpus.h"
+
+namespace knit {
+namespace {
+
+void BM_KnitBuild_WebKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    Diagnostics diags;
+    KnitcOptions options;
+    Result<KnitBuildResult> build =
+        KnitBuild(OskitKnit(), OskitSources(), "WebKernel", options, diags);
+    benchmark::DoNotOptimize(build.ok());
+  }
+}
+BENCHMARK(BM_KnitBuild_WebKernel)->Unit(benchmark::kMillisecond);
+
+void BM_KnitBuild_ClackRouter(benchmark::State& state) {
+  for (auto _ : state) {
+    Diagnostics diags;
+    KnitcOptions options;
+    Result<KnitBuildResult> build =
+        KnitBuild(ClackKnit(), ClackSources(), "ClackRouter", options, diags);
+    benchmark::DoNotOptimize(build.ok());
+  }
+}
+BENCHMARK(BM_KnitBuild_ClackRouter)->Unit(benchmark::kMillisecond);
+
+void BM_KnitBuild_ClackRouterFlat(benchmark::State& state) {
+  for (auto _ : state) {
+    Diagnostics diags;
+    KnitcOptions options;
+    Result<KnitBuildResult> build =
+        KnitBuild(ClackKnit(), ClackSources(), "ClackRouterFlat", options, diags);
+    benchmark::DoNotOptimize(build.ok());
+  }
+}
+BENCHMARK(BM_KnitBuild_ClackRouterFlat)->Unit(benchmark::kMillisecond);
+
+void BM_KnitBuild_NoConstraintCheck(benchmark::State& state) {
+  for (auto _ : state) {
+    Diagnostics diags;
+    KnitcOptions options;
+    options.check_constraints = false;
+    Result<KnitBuildResult> build =
+        KnitBuild(OskitKnit(), OskitSources(), "WebKernel", options, diags);
+    benchmark::DoNotOptimize(build.ok());
+  }
+}
+BENCHMARK(BM_KnitBuild_NoConstraintCheck)->Unit(benchmark::kMillisecond);
+
+void PrintPhaseBreakdown() {
+  Diagnostics diags;
+  KnitcOptions options;
+  Result<KnitBuildResult> build =
+      KnitBuild(ClackKnit(), ClackSources(), "ClackRouter", options, diags);
+  if (!build.ok()) {
+    std::fprintf(stderr, "build failed:\n%s", diags.ToString().c_str());
+    return;
+  }
+  const BuildStats& stats = build.value().stats;
+  double knit_proper = stats.frontend_seconds + stats.schedule_seconds +
+                       stats.constraint_seconds + stats.objcopy_seconds;
+  double compiler = stats.compile_seconds + stats.flatten_seconds + stats.link_seconds;
+  double total = knit_proper + compiler;
+  std::printf("\n=== Build-time phase breakdown (ClackRouter; paper: >95%% in the C "
+              "compiler/linker) ===\n");
+  std::printf("  knit front end + schedule + constraints + objcopy: %7.3f ms (%4.1f%%)\n",
+              knit_proper * 1e3, 100.0 * knit_proper / total);
+  std::printf("  'C compiler' (MiniC+codegen+optimizer) and linker:  %7.3f ms (%4.1f%%)\n",
+              compiler * 1e3, 100.0 * compiler / total);
+  std::printf("  constraint checking alone:                          %7.3f ms\n",
+              stats.constraint_seconds * 1e3);
+}
+
+}  // namespace
+}  // namespace knit
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  knit::PrintPhaseBreakdown();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Regenerates the paper's section-5 constraint-system experience report:
+// "We added constraints to kernels composed of roughly 100 units. Among those
+// units, 35 required the addition of constraints, of which 70% simply propagated
+// their context from imports to exports using the constraint
+// 'context(exports) <= context(imports)'. ... The constraint system caught a few
+// small errors in existing OSKit kernels, written by ourselves, OSKit experts."
+//
+// We report the same statistics over the mini-OSKit kernels and demonstrate the
+// checker catching the paper's interrupt-context bug.
+#include <cstdio>
+
+#include "src/constraints/check.h"
+#include "src/driver/knitc.h"
+#include "src/oskit/corpus.h"
+
+namespace knit {
+namespace {
+
+int Run() {
+  std::printf("=== Section 5: constraint-system statistics and error catching ===\n");
+  std::printf("  paper: ~100-unit kernels; 35 units annotated; 70%% propagation-only; "
+              "real config bugs caught\n\n");
+  std::printf("  %-22s %10s %12s %18s\n", "kernel", "instances", "annotated",
+              "propagation-only");
+
+  const char* kernels[] = {"WebKernel", "HelloKernel", "PrefixedHelloKernel",
+                           "IntrKernelGood", "TwoPoolsKernel"};
+  int total_instances = 0;
+  int total_annotated = 0;
+  int total_propagation = 0;
+  for (const char* kernel : kernels) {
+    Diagnostics diags;
+    KnitcOptions options;
+    Result<KnitBuildResult> build =
+        KnitBuild(OskitKnit(), OskitSources(), kernel, options, diags);
+    if (!build.ok()) {
+      std::fprintf(stderr, "build failed for %s:\n%s", kernel, diags.ToString().c_str());
+      return 1;
+    }
+    ConstraintStats stats = ComputeConstraintStats(build.value().config);
+    std::printf("  %-22s %10d %12d %15d (%2.0f%%)\n", kernel, stats.instance_count,
+                stats.annotated_instances, stats.propagation_only_instances,
+                stats.annotated_instances == 0
+                    ? 0.0
+                    : 100.0 * stats.propagation_only_instances / stats.annotated_instances);
+    total_instances += stats.instance_count;
+    total_annotated += stats.annotated_instances;
+    total_propagation += stats.propagation_only_instances;
+  }
+  std::printf("  %-22s %10d %12d %15d (%2.0f%%)\n", "TOTAL", total_instances, total_annotated,
+              total_propagation,
+              total_annotated == 0 ? 0.0 : 100.0 * total_propagation / total_annotated);
+
+  std::printf("\n  error catching: building IntrKernelBad (interrupt handler over a "
+              "lock-taking console)...\n");
+  Diagnostics diags;
+  KnitcOptions options;
+  Result<KnitBuildResult> bad = KnitBuild(OskitKnit(), OskitSources(), "IntrKernelBad",
+                                          options, diags);
+  if (bad.ok()) {
+    std::fprintf(stderr, "  UNEXPECTED: the buggy configuration built cleanly!\n");
+    return 1;
+  }
+  std::printf("  caught, as in the paper: %s\n", diags.FirstError().c_str());
+
+  options.check_constraints = false;
+  Diagnostics quiet;
+  Result<KnitBuildResult> unchecked =
+      KnitBuild(OskitKnit(), OskitSources(), "IntrKernelBad", options, quiet);
+  std::printf("  with checking disabled the same configuration builds: %s\n\n",
+              unchecked.ok() ? "yes (the bug ships)" : "no");
+  return 0;
+}
+
+}  // namespace
+}  // namespace knit
+
+int main() { return knit::Run(); }

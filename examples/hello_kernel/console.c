@@ -1,0 +1,10 @@
+extern void raw_putc(int c);
+
+void console_putc(int c) { raw_putc(c); }
+
+void console_puts(char *s) {
+  while (*s) {
+    raw_putc(*s);
+    s = s + 1;
+  }
+}

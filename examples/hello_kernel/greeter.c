@@ -1,0 +1,14 @@
+extern void console_putc(int c);
+extern void console_puts(char *s);
+
+static int g_greetings = 0;
+
+void greeter_init(void) { g_greetings = 0; }
+
+int greet(char *who) {
+  g_greetings++;
+  console_puts("hello, ");
+  console_puts(who);
+  console_puts("!\n");
+  return g_greetings;
+}

@@ -1,0 +1,9 @@
+extern int greet(char *who);
+
+int app_main(int times) {
+  int count = 0;
+  for (int i = 0; i < times; i++) {
+    count = greet("knit");
+  }
+  return count;
+}

@@ -1,0 +1,891 @@
+#include "src/clack/corpus.h"
+
+namespace knit {
+
+namespace {
+
+SourceMap BuildSources() {
+  SourceMap sources;
+
+  sources["pkt.h"] = R"(
+struct pkt {
+  char *data;
+  int len;
+  int port;
+  unsigned nexthop;
+};
+)";
+
+  sources["portcfg0.c"] = R"(
+int cfg_port(void) { return 0; }
+)";
+
+  sources["portcfg1.c"] = R"(
+int cfg_port(void) { return 1; }
+)";
+
+  sources["fromdevice.c"] = R"(
+#include "pkt.h"
+extern void out_push(struct pkt *p);
+extern int cfg_port(void);
+void pkt_push(struct pkt *p) {
+  p->port = cfg_port();
+  out_push(p);
+}
+)";
+
+  sources["counter.c"] = R"(
+#include "pkt.h"
+extern void out_push(struct pkt *p);
+static unsigned g_count = 0;
+static unsigned g_bytes = 0;
+void pkt_push(struct pkt *p) {
+  g_count++;
+  g_bytes += (unsigned)p->len;
+  out_push(p);
+}
+unsigned counter_value(void) { return g_count; }
+)";
+
+  sources["classifier.c"] = R"(
+#include "pkt.h"
+extern void out_ip(struct pkt *p);
+extern void out_arp(struct pkt *p);
+extern void out_other(struct pkt *p);
+void pkt_push(struct pkt *p) {
+  if (p->len < 14) {
+    out_other(p);
+    return;
+  }
+  unsigned t = ((unsigned)(p->data[12] & 0xFF) << 8) | (unsigned)(p->data[13] & 0xFF);
+  if (t == 0x800) {
+    out_ip(p);
+    return;
+  }
+  if (t == 0x806) {
+    out_arp(p);
+    return;
+  }
+  out_other(p);
+}
+)";
+
+  sources["discard.c"] = R"(
+#include "pkt.h"
+static unsigned g_count = 0;
+void pkt_push(struct pkt *p) {
+  (void)p;
+  g_count++;
+}
+unsigned counter_value(void) { return g_count; }
+)";
+
+  sources["strip.c"] = R"(
+#include "pkt.h"
+extern void out_push(struct pkt *p);
+void pkt_push(struct pkt *p) {
+  p->data += 14;
+  p->len -= 14;
+  out_push(p);
+}
+)";
+
+  sources["checkip.c"] = R"(
+#include "pkt.h"
+extern void out_good(struct pkt *p);
+extern void out_bad(struct pkt *p);
+void pkt_push(struct pkt *p) {
+  if (p->len < 20) {
+    out_bad(p);
+    return;
+  }
+  char *h = p->data;
+  int vh = h[0] & 0xFF;
+  if ((vh >> 4) != 4) {
+    out_bad(p);
+    return;
+  }
+  if ((vh & 0xF) != 5) {
+    out_bad(p);
+    return;
+  }
+  int total = ((h[2] & 0xFF) << 8) | (h[3] & 0xFF);
+  if (total < 20 || total > p->len) {
+    out_bad(p);
+    return;
+  }
+  unsigned sum = 0;
+  for (int i = 0; i < 20; i += 2) {
+    sum += (unsigned)(((h[i] & 0xFF) << 8) | (h[i + 1] & 0xFF));
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  if (sum != 0xFFFF) {
+    out_bad(p);
+    return;
+  }
+  out_good(p);
+}
+)";
+
+  sources["routelookup.c"] = R"(
+#include "pkt.h"
+extern void out_good(struct pkt *p);
+extern void out_miss(struct pkt *p);
+
+enum { ROUTES = 5 };
+static unsigned g_prefix[ROUTES] = {
+  0x0A010500u,  /* 10.1.5.0/24    via 10.1.5.42   port 0 */
+  0x0A010000u,  /* 10.1.0.0/16    via 10.1.0.1    port 0 */
+  0x0A020000u,  /* 10.2.0.0/16    via 10.2.0.1    port 1 */
+  0xC0A80000u,  /* 192.168.0.0/16 via 192.168.0.9 port 1 */
+  0x00000000u   /* default        via 10.1.0.254  port 0 */
+};
+static unsigned g_mask[ROUTES] = {
+  0xFFFFFF00u, 0xFFFF0000u, 0xFFFF0000u, 0xFFFF0000u, 0x00000000u
+};
+static unsigned g_gateway[ROUTES] = {
+  0x0A01052Au, 0x0A010001u, 0x0A020001u, 0xC0A80009u, 0x0A0100FEu
+};
+static int g_outport[ROUTES] = { 0, 0, 1, 1, 0 };
+
+void pkt_push(struct pkt *p) {
+  char *h = p->data;
+  unsigned dst = ((unsigned)(h[16] & 0xFF) << 24) | ((unsigned)(h[17] & 0xFF) << 16) |
+                 ((unsigned)(h[18] & 0xFF) << 8) | (unsigned)(h[19] & 0xFF);
+  int best = -1;
+  unsigned best_mask = 0;
+  for (int i = 0; i < ROUTES; i++) {
+    if ((dst & g_mask[i]) == g_prefix[i]) {
+      if (best < 0 || g_mask[i] > best_mask || (g_mask[i] == 0 && best < 0)) {
+        best = i;
+        best_mask = g_mask[i];
+      }
+    }
+  }
+  if (best < 0) {
+    out_miss(p);
+    return;
+  }
+  p->nexthop = g_gateway[best];
+  p->port = g_outport[best];
+  out_good(p);
+}
+)";
+
+  sources["decttl.c"] = R"(
+#include "pkt.h"
+extern void out_good(struct pkt *p);
+extern void out_expired(struct pkt *p);
+void pkt_push(struct pkt *p) {
+  char *h = p->data;
+  int ttl = h[8] & 0xFF;
+  if (ttl <= 1) {
+    out_expired(p);
+    return;
+  }
+  h[8] = (char)(ttl - 1);
+  out_good(p);
+}
+)";
+
+  sources["fixcksum.c"] = R"(
+#include "pkt.h"
+extern void out_push(struct pkt *p);
+void pkt_push(struct pkt *p) {
+  char *h = p->data;
+  h[10] = (char)0;
+  h[11] = (char)0;
+  unsigned sum = 0;
+  for (int i = 0; i < 20; i += 2) {
+    sum += (unsigned)(((h[i] & 0xFF) << 8) | (h[i + 1] & 0xFF));
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  unsigned ck = ~sum & 0xFFFF;
+  h[10] = (char)((ck >> 8) & 0xFF);
+  h[11] = (char)(ck & 0xFF);
+  out_push(p);
+}
+)";
+
+  sources["etherencap.c"] = R"(
+#include "pkt.h"
+extern void out_push(struct pkt *p);
+void pkt_push(struct pkt *p) {
+  p->data -= 14;
+  p->len += 14;
+  char *e = p->data;
+  unsigned nh = p->nexthop;
+  e[0] = (char)2;
+  e[1] = (char)0;
+  e[2] = (char)((nh >> 24) & 0xFF);
+  e[3] = (char)((nh >> 16) & 0xFF);
+  e[4] = (char)((nh >> 8) & 0xFF);
+  e[5] = (char)(nh & 0xFF);
+  e[6] = (char)2;
+  e[7] = (char)1;
+  e[8] = (char)0;
+  e[9] = (char)0;
+  e[10] = (char)0;
+  e[11] = (char)(p->port & 0xFF);
+  e[12] = (char)8;
+  e[13] = (char)0;
+  out_push(p);
+}
+)";
+
+  sources["portswitch.c"] = R"(
+#include "pkt.h"
+extern void out0_push(struct pkt *p);
+extern void out1_push(struct pkt *p);
+void pkt_push(struct pkt *p) {
+  if (p->port == 0) {
+    out0_push(p);
+    return;
+  }
+  out1_push(p);
+}
+)";
+
+  sources["queue.c"] = R"(
+#include "pkt.h"
+extern void out_push(struct pkt *p);
+enum { QCAP = 16 };
+static struct pkt *g_ring[QCAP];
+static int g_head = 0;
+static int g_tail = 0;
+static unsigned g_drops = 0;
+void pkt_push(struct pkt *p) {
+  int next = (g_tail + 1) % QCAP;
+  if (next == g_head) {
+    g_drops++;
+    return;
+  }
+  g_ring[g_tail] = p;
+  g_tail = next;
+  while (g_head != g_tail) {
+    struct pkt *q = g_ring[g_head];
+    g_head = (g_head + 1) % QCAP;
+    out_push(q);
+  }
+}
+)";
+
+  sources["todevice.c"] = R"(
+#include "pkt.h"
+extern void dev_tx(char *data, int len, int port);
+void pkt_push(struct pkt *p) {
+  dev_tx(p->data, p->len, p->port);
+}
+)";
+
+  sources["arpresponder.c"] = R"(
+#include "pkt.h"
+extern void out_push(struct pkt *p);
+void pkt_push(struct pkt *p) {
+  if (p->len < 42) {
+    return;
+  }
+  char *e = p->data;
+  char *a = p->data + 14;
+  int op = ((a[6] & 0xFF) << 8) | (a[7] & 0xFF);
+  if (op != 1) {
+    return;
+  }
+  /* Ethernet: reply to sender, from our synthetic MAC 02:01:00:00:00:pp. */
+  for (int i = 0; i < 6; i++) e[i] = e[6 + i];
+  e[6] = (char)2;
+  e[7] = (char)1;
+  e[8] = (char)0;
+  e[9] = (char)0;
+  e[10] = (char)0;
+  e[11] = (char)(p->port & 0xFF);
+  /* ARP: op = reply; target <- old sender; sender <- us with the asked IP. */
+  a[7] = (char)2;
+  char sha[6];
+  char spa[4];
+  for (int i = 0; i < 6; i++) sha[i] = a[8 + i];
+  for (int i = 0; i < 4; i++) spa[i] = a[14 + i];
+  char tpa[4];
+  for (int i = 0; i < 4; i++) tpa[i] = a[24 + i];
+  for (int i = 0; i < 6; i++) a[18 + i] = sha[i];
+  for (int i = 0; i < 4; i++) a[24 + i] = spa[i];
+  a[8] = (char)2;
+  a[9] = (char)1;
+  a[10] = (char)0;
+  a[11] = (char)0;
+  a[12] = (char)0;
+  a[13] = (char)(p->port & 0xFF);
+  for (int i = 0; i < 4; i++) a[14 + i] = tpa[i];
+  out_push(p);
+}
+)";
+
+  // ---- the hand-optimized 2-component rewrite --------------------------------
+
+  sources["handopt_in.c"] = R"(
+#include "pkt.h"
+extern void tx_ip(struct pkt *p);
+extern void tx_raw(struct pkt *p);
+
+static unsigned g_in0 = 0;
+static unsigned g_in1 = 0;
+static unsigned g_in_bytes0 = 0;
+static unsigned g_in_bytes1 = 0;
+static unsigned g_ip = 0;
+static unsigned g_ip_bytes = 0;
+static unsigned g_drop = 0;
+
+unsigned stats_in0(void) { return g_in0; }
+unsigned stats_in1(void) { return g_in1; }
+unsigned stats_ip(void) { return g_ip; }
+unsigned stats_drop(void) { return g_drop; }
+
+enum { ROUTES = 5 };
+static unsigned g_prefix[ROUTES] = {
+  0x0A010500u, 0x0A010000u, 0x0A020000u, 0xC0A80000u, 0x00000000u
+};
+static unsigned g_mask[ROUTES] = {
+  0xFFFFFF00u, 0xFFFF0000u, 0xFFFF0000u, 0xFFFF0000u, 0x00000000u
+};
+static unsigned g_gateway[ROUTES] = {
+  0x0A01052Au, 0x0A010001u, 0x0A020001u, 0xC0A80009u, 0x0A0100FEu
+};
+static int g_outport[ROUTES] = { 0, 0, 1, 1, 0 };
+
+static void process_arp(struct pkt *p) {
+  if (p->len < 42) return;
+  char *e = p->data;
+  char *a = p->data + 14;
+  int op = ((a[6] & 0xFF) << 8) | (a[7] & 0xFF);
+  if (op != 1) return;
+  for (int i = 0; i < 6; i++) e[i] = e[6 + i];
+  e[6] = (char)2;
+  e[7] = (char)1;
+  e[8] = (char)0;
+  e[9] = (char)0;
+  e[10] = (char)0;
+  e[11] = (char)(p->port & 0xFF);
+  a[7] = (char)2;
+  char sha[6];
+  char spa[4];
+  for (int i = 0; i < 6; i++) sha[i] = a[8 + i];
+  for (int i = 0; i < 4; i++) spa[i] = a[14 + i];
+  char tpa[4];
+  for (int i = 0; i < 4; i++) tpa[i] = a[24 + i];
+  for (int i = 0; i < 6; i++) a[18 + i] = sha[i];
+  for (int i = 0; i < 4; i++) a[24 + i] = spa[i];
+  a[8] = (char)2;
+  a[9] = (char)1;
+  a[10] = (char)0;
+  a[11] = (char)0;
+  a[12] = (char)0;
+  a[13] = (char)(p->port & 0xFF);
+  for (int i = 0; i < 4; i++) a[14 + i] = tpa[i];
+  tx_raw(p);
+}
+
+/* The idiomatic rewrite: one pass over the headers with everything cached in
+   locals — classification, IP validation, route lookup, TTL, checksum. */
+static void process(struct pkt *p) {
+  int len = p->len;
+  char *d = p->data;
+  if (len < 14) {
+    g_drop++;
+    return;
+  }
+  unsigned t = ((unsigned)(d[12] & 0xFF) << 8) | (unsigned)(d[13] & 0xFF);
+  if (t == 0x806) {
+    process_arp(p);
+    return;
+  }
+  if (t != 0x800) {
+    g_drop++;
+    return;
+  }
+  g_ip++;
+  g_ip_bytes += (unsigned)(len - 14);
+  char *h = d + 14;
+  int iplen = len - 14;
+  if (iplen < 20) {
+    g_drop++;
+    return;
+  }
+  int vh = h[0] & 0xFF;
+  if ((vh >> 4) != 4 || (vh & 0xF) != 5) {
+    g_drop++;
+    return;
+  }
+  int total = ((h[2] & 0xFF) << 8) | (h[3] & 0xFF);
+  if (total < 20 || total > iplen) {
+    g_drop++;
+    return;
+  }
+  unsigned sum = 0;
+  for (int i = 0; i < 20; i += 2) {
+    sum += (unsigned)(((h[i] & 0xFF) << 8) | (h[i + 1] & 0xFF));
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  if (sum != 0xFFFF) {
+    g_drop++;
+    return;
+  }
+  unsigned dst = ((unsigned)(h[16] & 0xFF) << 24) | ((unsigned)(h[17] & 0xFF) << 16) |
+                 ((unsigned)(h[18] & 0xFF) << 8) | (unsigned)(h[19] & 0xFF);
+  int best = -1;
+  unsigned best_mask = 0;
+  for (int i = 0; i < ROUTES; i++) {
+    if ((dst & g_mask[i]) == g_prefix[i]) {
+      if (best < 0 || g_mask[i] > best_mask) {
+        best = i;
+        best_mask = g_mask[i];
+      }
+    }
+  }
+  if (best < 0) {
+    g_drop++;
+    return;
+  }
+  int ttl = h[8] & 0xFF;
+  if (ttl <= 1) {
+    g_drop++;
+    return;
+  }
+  h[8] = (char)(ttl - 1);
+  h[10] = (char)0;
+  h[11] = (char)0;
+  unsigned sum2 = 0;
+  for (int i = 0; i < 20; i += 2) {
+    sum2 += (unsigned)(((h[i] & 0xFF) << 8) | (h[i + 1] & 0xFF));
+  }
+  while (sum2 >> 16) sum2 = (sum2 & 0xFFFF) + (sum2 >> 16);
+  unsigned ck = ~sum2 & 0xFFFF;
+  h[10] = (char)((ck >> 8) & 0xFF);
+  h[11] = (char)(ck & 0xFF);
+  /* Hand Strip: the IP path hands the stripped packet to the output half. */
+  p->data = h;
+  p->len = iplen;
+  p->nexthop = g_gateway[best];
+  p->port = g_outport[best];
+  tx_ip(p);
+}
+
+void hand_in0(struct pkt *p) {
+  p->port = 0;
+  g_in0++;
+  g_in_bytes0 += (unsigned)p->len;
+  process(p);
+}
+
+void hand_in1(struct pkt *p) {
+  p->port = 1;
+  g_in1++;
+  g_in_bytes1 += (unsigned)p->len;
+  process(p);
+}
+)";
+
+  sources["handopt_out.c"] = R"(
+#include "pkt.h"
+extern void dev_tx(char *data, int len, int port);
+
+static unsigned g_out = 0;
+static unsigned g_out_bytes = 0;
+unsigned counter_value(void) { return g_out; }
+
+void hand_tx_ip(struct pkt *p) {
+  /* EtherEncap + CounterOut + ToDevice in one function. */
+  p->data -= 14;
+  p->len += 14;
+  char *e = p->data;
+  unsigned nh = p->nexthop;
+  e[0] = (char)2;
+  e[1] = (char)0;
+  e[2] = (char)((nh >> 24) & 0xFF);
+  e[3] = (char)((nh >> 16) & 0xFF);
+  e[4] = (char)((nh >> 8) & 0xFF);
+  e[5] = (char)(nh & 0xFF);
+  e[6] = (char)2;
+  e[7] = (char)1;
+  e[8] = (char)0;
+  e[9] = (char)0;
+  e[10] = (char)0;
+  e[11] = (char)(p->port & 0xFF);
+  e[12] = (char)8;
+  e[13] = (char)0;
+  g_out++;
+  g_out_bytes += (unsigned)(p->len - 14);
+  dev_tx(p->data, p->len, p->port);
+}
+
+void hand_tx_raw(struct pkt *p) {
+  dev_tx(p->data, p->len, p->port);
+}
+)";
+
+  return sources;
+}
+
+std::string BuildKnit() {
+  return R"KNIT(
+bundletype PktSink = { pkt_push }
+bundletype PortCfg = { cfg_port }
+bundletype DevTx = { dev_tx }
+bundletype Stats = { counter_value }
+
+flags ClackFlags = { "-O2" }
+
+// Packet-type discipline (paper 5.2: "ensuring, for example, that components only
+// receive packets of an appropriate type (Ethernet, IP, TCP, ARP, etc.)").
+// An element's export states what it accepts; an element's import states what it
+// pushes downstream (Kind <= pkttype(out): the consumer must be at least that
+// general). Pass-through elements equate their ports.
+property pkttype
+type AnyPacket
+type EtherPacket < AnyPacket
+type IpPacket < AnyPacket
+
+unit PortCfg0 = {
+  imports [];
+  exports [ cfg : PortCfg ];
+  files { "portcfg0.c" } with flags ClackFlags;
+}
+
+unit PortCfg1 = {
+  imports [];
+  exports [ cfg : PortCfg ];
+  files { "portcfg1.c" } with flags ClackFlags;
+}
+
+unit FromDevice = {
+  imports [ out : PktSink, cfg : PortCfg ];
+  exports [ push : PktSink ];
+  depends { push needs (out + cfg); };
+  files { "fromdevice.c" } with flags ClackFlags;
+  rename { out.pkt_push to out_push; };
+  constraints {
+    pkttype(push) = EtherPacket;
+    EtherPacket <= pkttype(out);
+  };
+}
+
+unit Counter = {
+  imports [ out : PktSink ];
+  exports [ push : PktSink, stats : Stats ];
+  depends { push needs out; stats needs (); };
+  files { "counter.c" } with flags ClackFlags;
+  rename { out.pkt_push to out_push; };
+  constraints { pkttype(push) = pkttype(out); };
+}
+
+unit Classifier = {
+  imports [ ip : PktSink, arp : PktSink, other : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs (ip + arp + other); };
+  files { "classifier.c" } with flags ClackFlags;
+  rename {
+    ip.pkt_push to out_ip;
+    arp.pkt_push to out_arp;
+    other.pkt_push to out_other;
+  };
+  constraints {
+    pkttype(push) = EtherPacket;
+    EtherPacket <= pkttype(ip);
+    EtherPacket <= pkttype(arp);
+    EtherPacket <= pkttype(other);
+  };
+}
+
+unit Discard = {
+  imports [];
+  exports [ push : PktSink, stats : Stats ];
+  files { "discard.c" } with flags ClackFlags;
+  constraints { pkttype(push) = AnyPacket; };
+}
+
+unit Strip = {
+  imports [ out : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs out; };
+  files { "strip.c" } with flags ClackFlags;
+  rename { out.pkt_push to out_push; };
+  constraints {
+    pkttype(push) = EtherPacket;
+    IpPacket <= pkttype(out);
+  };
+}
+
+unit CheckIPHeader = {
+  imports [ good : PktSink, bad : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs (good + bad); };
+  files { "checkip.c" } with flags ClackFlags;
+  rename {
+    good.pkt_push to out_good;
+    bad.pkt_push to out_bad;
+  };
+  constraints {
+    pkttype(push) = IpPacket;
+    IpPacket <= pkttype(good);
+    IpPacket <= pkttype(bad);
+  };
+}
+
+unit RouteLookup = {
+  imports [ good : PktSink, miss : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs (good + miss); };
+  files { "routelookup.c" } with flags ClackFlags;
+  rename {
+    good.pkt_push to out_good;
+    miss.pkt_push to out_miss;
+  };
+  constraints {
+    pkttype(push) = IpPacket;
+    IpPacket <= pkttype(good);
+    IpPacket <= pkttype(miss);
+  };
+}
+
+unit DecIPTTL = {
+  imports [ good : PktSink, expired : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs (good + expired); };
+  files { "decttl.c" } with flags ClackFlags;
+  rename {
+    good.pkt_push to out_good;
+    expired.pkt_push to out_expired;
+  };
+  constraints {
+    pkttype(push) = IpPacket;
+    IpPacket <= pkttype(good);
+    IpPacket <= pkttype(expired);
+  };
+}
+
+unit FixIPChecksum = {
+  imports [ out : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs out; };
+  files { "fixcksum.c" } with flags ClackFlags;
+  rename { out.pkt_push to out_push; };
+  constraints {
+    pkttype(push) = IpPacket;
+    IpPacket <= pkttype(out);
+  };
+}
+
+unit EtherEncap = {
+  imports [ out : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs out; };
+  files { "etherencap.c" } with flags ClackFlags;
+  rename { out.pkt_push to out_push; };
+  constraints {
+    pkttype(push) = IpPacket;
+    EtherPacket <= pkttype(out);
+  };
+}
+
+unit PortSwitch = {
+  imports [ out0 : PktSink, out1 : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs (out0 + out1); };
+  files { "portswitch.c" } with flags ClackFlags;
+  rename {
+    out0.pkt_push to out0_push;
+    out1.pkt_push to out1_push;
+  };
+  constraints {
+    pkttype(push) = pkttype(out0);
+    pkttype(push) = pkttype(out1);
+  };
+}
+
+unit Queue = {
+  imports [ out : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs out; };
+  files { "queue.c" } with flags ClackFlags;
+  rename { out.pkt_push to out_push; };
+  constraints { pkttype(push) = pkttype(out); };
+}
+
+unit ToDevice = {
+  imports [ dev : DevTx ];
+  exports [ push : PktSink ];
+  depends { push needs dev; };
+  files { "todevice.c" } with flags ClackFlags;
+  constraints { pkttype(push) = EtherPacket; };
+}
+
+unit ARPResponder = {
+  imports [ out : PktSink ];
+  exports [ push : PktSink ];
+  depends { push needs out; };
+  files { "arpresponder.c" } with flags ClackFlags;
+  rename { out.pkt_push to out_push; };
+  constraints {
+    pkttype(push) = EtherPacket;
+    EtherPacket <= pkttype(out);
+  };
+}
+
+unit ClackRouter = {
+  imports [ dev : DevTx ];
+  exports [ in0 : PktSink, in1 : PktSink,
+            statsIn0 : Stats, statsIn1 : Stats, statsIp : Stats,
+            statsOut : Stats, statsDrop : Stats ];
+  link {
+    [cfg0] <- PortCfg0 <- [];
+    [cfg1] <- PortCfg1 <- [];
+    [drop, statsDrop] <- Discard <- [];
+    [tod0] <- ToDevice as todevice0 <- [dev];
+    [tod1] <- ToDevice as todevice1 <- [dev];
+    [q0] <- Queue as queue0 <- [tod0];
+    [q1] <- Queue as queue1 <- [tod1];
+    [psw] <- PortSwitch <- [q0, q1];
+    [cout, statsOut] <- Counter as counterOut <- [psw];
+    [enc] <- EtherEncap <- [cout];
+    [fix] <- FixIPChecksum <- [enc];
+    [ttl] <- DecIPTTL <- [fix, drop];
+    [rt] <- RouteLookup <- [ttl, drop];
+    [chk] <- CheckIPHeader <- [rt, drop];
+    [strip] <- Strip <- [chk];
+    [cip, statsIp] <- Counter as counterIp <- [strip];
+    [arp0] <- ARPResponder as arp0u <- [q0];
+    [arp1] <- ARPResponder as arp1u <- [q1];
+    [cls0] <- Classifier as cls0u <- [cip, arp0, drop];
+    [cls1] <- Classifier as cls1u <- [cip, arp1, drop];
+    [cin0, statsIn0] <- Counter as counterIn0 <- [cls0];
+    [cin1, statsIn1] <- Counter as counterIn1 <- [cls1];
+    [in0] <- FromDevice as from0 <- [cin0, cfg0];
+    [in1] <- FromDevice as from1 <- [cin1, cfg1];
+  };
+}
+
+unit ClackRouterFlat = {
+  imports [ dev : DevTx ];
+  exports [ in0 : PktSink, in1 : PktSink,
+            statsIn0 : Stats, statsIn1 : Stats, statsIp : Stats,
+            statsOut : Stats, statsDrop : Stats ];
+  flatten;
+  link {
+    [cfg0] <- PortCfg0 <- [];
+    [cfg1] <- PortCfg1 <- [];
+    [drop, statsDrop] <- Discard <- [];
+    [tod0] <- ToDevice as todevice0 <- [dev];
+    [tod1] <- ToDevice as todevice1 <- [dev];
+    [q0] <- Queue as queue0 <- [tod0];
+    [q1] <- Queue as queue1 <- [tod1];
+    [psw] <- PortSwitch <- [q0, q1];
+    [cout, statsOut] <- Counter as counterOut <- [psw];
+    [enc] <- EtherEncap <- [cout];
+    [fix] <- FixIPChecksum <- [enc];
+    [ttl] <- DecIPTTL <- [fix, drop];
+    [rt] <- RouteLookup <- [ttl, drop];
+    [chk] <- CheckIPHeader <- [rt, drop];
+    [strip] <- Strip <- [chk];
+    [cip, statsIp] <- Counter as counterIp <- [strip];
+    [arp0] <- ARPResponder as arp0u <- [q0];
+    [arp1] <- ARPResponder as arp1u <- [q1];
+    [cls0] <- Classifier as cls0u <- [cip, arp0, drop];
+    [cls1] <- Classifier as cls1u <- [cip, arp1, drop];
+    [cin0, statsIn0] <- Counter as counterIn0 <- [cls0];
+    [cin1, statsIn1] <- Counter as counterIn1 <- [cls1];
+    [in0] <- FromDevice as from0 <- [cin0, cfg0];
+    [in1] <- FromDevice as from1 <- [cin1, cfg1];
+  };
+}
+
+// A misconfiguration the paper's constraint system exists to catch: the classifier's
+// IP output wired directly into CheckIPHeader (the Strip element forgotten), so the
+// IP-header checker would read Ethernet bytes. pkttype checking rejects this.
+unit MiswiredClackRouter = {
+  imports [ dev : DevTx ];
+  exports [ in0 : PktSink, statsDrop : Stats ];
+  link {
+    [cfg0] <- PortCfg0 <- [];
+    [drop, statsDrop] <- Discard <- [];
+    [tod0] <- ToDevice as todevice0 <- [dev];
+    [q0] <- Queue as queue0 <- [tod0];
+    [enc] <- EtherEncap <- [q0];
+    [fix] <- FixIPChecksum <- [enc];
+    [ttl] <- DecIPTTL <- [fix, drop];
+    [rt] <- RouteLookup <- [ttl, drop];
+    [chk] <- CheckIPHeader <- [rt, drop];
+    [arp0] <- ARPResponder as arp0u <- [q0];
+    [cls0] <- Classifier as cls0u <- [chk, arp0, drop];
+    [in0] <- FromDevice as from0 <- [cls0, cfg0];
+  };
+}
+
+unit HandIn = {
+  imports [ ipout : PktSink, rawout : PktSink ];
+  exports [ in0 : PktSink, in1 : PktSink,
+            statsIn0 : Stats, statsIn1 : Stats, statsIp : Stats, statsDrop : Stats ];
+  depends {
+    (in0 + in1) needs (ipout + rawout);
+    (statsIn0 + statsIn1 + statsIp + statsDrop) needs ();
+  };
+  files { "handopt_in.c" } with flags ClackFlags;
+  rename {
+    ipout.pkt_push to tx_ip;
+    rawout.pkt_push to tx_raw;
+    in0.pkt_push to hand_in0;
+    in1.pkt_push to hand_in1;
+    statsIn0.counter_value to stats_in0;
+    statsIn1.counter_value to stats_in1;
+    statsIp.counter_value to stats_ip;
+    statsDrop.counter_value to stats_drop;
+  };
+}
+
+unit HandOut = {
+  imports [ dev : DevTx ];
+  exports [ ipout : PktSink, rawout : PktSink, statsOut : Stats ];
+  depends { (ipout + rawout) needs dev; statsOut needs (); };
+  files { "handopt_out.c" } with flags ClackFlags;
+  rename {
+    ipout.pkt_push to hand_tx_ip;
+    rawout.pkt_push to hand_tx_raw;
+  };
+}
+
+unit HandRouter = {
+  imports [ dev : DevTx ];
+  exports [ in0 : PktSink, in1 : PktSink,
+            statsIn0 : Stats, statsIn1 : Stats, statsIp : Stats,
+            statsOut : Stats, statsDrop : Stats ];
+  link {
+    [ipout, rawout, statsOut] <- HandOut <- [dev];
+    [in0, in1, statsIn0, statsIn1, statsIp, statsDrop] <- HandIn <- [ipout, rawout];
+  };
+}
+
+unit HandRouterFlat = {
+  imports [ dev : DevTx ];
+  exports [ in0 : PktSink, in1 : PktSink,
+            statsIn0 : Stats, statsIn1 : Stats, statsIp : Stats,
+            statsOut : Stats, statsDrop : Stats ];
+  flatten;
+  link {
+    [ipout, rawout, statsOut] <- HandOut <- [dev];
+    [in0, in1, statsIn0, statsIn1, statsIp, statsDrop] <- HandIn <- [ipout, rawout];
+  };
+}
+)KNIT";
+}
+
+}  // namespace
+
+const SourceMap& ClackSources() {
+  static const SourceMap kSources = BuildSources();
+  return kSources;
+}
+
+const std::string& ClackKnit() {
+  static const std::string kKnit = BuildKnit();
+  return kKnit;
+}
+
+}  // namespace knit

@@ -1,0 +1,43 @@
+// Clack: the paper's re-implementation of (a subset of) MIT's Click modular
+// router as Knit components (paper §5.2, §6; Table 1). A two-port IPv4 router
+// without fragmentation or IP options, built from 24 small unit instances:
+//
+//   port i (host) -> FromDevice_i -> CounterIn_i -> Classifier_i
+//        Classifier: IP  -> CounterIP -> Strip -> CheckIPHeader -> RouteLookup
+//                         -> DecIPTTL -> FixIPChecksum -> EtherEncap -> CounterOut
+//                         -> PortSwitch -> Queue_j -> ToDevice_j -> env dev_tx
+//                    ARP -> ARPResponder_i -> Queue_i (reply out the same port)
+//                    other/bad/expired/miss -> Discard (counting)
+//
+// Per the paper, "Click supports component initialization through user-provided
+// strings; Clack emulates this feature with trivial components that provide
+// initialization data" — the PortCfg0/PortCfg1 units.
+//
+// The hand-optimized comparison ("we rewrote our router components in a less
+// modular way: combining 24 separate components into just 2 components, converting
+// the result to idiomatic C, and eliminating redundant data fetches") is the
+// HandIn/HandOut pair; it preserves observable behaviour exactly (same dev_tx
+// sequence, same counter values).
+#ifndef SRC_CLACK_CORPUS_H_
+#define SRC_CLACK_CORPUS_H_
+
+#include <string>
+
+#include "src/minic/clexer.h"
+
+namespace knit {
+
+const SourceMap& ClackSources();
+const std::string& ClackKnit();
+
+// Top-level router units defined by ClackKnit():
+//   "ClackRouter"      — 24 modular instances, one object per instance
+//   "ClackRouterFlat"  — same, flattened into one translation unit
+//   "HandRouter"       — the 2-component hand-optimized rewrite
+//   "HandRouterFlat"   — hand-optimized + flattened
+// All export: in0, in1 (PktSink), statsIn0, statsIn1, statsIp, statsOut, statsDrop
+// (Stats) and import dev : DevTx from the environment.
+
+}  // namespace knit
+
+#endif  // SRC_CLACK_CORPUS_H_

@@ -1,0 +1,89 @@
+// RouterProgram: loads a router image (a Knit-built Clack configuration, or any
+// image exposing the same entry points, e.g. the object-style Click emulation),
+// binds the device environment, and measures a packet trace exactly the way the
+// paper does: "measured in number of cycles from the moment a packet enters the
+// router graph to the moment it leaves".
+#ifndef SRC_CLACK_HARNESS_H_
+#define SRC_CLACK_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/clack/trace.h"
+#include "src/driver/knitc.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+#include "src/vm/machine.h"
+
+namespace knit {
+
+struct RouterStats {
+  int packets = 0;
+  long long cycles = 0;         // sum over per-packet deltas
+  long long ifetch_stalls = 0;  // sum over per-packet deltas
+  int text_bytes = 0;
+
+  // Counters read back from the router's Stats exports.
+  uint32_t in0 = 0;
+  uint32_t in1 = 0;
+  uint32_t ip = 0;
+  uint32_t out = 0;
+  uint32_t drop = 0;
+
+  // Transmission log for equivalence checking across configurations.
+  uint32_t tx_count = 0;
+  uint64_t tx_hash = 0;  // FNV over (port, len, bytes) of every dev_tx
+
+  double CyclesPerPacket() const { return packets == 0 ? 0 : double(cycles) / packets; }
+  double StallsPerPacket() const {
+    return packets == 0 ? 0 : double(ifetch_stalls) / packets;
+  }
+};
+
+class RouterProgram {
+ public:
+  // Builds a Clack router (top unit from ClackKnit()) through the knitc pipeline.
+  // `cost` lets experiments scale the simulated machine (e.g. the L1I size, to
+  // preserve the paper's text:cache ratio).
+  static Result<RouterProgram> FromClack(const std::string& top_unit,
+                                         const KnitcOptions& options, Diagnostics& diags,
+                                         const CostModel& cost = CostModel());
+
+  // Wraps an already-linked image. `entry_names` maps the harness's logical names
+  // (in0, in1, statsIn0, statsIn1, statsIp, statsOut, statsDrop) to image symbols;
+  // the image must import the native named by `dev_native`.
+  static Result<RouterProgram> FromImage(std::unique_ptr<Image> image,
+                                         std::map<std::string, std::string> entry_names,
+                                         const std::string& dev_native, Diagnostics& diags,
+                                         const CostModel& cost = CostModel());
+
+  // Runs the trace; each packet is written into VM memory and pushed through the
+  // matching input port, with cycle/stall deltas accumulated per packet.
+  Result<RouterStats> RunTrace(const std::vector<TracePacket>& trace, Diagnostics& diags);
+
+  Machine& machine() { return *machine_; }
+  const KnitBuildResult* build() const { return build_.get(); }
+
+ private:
+  RouterProgram() = default;
+
+  void BindDevice(const std::string& native_name);
+  Result<void> Prepare(Diagnostics& diags);
+
+  std::unique_ptr<KnitBuildResult> build_;  // null for FromImage
+  std::unique_ptr<Image> image_;            // null for FromClack (owned by build_)
+  std::unique_ptr<Machine> machine_;
+  std::map<std::string, std::string> entry_names_;
+
+  uint32_t pkt_struct_addr_ = 0;
+  uint32_t frame_addr_ = 0;
+  // Heap-allocated so the dev_tx native (which captures it) survives moves of the
+  // RouterProgram object.
+  std::shared_ptr<RouterStats> stats_ = std::make_shared<RouterStats>();
+};
+
+}  // namespace knit
+
+#endif  // SRC_CLACK_HARNESS_H_

@@ -1,0 +1,198 @@
+#include "src/clack/trace.h"
+
+#include <cstddef>
+
+namespace knit {
+namespace {
+
+// Deterministic xorshift PRNG (the VM forbids nothing here, but determinism makes
+// every experiment reproducible bit-for-bit).
+class Rng {
+ public:
+  explicit Rng(uint32_t seed) : state_(seed == 0 ? 0xdeadbeef : seed) {}
+
+  uint32_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 17;
+    state_ ^= state_ << 5;
+    return state_;
+  }
+
+  int Range(int lo, int hi) {  // inclusive
+    return lo + static_cast<int>(Next() % static_cast<uint32_t>(hi - lo + 1));
+  }
+
+ private:
+  uint32_t state_;
+};
+
+uint16_t IpChecksum(const uint8_t* header, int length) {
+  uint32_t sum = 0;
+  for (int i = 0; i + 1 < length; i += 2) {
+    sum += (static_cast<uint32_t>(header[i]) << 8) | header[i + 1];
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xFFFF);
+}
+
+void PutEthernetHeader(std::vector<uint8_t>& frame, uint16_t ethertype, Rng& rng) {
+  for (int i = 0; i < 6; ++i) {
+    frame.push_back(static_cast<uint8_t>(rng.Next() & 0xFF));  // dst (router MAC-ish)
+  }
+  for (int i = 0; i < 6; ++i) {
+    frame.push_back(static_cast<uint8_t>(rng.Next() & 0xFF));  // src
+  }
+  frame.push_back(static_cast<uint8_t>(ethertype >> 8));
+  frame.push_back(static_cast<uint8_t>(ethertype & 0xFF));
+}
+
+uint32_t PickRoutableDst(Rng& rng) {
+  switch (rng.Range(0, 3)) {
+    case 0:
+      return 0x0A010000u | (rng.Next() & 0xFFFF);  // 10.1.x.x
+    case 1:
+      return 0x0A020000u | (rng.Next() & 0xFFFF);  // 10.2.x.x
+    case 2:
+      return 0xC0A80000u | (rng.Next() & 0xFFFF);  // 192.168.x.x
+    default:
+      return rng.Next();  // anywhere: the default route catches it
+  }
+}
+
+TracePacket MakeIpPacket(Rng& rng, const TraceOptions& options, PacketKind kind) {
+  TracePacket packet;
+  packet.kind = kind;
+  packet.in_port = rng.Range(0, 1);
+
+  int payload = rng.Range(0, 99) < options.small_packet_percent
+                    ? options.min_payload
+                    : rng.Range(options.min_payload, options.max_payload);
+  std::vector<uint8_t>& frame = packet.frame;
+  PutEthernetHeader(frame, 0x0800, rng);
+
+  int total = 20 + payload;
+  uint8_t header[20] = {0};
+  header[0] = 0x45;
+  header[1] = 0;
+  header[2] = static_cast<uint8_t>(total >> 8);
+  header[3] = static_cast<uint8_t>(total & 0xFF);
+  header[4] = static_cast<uint8_t>(rng.Next() & 0xFF);  // id
+  header[5] = static_cast<uint8_t>(rng.Next() & 0xFF);
+  header[8] = kind == PacketKind::kTtlExpired ? 1 : static_cast<uint8_t>(rng.Range(2, 64));
+  header[9] = 17;  // UDP
+  uint32_t src = rng.Next();
+  uint32_t dst = PickRoutableDst(rng);
+  for (int i = 0; i < 4; ++i) {
+    header[12 + i] = static_cast<uint8_t>((src >> (24 - 8 * i)) & 0xFF);
+    header[16 + i] = static_cast<uint8_t>((dst >> (24 - 8 * i)) & 0xFF);
+  }
+  uint16_t checksum = IpChecksum(header, 20);
+  header[10] = static_cast<uint8_t>(checksum >> 8);
+  header[11] = static_cast<uint8_t>(checksum & 0xFF);
+  if (kind == PacketKind::kBadChecksum) {
+    header[10] ^= 0x5A;  // corrupt
+  }
+  frame.insert(frame.end(), header, header + 20);
+  for (int i = 0; i < payload; ++i) {
+    frame.push_back(static_cast<uint8_t>(rng.Next() & 0xFF));
+  }
+  return packet;
+}
+
+TracePacket MakeArpRequest(Rng& rng) {
+  TracePacket packet;
+  packet.kind = PacketKind::kArpRequest;
+  packet.in_port = rng.Range(0, 1);
+  std::vector<uint8_t>& frame = packet.frame;
+  PutEthernetHeader(frame, 0x0806, rng);
+  // htype=1, ptype=0x0800, hlen=6, plen=4, op=1 (request)
+  const uint8_t fixed[] = {0, 1, 8, 0, 6, 4, 0, 1};
+  frame.insert(frame.end(), fixed, fixed + 8);
+  for (int i = 0; i < 6; ++i) {
+    frame.push_back(static_cast<uint8_t>(rng.Next() & 0xFF));  // sender MAC
+  }
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<uint8_t>(rng.Next() & 0xFF));  // sender IP
+  }
+  for (int i = 0; i < 6; ++i) {
+    frame.push_back(0);  // target MAC (unknown)
+  }
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<uint8_t>(rng.Next() & 0xFF));  // target IP
+  }
+  // Pad to the 60-byte Ethernet minimum.
+  while (frame.size() < 60) {
+    frame.push_back(0);
+  }
+  return packet;
+}
+
+TracePacket MakeOther(Rng& rng) {
+  TracePacket packet;
+  packet.kind = PacketKind::kOther;
+  packet.in_port = rng.Range(0, 1);
+  PutEthernetHeader(packet.frame, 0x86DD, rng);  // IPv6 — not handled by this router
+  for (int i = 0; i < 46; ++i) {
+    packet.frame.push_back(static_cast<uint8_t>(rng.Next() & 0xFF));
+  }
+  return packet;
+}
+
+}  // namespace
+
+std::vector<TracePacket> GenerateTrace(const TraceOptions& options) {
+  Rng rng(options.seed);
+  std::vector<TracePacket> trace;
+  trace.reserve(static_cast<size_t>(options.count));
+  for (int i = 0; i < options.count; ++i) {
+    int roll = rng.Range(0, 99);
+    if (roll < options.arp_percent) {
+      trace.push_back(MakeArpRequest(rng));
+    } else if (roll < options.arp_percent + options.other_percent) {
+      trace.push_back(MakeOther(rng));
+    } else if (roll < options.arp_percent + options.other_percent +
+                          options.bad_checksum_percent) {
+      trace.push_back(MakeIpPacket(rng, options, PacketKind::kBadChecksum));
+    } else if (roll < options.arp_percent + options.other_percent +
+                          options.bad_checksum_percent + options.ttl_expired_percent) {
+      trace.push_back(MakeIpPacket(rng, options, PacketKind::kTtlExpired));
+    } else {
+      trace.push_back(MakeIpPacket(rng, options, PacketKind::kForward));
+    }
+  }
+  return trace;
+}
+
+TraceExpectation ExpectationOf(const std::vector<TracePacket>& trace) {
+  TraceExpectation expect;
+  for (const TracePacket& packet : trace) {
+    if (packet.in_port == 0) {
+      ++expect.in0;
+    } else {
+      ++expect.in1;
+    }
+    switch (packet.kind) {
+      case PacketKind::kForward:
+        ++expect.ip;
+        ++expect.out;
+        ++expect.tx;
+        break;
+      case PacketKind::kArpRequest:
+        ++expect.tx;  // replied, not counted as IP/out/drop
+        break;
+      case PacketKind::kOther:
+        ++expect.drop;
+        break;
+      case PacketKind::kBadChecksum:
+      case PacketKind::kTtlExpired:
+        ++expect.ip;
+        ++expect.drop;
+        break;
+    }
+  }
+  return expect;
+}
+
+}  // namespace knit

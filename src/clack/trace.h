@@ -1,0 +1,57 @@
+// Deterministic packet-trace generation for the router benchmarks. The paper's
+// testbed sent traffic through a "machine in the middle" router over two 10/100
+// NICs; we synthesize the equivalent two-port trace: mostly forwardable IPv4
+// traffic (smallest-size-dominated, as in router benchmarks of the era), plus ARP
+// requests, foreign ethertypes, corrupted checksums, and TTL-expired packets.
+#ifndef SRC_CLACK_TRACE_H_
+#define SRC_CLACK_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace knit {
+
+enum class PacketKind {
+  kForward,      // valid IPv4, route hit, TTL ok -> forwarded
+  kArpRequest,   // ARP request -> replied out the same port
+  kOther,        // unknown ethertype -> discarded
+  kBadChecksum,  // corrupted IPv4 header -> discarded
+  kTtlExpired,   // TTL 1 -> discarded
+};
+
+struct TracePacket {
+  std::vector<uint8_t> frame;  // full Ethernet frame
+  int in_port = 0;             // 0 or 1
+  PacketKind kind = PacketKind::kForward;
+};
+
+struct TraceOptions {
+  int count = 1000;
+  uint32_t seed = 0x12345u;
+  // Percentages (of 100) for the non-forwarding kinds; the rest forward.
+  int arp_percent = 3;
+  int other_percent = 2;
+  int bad_checksum_percent = 2;
+  int ttl_expired_percent = 2;
+  int min_payload = 6;    // 64-byte frames dominate
+  int max_payload = 512;
+  int small_packet_percent = 70;  // fraction pinned to minimum size
+};
+
+std::vector<TracePacket> GenerateTrace(const TraceOptions& options);
+
+// Expected router behaviour for a trace (used to validate every configuration).
+struct TraceExpectation {
+  uint32_t in0 = 0;
+  uint32_t in1 = 0;
+  uint32_t ip = 0;
+  uint32_t out = 0;
+  uint32_t drop = 0;
+  uint32_t tx = 0;  // dev_tx calls: forwarded + ARP replies
+};
+
+TraceExpectation ExpectationOf(const std::vector<TracePacket>& trace);
+
+}  // namespace knit
+
+#endif  // SRC_CLACK_TRACE_H_

@@ -1,0 +1,512 @@
+#include "src/click/click_gen.h"
+
+#include <map>
+#include <vector>
+
+#include "src/ld/link.h"
+#include "src/minic/cparser.h"
+#include "src/minic/sema.h"
+#include "src/vm/codegen.h"
+
+namespace knit {
+namespace {
+
+// One element instance in the Click configuration graph.
+struct ClickElement {
+  std::string kind;        // fromdevice counter classifier arp strip checkip route
+                           // decttl fixck encap portswitch queue todevice discard
+                           // decttl_fixck queue_tod (fused kinds, via xform)
+  int cfg = 0;             // port number where relevant
+  std::vector<int> outs;   // successors; meaning depends on kind
+};
+
+// The same two-port IP router graph as Clack. Indices are stable and used by the
+// stats accessors below.
+enum ElementIndex {
+  kFrom0 = 0,
+  kCntIn0 = 1,
+  kCls0 = 2,
+  kCntIp = 3,
+  kArp0 = 4,
+  kDiscard = 5,
+  kStrip = 6,
+  kCheckIp = 7,
+  kRoute = 8,
+  kDecTtl = 9,
+  kFixCk = 10,
+  kEncap = 11,
+  kCntOut = 12,
+  kPortSw = 13,
+  kQueue0 = 14,
+  kQueue1 = 15,
+  kToDev0 = 16,
+  kToDev1 = 17,
+  kFrom1 = 18,
+  kCntIn1 = 19,
+  kCls1 = 20,
+  kArp1 = 21,
+};
+
+std::vector<ClickElement> BuildGraph(const ClickOptim& optim) {
+  std::vector<ClickElement> g(22);
+  g[kFrom0] = {"fromdevice", 0, {kCntIn0}};
+  g[kCntIn0] = {"counter", 0, {kCls0}};
+  g[kCls0] = {"classifier", 0, {kCntIp, kArp0, kDiscard}};
+  g[kCntIp] = {"counter", 0, {kStrip}};
+  g[kArp0] = {"arp", 0, {kQueue0}};
+  g[kDiscard] = {"discard", 0, {}};
+  g[kStrip] = {"strip", 0, {kCheckIp}};
+  g[kCheckIp] = {"checkip", 0, {kRoute, kDiscard}};
+  g[kRoute] = {"route", 0, {kDecTtl, kDiscard}};
+  g[kDecTtl] = {"decttl", 0, {kFixCk, kDiscard}};
+  g[kFixCk] = {"fixck", 0, {kEncap}};
+  g[kEncap] = {"encap", 0, {kCntOut}};
+  g[kCntOut] = {"counter", 0, {kPortSw}};
+  g[kPortSw] = {"portswitch", 0, {kQueue0, kQueue1}};
+  g[kQueue0] = {"queue", 0, {kToDev0}};
+  g[kQueue1] = {"queue", 0, {kToDev1}};
+  g[kToDev0] = {"todevice", 0, {}};
+  g[kToDev1] = {"todevice", 1, {}};
+  g[kFrom1] = {"fromdevice", 1, {kCntIn1}};
+  g[kCntIn1] = {"counter", 0, {kCls1}};
+  g[kCls1] = {"classifier", 0, {kCntIp, kArp1, kDiscard}};
+  g[kArp1] = {"arp", 0, {kQueue1}};
+
+  if (optim.xform) {
+    // Pattern replacement: DecIPTTL -> FixIPChecksum becomes one fused element
+    // with an incremental checksum update; Queue -> ToDevice becomes a direct
+    // transmit (the consumer is always ready in this configuration).
+    g[kDecTtl] = {"decttl_fixck", 0, {kEncap, kDiscard}};
+    g[kFixCk] = {"unused", 0, {}};
+    g[kQueue0] = {"queue_tod", 0, {}};
+    g[kQueue1] = {"queue_tod", 1, {}};
+    g[kToDev0] = {"unused", 0, {}};
+    g[kToDev1] = {"unused", 1, {}};
+  }
+  return g;
+}
+
+const char* kCommonHeader = R"(
+extern void dev_tx(char *data, int len, int port);
+
+struct pkt {
+  char *data;
+  int len;
+  int port;
+  unsigned nexthop;
+};
+
+enum { ROUTES = 5 };
+static unsigned g_prefix[ROUTES] = {
+  0x0A010500u, 0x0A010000u, 0x0A020000u, 0xC0A80000u, 0x00000000u
+};
+static unsigned g_mask[ROUTES] = {
+  0xFFFFFF00u, 0xFFFF0000u, 0xFFFF0000u, 0xFFFF0000u, 0x00000000u
+};
+static unsigned g_gateway[ROUTES] = {
+  0x0A01052Au, 0x0A010001u, 0x0A020001u, 0xC0A80009u, 0x0A0100FEu
+};
+static int g_outport[ROUTES] = { 0, 0, 1, 1, 0 };
+
+struct element {
+  void (*push)(struct element *self, struct pkt *p);
+  struct element *out0;
+  struct element *out1;
+  struct element *out2;
+  int cfg;
+  unsigned count;
+  unsigned bytes;
+  int pat_n;
+  int pat_off[4];
+  int pat_val[4];
+  struct pkt *ring[16];
+  int head;
+  int tail;
+  unsigned drops;
+};
+
+static struct element g_el[22];
+)";
+
+// ---- shared element bodies -----------------------------------------------------
+//
+// `D` (dispatch) lets one body text serve both modes: in the object-based build it
+// becomes an indirect call through the element graph; in the specialized build the
+// generator substitutes a direct call to the successor's per-instance function.
+
+struct BodyText {
+  // %OUT0%/%OUT1%/%OUT2% are successor dispatches; %SELF% is the element state.
+  std::string text;
+};
+
+std::string BodyFor(const std::string& kind, bool fast_classifier) {
+  if (kind == "fromdevice") {
+    return "  p->port = %SELF%.cfg;\n  %OUT0%;\n";
+  }
+  if (kind == "counter") {
+    return "  %SELF%.count++;\n  %SELF%.bytes += (unsigned)p->len;\n  %OUT0%;\n";
+  }
+  if (kind == "classifier" && !fast_classifier) {
+    // Click's generic classifier: interpret the configured pattern table.
+    return R"(  for (int k = 0; k < %SELF%.pat_n; k++) {
+    int off = %SELF%.pat_off[k];
+    if (p->len >= off + 2) {
+      int v = ((p->data[off] & 0xFF) << 8) | (p->data[off + 1] & 0xFF);
+      if (v == %SELF%.pat_val[k]) {
+        if (k == 0) { %OUT0%; return; }
+        %OUT1%;
+        return;
+      }
+    }
+  }
+  %OUT2%;
+)";
+  }
+  if (kind == "classifier") {
+    // Fast classifier: compare code specialized to the configuration.
+    return R"(  if (p->len >= 14) {
+    int v = ((p->data[12] & 0xFF) << 8) | (p->data[13] & 0xFF);
+    if (v == 0x800) { %OUT0%; return; }
+    if (v == 0x806) { %OUT1%; return; }
+  }
+  %OUT2%;
+)";
+  }
+  if (kind == "discard") {
+    return "  (void)p;\n  %SELF%.count++;\n";
+  }
+  if (kind == "strip") {
+    return "  p->data += 14;\n  p->len -= 14;\n  %OUT0%;\n";
+  }
+  if (kind == "checkip") {
+    return R"(  if (p->len < 20) { %OUT1%; return; }
+  char *h = p->data;
+  int vh = h[0] & 0xFF;
+  if ((vh >> 4) != 4) { %OUT1%; return; }
+  if ((vh & 0xF) != 5) { %OUT1%; return; }
+  int total = ((h[2] & 0xFF) << 8) | (h[3] & 0xFF);
+  if (total < 20 || total > p->len) { %OUT1%; return; }
+  unsigned sum = 0;
+  for (int i = 0; i < 20; i += 2) {
+    sum += (unsigned)(((h[i] & 0xFF) << 8) | (h[i + 1] & 0xFF));
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  if (sum != 0xFFFF) { %OUT1%; return; }
+  %OUT0%;
+)";
+  }
+  if (kind == "route") {
+    return R"(  char *h = p->data;
+  unsigned dst = ((unsigned)(h[16] & 0xFF) << 24) | ((unsigned)(h[17] & 0xFF) << 16) |
+                 ((unsigned)(h[18] & 0xFF) << 8) | (unsigned)(h[19] & 0xFF);
+  int best = -1;
+  unsigned best_mask = 0;
+  for (int i = 0; i < ROUTES; i++) {
+    if ((dst & g_mask[i]) == g_prefix[i]) {
+      if (best < 0 || g_mask[i] > best_mask) {
+        best = i;
+        best_mask = g_mask[i];
+      }
+    }
+  }
+  if (best < 0) { %OUT1%; return; }
+  p->nexthop = g_gateway[best];
+  p->port = g_outport[best];
+  %OUT0%;
+)";
+  }
+  if (kind == "decttl") {
+    return R"(  char *h = p->data;
+  int ttl = h[8] & 0xFF;
+  if (ttl <= 1) { %OUT1%; return; }
+  h[8] = (char)(ttl - 1);
+  %OUT0%;
+)";
+  }
+  if (kind == "fixck") {
+    return R"(  char *h = p->data;
+  h[10] = (char)0;
+  h[11] = (char)0;
+  unsigned sum = 0;
+  for (int i = 0; i < 20; i += 2) {
+    sum += (unsigned)(((h[i] & 0xFF) << 8) | (h[i + 1] & 0xFF));
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  unsigned ck = ~sum & 0xFFFF;
+  h[10] = (char)((ck >> 8) & 0xFF);
+  h[11] = (char)(ck & 0xFF);
+  %OUT0%;
+)";
+  }
+  if (kind == "decttl_fixck") {
+    // xform fusion: one pass, incremental RFC 1624 checksum update.
+    return R"(  char *h = p->data;
+  int ttl = h[8] & 0xFF;
+  if (ttl <= 1) { %OUT1%; return; }
+  h[8] = (char)(ttl - 1);
+  unsigned old_ck = (unsigned)(((h[10] & 0xFF) << 8) | (h[11] & 0xFF));
+  unsigned old_hw = ((unsigned)ttl << 8) | (unsigned)(h[9] & 0xFF);
+  unsigned new_hw = ((unsigned)(ttl - 1) << 8) | (unsigned)(h[9] & 0xFF);
+  unsigned sum = (~old_ck & 0xFFFF) + (~old_hw & 0xFFFF) + new_hw;
+  sum = (sum & 0xFFFF) + (sum >> 16);
+  sum = (sum & 0xFFFF) + (sum >> 16);
+  unsigned ck = ~sum & 0xFFFF;
+  h[10] = (char)((ck >> 8) & 0xFF);
+  h[11] = (char)(ck & 0xFF);
+  %OUT0%;
+)";
+  }
+  if (kind == "encap") {
+    return R"(  p->data -= 14;
+  p->len += 14;
+  char *e = p->data;
+  unsigned nh = p->nexthop;
+  e[0] = (char)2;
+  e[1] = (char)0;
+  e[2] = (char)((nh >> 24) & 0xFF);
+  e[3] = (char)((nh >> 16) & 0xFF);
+  e[4] = (char)((nh >> 8) & 0xFF);
+  e[5] = (char)(nh & 0xFF);
+  e[6] = (char)2;
+  e[7] = (char)1;
+  e[8] = (char)0;
+  e[9] = (char)0;
+  e[10] = (char)0;
+  e[11] = (char)(p->port & 0xFF);
+  e[12] = (char)8;
+  e[13] = (char)0;
+  %OUT0%;
+)";
+  }
+  if (kind == "portswitch") {
+    return "  if (p->port == 0) { %OUT0%; return; }\n  %OUT1%;\n";
+  }
+  if (kind == "queue") {
+    return R"(  int next = (%SELF%.tail + 1) % 16;
+  if (next == %SELF%.head) {
+    %SELF%.drops++;
+    return;
+  }
+  %SELF%.ring[%SELF%.tail] = p;
+  %SELF%.tail = next;
+  while (%SELF%.head != %SELF%.tail) {
+    struct pkt *q = %SELF%.ring[%SELF%.head];
+    %SELF%.head = (%SELF%.head + 1) % 16;
+    p = q;
+    %OUT0%;
+  }
+)";
+  }
+  if (kind == "queue_tod") {
+    // xform fusion: the downstream ToDevice is always ready; transmit directly.
+    return "  dev_tx(p->data, p->len, p->port);\n";
+  }
+  if (kind == "todevice") {
+    return "  dev_tx(p->data, p->len, p->port);\n";
+  }
+  if (kind == "arp") {
+    return R"(  if (p->len < 42) return;
+  char *e = p->data;
+  char *a = p->data + 14;
+  int op = ((a[6] & 0xFF) << 8) | (a[7] & 0xFF);
+  if (op != 1) return;
+  for (int i = 0; i < 6; i++) e[i] = e[6 + i];
+  e[6] = (char)2;
+  e[7] = (char)1;
+  e[8] = (char)0;
+  e[9] = (char)0;
+  e[10] = (char)0;
+  e[11] = (char)(p->port & 0xFF);
+  a[7] = (char)2;
+  char sha[6];
+  char spa[4];
+  for (int i = 0; i < 6; i++) sha[i] = a[8 + i];
+  for (int i = 0; i < 4; i++) spa[i] = a[14 + i];
+  char tpa[4];
+  for (int i = 0; i < 4; i++) tpa[i] = a[24 + i];
+  for (int i = 0; i < 6; i++) a[18 + i] = sha[i];
+  for (int i = 0; i < 4; i++) a[24 + i] = spa[i];
+  a[8] = (char)2;
+  a[9] = (char)1;
+  a[10] = (char)0;
+  a[11] = (char)0;
+  a[12] = (char)0;
+  a[13] = (char)(p->port & 0xFF);
+  for (int i = 0; i < 4; i++) a[14 + i] = tpa[i];
+  %OUT0%;
+)";
+  }
+  return "";
+}
+
+std::string ReplaceAll(std::string text, const std::string& from, const std::string& to) {
+  size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+// Post-order over the element graph (successors before predecessors) so the
+// specialized build defines callees before callers.
+void PostOrder(const std::vector<ClickElement>& graph, int node, std::vector<bool>& seen,
+               std::vector<int>& order) {
+  if (seen[node]) {
+    return;
+  }
+  seen[node] = true;
+  for (int out : graph[node].outs) {
+    PostOrder(graph, out, seen, order);
+  }
+  order.push_back(node);
+}
+
+std::string GenerateIndirect(const std::vector<ClickElement>& graph,
+                             const ClickOptim& optim) {
+  std::string out = kCommonHeader;
+
+  // One shared push function per element kind, dispatching through pointers.
+  std::map<std::string, bool> kinds;
+  for (const ClickElement& element : graph) {
+    if (element.kind != "unused") {
+      kinds[element.kind] = true;
+    }
+  }
+  for (const auto& [kind, _] : kinds) {
+    std::string body = BodyFor(kind, optim.fast_classifier);
+    body = ReplaceAll(body, "%SELF%", "(*self)");
+    body = ReplaceAll(body, "%OUT0%", "self->out0->push(self->out0, p)");
+    body = ReplaceAll(body, "%OUT1%", "self->out1->push(self->out1, p)");
+    body = ReplaceAll(body, "%OUT2%", "self->out2->push(self->out2, p)");
+    out += "static void click_" + kind + "_push(struct element *self, struct pkt *p) {\n" +
+           body + "}\n\n";
+  }
+
+  // Run-time graph construction — the object-based linking of paper section 2.2.
+  out += "void click_init(void) {\n";
+  for (size_t i = 0; i < graph.size(); ++i) {
+    const ClickElement& element = graph[i];
+    if (element.kind == "unused") {
+      continue;
+    }
+    std::string self = "g_el[" + std::to_string(i) + "]";
+    out += "  " + self + ".push = click_" + element.kind + "_push;\n";
+    for (size_t o = 0; o < element.outs.size(); ++o) {
+      out += "  " + self + ".out" + std::to_string(o) + " = &g_el[" +
+             std::to_string(element.outs[o]) + "];\n";
+    }
+    out += "  " + self + ".cfg = " + std::to_string(element.cfg) + ";\n";
+    if (element.kind == "classifier") {
+      out += "  " + self + ".pat_n = 2;\n";
+      out += "  " + self + ".pat_off[0] = 12;\n  " + self + ".pat_val[0] = 0x800;\n";
+      out += "  " + self + ".pat_off[1] = 12;\n  " + self + ".pat_val[1] = 0x806;\n";
+    }
+  }
+  out += "}\n\n";
+  out +=
+      "void click_in0(struct pkt *p) { g_el[0].push(&g_el[0], p); }\n"
+      "void click_in1(struct pkt *p) { g_el[18].push(&g_el[18], p); }\n";
+  return out;
+}
+
+std::string GenerateSpecialized(const std::vector<ClickElement>& graph,
+                                const ClickOptim& optim) {
+  std::string out = kCommonHeader;
+
+  // Prototypes for every per-instance function (cycles are impossible here, but
+  // declarations-before-use keeps the front end happy regardless of order).
+  for (size_t i = 0; i < graph.size(); ++i) {
+    if (graph[i].kind != "unused") {
+      out += "static void el" + std::to_string(i) + "_push(struct pkt *p);\n";
+    }
+  }
+  out += "\n";
+
+  std::vector<bool> seen(graph.size(), false);
+  std::vector<int> order;
+  PostOrder(graph, kFrom0, seen, order);
+  PostOrder(graph, kFrom1, seen, order);
+
+  for (int i : order) {
+    const ClickElement& element = graph[i];
+    if (element.kind == "unused") {
+      continue;
+    }
+    std::string body = BodyFor(element.kind, optim.fast_classifier);
+    body = ReplaceAll(body, "%SELF%", "g_el[" + std::to_string(i) + "]");
+    for (size_t o = 0; o < 3; ++o) {
+      std::string token = "%OUT" + std::to_string(o) + "%";
+      if (o < element.outs.size()) {
+        body = ReplaceAll(body, token,
+                          "el" + std::to_string(element.outs[o]) + "_push(p)");
+      }
+    }
+    out += "static void el" + std::to_string(i) + "_push(struct pkt *p) {\n" + body + "}\n\n";
+  }
+
+  out += "void click_init(void) {\n";
+  for (size_t i = 0; i < graph.size(); ++i) {
+    const ClickElement& element = graph[i];
+    if (element.kind == "unused") {
+      continue;
+    }
+    std::string self = "g_el[" + std::to_string(i) + "]";
+    out += "  " + self + ".cfg = " + std::to_string(element.cfg) + ";\n";
+    if (element.kind == "classifier" && !optim.fast_classifier) {
+      out += "  " + self + ".pat_n = 2;\n";
+      out += "  " + self + ".pat_off[0] = 12;\n  " + self + ".pat_val[0] = 0x800;\n";
+      out += "  " + self + ".pat_off[1] = 12;\n  " + self + ".pat_val[1] = 0x806;\n";
+    }
+  }
+  out += "}\n\n";
+  out +=
+      "void click_in0(struct pkt *p) { el0_push(p); }\n"
+      "void click_in1(struct pkt *p) { el18_push(p); }\n";
+  return out;
+}
+
+}  // namespace
+
+std::string GenerateClickRouter(const ClickOptim& optim) {
+  std::vector<ClickElement> graph = BuildGraph(optim);
+  std::string out =
+      optim.devirtualize ? GenerateSpecialized(graph, optim) : GenerateIndirect(graph, optim);
+  out +=
+      "unsigned click_stats_in0(void) { return g_el[1].count; }\n"
+      "unsigned click_stats_in1(void) { return g_el[19].count; }\n"
+      "unsigned click_stats_ip(void) { return g_el[3].count; }\n"
+      "unsigned click_stats_out(void) { return g_el[12].count; }\n"
+      "unsigned click_stats_drop(void) { return g_el[5].count; }\n";
+  return out;
+}
+
+Result<std::unique_ptr<Image>> BuildClickRouter(const ClickOptim& optim, Diagnostics& diags) {
+  std::string source = GenerateClickRouter(optim);
+  TypeTable types;
+  Result<TranslationUnit> unit = ParseCString(source, "click_router.c", types, diags);
+  if (!unit.ok()) {
+    return Result<std::unique_ptr<Image>>::Failure();
+  }
+  Result<SemaInfo> info = AnalyzeTranslationUnit(unit.value(), types, diags);
+  if (!info.ok()) {
+    return Result<std::unique_ptr<Image>>::Failure();
+  }
+  CodegenOptions options;  // one TU at -O2, like a normal Click build
+  Result<ObjectFile> object = CompileTranslationUnit(unit.value(), info.value(), types,
+                                                     options, "click_router.o", diags);
+  if (!object.ok()) {
+    return Result<std::unique_ptr<Image>>::Failure();
+  }
+  LinkOptions link_options;
+  link_options.natives = {"dev_tx"};
+  std::vector<LinkItem> items;
+  items.emplace_back(object.take());
+  Result<LinkResult> linked = Link(std::move(items), link_options, diags);
+  if (!linked.ok()) {
+    return Result<std::unique_ptr<Image>>::Failure();
+  }
+  return std::make_unique<Image>(std::move(linked.value().image));
+}
+
+}  // namespace knit

@@ -1,0 +1,51 @@
+// The object-based Click emulation (paper §5.2, §6, Table 2).
+//
+// Click implements router elements as C++ class instances connected by pointers;
+// packets traverse the graph through virtual calls. We reproduce that structure in
+// MiniC: every element is a `struct element` holding a push function pointer,
+// output-edge pointers, and per-instance state; an init function wires the graph at
+// run time (the "linking via arbitrary run-time code" of paper §2.2). The element
+// graph is the same 24-element two-port IP router as Clack, so Table 2's
+// Click-vs-Clack comparison runs the same workload.
+//
+// The three MIT optimizations (Kohler et al., MIT-LCS-TR-812, paper [19]) are
+// reproduced as source-level transforms, individually selectable for ablation:
+//   * fast classifier — replaces the generic pattern-table interpreter with
+//     compare code specialized to the configured patterns;
+//   * specializer (devirtualization) — per-instance functions with direct calls
+//     instead of indirect dispatch (which also unlocks the compiler's inliner);
+//   * xform — graph pattern replacement: DecIPTTL+FixIPChecksum fuse into a single
+//     pass with an incremental (RFC 1624) checksum update; Queue+ToDevice fuse
+//     into a direct transmit.
+#ifndef SRC_CLICK_CLICK_GEN_H_
+#define SRC_CLICK_CLICK_GEN_H_
+
+#include <memory>
+#include <string>
+
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+#include "src/vm/image.h"
+
+namespace knit {
+
+struct ClickOptim {
+  bool fast_classifier = false;
+  bool devirtualize = false;
+  bool xform = false;
+
+  static ClickOptim None() { return ClickOptim{}; }
+  static ClickOptim All() { return ClickOptim{true, true, true}; }
+};
+
+// Generates the complete MiniC source of the Click router program.
+std::string GenerateClickRouter(const ClickOptim& optim);
+
+// Compiles and links the Click router into a runnable image. The image exports
+// click_init, click_in0/click_in1, and click_stats_{in0,in1,ip,out,drop}; it
+// imports the native `dev_tx`.
+Result<std::unique_ptr<Image>> BuildClickRouter(const ClickOptim& optim, Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_CLICK_CLICK_GEN_H_

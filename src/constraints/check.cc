@@ -1,0 +1,462 @@
+#include "src/constraints/check.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "src/support/strings.h"
+
+namespace knit {
+
+PropertyLattice::PropertyLattice(std::string name,
+                                 const std::vector<PropertyValueDecl>& declared_values)
+    : name_(std::move(name)) {
+  for (const PropertyValueDecl& decl : declared_values) {
+    if (decl.property == name_) {
+      values_.push_back(decl.name);
+    }
+  }
+  size_t n = values_.size();
+  leq_.assign(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    leq_[i][i] = true;
+  }
+  for (const PropertyValueDecl& decl : declared_values) {
+    if (decl.property != name_ || decl.less_than.empty()) {
+      continue;
+    }
+    int lo = IndexOf(decl.name);
+    int hi = IndexOf(decl.less_than);
+    assert(lo >= 0 && hi >= 0);
+    leq_[lo][hi] = true;
+  }
+  // Floyd–Warshall transitive closure; value sets are tiny.
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!leq_[i][k]) {
+        continue;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        if (leq_[k][j]) {
+          leq_[i][j] = true;
+        }
+      }
+    }
+  }
+}
+
+int PropertyLattice::IndexOf(const std::string& value) const {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] == value) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+// Per-property solver. Variables are (instance, port); a bitset of possible values
+// per union-find root.
+class PropertySolver {
+ public:
+  PropertySolver(const PropertyLattice& lattice, const Configuration& config,
+                 Diagnostics& diags)
+      : lattice_(lattice), config_(config), diags_(diags) {
+    // Variable layout: for instance i, imports then exports.
+    var_base_.resize(config.instances.size());
+    int next = 0;
+    for (size_t i = 0; i < config.instances.size(); ++i) {
+      var_base_[i] = next;
+      next += static_cast<int>(config.instances[i].unit->imports.size() +
+                               config.instances[i].unit->exports.size());
+    }
+    parent_.resize(next);
+    std::iota(parent_.begin(), parent_.end(), 0);
+    domains_.assign(next, FullDomain());
+
+    // Wiring: import variable == supplier's export variable.
+    for (size_t i = 0; i < config.instances.size(); ++i) {
+      const Instance& instance = config.instances[i];
+      for (size_t p = 0; p < instance.import_suppliers.size(); ++p) {
+        const SupplierRef& supplier = instance.import_suppliers[p];
+        if (supplier.IsEnvironment()) {
+          continue;
+        }
+        Union(ImportVar(static_cast<int>(i), static_cast<int>(p)),
+              ExportVar(supplier.instance, supplier.port));
+      }
+    }
+  }
+
+  bool Solve() {
+    // Collect the per-instance constraints for this property.
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      for (const ConstraintDecl& constraint : config_.instances[i].unit->constraints) {
+        if (!AddConstraint(static_cast<int>(i), constraint)) {
+          return false;
+        }
+      }
+    }
+    // Arc-consistency fixpoint over the <= edges.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const LeqEdge& edge : leq_edges_) {
+        changed |= PruneLeq(edge);
+        if (failed_) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Writes the final domains for reporting.
+  void Export(ConstraintSolution& solution) const {
+    auto& by_instance = solution.domains[lattice_.name()];
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      const Instance& instance = config_.instances[i];
+      auto& by_port = by_instance[instance.path];
+      for (size_t p = 0; p < instance.unit->imports.size(); ++p) {
+        by_port["imports/" + instance.unit->imports[p].local_name] =
+            DomainNames(ImportVar(static_cast<int>(i), static_cast<int>(p)));
+      }
+      for (size_t p = 0; p < instance.unit->exports.size(); ++p) {
+        by_port["exports/" + instance.unit->exports[p].local_name] =
+            DomainNames(ExportVar(static_cast<int>(i), static_cast<int>(p)));
+      }
+    }
+  }
+
+ private:
+  struct LeqEdge {
+    int lo;  // variable constrained to be <= hi
+    int hi;
+    SourceLoc loc;
+    std::string description;
+  };
+
+  uint64_t FullDomain() const {
+    size_t n = lattice_.values().size();
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+  }
+
+  int ImportVar(int instance, int port) const { return var_base_[instance] + port; }
+  int ExportVar(int instance, int port) const {
+    return var_base_[instance] + static_cast<int>(config_.instances[instance].unit->imports.size()) +
+           port;
+  }
+
+  int Find(int v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  int Find(int v) const {
+    while (parent_[v] != v) {
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) {
+      return;
+    }
+    parent_[b] = a;
+    domains_[a] &= domains_[b];
+  }
+
+  std::vector<std::string> DomainNames(int var) const {
+    std::vector<std::string> names;
+    uint64_t domain = domains_[Find(var)];
+    for (size_t i = 0; i < lattice_.values().size(); ++i) {
+      if ((domain >> i) & 1) {
+        names.push_back(lattice_.values()[i]);
+      }
+    }
+    return names;
+  }
+
+  // The set of variables a PropertyExpr denotes for `instance` (empty for kValue).
+  std::vector<int> VarsOf(int instance, const PropertyExpr& expr) const {
+    const UnitDecl& unit = *config_.instances[instance].unit;
+    std::vector<int> vars;
+    switch (expr.kind) {
+      case PropertyExpr::Kind::kOfPort: {
+        int import_index = Elaboration::PortIndex(unit.imports, expr.name);
+        if (import_index >= 0) {
+          vars.push_back(ImportVar(instance, import_index));
+        } else {
+          int export_index = Elaboration::PortIndex(unit.exports, expr.name);
+          assert(export_index >= 0);
+          vars.push_back(ExportVar(instance, export_index));
+        }
+        break;
+      }
+      case PropertyExpr::Kind::kOfImports:
+        for (size_t p = 0; p < unit.imports.size(); ++p) {
+          vars.push_back(ImportVar(instance, static_cast<int>(p)));
+        }
+        break;
+      case PropertyExpr::Kind::kOfExports:
+        for (size_t p = 0; p < unit.exports.size(); ++p) {
+          vars.push_back(ExportVar(instance, static_cast<int>(p)));
+        }
+        break;
+      case PropertyExpr::Kind::kValue:
+        break;
+    }
+    return vars;
+  }
+
+  bool ExprUsesThisProperty(const ConstraintDecl& constraint) const {
+    auto uses = [&](const PropertyExpr& expr) {
+      return expr.kind != PropertyExpr::Kind::kValue && expr.property == lattice_.name();
+    };
+    // A value-only side belongs to whatever property the other side names; a
+    // value = value constraint belongs to every property (it is checked statically
+    // by the first lattice that sees it).
+    return uses(constraint.lhs) || uses(constraint.rhs);
+  }
+
+  // Narrows var's root domain to `mask`; reports via `blame` on empty.
+  bool Narrow(int var, uint64_t mask, const SourceLoc& loc, const std::string& blame) {
+    int root = Find(var);
+    uint64_t next = domains_[root] & mask;
+    if (next == domains_[root]) {
+      return false;  // no change
+    }
+    domains_[root] = next;
+    if (next == 0) {
+      diags_.Error(loc, "unsatisfiable constraint: " + blame);
+      failed_ = true;
+    }
+    return true;
+  }
+
+  uint64_t ValuesLeq(int value_index) const {
+    uint64_t mask = 0;
+    for (size_t i = 0; i < lattice_.values().size(); ++i) {
+      if (lattice_.Leq(static_cast<int>(i), value_index)) {
+        mask |= 1ULL << i;
+      }
+    }
+    return mask;
+  }
+
+  uint64_t ValuesGeq(int value_index) const {
+    uint64_t mask = 0;
+    for (size_t i = 0; i < lattice_.values().size(); ++i) {
+      if (lattice_.Leq(value_index, static_cast<int>(i))) {
+        mask |= 1ULL << i;
+      }
+    }
+    return mask;
+  }
+
+  bool AddConstraint(int instance, const ConstraintDecl& constraint) {
+    if (!ExprUsesThisProperty(constraint)) {
+      return true;
+    }
+    const std::string& path = config_.instances[instance].path;
+    std::string blame = "in instance '" + path + "'";
+
+    auto value_index = [&](const PropertyExpr& expr) -> int {
+      int index = lattice_.IndexOf(expr.name);
+      if (index < 0) {
+        diags_.Error(expr.loc, "unknown value '" + expr.name + "' for property '" +
+                                   lattice_.name() + "' " + blame);
+        failed_ = true;
+      }
+      return index;
+    };
+
+    bool lhs_value = constraint.lhs.kind == PropertyExpr::Kind::kValue;
+    bool rhs_value = constraint.rhs.kind == PropertyExpr::Kind::kValue;
+
+    if (lhs_value && rhs_value) {
+      int a = value_index(constraint.lhs);
+      int b = value_index(constraint.rhs);
+      if (a < 0 || b < 0) {
+        return false;
+      }
+      bool holds = constraint.relation == ConstraintDecl::Relation::kEqual
+                       ? a == b
+                       : lattice_.Leq(a, b);
+      if (!holds) {
+        diags_.Error(constraint.loc, "constraint between constant values does not hold " + blame);
+        return false;
+      }
+      return true;
+    }
+
+    std::vector<int> lhs_vars = VarsOf(instance, constraint.lhs);
+    std::vector<int> rhs_vars = VarsOf(instance, constraint.rhs);
+
+    if (constraint.relation == ConstraintDecl::Relation::kEqual) {
+      if (lhs_value || rhs_value) {
+        const PropertyExpr& value_expr = lhs_value ? constraint.lhs : constraint.rhs;
+        const std::vector<int>& vars = lhs_value ? rhs_vars : lhs_vars;
+        int index = value_index(value_expr);
+        if (index < 0) {
+          return false;
+        }
+        for (int var : vars) {
+          Narrow(var, 1ULL << index, constraint.loc,
+                 lattice_.name() + " fixed to '" + value_expr.name + "' conflicts with other "
+                 "constraints " + blame);
+          if (failed_) {
+            return false;
+          }
+        }
+        return true;
+      }
+      // port = port: unify every lhs var with every rhs var.
+      for (int a : lhs_vars) {
+        for (int b : rhs_vars) {
+          Union(a, b);
+          if (domains_[Find(a)] == 0) {
+            diags_.Error(constraint.loc,
+                         "unsatisfiable equality constraint on property '" + lattice_.name() +
+                             "' " + blame);
+            failed_ = true;
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+
+    // Relation kLessEq.
+    if (lhs_value) {
+      int index = value_index(constraint.lhs);
+      if (index < 0) {
+        return false;
+      }
+      for (int var : rhs_vars) {
+        Narrow(var, ValuesGeq(index), constraint.loc,
+               "'" + constraint.lhs.name + " <= " + lattice_.name() + "(...)' cannot hold " +
+                   blame);
+        if (failed_) {
+          return false;
+        }
+      }
+      return true;
+    }
+    if (rhs_value) {
+      int index = value_index(constraint.rhs);
+      if (index < 0) {
+        return false;
+      }
+      for (int var : lhs_vars) {
+        Narrow(var, ValuesLeq(index), constraint.loc,
+               "'" + lattice_.name() + "(...) <= " + constraint.rhs.name + "' cannot hold " +
+                   blame);
+        if (failed_) {
+          return false;
+        }
+      }
+      return true;
+    }
+    // port <= port: record edges for the fixpoint.
+    for (int lo : lhs_vars) {
+      for (int hi : rhs_vars) {
+        leq_edges_.push_back(LeqEdge{lo, hi, constraint.loc,
+                                     "propagation constraint on property '" + lattice_.name() +
+                                         "' " + blame});
+      }
+    }
+    return true;
+  }
+
+  // dom(lo) keeps values with some upper bound in dom(hi); dom(hi) keeps values with
+  // some lower bound in dom(lo).
+  bool PruneLeq(const LeqEdge& edge) {
+    int lo_root = Find(edge.lo);
+    int hi_root = Find(edge.hi);
+    uint64_t lo_dom = domains_[lo_root];
+    uint64_t hi_dom = domains_[hi_root];
+    uint64_t lo_keep = 0;
+    uint64_t hi_keep = 0;
+    size_t n = lattice_.values().size();
+    for (size_t a = 0; a < n; ++a) {
+      if (((lo_dom >> a) & 1) == 0) {
+        continue;
+      }
+      for (size_t b = 0; b < n; ++b) {
+        if (((hi_dom >> b) & 1) != 0 && lattice_.Leq(static_cast<int>(a), static_cast<int>(b))) {
+          lo_keep |= 1ULL << a;
+          hi_keep |= 1ULL << b;
+        }
+      }
+    }
+    bool changed = false;
+    changed |= Narrow(lo_root, lo_keep | ~lo_dom, edge.loc, edge.description);
+    if (!failed_) {
+      changed |= Narrow(hi_root, hi_keep | ~hi_dom, edge.loc, edge.description);
+    }
+    return changed;
+  }
+
+  const PropertyLattice& lattice_;
+  const Configuration& config_;
+  Diagnostics& diags_;
+  std::vector<int> var_base_;
+  std::vector<int> parent_;
+  std::vector<uint64_t> domains_;  // per union-find root
+  std::vector<LeqEdge> leq_edges_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Result<void> CheckConstraints(const Elaboration& elaboration, const Configuration& config,
+                              Diagnostics& diags, ConstraintSolution* solution_out) {
+  bool ok = true;
+  for (const PropertyDecl& property : elaboration.properties) {
+    PropertyLattice lattice(property.name, elaboration.property_values);
+    PropertySolver solver(lattice, config, diags);
+    if (!solver.Solve()) {
+      ok = false;
+      continue;
+    }
+    if (solution_out != nullptr) {
+      solver.Export(*solution_out);
+    }
+  }
+  return ok ? Result<void>::Success() : Result<void>::Failure();
+}
+
+ConstraintStats ComputeConstraintStats(const Configuration& config) {
+  ConstraintStats stats;
+  stats.instance_count = static_cast<int>(config.instances.size());
+  for (const Instance& instance : config.instances) {
+    const UnitDecl& unit = *instance.unit;
+    if (unit.constraints.empty()) {
+      continue;
+    }
+    ++stats.annotated_instances;
+    bool propagation_only = true;
+    for (const ConstraintDecl& constraint : unit.constraints) {
+      bool is_propagation = constraint.relation == ConstraintDecl::Relation::kLessEq &&
+                            constraint.lhs.kind == PropertyExpr::Kind::kOfExports &&
+                            constraint.rhs.kind == PropertyExpr::Kind::kOfImports;
+      if (!is_propagation) {
+        propagation_only = false;
+        break;
+      }
+    }
+    if (propagation_only) {
+      ++stats.propagation_only_instances;
+    }
+  }
+  return stats;
+}
+
+}  // namespace knit

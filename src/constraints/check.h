@@ -1,0 +1,72 @@
+// Architectural constraint checking (paper §4).
+//
+// Programmers declare properties with partially ordered values:
+//     property context
+//     type NoContext
+//     type ProcessContext < NoContext
+// and annotate unit ports:
+//     constraints { context(intr) = NoContext; context(exports) <= context(imports); }
+//
+// Each (property, instance, port) is a variable. Linking unifies an import variable
+// with its supplier's export variable. Solving is finite-domain propagation: every
+// variable starts with the full value set; `=` fixes or unifies, `<=` prunes via the
+// partial order; iterate to fixpoint. An emptied domain is a configuration error and
+// is reported with the offending constraint, instance path, and port.
+#ifndef SRC_CONSTRAINTS_CHECK_H_
+#define SRC_CONSTRAINTS_CHECK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/knitsem/instantiate.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+// A property's value set and its reflexive-transitive order. `Leq(a, b)` is true when
+// value `a` is at-most-as-general-as `b` per the `type A < B` declarations.
+class PropertyLattice {
+ public:
+  PropertyLattice(std::string name, const std::vector<PropertyValueDecl>& declared_values);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& values() const { return values_; }
+
+  int IndexOf(const std::string& value) const;  // -1 if unknown
+  bool Leq(int a, int b) const { return leq_[a][b]; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> values_;
+  std::vector<std::vector<bool>> leq_;
+};
+
+// The solved assignment: for each property, for each instance port, the set of values
+// still possible. Useful for reporting and for tests.
+struct ConstraintSolution {
+  // solution[property_name][instance][port-key] -> possible value names.
+  // Port keys are "imports/<name>" and "exports/<name>".
+  std::map<std::string, std::map<std::string, std::map<std::string, std::vector<std::string>>>>
+      domains;
+};
+
+// Checks all constraints over the configuration. On violation, reports and fails.
+// `solution_out` (optional) receives the final domains.
+Result<void> CheckConstraints(const Elaboration& elaboration, const Configuration& config,
+                              Diagnostics& diags, ConstraintSolution* solution_out = nullptr);
+
+// Statistics matching the paper's §5 discussion ("35 required the addition of
+// constraints, of which 70% simply propagated their context from imports to exports").
+struct ConstraintStats {
+  int instance_count = 0;
+  int annotated_instances = 0;        // instances whose unit declares any constraint
+  int propagation_only_instances = 0; // annotated with nothing but prop(exports)<=prop(imports)
+};
+
+ConstraintStats ComputeConstraintStats(const Configuration& config);
+
+}  // namespace knit
+
+#endif  // SRC_CONSTRAINTS_CHECK_H_

@@ -1,0 +1,624 @@
+#include "src/driver/knitc.h"
+
+#include <chrono>
+#include <set>
+
+#include "src/flatten/flatten.h"
+#include "src/knitlang/parser.h"
+#include "src/ld/link.h"
+#include "src/minic/cparser.h"
+#include "src/minic/sema.h"
+#include "src/obj/object.h"
+#include "src/support/mangle.h"
+#include "src/vm/codegen.h"
+
+namespace knit {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
+}
+
+// True when the unit is backed by pre-compiled object code rather than sources.
+bool IsObjectUnit(const UnitDecl& unit) {
+  return unit.files.size() == 1 && unit.files[0].size() > 2 &&
+         unit.files[0].rfind(".o") == unit.files[0].size() - 2;
+}
+
+// The C identifier a unit's source uses for (port, symbol), honoring renames.
+std::string CNameOf(const UnitDecl& unit, const std::string& port, const std::string& symbol) {
+  for (const RenameDecl& rename : unit.renames) {
+    if (rename.port == port && rename.symbol == symbol) {
+      return rename.c_name;
+    }
+  }
+  return symbol;
+}
+
+}  // namespace
+
+const std::vector<std::string>& IntrinsicNatives() {
+  static const std::vector<std::string> kIntrinsics = {
+      "__sbrk", "__putchar", "__cycles", "__abort", "__vararg", "__vararg_count", "__trace",
+  };
+  return kIntrinsics;
+}
+
+std::string KnitBuildResult::ExportedSymbol(const std::string& port,
+                                            const std::string& symbol) const {
+  auto it = export_names_.find({port, symbol});
+  return it == export_names_.end() ? "" : it->second;
+}
+
+class KnitCompiler {
+ public:
+  KnitCompiler(const std::string& knit_source, const SourceMap& sources,
+               const std::string& top_unit, const KnitcOptions& options, Diagnostics& diags)
+      : knit_source_(knit_source),
+        sources_(sources),
+        top_unit_(top_unit),
+        options_(options),
+        diags_(diags) {}
+
+  Result<KnitBuildResult> Run() {
+    auto t0 = std::chrono::steady_clock::now();
+    Result<KnitProgram> program = ParseKnit(knit_source_, "<knit>", diags_);
+    if (!program.ok()) {
+      return Result<KnitBuildResult>::Failure();
+    }
+    Result<Elaboration> elaboration = Elaborate(program.value(), diags_);
+    if (!elaboration.ok()) {
+      return Result<KnitBuildResult>::Failure();
+    }
+    result_.elaboration = std::make_unique<Elaboration>(std::move(elaboration.value()));
+    Result<Configuration> config = Instantiate(*result_.elaboration, top_unit_, diags_);
+    if (!config.ok()) {
+      return Result<KnitBuildResult>::Failure();
+    }
+    result_.config = std::move(config.value());
+    result_.stats.frontend_seconds = Seconds(t0);
+    result_.stats.instance_count = static_cast<int>(result_.config.instances.size());
+
+    t0 = std::chrono::steady_clock::now();
+    Result<Schedule> schedule = ScheduleInitFini(result_.config, diags_);
+    if (!schedule.ok()) {
+      return Result<KnitBuildResult>::Failure();
+    }
+    result_.schedule = std::move(schedule.value());
+    result_.stats.schedule_seconds = Seconds(t0);
+
+    if (options_.check_constraints) {
+      t0 = std::chrono::steady_clock::now();
+      if (!CheckConstraints(*result_.elaboration, result_.config, diags_,
+                            &result_.constraint_solution)
+               .ok()) {
+        return Result<KnitBuildResult>::Failure();
+      }
+      result_.stats.constraint_seconds = Seconds(t0);
+    }
+
+    if (!AssignGroups()) {
+      return Result<KnitBuildResult>::Failure();
+    }
+    ComputeExternalExports();
+    if (!CompileEverything() || !GenerateInitObject() || !LinkAll()) {
+      return Result<KnitBuildResult>::Failure();
+    }
+    FillExportNames();
+    return std::move(result_);
+  }
+
+ private:
+  // ---- grouping -------------------------------------------------------------
+
+  // group id per instance; -1 = standalone object (objcopy path).
+  bool AssignGroups() {
+    const Configuration& config = result_.config;
+    groups_.assign(config.instances.size(), -1);
+    if (options_.flatten_everything) {
+      for (size_t i = 0; i < config.instances.size(); ++i) {
+        groups_[i] = 0;
+      }
+      group_count_ = 1;
+      StripObjectUnitsFromGroups();
+      return true;
+    }
+    if (!options_.flatten) {
+      group_count_ = 0;
+      return true;
+    }
+    for (size_t i = 0; i < config.instances.size(); ++i) {
+      groups_[i] = config.instances[i].flatten_group;
+    }
+    group_count_ = config.flatten_group_count;
+    StripObjectUnitsFromGroups();
+    return true;
+  }
+
+  // Pre-compiled units cannot be source-merged; they fall back to the objcopy path
+  // even inside a flatten region.
+  void StripObjectUnitsFromGroups() {
+    for (size_t i = 0; i < result_.config.instances.size(); ++i) {
+      if (IsObjectUnit(*result_.config.instances[i].unit)) {
+        groups_[i] = -1;
+      }
+    }
+  }
+
+  // Exports that must remain globally visible after compilation: those consumed by
+  // an instance in a *different* object (another flatten group or a standalone
+  // instance) and those realizing top-level exports. Everything else can be
+  // localized/staticized, which is what lets the optimizer inline unit code away
+  // entirely inside a flattened group (and is why the paper's flattened router is
+  // smaller, not larger, than the modular one).
+  void ComputeExternalExports() {
+    const Configuration& config = result_.config;
+    auto group_of = [&](int i) { return groups_[i] >= 0 ? groups_[i] : -(i + 2); };
+    for (size_t i = 0; i < config.instances.size(); ++i) {
+      const Instance& instance = config.instances[i];
+      for (const SupplierRef& supplier : instance.import_suppliers) {
+        if (supplier.IsEnvironment()) {
+          continue;
+        }
+        if (group_of(supplier.instance) != group_of(static_cast<int>(i))) {
+          external_exports_.insert({supplier.instance, supplier.port});
+        }
+      }
+    }
+    for (const SupplierRef& supplier : config.top_export_suppliers) {
+      if (!supplier.IsEnvironment()) {
+        external_exports_.insert({supplier.instance, supplier.port});
+      }
+    }
+  }
+
+  // ---- per-instance rename maps ----------------------------------------------
+
+  struct InstanceNames {
+    std::map<std::string, std::string> renames;  // C name -> link name
+    std::set<std::string> keep_global;           // link names that stay global
+  };
+
+  // Resolves the top-level-import environment name for a supplier reference.
+  std::string SupplierLinkName(const SupplierRef& supplier, const std::string& symbol) {
+    const Configuration& config = result_.config;
+    if (supplier.IsEnvironment()) {
+      const PortDecl& port = config.top->imports[supplier.port];
+      return EnvSymbol(port.local_name, symbol);
+    }
+    const Instance& producer = config.instances[supplier.instance];
+    const PortDecl& port = producer.unit->exports[supplier.port];
+    return MangleExport(producer.path, port.local_name, symbol);
+  }
+
+  bool BuildInstanceNames(int instance_index, InstanceNames& out) {
+    const Configuration& config = result_.config;
+    const Instance& instance = config.instances[instance_index];
+    const UnitDecl& unit = *instance.unit;
+    const Elaboration& elaboration = *result_.elaboration;
+
+    auto add = [&](const std::string& c_name, const std::string& link_name,
+                   const SourceLoc& loc) {
+      auto [it, inserted] = out.renames.emplace(c_name, link_name);
+      if (!inserted && it->second != link_name) {
+        diags_.Error(loc, "unit '" + unit.name + "' (instance " + instance.path +
+                              "): C identifier '" + c_name +
+                              "' is used for two different connections; add a rename "
+                              "declaration to disambiguate");
+        return false;
+      }
+      return true;
+    };
+
+    for (size_t e = 0; e < unit.exports.size(); ++e) {
+      const PortDecl& port = unit.exports[e];
+      const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+      bool external =
+          external_exports_.count({instance_index, static_cast<int>(e)}) > 0;
+      for (const std::string& symbol : bundle->symbols) {
+        std::string link = MangleExport(instance.path, port.local_name, symbol);
+        if (!add(CNameOf(unit, port.local_name, symbol), link, port.loc)) {
+          return false;
+        }
+        if (external) {
+          out.keep_global.insert(link);
+        }
+      }
+    }
+    for (size_t m = 0; m < unit.imports.size(); ++m) {
+      const PortDecl& port = unit.imports[m];
+      const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+      const SupplierRef& supplier = instance.import_suppliers[m];
+      for (const std::string& symbol : bundle->symbols) {
+        if (!add(CNameOf(unit, port.local_name, symbol), SupplierLinkName(supplier, symbol),
+                 port.loc)) {
+          return false;
+        }
+      }
+    }
+    for (const std::vector<InitFiniDecl>* list : {&unit.initializers, &unit.finalizers}) {
+      for (const InitFiniDecl& decl : *list) {
+        auto existing = out.renames.find(decl.function);
+        if (existing != out.renames.end()) {
+          // Also an exported symbol; the generated init object calls it by its
+          // export link name, which therefore must stay global.
+          out.keep_global.insert(existing->second);
+          continue;
+        }
+        std::string link = MangleInitFini(instance.path, decl.function);
+        if (!add(decl.function, link, decl.loc)) {
+          return false;
+        }
+        out.keep_global.insert(link);
+      }
+    }
+    return true;
+  }
+
+  // Link name used to CALL an init/fini function of an instance.
+  std::string InitCallName(const InitCall& call) {
+    const Instance& instance = result_.config.instances[call.instance];
+    // If the function doubles as an exported symbol, use the export link name.
+    for (size_t e = 0; e < instance.unit->exports.size(); ++e) {
+      const PortDecl& port = instance.unit->exports[e];
+      const BundleTypeDecl* bundle =
+          result_.elaboration->FindBundleType(port.bundle_type);
+      for (const std::string& symbol : bundle->symbols) {
+        if (CNameOf(*instance.unit, port.local_name, symbol) == call.function) {
+          return MangleExport(instance.path, port.local_name, symbol);
+        }
+      }
+    }
+    return MangleInitFini(instance.path, call.function);
+  }
+
+  // ---- compilation -------------------------------------------------------------
+
+  CodegenOptions UnitCodegenOptions(const UnitDecl& unit) {
+    std::vector<std::string> flags;
+    if (!unit.flags_name.empty()) {
+      const FlagsDecl* decl = result_.elaboration->FindFlags(unit.flags_name);
+      if (decl != nullptr) {
+        flags = decl->flags;
+      }
+    }
+    CodegenOptions options = CodegenOptions::FromFlags(flags);
+    if (!options_.optimize) {
+      options.optimize = false;
+    }
+    return options;
+  }
+
+  // Parses + checks a unit's translation unit. Verifies that the unit's files
+  // define every export and initializer/finalizer and do not define imports.
+  Result<TranslationUnit> FrontUnit(const UnitDecl& unit, SemaInfo* info_out) {
+    if (IsObjectUnit(unit)) {
+      diags_.Error(unit.loc, "unit '" + unit.name + "' is object-backed and cannot be "
+                             "source-flattened");
+      return Result<TranslationUnit>::Failure();
+    }
+    Result<TranslationUnit> tu = ParseCFiles(sources_, unit.files, unit.name, types_, diags_);
+    if (!tu.ok()) {
+      return tu;
+    }
+    Result<SemaInfo> info = AnalyzeTranslationUnit(tu.value(), types_, diags_);
+    if (!info.ok()) {
+      return Result<TranslationUnit>::Failure();
+    }
+    const Elaboration& elaboration = *result_.elaboration;
+    bool ok = true;
+    for (const PortDecl& port : unit.exports) {
+      const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+      for (const std::string& symbol : bundle->symbols) {
+        std::string c_name = CNameOf(unit, port.local_name, symbol);
+        if (info.value().defined_functions.count(c_name) == 0 &&
+            info.value().defined_globals.count(c_name) == 0) {
+          diags_.Error(port.loc, "unit '" + unit.name + "': files do not define '" + c_name +
+                                     "' (the C name of export " + port.local_name + "." +
+                                     symbol + ")");
+          ok = false;
+        }
+      }
+    }
+    for (const PortDecl& port : unit.imports) {
+      const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+      for (const std::string& symbol : bundle->symbols) {
+        std::string c_name = CNameOf(unit, port.local_name, symbol);
+        if (info.value().defined_functions.count(c_name) > 0 ||
+            info.value().defined_globals.count(c_name) > 0) {
+          diags_.Error(port.loc, "unit '" + unit.name + "': files DEFINE '" + c_name +
+                                     "', which is the C name of import " + port.local_name +
+                                     "." + symbol + " (imports must only be declared)");
+          ok = false;
+        }
+      }
+    }
+    for (const std::vector<InitFiniDecl>* list : {&unit.initializers, &unit.finalizers}) {
+      for (const InitFiniDecl& decl : *list) {
+        if (info.value().defined_functions.count(decl.function) == 0) {
+          diags_.Error(decl.loc, "unit '" + unit.name + "': files do not define "
+                                 "initializer/finalizer '" +
+                                     decl.function + "'");
+          ok = false;
+        }
+      }
+    }
+    if (!ok) {
+      return Result<TranslationUnit>::Failure();
+    }
+    if (info_out != nullptr) {
+      *info_out = std::move(info.value());
+    }
+    return tu;
+  }
+
+  // Compiles a unit once (cached); returns a copy of the object.
+  Result<ObjectFile> CompileUnitOnce(const UnitDecl& unit) {
+    auto it = unit_objects_.find(unit.name);
+    if (it != unit_objects_.end()) {
+      return it->second;  // copy; callers duplicate anyway
+    }
+    if (IsObjectUnit(unit)) {
+      auto prebuilt = options_.prebuilt_objects.find(unit.files[0]);
+      if (prebuilt == options_.prebuilt_objects.end()) {
+        diags_.Error(unit.loc, "unit '" + unit.name + "': no prebuilt object '" +
+                                   unit.files[0] + "' was provided");
+        return Result<ObjectFile>::Failure();
+      }
+      // Verify the object defines every export (and initializer/finalizer) under
+      // the unit's C names; the usual source-level checks don't apply.
+      const ObjectFile& object = prebuilt->second;
+      bool ok = true;
+      for (const PortDecl& port : unit.exports) {
+        const BundleTypeDecl* bundle = result_.elaboration->FindBundleType(port.bundle_type);
+        for (const std::string& symbol : bundle->symbols) {
+          std::string c_name = CNameOf(unit, port.local_name, symbol);
+          int index = object.FindSymbol(c_name);
+          if (index < 0 ||
+              object.symbols[index].section == ObjSymbol::Section::kUndefined) {
+            diags_.Error(port.loc, "unit '" + unit.name + "': prebuilt object does not "
+                                   "define '" +
+                                       c_name + "'");
+            ok = false;
+          }
+        }
+      }
+      if (!ok) {
+        return Result<ObjectFile>::Failure();
+      }
+      unit_objects_.emplace(unit.name, object);
+      return object;
+    }
+    SemaInfo info;
+    Result<TranslationUnit> tu = FrontUnit(unit, &info);
+    if (!tu.ok()) {
+      return Result<ObjectFile>::Failure();
+    }
+    Result<ObjectFile> object = CompileTranslationUnit(
+        tu.value(), info, types_, UnitCodegenOptions(unit), unit.name + ".o", diags_);
+    if (!object.ok()) {
+      return object;
+    }
+    unit_objects_.emplace(unit.name, object.value());
+    return object;
+  }
+
+  bool CompileEverything() {
+    auto t0 = std::chrono::steady_clock::now();
+    const Configuration& config = result_.config;
+
+    // Standalone instances: compile unit once, objcopy-duplicate + rename.
+    for (size_t i = 0; i < config.instances.size(); ++i) {
+      if (groups_[i] >= 0) {
+        continue;
+      }
+      const Instance& instance = config.instances[i];
+      Result<ObjectFile> base = CompileUnitOnce(*instance.unit);
+      if (!base.ok()) {
+        return false;
+      }
+      auto t_objcopy = std::chrono::steady_clock::now();
+      InstanceNames names;
+      if (!BuildInstanceNames(static_cast<int>(i), names)) {
+        return false;
+      }
+      ObjectFile object = ObjcopyDuplicate(base.value(), instance.path + ".o");
+      if (!ObjcopyRename(object, names.renames, diags_).ok()) {
+        return false;
+      }
+      // Hide every defined global that is not an export/init symbol: Knit's
+      // "defined names that are not exported will be hidden from all other units".
+      for (const ObjSymbol& symbol : object.symbols) {
+        if (symbol.global && symbol.section != ObjSymbol::Section::kUndefined &&
+            names.keep_global.count(symbol.name) == 0) {
+          if (!ObjcopyLocalize(object, symbol.name, diags_).ok()) {
+            return false;
+          }
+        }
+      }
+      // Verify init/fini symbols are global (a static initializer cannot be called
+      // from the generated init object).
+      for (const std::string& keep : names.keep_global) {
+        int index = object.FindSymbol(keep);
+        if (index < 0 || object.symbols[index].section == ObjSymbol::Section::kUndefined) {
+          diags_.Error(instance.unit->loc,
+                       "instance " + instance.path + ": expected defined symbol '" + keep +
+                           "' after renaming (is an export or initializer declared static, "
+                           "or missing?)");
+          return false;
+        }
+      }
+      result_.stats.objcopy_seconds += Seconds(t_objcopy);
+      link_items_.emplace_back(std::move(object));
+      ++result_.stats.object_count;
+    }
+
+    // Flatten groups: merge instance sources into one TU per group and compile.
+    for (int group = 0; group < group_count_; ++group) {
+      auto t_flatten = std::chrono::steady_clock::now();
+      std::vector<FlattenInput> inputs;
+      for (size_t i = 0; i < config.instances.size(); ++i) {
+        if (groups_[i] != group) {
+          continue;
+        }
+        const Instance& instance = config.instances[i];
+        Result<TranslationUnit> tu = FrontUnit(*instance.unit, nullptr);
+        if (!tu.ok()) {
+          return false;
+        }
+        InstanceNames names;
+        if (!BuildInstanceNames(static_cast<int>(i), names)) {
+          return false;
+        }
+        FlattenInput input;
+        input.instance_path = instance.path;
+        input.unit = std::move(tu.value());
+        input.renames = std::move(names.renames);
+        input.keep_global.assign(names.keep_global.begin(), names.keep_global.end());
+        inputs.push_back(std::move(input));
+      }
+      if (inputs.empty()) {
+        continue;
+      }
+      FlattenOptions flatten_options;
+      flatten_options.sort_definitions = options_.sort_definitions;
+      flatten_options.callers_first = options_.callers_first_definitions;
+      Result<TranslationUnit> merged = FlattenUnits(std::move(inputs), flatten_options, diags_);
+      if (!merged.ok()) {
+        return false;
+      }
+      result_.stats.flatten_seconds += Seconds(t_flatten);
+
+      Result<SemaInfo> info = AnalyzeTranslationUnit(merged.value(), types_, diags_);
+      if (!info.ok()) {
+        return false;
+      }
+      CodegenOptions codegen_options;
+      codegen_options.optimize = options_.optimize;
+      Result<ObjectFile> object =
+          CompileTranslationUnit(merged.value(), info.value(), types_, codegen_options,
+                                 "flatten" + std::to_string(group) + ".o", diags_);
+      if (!object.ok()) {
+        return false;
+      }
+      link_items_.emplace_back(std::move(object.value()));
+      ++result_.stats.object_count;
+      ++result_.stats.flatten_group_count;
+    }
+
+    result_.stats.compile_seconds = Seconds(t0) - result_.stats.objcopy_seconds -
+                                    result_.stats.flatten_seconds;
+    return true;
+  }
+
+  // ---- init/fini object ----------------------------------------------------------
+
+  bool GenerateInitObject() {
+    std::string source;
+    std::set<std::string> declared;
+    auto declare = [&](const std::string& name) {
+      if (declared.insert(name).second) {
+        source += "extern void " + name + "(void);\n";
+      }
+    };
+    for (const InitCall& call : result_.schedule.initializers) {
+      declare(InitCallName(call));
+    }
+    for (const InitCall& call : result_.schedule.finalizers) {
+      declare(InitCallName(call));
+    }
+    source += "void knit__init(void) {\n";
+    for (const InitCall& call : result_.schedule.initializers) {
+      source += "  " + InitCallName(call) + "();\n";
+    }
+    source += "}\n";
+    source += "void knit__fini(void) {\n";
+    for (const InitCall& call : result_.schedule.finalizers) {
+      source += "  " + InitCallName(call) + "();\n";
+    }
+    source += "}\n";
+
+    Result<TranslationUnit> tu = ParseCString(source, "<knit-init>", types_, diags_);
+    if (!tu.ok()) {
+      return false;
+    }
+    Result<SemaInfo> info = AnalyzeTranslationUnit(tu.value(), types_, diags_);
+    if (!info.ok()) {
+      return false;
+    }
+    CodegenOptions codegen_options;
+    codegen_options.optimize = false;  // nothing to optimize; keep call order obvious
+    Result<ObjectFile> object = CompileTranslationUnit(tu.value(), info.value(), types_,
+                                                       codegen_options, "knit-init.o", diags_);
+    if (!object.ok()) {
+      return false;
+    }
+    link_items_.emplace_back(std::move(object.value()));
+    return true;
+  }
+
+  // ---- final link ----------------------------------------------------------------
+
+  bool LinkAll() {
+    auto t0 = std::chrono::steady_clock::now();
+    LinkOptions link_options;
+    link_options.natives = IntrinsicNatives();
+    const Configuration& config = result_.config;
+    for (const PortDecl& port : config.top->imports) {
+      const BundleTypeDecl* bundle = result_.elaboration->FindBundleType(port.bundle_type);
+      for (const std::string& symbol : bundle->symbols) {
+        link_options.natives.push_back(EnvSymbol(port.local_name, symbol));
+      }
+    }
+    for (const std::string& native : options_.extra_natives) {
+      link_options.natives.push_back(native);
+    }
+    result_.natives = link_options.natives;
+
+    Result<LinkResult> linked = Link(std::move(link_items_), link_options, diags_);
+    if (!linked.ok()) {
+      return false;
+    }
+    result_.image = std::move(linked.value().image);
+    result_.placements = std::move(linked.value().placements);
+    result_.stats.link_seconds = Seconds(t0);
+    return true;
+  }
+
+  void FillExportNames() {
+    const Configuration& config = result_.config;
+    for (size_t e = 0; e < config.top->exports.size(); ++e) {
+      const PortDecl& port = config.top->exports[e];
+      const BundleTypeDecl* bundle = result_.elaboration->FindBundleType(port.bundle_type);
+      const SupplierRef& supplier = config.top_export_suppliers[e];
+      for (const std::string& symbol : bundle->symbols) {
+        result_.export_names_[{port.local_name, symbol}] =
+            SupplierLinkName(supplier, symbol);
+      }
+    }
+  }
+
+  const std::string& knit_source_;
+  const SourceMap& sources_;
+  const std::string& top_unit_;
+  const KnitcOptions& options_;
+  Diagnostics& diags_;
+
+  KnitBuildResult result_;
+  TypeTable types_;
+  std::vector<int> groups_;
+  int group_count_ = 0;
+  std::set<std::pair<int, int>> external_exports_;  // (instance, export port)
+  std::map<std::string, ObjectFile> unit_objects_;
+  std::vector<LinkItem> link_items_;
+};
+
+Result<KnitBuildResult> KnitBuild(const std::string& knit_source, const SourceMap& sources,
+                                  const std::string& top_unit, const KnitcOptions& options,
+                                  Diagnostics& diags) {
+  KnitCompiler compiler(knit_source, sources, top_unit, options, diags);
+  return compiler.Run();
+}
+
+}  // namespace knit

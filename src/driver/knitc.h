@@ -1,0 +1,110 @@
+// knitc: the end-to-end Knit compiler pipeline (paper §6, first paragraph):
+//
+//   "In a typical use, the Knit compiler reads the linking specification and unit
+//    files, generates initialization and finalization code, runs the C compiler or
+//    assembler when necessary, and ultimately produces object files. The object
+//    files are then processed by a slightly modified version of GNU's objcopy,
+//    which handles renaming symbols and duplicating object code for multiply-
+//    instantiated units. Finally, these object files are linked together using ld
+//    to produce the program."
+//
+// Pipeline: parse .knit -> elaborate -> instantiate -> schedule init/fini ->
+// check constraints -> compile each unit once -> objcopy-duplicate + rename per
+// instance (or source-flatten marked groups into one TU) -> generate the init/fini
+// translation unit -> ld-link everything into a VM image.
+#ifndef SRC_DRIVER_KNITC_H_
+#define SRC_DRIVER_KNITC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/constraints/check.h"
+#include "src/knitsem/elaborate.h"
+#include "src/knitsem/instantiate.h"
+#include "src/minic/clexer.h"
+#include "src/ld/link.h"
+#include "src/obj/object.h"
+#include "src/sched/init_sched.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+#include "src/vm/image.h"
+
+namespace knit {
+
+struct KnitcOptions {
+  bool optimize = true;            // per-TU optimizer (inline + LVN)
+  bool check_constraints = true;   // run the §4 constraint checker
+  bool flatten = true;             // honor `flatten` markers in compound units
+  bool flatten_everything = false; // merge the whole program into one TU (ablation)
+  bool sort_definitions = true;    // flattener defs-before-uses sorting (ablation)
+  bool callers_first_definitions = false;  // adversarial order (ablation)
+
+  // Extra native names to make available at link time (besides the intrinsics and
+  // the environment symbols derived from the top unit's imports).
+  std::vector<std::string> extra_natives;
+
+  // Pre-compiled components (paper §3.2 fn. 2: "Knit can actually work with C,
+  // assembly, and object code"). A unit whose files clause names a single "*.o"
+  // entry takes its object from this map instead of compiling sources; such units
+  // go through the normal objcopy duplicate/rename/localize path but cannot be
+  // source-flattened (they are pulled out of any flatten group).
+  std::map<std::string, ObjectFile> prebuilt_objects;
+};
+
+struct BuildStats {
+  double frontend_seconds = 0;    // knit parse + elaborate + instantiate
+  double schedule_seconds = 0;
+  double constraint_seconds = 0;
+  double compile_seconds = 0;     // MiniC parsing + sema + codegen + optimizer
+  double objcopy_seconds = 0;     // duplicate/rename/localize
+  double flatten_seconds = 0;
+  double link_seconds = 0;
+  int instance_count = 0;
+  int object_count = 0;
+  int flatten_group_count = 0;
+};
+
+// A fully built Knit program.
+struct KnitBuildResult {
+  // Owns the definitions Configuration points into; keep alive as long as config.
+  std::unique_ptr<Elaboration> elaboration;
+  Configuration config;
+  Schedule schedule;
+  ConstraintSolution constraint_solution;
+
+  Image image;
+  // ld's placement map: where each instance object landed (text/data), for link-map
+  // style reporting.
+  std::vector<PlacedObject> placements;
+  BuildStats stats;
+
+  // Call these (via the VM) around the workload.
+  std::string init_function = "knit__init";
+  std::string fini_function = "knit__fini";
+
+  // Native names the image was linked against; bind environment functions on the
+  // Machine under these names (see EnvSymbol() in src/support/mangle.h).
+  std::vector<std::string> natives;
+
+  // Link name of `symbol` exported through the top-level unit's export `port`;
+  // "" if unknown.
+  std::string ExportedSymbol(const std::string& port, const std::string& symbol) const;
+
+ private:
+  friend class KnitCompiler;
+  std::map<std::pair<std::string, std::string>, std::string> export_names_;
+};
+
+// The intrinsic natives every image may use (the VM pre-binds implementations).
+const std::vector<std::string>& IntrinsicNatives();
+
+// Builds `top_unit` from a Knit source and a map of MiniC sources.
+Result<KnitBuildResult> KnitBuild(const std::string& knit_source, const SourceMap& sources,
+                                  const std::string& top_unit, const KnitcOptions& options,
+                                  Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_DRIVER_KNITC_H_

@@ -1,0 +1,319 @@
+#include "src/flatten/flatten.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/digraph.h"
+#include "src/support/mangle.h"
+
+namespace knit {
+namespace {
+
+// Scope-aware identifier renamer over one translation unit.
+class Renamer {
+ public:
+  Renamer(const std::map<std::string, std::string>& renames, const std::string& local_prefix,
+          const std::set<std::string>& keep_global)
+      : renames_(renames), local_prefix_(local_prefix), keep_global_(keep_global) {}
+
+  void Run(TranslationUnit& unit) {
+    // Collect every top-level name first so references to later definitions rename
+    // correctly.
+    for (const Decl& decl : unit.decls) {
+      if (decl.kind == Decl::Kind::kFunction || decl.kind == Decl::Kind::kGlobalVar) {
+        toplevel_.insert(decl.name);
+      }
+    }
+    for (Decl& decl : unit.decls) {
+      RenameDecl(decl);
+    }
+  }
+
+ private:
+  std::string NewNameOf(const std::string& name) const {
+    auto it = renames_.find(name);
+    if (it != renames_.end()) {
+      return it->second;
+    }
+    if (name.rfind("__", 0) == 0) {
+      return name;  // intrinsics (__sbrk, __vararg, ...) live below the unit model
+    }
+    return local_prefix_ + name;
+  }
+
+  bool IsTopLevel(const std::string& name) const { return toplevel_.count(name) > 0; }
+
+  void RenameDecl(Decl& decl) {
+    switch (decl.kind) {
+      case Decl::Kind::kFunction: {
+        decl.name = NewNameOf(decl.name);
+        if (decl.is_definition && keep_global_.count(decl.name) == 0) {
+          decl.is_static = true;  // unit-local: invisible outside the merged TU
+        }
+        if (decl.is_definition) {
+          scopes_.clear();
+          scopes_.emplace_back();
+          for (const ParamDecl& param : decl.params) {
+            scopes_.back().insert(param.name);
+          }
+          RenameStmt(*decl.body);
+        }
+        break;
+      }
+      case Decl::Kind::kGlobalVar: {
+        decl.name = NewNameOf(decl.name);
+        if (keep_global_.count(decl.name) == 0 && !decl.is_extern) {
+          decl.is_static = true;
+        }
+        if (decl.init) {
+          RenameExpr(*decl.init);
+        }
+        for (ExprPtr& element : decl.init_list) {
+          RenameExpr(*element);
+        }
+        break;
+      }
+      case Decl::Kind::kStructDef:
+      case Decl::Kind::kTypedef:
+      case Decl::Kind::kEnumConsts:
+        break;  // type-level names share one namespace across the program
+    }
+  }
+
+  void RenameStmt(Stmt& stmt) {
+    if (stmt.kind == Stmt::Kind::kBlock || stmt.kind == Stmt::Kind::kFor) {
+      scopes_.emplace_back();
+      for (StmtPtr& child : stmt.stmts) {
+        if (child) {
+          RenameStmt(*child);
+        }
+      }
+      for (ExprPtr& expr : stmt.exprs) {
+        if (expr) {
+          RenameExpr(*expr);
+        }
+      }
+      scopes_.pop_back();
+      return;
+    }
+    if (stmt.kind == Stmt::Kind::kLocalDecl) {
+      // The initializer sees the outer binding set; the name binds afterwards.
+      for (ExprPtr& expr : stmt.exprs) {
+        if (expr) {
+          RenameExpr(*expr);
+        }
+      }
+      scopes_.back().insert(stmt.text);
+      return;
+    }
+    for (ExprPtr& expr : stmt.exprs) {
+      if (expr) {
+        RenameExpr(*expr);
+      }
+    }
+    for (StmtPtr& child : stmt.stmts) {
+      if (child) {
+        RenameStmt(*child);
+      }
+    }
+  }
+
+  bool BoundLocally(const std::string& name) const {
+    for (const std::set<std::string>& scope : scopes_) {
+      if (scope.count(name) > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void RenameExpr(Expr& expr) {
+    if (expr.kind == Expr::Kind::kIdent && !BoundLocally(expr.text) && IsTopLevel(expr.text)) {
+      expr.text = NewNameOf(expr.text);
+    }
+    for (ExprPtr& arg : expr.args) {
+      if (arg) {
+        RenameExpr(*arg);
+      }
+    }
+  }
+
+  const std::map<std::string, std::string>& renames_;
+  const std::string& local_prefix_;
+  const std::set<std::string>& keep_global_;
+  std::set<std::string> toplevel_;
+  std::vector<std::set<std::string>> scopes_;
+};
+
+// Collects direct-call callee names within a function body.
+void CollectCalls(const Expr& expr, std::set<std::string>& out) {
+  if (expr.kind == Expr::Kind::kCall && expr.args[0]->kind == Expr::Kind::kIdent) {
+    out.insert(expr.args[0]->text);
+  }
+  for (const ExprPtr& arg : expr.args) {
+    if (arg) {
+      CollectCalls(*arg, out);
+    }
+  }
+}
+
+void CollectCalls(const Stmt& stmt, std::set<std::string>& out) {
+  for (const ExprPtr& expr : stmt.exprs) {
+    if (expr) {
+      CollectCalls(*expr, out);
+    }
+  }
+  for (const StmtPtr& child : stmt.stmts) {
+    if (child) {
+      CollectCalls(*child, out);
+    }
+  }
+}
+
+}  // namespace
+
+void RenameTranslationUnit(TranslationUnit& unit,
+                           const std::map<std::string, std::string>& renames,
+                           const std::string& local_prefix,
+                           const std::vector<std::string>& keep_global) {
+  std::set<std::string> keep(keep_global.begin(), keep_global.end());
+  Renamer renamer(renames, local_prefix, keep);
+  renamer.Run(unit);
+}
+
+Result<TranslationUnit> FlattenUnits(std::vector<FlattenInput> inputs,
+                                     const FlattenOptions& options, Diagnostics& diags) {
+  TranslationUnit merged;
+  merged.name = "<flattened>";
+
+  // Pass 1: rename each input, then concatenate with deduplication.
+  std::set<std::string> struct_tags;
+  std::set<std::string> typedef_names;
+  std::map<std::string, const FlattenInput*> defined_by;  // definition conflicts
+  std::set<std::string> declared;                         // prototypes / externs seen
+
+  std::vector<Decl> types_and_globals;
+  std::vector<Decl> prototypes;
+  std::vector<Decl> functions;
+
+  for (FlattenInput& input : inputs) {
+    RenameTranslationUnit(input.unit, input.renames, SanitizedPrefix(input.instance_path),
+                          input.keep_global);
+    for (Decl& decl : input.unit.decls) {
+      switch (decl.kind) {
+        case Decl::Kind::kStructDef:
+          if (struct_tags.insert(decl.name).second) {
+            types_and_globals.push_back(std::move(decl));
+          }
+          break;
+        case Decl::Kind::kTypedef:
+          if (typedef_names.insert(decl.name).second) {
+            types_and_globals.push_back(std::move(decl));
+          }
+          break;
+        case Decl::Kind::kEnumConsts:
+          break;  // constants were folded by the parser; nothing to emit
+        case Decl::Kind::kGlobalVar: {
+          if (decl.is_extern) {
+            // Keep at most one extern declaration per name; drop if defined here.
+            if (defined_by.count(decl.name) == 0 && declared.insert(decl.name).second) {
+              types_and_globals.push_back(std::move(decl));
+            }
+            break;
+          }
+          auto [it, inserted] = defined_by.emplace(decl.name, &input);
+          if (!inserted) {
+            diags.Error(decl.loc, "flattening: '" + decl.name + "' defined by both " +
+                                      it->second->instance_path + " and " +
+                                      input.instance_path);
+            return Result<TranslationUnit>::Failure();
+          }
+          types_and_globals.push_back(std::move(decl));
+          break;
+        }
+        case Decl::Kind::kFunction: {
+          if (!decl.is_definition) {
+            if (declared.insert(decl.name).second) {
+              prototypes.push_back(std::move(decl));
+            }
+            break;
+          }
+          auto [it, inserted] = defined_by.emplace(decl.name, &input);
+          if (!inserted) {
+            diags.Error(decl.loc, "flattening: function '" + decl.name + "' defined by both " +
+                                      it->second->instance_path + " and " +
+                                      input.instance_path);
+            return Result<TranslationUnit>::Failure();
+          }
+          functions.push_back(std::move(decl));
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 2: order function definitions callees-first (paper: "sort function
+  // definitions so that the definition of each function comes before as many uses
+  // as possible"). Tarjan SCC emits components in reverse-topological (callee
+  // first) order; within a cyclic component the original order is kept.
+  if ((options.sort_definitions || options.callers_first) && functions.size() > 1) {
+    std::map<std::string, int> index_of;
+    for (size_t i = 0; i < functions.size(); ++i) {
+      index_of[functions[i].name] = static_cast<int>(i);
+    }
+    Digraph calls(functions.size());
+    for (size_t i = 0; i < functions.size(); ++i) {
+      std::set<std::string> callees;
+      CollectCalls(*functions[i].body, callees);
+      for (const std::string& callee : callees) {
+        auto it = index_of.find(callee);
+        if (it != index_of.end() && it->second != static_cast<int>(i)) {
+          calls.AddEdgeUnique(static_cast<int>(i), it->second);
+        }
+      }
+    }
+    std::vector<Decl> ordered;
+    ordered.reserve(functions.size());
+    for (const std::vector<int>& component : calls.StronglyConnectedComponents()) {
+      for (int index : component) {
+        ordered.push_back(std::move(functions[index]));
+      }
+    }
+    if (options.callers_first) {
+      std::reverse(ordered.begin(), ordered.end());
+    }
+    functions = std::move(ordered);
+  }
+
+  // Assemble: types/globals, then a prototype for every function (so order never
+  // breaks name resolution), then the definitions.
+  for (Decl& decl : types_and_globals) {
+    merged.decls.push_back(std::move(decl));
+  }
+  std::set<std::string> defined_names;
+  for (const Decl& decl : functions) {
+    defined_names.insert(decl.name);
+  }
+  for (const Decl& decl : functions) {
+    Decl proto;
+    proto.kind = Decl::Kind::kFunction;
+    proto.loc = decl.loc;
+    proto.name = decl.name;
+    proto.func_type = decl.func_type;
+    proto.params = decl.params;
+    proto.is_static = decl.is_static;
+    proto.is_definition = false;
+    merged.decls.push_back(std::move(proto));
+  }
+  for (Decl& decl : prototypes) {
+    if (defined_names.count(decl.name) == 0) {
+      merged.decls.push_back(std::move(decl));
+    }
+  }
+  for (Decl& decl : functions) {
+    merged.decls.push_back(std::move(decl));
+  }
+  return merged;
+}
+
+}  // namespace knit

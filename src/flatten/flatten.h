@@ -1,0 +1,63 @@
+// The flattener (paper §6): merges the MiniC sources of several unit instances into
+// ONE translation unit so the per-TU optimizer can inline across former component
+// boundaries. The paper: "Knit merges the code from many different C files into a
+// single file, and then invokes the C compiler on the resulting file. ... Knit must
+// rename variables to eliminate conflicts, eliminate duplicate declarations for
+// variables and types, and sort function definitions so that the definition of each
+// function comes before as many uses as possible (to encourage inlining)."
+//
+// Inputs are per-instance translation units plus a symbol rename map per instance
+// (import/export C names -> link names, everything else -> instance-local names).
+// Renaming is scope-aware: a local variable shadowing a global name is not renamed.
+#ifndef SRC_FLATTEN_FLATTEN_H_
+#define SRC_FLATTEN_FLATTEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/minic/ast.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+// One instance's contribution to a flattened TU.
+struct FlattenInput {
+  std::string instance_path;  // for diagnostics
+  TranslationUnit unit;       // consumed
+
+  // Top-level symbol renames (C name in the source -> global link name).
+  std::map<std::string, std::string> renames;
+
+  // Renamed top-level symbols that remain visible outside the merged TU (exports,
+  // initializers). Everything else defined by the unit is made static so the
+  // optimizer may inline it away entirely.
+  std::vector<std::string> keep_global;
+};
+
+struct FlattenOptions {
+  // Sort function definitions callees-first (the paper's defs-before-uses sorting;
+  // switch off for the ablation benchmark).
+  bool sort_definitions = true;
+  // Ablation: emit definitions callers-first (the adversarial order for an inliner
+  // that only inlines already-seen definitions). Overrides sort_definitions.
+  bool callers_first = false;
+};
+
+// Renames all top-level symbols of `unit` in place (declarations and references).
+// Symbols not present in `renames` get `local_prefix` prepended and are marked
+// static. Scope-aware: locals shadowing globals are untouched.
+void RenameTranslationUnit(TranslationUnit& unit,
+                           const std::map<std::string, std::string>& renames,
+                           const std::string& local_prefix,
+                           const std::vector<std::string>& keep_global);
+
+// Merges the inputs into a single TU: dedupes struct/typedef/extern declarations,
+// orders function definitions callees-first, and reports conflicting definitions.
+Result<TranslationUnit> FlattenUnits(std::vector<FlattenInput> inputs,
+                                     const FlattenOptions& options, Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_FLATTEN_FLATTEN_H_

@@ -1,0 +1,167 @@
+// Abstract syntax for the Knit linking language.
+//
+// Grammar (the paper's Figure 5 syntax, completed where the paper truncates):
+//
+//   program        := topdecl*
+//   topdecl        := bundletype | flagsdecl | unitdecl | propertydecl | valuedecl
+//   bundletype     := "bundletype" IDENT "=" "{" identlist? "}"
+//   flagsdecl      := "flags" IDENT "=" "{" stringlist? "}"
+//   propertydecl   := "property" IDENT
+//   valuedecl      := "type" IDENT ("<" IDENT)?       // value of most recent property
+//   unitdecl       := "unit" IDENT "=" "{" section* "}"
+//   section        := imports | exports | depends | files | rename | initializer
+//                   | finalizer | link | constraints | flatten
+//   imports        := "imports" "[" port ("," port)* "]" ";"
+//   exports        := "exports" "[" port ("," port)* "]" ";"
+//   port           := IDENT ":" IDENT
+//   depends        := "depends" "{" (depset "needs" depset ";")* "}" ";"
+//   depset         := IDENT | "(" IDENT ("+" IDENT)* ")"
+//   files          := "files" "{" STRING ("," STRING)* "}" ("with" "flags" IDENT)? ";"
+//   rename         := "rename" "{" (IDENT "." IDENT "to" IDENT ";")* "}" ";"
+//   initializer    := "initializer" IDENT "for" IDENT ";"
+//   finalizer      := "finalizer" IDENT "for" IDENT ";"
+//   link           := "link" "{" linkline* "}" ";"
+//   linkline       := "[" identlist? "]" "<-" IDENT ("as" IDENT)? "<-" "[" identlist? "]" ";"
+//   constraints    := "constraints" "{" (propexpr ("="|"<=") propexpr ";")* "}" ";"
+//   propexpr       := IDENT "(" (IDENT | "imports" | "exports") ")"   // property of target
+//                   | IDENT                                           // property value name
+//   flatten        := "flatten" ";"
+//
+// A unit with a `files` section is atomic; a unit with a `link` section is compound.
+#ifndef SRC_KNITLANG_AST_H_
+#define SRC_KNITLANG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/diagnostics.h"
+
+namespace knit {
+
+// bundletype Serve = { serve_web }
+struct BundleTypeDecl {
+  std::string name;
+  std::vector<std::string> symbols;
+  SourceLoc loc;
+};
+
+// flags CFlags = { "-Ioskit/include" }
+struct FlagsDecl {
+  std::string name;
+  std::vector<std::string> flags;
+  SourceLoc loc;
+};
+
+// property context
+struct PropertyDecl {
+  std::string name;
+  SourceLoc loc;
+};
+
+// type ProcessContext < NoContext       (attached to the most recent property)
+struct PropertyValueDecl {
+  std::string property;  // filled in by the parser from the preceding `property`
+  std::string name;
+  std::string less_than;  // "" if this value is unordered / a top declaration
+  SourceLoc loc;
+};
+
+// serveFile : Serve
+struct PortDecl {
+  std::string local_name;
+  std::string bundle_type;
+  SourceLoc loc;
+};
+
+// (open_log + close_log) needs stdio;   — lhs atoms each need every rhs atom.
+// Atoms name either port local names or initializer/finalizer function names.
+struct DependsClause {
+  std::vector<std::string> dependents;
+  std::vector<std::string> requirements;
+  SourceLoc loc;
+};
+
+// rename serveWeb.serve_web to serve_unlogged;
+struct RenameDecl {
+  std::string port;    // local bundle name
+  std::string symbol;  // symbol within the bundle type
+  std::string c_name;  // identifier used in the C source
+  SourceLoc loc;
+};
+
+// initializer open_log for serveLog;  (or finalizer)
+struct InitFiniDecl {
+  std::string function;
+  std::string port;  // the export bundle this initializes/finalizes
+  SourceLoc loc;
+};
+
+// [serveLog] <- Log as logger <- [serveWeb, stdio];
+struct LinkLine {
+  std::vector<std::string> outputs;  // local names bound to the instantiated unit's exports
+  std::string unit;                  // unit to instantiate
+  std::string instance_name;         // optional "as" name; "" means derive from unit name
+  std::vector<std::string> inputs;   // local names supplied to the unit's imports
+  SourceLoc loc;
+};
+
+// One side of a constraint: either property(target) or a bare value name.
+struct PropertyExpr {
+  enum class Kind {
+    kOfPort,     // context(serveWeb)
+    kOfImports,  // context(imports)  — every import port
+    kOfExports,  // context(exports)  — every export port
+    kValue,      // NoContext
+  };
+  Kind kind = Kind::kValue;
+  std::string property;  // for kOf*: the property name
+  std::string name;      // port name (kOfPort) or value name (kValue)
+  SourceLoc loc;
+};
+
+// context(exports) <= context(imports);
+struct ConstraintDecl {
+  enum class Relation { kEqual, kLessEq };
+  PropertyExpr lhs;
+  Relation relation = Relation::kEqual;
+  PropertyExpr rhs;
+  SourceLoc loc;
+};
+
+struct UnitDecl {
+  std::string name;
+  SourceLoc loc;
+
+  std::vector<PortDecl> imports;
+  std::vector<PortDecl> exports;
+  std::vector<DependsClause> depends;
+  std::vector<RenameDecl> renames;
+  std::vector<InitFiniDecl> initializers;
+  std::vector<InitFiniDecl> finalizers;
+  std::vector<ConstraintDecl> constraints;
+  bool flatten = false;  // compound only: merge the subtree into one translation unit
+
+  // Atomic units:
+  std::vector<std::string> files;
+  std::string flags_name;  // "" if none
+  bool has_files = false;
+
+  // Compound units:
+  std::vector<LinkLine> links;
+  bool has_links = false;
+
+  bool IsAtomic() const { return has_files; }
+  bool IsCompound() const { return has_links; }
+};
+
+struct KnitProgram {
+  std::vector<BundleTypeDecl> bundle_types;
+  std::vector<FlagsDecl> flag_sets;
+  std::vector<PropertyDecl> properties;
+  std::vector<PropertyValueDecl> property_values;
+  std::vector<UnitDecl> units;
+};
+
+}  // namespace knit
+
+#endif  // SRC_KNITLANG_AST_H_

@@ -1,0 +1,258 @@
+#include "src/knitlang/lexer.h"
+
+#include <cctype>
+
+namespace knit {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemi:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kLessEq:
+      return "'<='";
+    case TokenKind::kArrowLeft:
+      return "'<-'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "token";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, std::string file_name, Diagnostics& diags)
+      : source_(source), file_(std::move(file_name)), diags_(diags) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      if (!SkipTrivia()) {
+        return Result<std::vector<Token>>::Failure();
+      }
+      SourceLoc loc = Here();
+      if (AtEnd()) {
+        tokens.push_back(Token{TokenKind::kEnd, "", loc});
+        return tokens;
+      }
+      char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        tokens.push_back(LexIdent(loc));
+        continue;
+      }
+      if (c == '"') {
+        Result<Token> token = LexString(loc);
+        if (!token.ok()) {
+          return Result<std::vector<Token>>::Failure();
+        }
+        tokens.push_back(token.take());
+        continue;
+      }
+      TokenKind kind;
+      switch (c) {
+        case '{':
+          kind = TokenKind::kLBrace;
+          break;
+        case '}':
+          kind = TokenKind::kRBrace;
+          break;
+        case '[':
+          kind = TokenKind::kLBracket;
+          break;
+        case ']':
+          kind = TokenKind::kRBracket;
+          break;
+        case '(':
+          kind = TokenKind::kLParen;
+          break;
+        case ')':
+          kind = TokenKind::kRParen;
+          break;
+        case ',':
+          kind = TokenKind::kComma;
+          break;
+        case ';':
+          kind = TokenKind::kSemi;
+          break;
+        case ':':
+          kind = TokenKind::kColon;
+          break;
+        case '.':
+          kind = TokenKind::kDot;
+          break;
+        case '+':
+          kind = TokenKind::kPlus;
+          break;
+        case '=':
+          kind = TokenKind::kEq;
+          break;
+        case '<':
+          Advance();
+          if (!AtEnd() && Peek() == '=') {
+            Advance();
+            tokens.push_back(Token{TokenKind::kLessEq, "<=", loc});
+          } else if (!AtEnd() && Peek() == '-') {
+            Advance();
+            tokens.push_back(Token{TokenKind::kArrowLeft, "<-", loc});
+          } else {
+            tokens.push_back(Token{TokenKind::kLess, "<", loc});
+          }
+          continue;
+        default:
+          diags_.Error(loc, std::string("unexpected character '") + c + "' in Knit source");
+          return Result<std::vector<Token>>::Failure();
+      }
+      Advance();
+      tokens.push_back(Token{kind, std::string(1, c), loc});
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek() const { return source_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < source_.size() ? source_[pos_ + offset] : '\0';
+  }
+
+  void Advance() {
+    if (source_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+
+  SourceLoc Here() const { return SourceLoc{file_, line_, column_}; }
+
+  // Skips whitespace and comments. Returns false on an unterminated block comment.
+  bool SkipTrivia() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        Advance();
+        continue;
+      }
+      if (c == '/' && PeekAt(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+        continue;
+      }
+      if (c == '/' && PeekAt(1) == '*') {
+        SourceLoc start = Here();
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && PeekAt(1) == '/')) {
+          Advance();
+        }
+        if (AtEnd()) {
+          diags_.Error(start, "unterminated block comment");
+          return false;
+        }
+        Advance();
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return true;
+  }
+
+  Token LexIdent(SourceLoc loc) {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) != 0 || Peek() == '_')) {
+      Advance();
+    }
+    return Token{TokenKind::kIdent, std::string(source_.substr(start, pos_ - start)), loc};
+  }
+
+  Result<Token> LexString(SourceLoc loc) {
+    Advance();  // opening quote
+    std::string text;
+    while (true) {
+      if (AtEnd() || Peek() == '\n') {
+        diags_.Error(loc, "unterminated string literal");
+        return Result<Token>::Failure();
+      }
+      char c = Peek();
+      Advance();
+      if (c == '"') {
+        return Token{TokenKind::kString, std::move(text), loc};
+      }
+      if (c == '\\') {
+        if (AtEnd()) {
+          diags_.Error(loc, "unterminated string literal");
+          return Result<Token>::Failure();
+        }
+        char escaped = Peek();
+        Advance();
+        switch (escaped) {
+          case 'n':
+            text += '\n';
+            break;
+          case 't':
+            text += '\t';
+            break;
+          case '"':
+            text += '"';
+            break;
+          case '\\':
+            text += '\\';
+            break;
+          default:
+            diags_.Error(Here(), std::string("unknown escape '\\") + escaped + "' in string");
+            return Result<Token>::Failure();
+        }
+        continue;
+      }
+      text += c;
+    }
+  }
+
+  std::string_view source_;
+  std::string file_;
+  Diagnostics& diags_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> LexKnit(std::string_view source, const std::string& file_name,
+                                   Diagnostics& diags) {
+  return Lexer(source, file_name, diags).Run();
+}
+
+}  // namespace knit

@@ -1,0 +1,23 @@
+// Lexer for the Knit linking language. Produces the full token vector up front;
+// Knit sources are small, so there is no need for streaming.
+#ifndef SRC_KNITLANG_LEXER_H_
+#define SRC_KNITLANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/knitlang/token.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+// Tokenizes `source`. `file_name` is used for locations. Reports lexical errors
+// (bad characters, unterminated strings/comments) into `diags` and fails.
+Result<std::vector<Token>> LexKnit(std::string_view source, const std::string& file_name,
+                                   Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_KNITLANG_LEXER_H_

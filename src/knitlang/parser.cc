@@ -1,0 +1,536 @@
+#include "src/knitlang/parser.h"
+
+#include <utility>
+
+#include "src/knitlang/lexer.h"
+
+namespace knit {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, KnitProgram& program, Diagnostics& diags)
+      : tokens_(std::move(tokens)), program_(program), diags_(diags) {}
+
+  bool Run() {
+    while (!At(TokenKind::kEnd)) {
+      if (!ParseTopDecl()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+  bool AtIdent(const char* spelling) const { return Cur().IsIdent(spelling); }
+
+  Token Take() { return tokens_[pos_++]; }
+
+  bool Expect(TokenKind kind, const char* what) {
+    if (!At(kind)) {
+      diags_.Error(Cur().loc, std::string("expected ") + TokenKindName(kind) + " " + what +
+                                  ", found " + Describe(Cur()));
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ExpectIdent(const char* spelling) {
+    if (!AtIdent(spelling)) {
+      diags_.Error(Cur().loc,
+                   std::string("expected '") + spelling + "', found " + Describe(Cur()));
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  // Expects any identifier and stores it into `out`.
+  bool ExpectAnyIdent(std::string& out, const char* what) {
+    if (!At(TokenKind::kIdent)) {
+      diags_.Error(Cur().loc,
+                   std::string("expected identifier ") + what + ", found " + Describe(Cur()));
+      return false;
+    }
+    out = Take().text;
+    return true;
+  }
+
+  static std::string Describe(const Token& token) {
+    if (token.kind == TokenKind::kIdent) {
+      return "'" + token.text + "'";
+    }
+    if (token.kind == TokenKind::kString) {
+      return "string \"" + token.text + "\"";
+    }
+    return TokenKindName(token.kind);
+  }
+
+  bool ParseTopDecl() {
+    if (AtIdent("bundletype")) {
+      return ParseBundleType();
+    }
+    if (AtIdent("flags")) {
+      return ParseFlags();
+    }
+    if (AtIdent("unit")) {
+      return ParseUnit();
+    }
+    if (AtIdent("property")) {
+      return ParseProperty();
+    }
+    if (AtIdent("type")) {
+      return ParsePropertyValue();
+    }
+    diags_.Error(Cur().loc, "expected 'bundletype', 'flags', 'unit', 'property', or 'type', "
+                            "found " +
+                                Describe(Cur()));
+    return false;
+  }
+
+  // bundletype Serve = { serve_web }
+  bool ParseBundleType() {
+    BundleTypeDecl decl;
+    decl.loc = Cur().loc;
+    Take();  // bundletype
+    if (!ExpectAnyIdent(decl.name, "(bundle type name)") ||
+        !Expect(TokenKind::kEq, "after bundle type name") ||
+        !Expect(TokenKind::kLBrace, "to open symbol list")) {
+      return false;
+    }
+    while (!At(TokenKind::kRBrace)) {
+      std::string symbol;
+      if (!ExpectAnyIdent(symbol, "(bundle symbol)")) {
+        return false;
+      }
+      decl.symbols.push_back(std::move(symbol));
+      if (At(TokenKind::kComma)) {
+        Take();
+      }
+    }
+    Take();  // }
+    MaybeSemi();
+    program_.bundle_types.push_back(std::move(decl));
+    return true;
+  }
+
+  // flags CFlags = { "-Ioskit/include" }
+  bool ParseFlags() {
+    FlagsDecl decl;
+    decl.loc = Cur().loc;
+    Take();  // flags
+    if (!ExpectAnyIdent(decl.name, "(flag set name)") ||
+        !Expect(TokenKind::kEq, "after flag set name") ||
+        !Expect(TokenKind::kLBrace, "to open flag list")) {
+      return false;
+    }
+    while (!At(TokenKind::kRBrace)) {
+      if (!At(TokenKind::kString)) {
+        diags_.Error(Cur().loc, "expected string flag, found " + Describe(Cur()));
+        return false;
+      }
+      decl.flags.push_back(Take().text);
+      if (At(TokenKind::kComma)) {
+        Take();
+      }
+    }
+    Take();  // }
+    MaybeSemi();
+    program_.flag_sets.push_back(std::move(decl));
+    return true;
+  }
+
+  // property context
+  bool ParseProperty() {
+    PropertyDecl decl;
+    decl.loc = Cur().loc;
+    Take();  // property
+    if (!ExpectAnyIdent(decl.name, "(property name)")) {
+      return false;
+    }
+    MaybeSemi();
+    current_property_ = decl.name;
+    program_.properties.push_back(std::move(decl));
+    return true;
+  }
+
+  // type ProcessContext < NoContext
+  bool ParsePropertyValue() {
+    PropertyValueDecl decl;
+    decl.loc = Cur().loc;
+    Take();  // type
+    if (current_property_.empty()) {
+      diags_.Error(decl.loc, "'type' declaration with no preceding 'property'");
+      return false;
+    }
+    decl.property = current_property_;
+    if (!ExpectAnyIdent(decl.name, "(property value name)")) {
+      return false;
+    }
+    if (At(TokenKind::kLess)) {
+      Take();
+      if (!ExpectAnyIdent(decl.less_than, "(more general property value)")) {
+        return false;
+      }
+    }
+    MaybeSemi();
+    program_.property_values.push_back(std::move(decl));
+    return true;
+  }
+
+  bool ParseUnit() {
+    UnitDecl unit;
+    unit.loc = Cur().loc;
+    Take();  // unit
+    if (!ExpectAnyIdent(unit.name, "(unit name)") ||
+        !Expect(TokenKind::kEq, "after unit name") ||
+        !Expect(TokenKind::kLBrace, "to open unit body")) {
+      return false;
+    }
+    while (!At(TokenKind::kRBrace)) {
+      if (!ParseSection(unit)) {
+        return false;
+      }
+    }
+    Take();  // }
+    MaybeSemi();
+    if (unit.has_files && unit.has_links) {
+      diags_.Error(unit.loc, "unit '" + unit.name + "' has both 'files' and 'link' sections; "
+                             "a unit is either atomic or compound");
+      return false;
+    }
+    program_.units.push_back(std::move(unit));
+    return true;
+  }
+
+  bool ParseSection(UnitDecl& unit) {
+    if (AtIdent("imports")) {
+      return ParsePortList(unit.imports, "imports");
+    }
+    if (AtIdent("exports")) {
+      return ParsePortList(unit.exports, "exports");
+    }
+    if (AtIdent("depends")) {
+      return ParseDepends(unit);
+    }
+    if (AtIdent("files")) {
+      return ParseFiles(unit);
+    }
+    if (AtIdent("rename")) {
+      return ParseRename(unit);
+    }
+    if (AtIdent("initializer")) {
+      return ParseInitFini(unit.initializers);
+    }
+    if (AtIdent("finalizer")) {
+      return ParseInitFini(unit.finalizers);
+    }
+    if (AtIdent("link")) {
+      return ParseLink(unit);
+    }
+    if (AtIdent("constraints")) {
+      return ParseConstraints(unit);
+    }
+    if (AtIdent("flatten")) {
+      Take();
+      unit.flatten = true;
+      return Expect(TokenKind::kSemi, "after 'flatten'");
+    }
+    diags_.Error(Cur().loc, "expected a unit section (imports, exports, depends, files, "
+                            "rename, initializer, finalizer, link, constraints, flatten), "
+                            "found " +
+                                Describe(Cur()));
+    return false;
+  }
+
+  // imports [ serveFile : Serve, serveCGI : Serve ];
+  bool ParsePortList(std::vector<PortDecl>& out, const char* keyword) {
+    Take();  // imports / exports
+    if (!Expect(TokenKind::kLBracket, (std::string("after '") + keyword + "'").c_str())) {
+      return false;
+    }
+    while (!At(TokenKind::kRBracket)) {
+      PortDecl port;
+      port.loc = Cur().loc;
+      if (!ExpectAnyIdent(port.local_name, "(port name)") ||
+          !Expect(TokenKind::kColon, "between port name and bundle type") ||
+          !ExpectAnyIdent(port.bundle_type, "(bundle type)")) {
+        return false;
+      }
+      out.push_back(std::move(port));
+      if (At(TokenKind::kComma)) {
+        Take();
+      }
+    }
+    Take();  // ]
+    return Expect(TokenKind::kSemi, "after port list");
+  }
+
+  // depends { serveWeb needs (serveFile + serveCGI); };
+  bool ParseDepends(UnitDecl& unit) {
+    Take();  // depends
+    if (!Expect(TokenKind::kLBrace, "after 'depends'")) {
+      return false;
+    }
+    while (!At(TokenKind::kRBrace)) {
+      DependsClause clause;
+      clause.loc = Cur().loc;
+      if (!ParseDepSet(clause.dependents) || !ExpectIdent("needs") ||
+          !ParseDepSet(clause.requirements) || !Expect(TokenKind::kSemi, "after depends clause")) {
+        return false;
+      }
+      unit.depends.push_back(std::move(clause));
+    }
+    Take();  // }
+    MaybeSemi();
+    return true;
+  }
+
+  // IDENT | ( IDENT + IDENT + ... )     — also accepts comma separators, as the
+  // paper's prose uses "serveLog needs serveWeb, stdio".
+  bool ParseDepSet(std::vector<std::string>& out) {
+    if (At(TokenKind::kLParen)) {
+      Take();
+      while (!At(TokenKind::kRParen)) {
+        std::string name;
+        if (!ExpectAnyIdent(name, "(dependency atom)")) {
+          return false;
+        }
+        out.push_back(std::move(name));
+        if (At(TokenKind::kPlus) || At(TokenKind::kComma)) {
+          Take();
+        }
+      }
+      Take();  // )
+      return true;
+    }
+    std::string name;
+    if (!ExpectAnyIdent(name, "(dependency atom)")) {
+      return false;
+    }
+    out.push_back(std::move(name));
+    while (At(TokenKind::kComma)) {
+      Take();
+      if (!ExpectAnyIdent(name, "(dependency atom)")) {
+        return false;
+      }
+      out.push_back(std::move(name));
+    }
+    return true;
+  }
+
+  // files { "web.c" } with flags CFlags;
+  bool ParseFiles(UnitDecl& unit) {
+    Take();  // files
+    unit.has_files = true;
+    if (!Expect(TokenKind::kLBrace, "after 'files'")) {
+      return false;
+    }
+    while (!At(TokenKind::kRBrace)) {
+      if (!At(TokenKind::kString)) {
+        diags_.Error(Cur().loc, "expected string file name, found " + Describe(Cur()));
+        return false;
+      }
+      unit.files.push_back(Take().text);
+      if (At(TokenKind::kComma)) {
+        Take();
+      }
+    }
+    Take();  // }
+    if (AtIdent("with")) {
+      Take();
+      if (!ExpectIdent("flags") || !ExpectAnyIdent(unit.flags_name, "(flag set name)")) {
+        return false;
+      }
+    }
+    return Expect(TokenKind::kSemi, "after files section");
+  }
+
+  // rename { serveFile.serve_web to serve_file; };
+  bool ParseRename(UnitDecl& unit) {
+    Take();  // rename
+    if (!Expect(TokenKind::kLBrace, "after 'rename'")) {
+      return false;
+    }
+    while (!At(TokenKind::kRBrace)) {
+      RenameDecl rename;
+      rename.loc = Cur().loc;
+      if (!ExpectAnyIdent(rename.port, "(port name)") ||
+          !Expect(TokenKind::kDot, "between port and symbol") ||
+          !ExpectAnyIdent(rename.symbol, "(bundle symbol)") || !ExpectIdent("to") ||
+          !ExpectAnyIdent(rename.c_name, "(C identifier)") ||
+          !Expect(TokenKind::kSemi, "after rename")) {
+        return false;
+      }
+      unit.renames.push_back(std::move(rename));
+    }
+    Take();  // }
+    MaybeSemi();
+    return true;
+  }
+
+  // initializer open_log for serveLog;
+  bool ParseInitFini(std::vector<InitFiniDecl>& out) {
+    InitFiniDecl decl;
+    decl.loc = Cur().loc;
+    Take();  // initializer / finalizer
+    if (!ExpectAnyIdent(decl.function, "(function name)") || !ExpectIdent("for") ||
+        !ExpectAnyIdent(decl.port, "(export bundle name)") ||
+        !Expect(TokenKind::kSemi, "after initializer/finalizer")) {
+      return false;
+    }
+    out.push_back(std::move(decl));
+    return true;
+  }
+
+  // link { [serveWeb] <- Web <- [serveFile, serveCGI]; ... };
+  bool ParseLink(UnitDecl& unit) {
+    Take();  // link
+    unit.has_links = true;
+    if (!Expect(TokenKind::kLBrace, "after 'link'")) {
+      return false;
+    }
+    while (!At(TokenKind::kRBrace)) {
+      LinkLine line;
+      line.loc = Cur().loc;
+      if (!ParseBracketedIdentList(line.outputs) ||
+          !Expect(TokenKind::kArrowLeft, "after link outputs") ||
+          !ExpectAnyIdent(line.unit, "(unit name)")) {
+        return false;
+      }
+      if (AtIdent("as")) {
+        Take();
+        if (!ExpectAnyIdent(line.instance_name, "(instance name)")) {
+          return false;
+        }
+      }
+      if (!Expect(TokenKind::kArrowLeft, "before link inputs") ||
+          !ParseBracketedIdentList(line.inputs) ||
+          !Expect(TokenKind::kSemi, "after link line")) {
+        return false;
+      }
+      unit.links.push_back(std::move(line));
+    }
+    Take();  // }
+    MaybeSemi();
+    return true;
+  }
+
+  bool ParseBracketedIdentList(std::vector<std::string>& out) {
+    if (!Expect(TokenKind::kLBracket, "to open name list")) {
+      return false;
+    }
+    while (!At(TokenKind::kRBracket)) {
+      std::string name;
+      if (!ExpectAnyIdent(name, "(local name)")) {
+        return false;
+      }
+      out.push_back(std::move(name));
+      if (At(TokenKind::kComma)) {
+        Take();
+      }
+    }
+    Take();  // ]
+    return true;
+  }
+
+  // constraints { context(exports) <= context(imports); context(intr) = NoContext; };
+  bool ParseConstraints(UnitDecl& unit) {
+    Take();  // constraints
+    if (!Expect(TokenKind::kLBrace, "after 'constraints'")) {
+      return false;
+    }
+    while (!At(TokenKind::kRBrace)) {
+      ConstraintDecl constraint;
+      constraint.loc = Cur().loc;
+      if (!ParsePropertyExpr(constraint.lhs)) {
+        return false;
+      }
+      if (At(TokenKind::kEq)) {
+        Take();
+        constraint.relation = ConstraintDecl::Relation::kEqual;
+      } else if (At(TokenKind::kLessEq)) {
+        Take();
+        constraint.relation = ConstraintDecl::Relation::kLessEq;
+      } else {
+        diags_.Error(Cur().loc, "expected '=' or '<=' in constraint, found " + Describe(Cur()));
+        return false;
+      }
+      if (!ParsePropertyExpr(constraint.rhs) ||
+          !Expect(TokenKind::kSemi, "after constraint")) {
+        return false;
+      }
+      unit.constraints.push_back(std::move(constraint));
+    }
+    Take();  // }
+    MaybeSemi();
+    return true;
+  }
+
+  bool ParsePropertyExpr(PropertyExpr& out) {
+    out.loc = Cur().loc;
+    std::string first;
+    if (!ExpectAnyIdent(first, "(property or value name)")) {
+      return false;
+    }
+    if (!At(TokenKind::kLParen)) {
+      out.kind = PropertyExpr::Kind::kValue;
+      out.name = std::move(first);
+      return true;
+    }
+    Take();  // (
+    out.property = std::move(first);
+    if (AtIdent("imports")) {
+      Take();
+      out.kind = PropertyExpr::Kind::kOfImports;
+    } else if (AtIdent("exports")) {
+      Take();
+      out.kind = PropertyExpr::Kind::kOfExports;
+    } else {
+      out.kind = PropertyExpr::Kind::kOfPort;
+      if (!ExpectAnyIdent(out.name, "(port name)")) {
+        return false;
+      }
+    }
+    return Expect(TokenKind::kRParen, "to close property expression");
+  }
+
+  // Declarations may optionally be terminated with ';'.
+  void MaybeSemi() {
+    if (At(TokenKind::kSemi)) {
+      Take();
+    }
+  }
+
+  std::vector<Token> tokens_;
+  KnitProgram& program_;
+  Diagnostics& diags_;
+  size_t pos_ = 0;
+  std::string current_property_;
+};
+
+}  // namespace
+
+Result<void> ParseKnitInto(std::string_view source, const std::string& file_name,
+                           KnitProgram& program, Diagnostics& diags) {
+  Result<std::vector<Token>> tokens = LexKnit(source, file_name, diags);
+  if (!tokens.ok()) {
+    return Result<void>::Failure();
+  }
+  Parser parser(tokens.take(), program, diags);
+  return parser.Run() ? Result<void>::Success() : Result<void>::Failure();
+}
+
+Result<KnitProgram> ParseKnit(std::string_view source, const std::string& file_name,
+                              Diagnostics& diags) {
+  KnitProgram program;
+  if (!ParseKnitInto(source, file_name, program, diags).ok()) {
+    return Result<KnitProgram>::Failure();
+  }
+  return program;
+}
+
+}  // namespace knit

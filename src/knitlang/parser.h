@@ -1,0 +1,25 @@
+// Recursive-descent parser for the Knit linking language.
+#ifndef SRC_KNITLANG_PARSER_H_
+#define SRC_KNITLANG_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/knitlang/ast.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+// Parses a whole Knit source. Errors go to `diags`.
+Result<KnitProgram> ParseKnit(std::string_view source, const std::string& file_name,
+                              Diagnostics& diags);
+
+// Parses and appends onto an existing program (Knit sources are frequently split
+// across several files: bundle types in one, units in others).
+Result<void> ParseKnitInto(std::string_view source, const std::string& file_name,
+                           KnitProgram& program, Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_KNITLANG_PARSER_H_

@@ -1,0 +1,18 @@
+// Renders a KnitProgram back to canonical Knit source. Used by tooling (knitc
+// --dump-units), by tests (parse/print round-trips), and as executable
+// documentation of the concrete syntax.
+#ifndef SRC_KNITLANG_PRINTER_H_
+#define SRC_KNITLANG_PRINTER_H_
+
+#include <string>
+
+#include "src/knitlang/ast.h"
+
+namespace knit {
+
+std::string PrintKnitProgram(const KnitProgram& program);
+std::string PrintUnitDecl(const UnitDecl& unit);
+
+}  // namespace knit
+
+#endif  // SRC_KNITLANG_PRINTER_H_

@@ -1,0 +1,46 @@
+// Token stream for the Knit linking language.
+#ifndef SRC_KNITLANG_TOKEN_H_
+#define SRC_KNITLANG_TOKEN_H_
+
+#include <string>
+
+#include "src/support/diagnostics.h"
+
+namespace knit {
+
+enum class TokenKind {
+  kIdent,     // identifiers and keywords (the parser distinguishes by text)
+  kString,    // "..." with escapes resolved
+  kLBrace,    // {
+  kRBrace,    // }
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kSemi,      // ;
+  kColon,     // :
+  kDot,       // .
+  kPlus,      // +
+  kEq,        // =
+  kLess,      // <
+  kLessEq,    // <=
+  kArrowLeft, // <-
+  kEnd,       // end of input
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier spelling or decoded string contents
+  SourceLoc loc;
+
+  bool IsIdent(const char* spelling) const {
+    return kind == TokenKind::kIdent && text == spelling;
+  }
+};
+
+}  // namespace knit
+
+#endif  // SRC_KNITLANG_TOKEN_H_

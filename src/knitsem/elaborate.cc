@@ -1,0 +1,381 @@
+#include "src/knitsem/elaborate.h"
+
+#include <algorithm>
+#include <set>
+
+namespace knit {
+
+const BundleTypeDecl* Elaboration::FindBundleType(const std::string& name) const {
+  auto it = bundle_types.find(name);
+  return it == bundle_types.end() ? nullptr : &it->second;
+}
+
+const UnitDecl* Elaboration::FindUnit(const std::string& name) const {
+  auto it = units.find(name);
+  return it == units.end() ? nullptr : &it->second;
+}
+
+const FlagsDecl* Elaboration::FindFlags(const std::string& name) const {
+  auto it = flag_sets.find(name);
+  return it == flag_sets.end() ? nullptr : &it->second;
+}
+
+int Elaboration::PortIndex(const std::vector<PortDecl>& ports, const std::string& name) {
+  for (size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].local_name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+namespace {
+
+// True if `name` is a declared initializer or finalizer function of `unit`.
+bool IsInitFiniFunction(const UnitDecl& unit, const std::string& name) {
+  for (const InitFiniDecl& d : unit.initializers) {
+    if (d.function == name) {
+      return true;
+    }
+  }
+  for (const InitFiniDecl& d : unit.finalizers) {
+    if (d.function == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class ElaborationPass {
+ public:
+  ElaborationPass(const KnitProgram& program, Diagnostics& diags)
+      : program_(program), diags_(diags) {}
+
+  Result<Elaboration> Run() {
+    bool ok = CollectBundleTypes() & CollectFlags() & CollectProperties() & CollectUnits();
+    if (!ok) {
+      return Result<Elaboration>::Failure();
+    }
+    for (const auto& [name, unit] : out_.units) {
+      if (!CheckUnit(unit)) {
+        ok = false;
+      }
+    }
+    if (!ok || diags_.has_errors()) {
+      return Result<Elaboration>::Failure();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool CollectBundleTypes() {
+    bool ok = true;
+    for (const BundleTypeDecl& decl : program_.bundle_types) {
+      std::set<std::string> seen;
+      for (const std::string& symbol : decl.symbols) {
+        if (!seen.insert(symbol).second) {
+          diags_.Error(decl.loc, "bundle type '" + decl.name + "' lists symbol '" + symbol +
+                                     "' more than once");
+          ok = false;
+        }
+      }
+      if (!out_.bundle_types.emplace(decl.name, decl).second) {
+        diags_.Error(decl.loc, "duplicate bundle type '" + decl.name + "'");
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  bool CollectFlags() {
+    bool ok = true;
+    for (const FlagsDecl& decl : program_.flag_sets) {
+      if (!out_.flag_sets.emplace(decl.name, decl).second) {
+        diags_.Error(decl.loc, "duplicate flag set '" + decl.name + "'");
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  bool CollectProperties() {
+    bool ok = true;
+    std::set<std::string> property_names;
+    for (const PropertyDecl& decl : program_.properties) {
+      if (!property_names.insert(decl.name).second) {
+        diags_.Error(decl.loc, "duplicate property '" + decl.name + "'");
+        ok = false;
+      }
+      out_.properties.push_back(decl);
+    }
+    std::set<std::pair<std::string, std::string>> value_names;
+    for (const PropertyValueDecl& decl : program_.property_values) {
+      if (property_names.count(decl.property) == 0) {
+        diags_.Error(decl.loc, "value '" + decl.name + "' declared for unknown property '" +
+                                   decl.property + "'");
+        ok = false;
+      }
+      if (!value_names.insert({decl.property, decl.name}).second) {
+        diags_.Error(decl.loc, "duplicate value '" + decl.name + "' for property '" +
+                                   decl.property + "'");
+        ok = false;
+      }
+      out_.property_values.push_back(decl);
+    }
+    // `less_than` targets must themselves be declared values of the same property.
+    for (const PropertyValueDecl& decl : out_.property_values) {
+      if (!decl.less_than.empty() &&
+          value_names.count({decl.property, decl.less_than}) == 0) {
+        diags_.Error(decl.loc, "property value '" + decl.name + "' declared below unknown "
+                               "value '" +
+                                   decl.less_than + "'");
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  bool CollectUnits() {
+    bool ok = true;
+    for (const UnitDecl& decl : program_.units) {
+      if (!out_.units.emplace(decl.name, decl).second) {
+        diags_.Error(decl.loc, "duplicate unit '" + decl.name + "'");
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  bool CheckPorts(const UnitDecl& unit, const std::vector<PortDecl>& ports,
+                  std::set<std::string>& local_names) {
+    bool ok = true;
+    for (const PortDecl& port : ports) {
+      if (out_.FindBundleType(port.bundle_type) == nullptr) {
+        diags_.Error(port.loc, "unit '" + unit.name + "': unknown bundle type '" +
+                                   port.bundle_type + "'");
+        ok = false;
+      }
+      if (!local_names.insert(port.local_name).second) {
+        diags_.Error(port.loc, "unit '" + unit.name + "': duplicate port name '" +
+                                   port.local_name + "'");
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  bool CheckUnit(const UnitDecl& unit) {
+    bool ok = true;
+    std::set<std::string> local_names;
+    ok &= CheckPorts(unit, unit.imports, local_names);
+    ok &= CheckPorts(unit, unit.exports, local_names);
+
+    if (!unit.IsAtomic() && !unit.IsCompound()) {
+      diags_.Error(unit.loc, "unit '" + unit.name + "' has neither 'files' nor 'link'; "
+                             "every unit is atomic (files) or compound (link)");
+      ok = false;
+    }
+
+    ok &= CheckInitFini(unit);
+    ok &= CheckDepends(unit, local_names);
+    ok &= CheckRenames(unit);
+    ok &= CheckConstraintTargets(unit);
+
+    if (unit.IsAtomic()) {
+      if (!unit.flags_name.empty() && out_.FindFlags(unit.flags_name) == nullptr) {
+        diags_.Error(unit.loc, "unit '" + unit.name + "': unknown flag set '" +
+                                   unit.flags_name + "'");
+        ok = false;
+      }
+      if (!unit.links.empty()) {
+        diags_.Error(unit.loc, "atomic unit '" + unit.name + "' may not have link lines");
+        ok = false;
+      }
+    }
+    if (unit.IsCompound()) {
+      ok &= CheckCompound(unit);
+    }
+    return ok;
+  }
+
+  bool CheckInitFini(const UnitDecl& unit) {
+    bool ok = true;
+    for (const std::vector<InitFiniDecl>* list : {&unit.initializers, &unit.finalizers}) {
+      for (const InitFiniDecl& decl : *list) {
+        if (Elaboration::PortIndex(unit.exports, decl.port) < 0) {
+          diags_.Error(decl.loc, "unit '" + unit.name + "': initializer/finalizer is for '" +
+                                     decl.port + "', which is not an export of the unit");
+          ok = false;
+        }
+      }
+    }
+    return ok;
+  }
+
+  bool CheckDepends(const UnitDecl& unit, const std::set<std::string>& local_names) {
+    bool ok = true;
+    for (const DependsClause& clause : unit.depends) {
+      for (const std::string& dependent : clause.dependents) {
+        // A dependent is an export bundle or an init/fini function.
+        bool is_export = Elaboration::PortIndex(unit.exports, dependent) >= 0;
+        if (!is_export && !IsInitFiniFunction(unit, dependent)) {
+          diags_.Error(clause.loc, "unit '" + unit.name + "': depends clause mentions '" +
+                                       dependent +
+                                       "', which is neither an export bundle nor a declared "
+                                       "initializer/finalizer");
+          ok = false;
+        }
+      }
+      for (const std::string& requirement : clause.requirements) {
+        // A requirement is an import bundle (what the dependent calls into).
+        if (Elaboration::PortIndex(unit.imports, requirement) < 0) {
+          bool is_local = local_names.count(requirement) > 0;
+          diags_.Error(clause.loc,
+                       "unit '" + unit.name + "': depends clause requires '" + requirement +
+                           (is_local ? "', which is not an import bundle of the unit"
+                                     : "', which is not a port of the unit"));
+          ok = false;
+        }
+      }
+    }
+    return ok;
+  }
+
+  bool CheckRenames(const UnitDecl& unit) {
+    bool ok = true;
+    std::set<std::pair<std::string, std::string>> renamed;
+    for (const RenameDecl& rename : unit.renames) {
+      int import_index = Elaboration::PortIndex(unit.imports, rename.port);
+      int export_index = Elaboration::PortIndex(unit.exports, rename.port);
+      const PortDecl* port = nullptr;
+      if (import_index >= 0) {
+        port = &unit.imports[import_index];
+      } else if (export_index >= 0) {
+        port = &unit.exports[export_index];
+      } else {
+        diags_.Error(rename.loc, "unit '" + unit.name + "': rename of unknown port '" +
+                                     rename.port + "'");
+        ok = false;
+        continue;
+      }
+      const BundleTypeDecl* type = out_.FindBundleType(port->bundle_type);
+      if (type != nullptr &&
+          std::find(type->symbols.begin(), type->symbols.end(), rename.symbol) ==
+              type->symbols.end()) {
+        diags_.Error(rename.loc, "unit '" + unit.name + "': bundle type '" + port->bundle_type +
+                                     "' has no symbol '" + rename.symbol + "'");
+        ok = false;
+      }
+      if (!renamed.insert({rename.port, rename.symbol}).second) {
+        diags_.Error(rename.loc, "unit '" + unit.name + "': '" + rename.port + "." +
+                                     rename.symbol + "' renamed more than once");
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  bool CheckConstraintTargets(const UnitDecl& unit) {
+    bool ok = true;
+    for (const ConstraintDecl& constraint : unit.constraints) {
+      for (const PropertyExpr* expr : {&constraint.lhs, &constraint.rhs}) {
+        if (expr->kind == PropertyExpr::Kind::kOfPort) {
+          if (Elaboration::PortIndex(unit.imports, expr->name) < 0 &&
+              Elaboration::PortIndex(unit.exports, expr->name) < 0) {
+            diags_.Error(expr->loc, "unit '" + unit.name + "': constraint on unknown port '" +
+                                        expr->name + "'");
+            ok = false;
+          }
+        }
+      }
+    }
+    return ok;
+  }
+
+  bool CheckCompound(const UnitDecl& unit) {
+    bool ok = true;
+    // Local names: compound imports plus link-line outputs. Every name defined once.
+    std::map<std::string, std::string> local_types;  // name -> bundle type
+    for (const PortDecl& port : unit.imports) {
+      local_types[port.local_name] = port.bundle_type;
+    }
+    for (const LinkLine& line : unit.links) {
+      const UnitDecl* child = out_.FindUnit(line.unit);
+      if (child == nullptr) {
+        diags_.Error(line.loc, "unit '" + unit.name + "': link of unknown unit '" + line.unit +
+                                   "'");
+        ok = false;
+        continue;
+      }
+      if (line.outputs.size() != child->exports.size()) {
+        diags_.Error(line.loc, "unit '" + unit.name + "': link of '" + line.unit + "' binds " +
+                                   std::to_string(line.outputs.size()) + " outputs but the unit "
+                                   "exports " +
+                                   std::to_string(child->exports.size()) + " bundles");
+        ok = false;
+      }
+      if (line.inputs.size() != child->imports.size()) {
+        diags_.Error(line.loc, "unit '" + unit.name + "': link of '" + line.unit + "' supplies " +
+                                   std::to_string(line.inputs.size()) + " inputs but the unit "
+                                   "imports " +
+                                   std::to_string(child->imports.size()) + " bundles");
+        ok = false;
+      }
+      for (size_t i = 0; i < line.outputs.size() && i < child->exports.size(); ++i) {
+        auto [it, inserted] = local_types.emplace(line.outputs[i], child->exports[i].bundle_type);
+        if (!inserted) {
+          diags_.Error(line.loc, "unit '" + unit.name + "': local name '" + line.outputs[i] +
+                                     "' is bound more than once");
+          ok = false;
+        }
+      }
+    }
+    // Inputs must reference defined locals with matching bundle types.
+    for (const LinkLine& line : unit.links) {
+      const UnitDecl* child = out_.FindUnit(line.unit);
+      if (child == nullptr) {
+        continue;
+      }
+      for (size_t i = 0; i < line.inputs.size() && i < child->imports.size(); ++i) {
+        auto it = local_types.find(line.inputs[i]);
+        if (it == local_types.end()) {
+          diags_.Error(line.loc, "unit '" + unit.name + "': link input '" + line.inputs[i] +
+                                     "' is not a compound import or a link output");
+          ok = false;
+        } else if (it->second != child->imports[i].bundle_type) {
+          diags_.Error(line.loc, "unit '" + unit.name + "': link input '" + line.inputs[i] +
+                                     "' has bundle type '" + it->second + "' but '" + line.unit +
+                                     "' imports '" + child->imports[i].bundle_type + "' here");
+          ok = false;
+        }
+      }
+    }
+    // Compound exports must name defined locals of the right type.
+    for (const PortDecl& port : unit.exports) {
+      auto it = local_types.find(port.local_name);
+      if (it == local_types.end()) {
+        diags_.Error(port.loc, "unit '" + unit.name + "': export '" + port.local_name +
+                                   "' is not bound by any link line or compound import");
+        ok = false;
+      } else if (it->second != port.bundle_type) {
+        diags_.Error(port.loc, "unit '" + unit.name + "': export '" + port.local_name +
+                                   "' has bundle type '" + it->second + "', not '" +
+                                   port.bundle_type + "'");
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  const KnitProgram& program_;
+  Diagnostics& diags_;
+  Elaboration out_;
+};
+
+}  // namespace
+
+Result<Elaboration> Elaborate(const KnitProgram& program, Diagnostics& diags) {
+  return ElaborationPass(program, diags).Run();
+}
+
+}  // namespace knit

@@ -1,0 +1,40 @@
+// Elaboration: validates a parsed KnitProgram into name-resolved definition tables.
+// Checks performed here are per-definition (does this unit's rename refer to a real
+// port/symbol?); cross-unit wiring checks happen during instantiation.
+#ifndef SRC_KNITSEM_ELABORATE_H_
+#define SRC_KNITSEM_ELABORATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/knitlang/ast.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+// Validated program definitions. Maps are node-based so pointers into them remain
+// stable for the lifetime of the Elaboration.
+struct Elaboration {
+  std::map<std::string, BundleTypeDecl> bundle_types;
+  std::map<std::string, FlagsDecl> flag_sets;
+  std::map<std::string, UnitDecl> units;
+  std::vector<PropertyDecl> properties;
+  std::vector<PropertyValueDecl> property_values;
+
+  const BundleTypeDecl* FindBundleType(const std::string& name) const;
+  const UnitDecl* FindUnit(const std::string& name) const;
+  const FlagsDecl* FindFlags(const std::string& name) const;
+
+  // Index of a port with the given local name, or -1.
+  static int PortIndex(const std::vector<PortDecl>& ports, const std::string& name);
+};
+
+// Validates `program`. On any error, reports into `diags` and fails. Warnings (e.g.
+// a unit that exports a bundle no one imports) do not fail elaboration.
+Result<Elaboration> Elaborate(const KnitProgram& program, Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_KNITSEM_ELABORATE_H_

@@ -1,0 +1,70 @@
+// Instantiation: expands a top-level (possibly compound) unit into a flat graph of
+// atomic unit instances with fully resolved wiring. Hierarchy disappears here; what
+// remains is exactly what the later phases need: which instance supplies each import
+// of each instance.
+//
+// Cyclic linking (A imports from B while B imports from A) is legal and resolved via
+// wire unification: every bundle connection point is a wire, link-line outputs start
+// as placeholder wires, and instantiating a child unifies the child's export wires
+// with the placeholders.
+#ifndef SRC_KNITSEM_INSTANTIATE_H_
+#define SRC_KNITSEM_INSTANTIATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/knitsem/elaborate.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+// Identifies the supplier of a bundle: an export port of an atomic instance, or —
+// when instance == kEnvironment — an import of the top-level unit that the embedding
+// program (the "environment": VM builtins, test harness) must satisfy.
+struct SupplierRef {
+  static constexpr int kEnvironment = -1;
+
+  int instance = kEnvironment;
+  int port = -1;
+
+  bool IsEnvironment() const { return instance == kEnvironment; }
+  bool operator==(const SupplierRef& other) const = default;
+};
+
+// One atomic unit instance in the final configuration.
+struct Instance {
+  std::string path;  // hierarchical name, e.g. "LogServe/logger"
+  const UnitDecl* unit = nullptr;
+
+  // Parallel to unit->imports: who supplies each imported bundle.
+  std::vector<SupplierRef> import_suppliers;
+
+  // Flatten region this instance belongs to, or -1 (compiled as its own translation
+  // unit). Instances sharing a group are merged into one TU by the flattener.
+  int flatten_group = -1;
+};
+
+struct Configuration {
+  const UnitDecl* top = nullptr;
+  std::vector<Instance> instances;
+
+  // Parallel to top->exports: which instance export realizes each top-level export.
+  std::vector<SupplierRef> top_export_suppliers;
+
+  // Number of flatten groups allocated (group ids are [0, flatten_group_count)).
+  int flatten_group_count = 0;
+
+  // Instance lookup by hierarchical path; -1 if absent.
+  int FindInstance(const std::string& path) const;
+};
+
+// Expands `top_unit`. Fails (into diags) on unknown units, recursive composition
+// (a compound that transitively links itself), or arity/type mismatches not caught
+// during elaboration.
+Result<Configuration> Instantiate(const Elaboration& elaboration, const std::string& top_unit,
+                                  Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_KNITSEM_INSTANTIATE_H_

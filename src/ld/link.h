@@ -1,0 +1,62 @@
+// The bag-of-objects linker (paper §2.1, Figure 1).
+//
+// Faithful to classic Unix ld where it matters to the paper:
+//  * A link line is an ordered list of objects and archives.
+//  * Explicit objects are always included; archive members are pulled only when
+//    they define a symbol that is currently referenced and undefined — which is
+//    what enables the "override by listing a replacement object first" idiom, and
+//    what makes interposition (Figure 1c) inexpressible.
+//  * Two included objects defining the same global symbol is a multiple-definition
+//    error; unresolved references are undefined-symbol errors.
+//  * Local symbols resolve only within their object.
+//
+// Symbols that remain undefined after archive processing are resolved against the
+// supplied native (environment) table — the VM's device/OS interface.
+#ifndef SRC_LD_LINK_H_
+#define SRC_LD_LINK_H_
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/obj/object.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+#include "src/vm/image.h"
+
+namespace knit {
+
+using LinkItem = std::variant<ObjectFile, Archive>;
+
+struct LinkOptions {
+  // Native callables available to resolve remaining undefined symbols. Order
+  // defines native ids.
+  std::vector<std::string> natives;
+
+  // Base address where the data image is loaded.
+  uint32_t data_base = 0x1000;
+
+  // Function placement alignment in text (affects I-cache behaviour).
+  int text_align = 16;
+};
+
+// Link-map entry for reporting/tests.
+struct PlacedObject {
+  std::string name;
+  uint32_t data_offset = 0;  // absolute address of this object's data blob
+  int first_function = -1;   // first global function id contributed (-1 if none)
+  int function_count = 0;
+};
+
+struct LinkResult {
+  Image image;
+  std::vector<PlacedObject> placements;
+};
+
+Result<LinkResult> Link(std::vector<LinkItem> items, const LinkOptions& options,
+                        Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_LD_LINK_H_

@@ -1,0 +1,40 @@
+#include "src/minic/ast.h"
+
+namespace knit {
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->loc = loc;
+  out->int_value = int_value;
+  out->text = text;
+  out->cast_type = cast_type;
+  out->sizeof_type = sizeof_type;
+  out->member_arrow = member_arrow;
+  out->type = type;
+  out->is_lvalue = is_lvalue;
+  out->args.reserve(args.size());
+  for (const ExprPtr& arg : args) {
+    out->args.push_back(arg ? arg->Clone() : nullptr);
+  }
+  return out;
+}
+
+StmtPtr Stmt::Clone() const {
+  auto out = std::make_unique<Stmt>();
+  out->kind = kind;
+  out->loc = loc;
+  out->text = text;
+  out->decl_type = decl_type;
+  out->exprs.reserve(exprs.size());
+  for (const ExprPtr& e : exprs) {
+    out->exprs.push_back(e ? e->Clone() : nullptr);
+  }
+  out->stmts.reserve(stmts.size());
+  for (const StmtPtr& s : stmts) {
+    out->stmts.push_back(s ? s->Clone() : nullptr);
+  }
+  return out;
+}
+
+}  // namespace knit

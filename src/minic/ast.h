@@ -1,0 +1,141 @@
+// MiniC abstract syntax. One Expr/Stmt node struct each, discriminated by Kind, with
+// children in a vector — compact and easy to transform (the flattener rewrites names;
+// the semantic pass annotates types in place).
+//
+// Supported language (a C subset sufficient for systems components):
+//   types:   void, char, int, unsigned, pointers, arrays, struct, function pointers
+//   decls:   globals (with constant/string/address initializers), functions (static
+//            or extern linkage), struct definitions, typedefs, enum constant groups,
+//            extern declarations and prototypes
+//   stmts:   expression, if/else, while, for, return, break, continue, blocks,
+//            local declarations
+//   exprs:   integer/char/string literals, identifiers, unary - ! ~ & *, full binary
+//            operator set, assignment (= += -= *= /= &= |= ^= <<= >>=), calls
+//            (direct and through pointers), indexing, member access (. and ->),
+//            casts, ?:, sizeof, pre/post ++/--
+//   cpp:     #include "file" (resolved through a virtual file system, include-once)
+#ifndef SRC_MINIC_AST_H_
+#define SRC_MINIC_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/minic/types.h"
+#include "src/support/diagnostics.h"
+
+namespace knit {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kIntLit,    // int_value
+    kStrLit,    // text = contents (address of static data)
+    kIdent,     // text = name
+    kUnary,     // text = "-" "!" "~" "&" "*"; args[0]
+    kBinary,    // text = operator; args[0], args[1]
+    kAssign,    // text = "=" "+=" ...; args[0] = lvalue, args[1] = rhs
+    kCall,      // args[0] = callee, args[1..] = arguments
+    kIndex,     // args[0][args[1]]
+    kMember,    // args[0].text or args[0]->text (member_arrow)
+    kCast,      // (cast_type) args[0]
+    kCond,      // args[0] ? args[1] : args[2]
+    kSizeof,    // sizeof_type (sizeof expr is folded to a type by the parser)
+    kIncDec,    // text = "++" or "--"; args[0]; postfix flag in member_arrow? no:
+                // prefix stored in int_value (1 = prefix, 0 = postfix)
+  };
+
+  Kind kind = Kind::kIntLit;
+  SourceLoc loc;
+  long long int_value = 0;
+  std::string text;
+  std::vector<ExprPtr> args;
+  const Type* cast_type = nullptr;    // kCast
+  const Type* sizeof_type = nullptr;  // kSizeof
+  bool member_arrow = false;          // kMember: true for ->
+
+  // Filled by Sema:
+  const Type* type = nullptr;
+  bool is_lvalue = false;
+
+  ExprPtr Clone() const;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kExpr,      // exprs[0]
+    kIf,        // exprs[0]; stmts[0] = then, stmts[1] = else (optional)
+    kWhile,     // exprs[0]; stmts[0]
+    kFor,       // stmts[0] = init stmt (or null), exprs[0] = cond (or null),
+                // exprs[1] = step (or null), stmts[1] = body
+    kReturn,    // exprs[0] optional
+    kBreak,
+    kContinue,
+    kBlock,     // stmts[*]
+    kLocalDecl, // text = name, decl_type, exprs[0] = init (optional)
+    kEmpty,
+  };
+
+  Kind kind = Kind::kEmpty;
+  SourceLoc loc;
+  std::string text;
+  const Type* decl_type = nullptr;
+  std::vector<ExprPtr> exprs;
+  std::vector<StmtPtr> stmts;
+
+  StmtPtr Clone() const;
+};
+
+struct ParamDecl {
+  std::string name;
+  const Type* type = nullptr;
+};
+
+// Top-level declaration.
+struct Decl {
+  enum class Kind {
+    kFunction,
+    kGlobalVar,
+    kStructDef,  // struct definitions carry no payload beyond the (completed) type
+    kTypedef,
+    kEnumConsts,
+  };
+
+  Kind kind = Kind::kFunction;
+  SourceLoc loc;
+  std::string name;
+
+  // kFunction:
+  const Type* func_type = nullptr;  // Kind::kFunc
+  std::vector<ParamDecl> params;
+  bool is_static = false;
+  bool is_definition = false;  // false: prototype / extern declaration
+  StmtPtr body;
+
+  // kGlobalVar:
+  const Type* var_type = nullptr;
+  bool is_extern = false;
+  ExprPtr init;  // constant expression, string literal, address-of, or brace list
+                 // (brace lists are lowered by the parser into init_list)
+  std::vector<ExprPtr> init_list;  // array/struct initializer elements, if any
+
+  // kStructDef / kTypedef:
+  const Type* defined_type = nullptr;
+
+  // kEnumConsts:
+  std::vector<std::pair<std::string, long long>> enum_values;
+};
+
+struct TranslationUnit {
+  std::string name;  // principal file name, for diagnostics
+  std::vector<Decl> decls;
+};
+
+}  // namespace knit
+
+#endif  // SRC_MINIC_AST_H_

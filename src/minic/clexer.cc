@@ -1,0 +1,290 @@
+#include "src/minic/clexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace knit {
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "void",   "char",  "int",     "unsigned", "struct",  "typedef", "enum",
+      "static", "extern", "const",  "if",       "else",    "while",   "for",
+      "return", "break", "continue", "sizeof",
+  };
+  return kKeywords;
+}
+
+// Multi-character punctuators, longest first so maximal munch works.
+const std::vector<std::string>& Puncts() {
+  static const std::vector<std::string> kPuncts = {
+      "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+      "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=",  "(",  ")",
+      "{",   "}",   "[",   "]",  ";",  ",",  ".",  "+",  "-",  "*",   "/",  "%",
+      "<",   ">",   "=",   "!",  "~",  "&",  "|",  "^",  "?",  ":",
+  };
+  return kPuncts;
+}
+
+class CLexer {
+ public:
+  CLexer(const SourceMap& sources, Diagnostics& diags, std::vector<CToken>& out)
+      : sources_(sources), diags_(diags), out_(out) {}
+
+  bool LexFile(const std::string& file) {
+    if (!included_.insert(file).second) {
+      return true;  // include-once
+    }
+    auto it = sources_.find(file);
+    if (it == sources_.end()) {
+      diags_.Error(SourceLoc{file, 0, 0}, "no such source file '" + file + "'");
+      return false;
+    }
+    return LexBuffer(it->second, file);
+  }
+
+  bool LexBuffer(std::string_view source, const std::string& file) {
+    size_t pos = 0;
+    int line = 1;
+    int column = 1;
+
+    auto here = [&] { return SourceLoc{file, line, column}; };
+    auto advance = [&](size_t n) {
+      for (size_t i = 0; i < n; ++i) {
+        if (source[pos] == '\n') {
+          ++line;
+          column = 1;
+        } else {
+          ++column;
+        }
+        ++pos;
+      }
+    };
+    auto peek = [&](size_t off = 0) -> char {
+      return pos + off < source.size() ? source[pos + off] : '\0';
+    };
+
+    while (pos < source.size()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        advance(1);
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        while (pos < source.size() && peek() != '\n') {
+          advance(1);
+        }
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        SourceLoc start = here();
+        advance(2);
+        while (pos < source.size() && !(peek() == '*' && peek(1) == '/')) {
+          advance(1);
+        }
+        if (pos >= source.size()) {
+          diags_.Error(start, "unterminated block comment");
+          return false;
+        }
+        advance(2);
+        continue;
+      }
+      if (c == '#') {
+        // Only `#include "file"` is supported; it must be the construct beginning
+        // at this '#'.
+        SourceLoc start = here();
+        advance(1);
+        size_t word_start = pos;
+        while (pos < source.size() &&
+               std::isalpha(static_cast<unsigned char>(peek())) != 0) {
+          advance(1);
+        }
+        std::string directive(source.substr(word_start, pos - word_start));
+        if (directive != "include") {
+          diags_.Error(start, "unsupported preprocessor directive '#" + directive +
+                                  "' (MiniC supports only #include \"file\")");
+          return false;
+        }
+        while (pos < source.size() && (peek() == ' ' || peek() == '\t')) {
+          advance(1);
+        }
+        if (peek() != '"') {
+          diags_.Error(here(), "#include expects a \"file\" name");
+          return false;
+        }
+        advance(1);
+        size_t name_start = pos;
+        while (pos < source.size() && peek() != '"' && peek() != '\n') {
+          advance(1);
+        }
+        if (peek() != '"') {
+          diags_.Error(start, "unterminated #include file name");
+          return false;
+        }
+        std::string name(source.substr(name_start, pos - name_start));
+        advance(1);
+        if (!LexFile(name)) {
+          diags_.Note(start, "included from here");
+          return false;
+        }
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        SourceLoc loc = here();
+        size_t start = pos;
+        while (pos < source.size() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) != 0 || peek() == '_')) {
+          advance(1);
+        }
+        std::string text(source.substr(start, pos - start));
+        if (text == "const") {
+          continue;  // const is accepted and ignored (MiniC has no const semantics)
+        }
+        CTokenKind kind =
+            Keywords().count(text) > 0 ? CTokenKind::kKeyword : CTokenKind::kIdent;
+        out_.push_back(CToken{kind, std::move(text), 0, loc});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        SourceLoc loc = here();
+        long long value = 0;
+        if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+          advance(2);
+          while (std::isxdigit(static_cast<unsigned char>(peek())) != 0) {
+            char d = peek();
+            int digit = std::isdigit(static_cast<unsigned char>(d)) != 0
+                            ? d - '0'
+                            : std::tolower(d) - 'a' + 10;
+            value = value * 16 + digit;
+            advance(1);
+          }
+        } else {
+          while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+            value = value * 10 + (peek() - '0');
+            advance(1);
+          }
+        }
+        // Accept and ignore integer suffixes.
+        while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
+          advance(1);
+        }
+        out_.push_back(CToken{CTokenKind::kIntLit, "", value, loc});
+        continue;
+      }
+      if (c == '\'') {
+        SourceLoc loc = here();
+        advance(1);
+        long long value = 0;
+        if (peek() == '\\') {
+          advance(1);
+          value = DecodeEscape(peek(), loc);
+          advance(1);
+        } else {
+          value = static_cast<unsigned char>(peek());
+          advance(1);
+        }
+        if (peek() != '\'') {
+          diags_.Error(loc, "unterminated character literal");
+          return false;
+        }
+        advance(1);
+        out_.push_back(CToken{CTokenKind::kCharLit, "", value, loc});
+        continue;
+      }
+      if (c == '"') {
+        SourceLoc loc = here();
+        advance(1);
+        std::string text;
+        while (true) {
+          if (pos >= source.size() || peek() == '\n') {
+            diags_.Error(loc, "unterminated string literal");
+            return false;
+          }
+          char d = peek();
+          advance(1);
+          if (d == '"') {
+            break;
+          }
+          if (d == '\\') {
+            text += static_cast<char>(DecodeEscape(peek(), loc));
+            advance(1);
+            continue;
+          }
+          text += d;
+        }
+        out_.push_back(CToken{CTokenKind::kStrLit, std::move(text), 0, loc});
+        continue;
+      }
+      // Punctuators, maximal munch.
+      bool matched = false;
+      for (const std::string& punct : Puncts()) {
+        if (source.substr(pos, punct.size()) == punct) {
+          out_.push_back(CToken{CTokenKind::kPunct, punct, 0, here()});
+          advance(punct.size());
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        diags_.Error(here(), std::string("unexpected character '") + c + "' in MiniC source");
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  long long DecodeEscape(char c, const SourceLoc& loc) {
+    switch (c) {
+      case 'n':
+        return '\n';
+      case 't':
+        return '\t';
+      case 'r':
+        return '\r';
+      case '0':
+        return 0;
+      case '\\':
+        return '\\';
+      case '\'':
+        return '\'';
+      case '"':
+        return '"';
+      default:
+        diags_.Warning(loc, std::string("unknown escape '\\") + c + "'");
+        return c;
+    }
+  }
+
+  const SourceMap& sources_;
+  Diagnostics& diags_;
+  std::vector<CToken>& out_;
+  std::set<std::string> included_;
+};
+
+}  // namespace
+
+Result<std::vector<CToken>> LexC(const SourceMap& sources, const std::string& file,
+                                 Diagnostics& diags) {
+  std::vector<CToken> tokens;
+  CLexer lexer(sources, diags, tokens);
+  if (!lexer.LexFile(file)) {
+    return Result<std::vector<CToken>>::Failure();
+  }
+  tokens.push_back(CToken{CTokenKind::kEnd, "", 0, SourceLoc{file, 0, 0}});
+  return tokens;
+}
+
+Result<std::vector<CToken>> LexCString(std::string_view source, const std::string& name,
+                                       Diagnostics& diags) {
+  SourceMap empty;
+  std::vector<CToken> tokens;
+  CLexer lexer(empty, diags, tokens);
+  if (!lexer.LexBuffer(source, name)) {
+    return Result<std::vector<CToken>>::Failure();
+  }
+  tokens.push_back(CToken{CTokenKind::kEnd, "", 0, SourceLoc{name, 0, 0}});
+  return tokens;
+}
+
+}  // namespace knit

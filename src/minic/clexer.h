@@ -1,0 +1,57 @@
+// MiniC lexer with a miniature preprocessor: `#include "file"` is resolved through a
+// caller-provided virtual file system with include-once semantics. No macros — the
+// corpus uses enum constants instead (the paper's Knit likewise leaves cpp to the C
+// compiler; our MiniC is preprocessor-free by design).
+#ifndef SRC_MINIC_CLEXER_H_
+#define SRC_MINIC_CLEXER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+// Maps file name -> contents. The whole toolchain works on in-memory sources.
+using SourceMap = std::map<std::string, std::string>;
+
+enum class CTokenKind {
+  kIdent,
+  kKeyword,  // text is the keyword spelling
+  kIntLit,   // int_value
+  kCharLit,  // int_value
+  kStrLit,   // text is decoded contents
+  kPunct,    // text is the operator/punctuator spelling
+  kEnd,
+};
+
+struct CToken {
+  CTokenKind kind = CTokenKind::kEnd;
+  std::string text;
+  long long int_value = 0;
+  SourceLoc loc;
+
+  bool IsPunct(const char* spelling) const {
+    return kind == CTokenKind::kPunct && text == spelling;
+  }
+  bool IsKeyword(const char* spelling) const {
+    return kind == CTokenKind::kKeyword && text == spelling;
+  }
+};
+
+// Tokenizes `file` from `sources`, following #include "..." directives (each included
+// file is lexed at most once per call). Errors go to diags.
+Result<std::vector<CToken>> LexC(const SourceMap& sources, const std::string& file,
+                                 Diagnostics& diags);
+
+// Tokenizes a bare string (no includes possible unless present in `sources`).
+Result<std::vector<CToken>> LexCString(std::string_view source, const std::string& name,
+                                       Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_MINIC_CLEXER_H_

@@ -1,0 +1,1191 @@
+#include "src/minic/cparser.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+
+namespace knit {
+namespace {
+
+class CParser {
+ public:
+  CParser(std::vector<CToken> tokens, TypeTable& types, Diagnostics& diags)
+      : tokens_(std::move(tokens)), types_(types), diags_(diags) {}
+
+  bool ParseInto(TranslationUnit& unit) {
+    while (!At(CTokenKind::kEnd)) {
+      if (!ParseTopDecl(unit)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  // ---- token helpers -------------------------------------------------------
+
+  const CToken& Cur() const { return tokens_[pos_]; }
+  const CToken& Next() const {
+    return pos_ + 1 < tokens_.size() ? tokens_[pos_ + 1] : tokens_.back();
+  }
+  bool At(CTokenKind kind) const { return Cur().kind == kind; }
+  bool AtPunct(const char* spelling) const { return Cur().IsPunct(spelling); }
+  bool AtKeyword(const char* spelling) const { return Cur().IsKeyword(spelling); }
+  CToken Take() { return tokens_[pos_++]; }
+
+  bool ExpectPunct(const char* spelling, const char* context) {
+    if (!AtPunct(spelling)) {
+      diags_.Error(Cur().loc, std::string("expected '") + spelling + "' " + context +
+                                  ", found " + Describe(Cur()));
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  static std::string Describe(const CToken& token) {
+    switch (token.kind) {
+      case CTokenKind::kIdent:
+      case CTokenKind::kKeyword:
+      case CTokenKind::kPunct:
+        return "'" + token.text + "'";
+      case CTokenKind::kIntLit:
+      case CTokenKind::kCharLit:
+        return "integer literal";
+      case CTokenKind::kStrLit:
+        return "string literal";
+      case CTokenKind::kEnd:
+        return "end of input";
+    }
+    return "token";
+  }
+
+  // ---- type parsing --------------------------------------------------------
+
+  bool AtTypeStart() const {
+    if (AtKeyword("void") || AtKeyword("char") || AtKeyword("int") || AtKeyword("unsigned") ||
+        AtKeyword("struct")) {
+      return true;
+    }
+    return At(CTokenKind::kIdent) && typedefs_.count(Cur().text) > 0;
+  }
+
+  // Parses the base type: void/char/int/unsigned/struct tag/typedef-name.
+  const Type* ParseBaseType() {
+    if (AtKeyword("void")) {
+      Take();
+      return types_.Void();
+    }
+    if (AtKeyword("char")) {
+      Take();
+      return types_.Char();
+    }
+    if (AtKeyword("int")) {
+      Take();
+      return types_.Int();
+    }
+    if (AtKeyword("unsigned")) {
+      Take();
+      if (AtKeyword("char")) {
+        Take();
+        return types_.Char();  // model simplification: unsigned char == char (8-bit)
+      }
+      if (AtKeyword("int")) {
+        Take();
+      }
+      return types_.Unsigned();
+    }
+    if (AtKeyword("struct")) {
+      Take();
+      if (!At(CTokenKind::kIdent)) {
+        diags_.Error(Cur().loc, "expected struct tag, found " + Describe(Cur()));
+        return nullptr;
+      }
+      std::string tag = Take().text;
+      return types_.StructFor(tag);
+    }
+    if (At(CTokenKind::kIdent)) {
+      auto it = typedefs_.find(Cur().text);
+      if (it != typedefs_.end()) {
+        Take();
+        return it->second;
+      }
+    }
+    diags_.Error(Cur().loc, "expected a type, found " + Describe(Cur()));
+    return nullptr;
+  }
+
+  // C declarator parsing. Returns the complete type and the declared name ("" when
+  // `allow_abstract` and no name is present). Uses the classic approach: build an
+  // inside-out chain of type constructors, then apply them to the base type.
+  struct Declarator {
+    const Type* type = nullptr;
+    std::string name;
+    std::vector<ParamDecl> params;  // set when the outermost constructor is a function
+    bool is_function = false;
+    bool variadic = false;
+  };
+
+  bool ParseDeclarator(const Type* base, bool allow_abstract, Declarator& out) {
+    // C declarator semantics, realized with delayed type construction. Each nesting
+    // level parses `'*'* direct suffix*` and returns a Wrap: given the incoming type
+    // T it (1) wraps T in the level's pointers, (2) applies the suffixes
+    // right-to-left (so `x[2][3]` is array-2 of array-3), then (3) hands the result
+    // to the inner declarator. Thus `int (*fp)(int)` makes fp a pointer to function,
+    // while `int *f(void)` makes f a function returning int*.
+    using Wrap = std::function<const Type*(const Type*)>;
+    std::string name;
+    std::vector<ParamDecl> named_params;
+    bool have_named_params = false;
+    bool variadic_params = false;
+    bool failed = false;
+
+    std::function<Wrap()> parse_one = [&]() -> Wrap {
+      int stars = 0;
+      while (AtPunct("*")) {
+        Take();
+        ++stars;
+      }
+      Wrap inner;
+      bool name_bound_here = false;
+      if (AtPunct("(") && IsNestedDeclaratorParen()) {
+        Take();
+        inner = parse_one();
+        if (failed || !ExpectPunct(")", "to close declarator")) {
+          failed = true;
+          return [](const Type* t) { return t; };
+        }
+      } else if (At(CTokenKind::kIdent)) {
+        name = Take().text;
+        name_bound_here = true;
+        inner = [](const Type* t) { return t; };
+      } else if (allow_abstract) {
+        inner = [](const Type* t) { return t; };
+      } else {
+        diags_.Error(Cur().loc, "expected declarator name, found " + Describe(Cur()));
+        failed = true;
+        return [](const Type* t) { return t; };
+      }
+      std::vector<Wrap> suffixes;
+      bool first_suffix = true;
+      while (!failed) {
+        if (AtPunct("[")) {
+          Take();
+          int count = -1;  // unspecified; completed from the initializer
+          if (At(CTokenKind::kIntLit) || At(CTokenKind::kCharLit)) {
+            count = static_cast<int>(Take().int_value);
+          } else if (At(CTokenKind::kIdent)) {
+            auto it = enum_consts_.find(Cur().text);
+            if (it == enum_consts_.end()) {
+              diags_.Error(Cur().loc, "array size must be an integer or enum constant");
+              failed = true;
+              break;
+            }
+            count = static_cast<int>(it->second);
+            Take();
+          }
+          if (!ExpectPunct("]", "to close array size")) {
+            failed = true;
+            break;
+          }
+          suffixes.push_back(
+              [this, count](const Type* t) { return types_.ArrayOf(t, count); });
+          first_suffix = false;
+          continue;
+        }
+        if (AtPunct("(")) {
+          Take();
+          std::vector<ParamDecl> params;
+          bool variadic = false;
+          if (!ParseParamList(params, variadic)) {
+            failed = true;
+            break;
+          }
+          if (name_bound_here && first_suffix) {
+            // `f(int a, int b)` directly after the name: these are the named
+            // parameters of a potential function definition.
+            named_params = params;
+            have_named_params = true;
+            variadic_params = variadic;
+          }
+          first_suffix = false;
+          suffixes.push_back([this, params, variadic](const Type* t) {
+            std::vector<FuncParam> fp;
+            fp.reserve(params.size());
+            for (const ParamDecl& p : params) {
+              fp.push_back(FuncParam{p.type});
+            }
+            return types_.Function(t, std::move(fp), variadic);
+          });
+          continue;
+        }
+        break;
+      }
+      return [this, inner, suffixes, stars](const Type* t) {
+        const Type* cur = t;
+        for (int i = 0; i < stars; ++i) {
+          cur = types_.PointerTo(cur);
+        }
+        for (auto it = suffixes.rbegin(); it != suffixes.rend(); ++it) {
+          cur = (*it)(cur);
+        }
+        return inner(cur);
+      };
+    };
+
+    Wrap chain = parse_one();
+    if (failed) {
+      return false;
+    }
+    out.type = chain(base);
+    if (out.type == nullptr) {
+      return false;
+    }
+    out.name = std::move(name);
+    out.is_function = have_named_params && out.type->IsFunc();
+    out.params = std::move(named_params);
+    out.variadic = variadic_params;
+    return true;
+  }
+
+  // Distinguish `(*fp)(...)` style nesting from a parameter list `(void)` /
+  // `(int x)`. A nested declarator paren is followed by '*' , '(' or an identifier
+  // that is NOT a typedef name.
+  bool IsNestedDeclaratorParen() const {
+    const CToken& next = Next();
+    if (next.IsPunct("*") || next.IsPunct("(")) {
+      return true;
+    }
+    if (next.kind == CTokenKind::kIdent && typedefs_.count(next.text) == 0) {
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseParamList(std::vector<ParamDecl>& params, bool& variadic) {
+    variadic = false;
+    if (AtPunct(")")) {
+      Take();
+      return true;  // () — unspecified params, treated as (void)
+    }
+    if (AtKeyword("void") && Next().IsPunct(")")) {
+      Take();
+      Take();
+      return true;
+    }
+    while (true) {
+      if (AtPunct("...")) {
+        Take();
+        variadic = true;
+        break;
+      }
+      const Type* base = ParseBaseType();
+      if (base == nullptr) {
+        return false;
+      }
+      Declarator d;
+      if (!ParseDeclarator(base, /*allow_abstract=*/true, d)) {
+        return false;
+      }
+      const Type* type = d.type;
+      if (type->IsArray()) {
+        type = types_.PointerTo(type->base);  // arrays decay in parameters
+      }
+      params.push_back(ParamDecl{d.name, type});
+      if (AtPunct(",")) {
+        Take();
+        continue;
+      }
+      break;
+    }
+    return ExpectPunct(")", "to close parameter list");
+  }
+
+  // Parses a type-name (for casts and sizeof): base type + abstract declarator.
+  const Type* ParseTypeName() {
+    const Type* base = ParseBaseType();
+    if (base == nullptr) {
+      return nullptr;
+    }
+    Declarator d;
+    if (!ParseDeclarator(base, /*allow_abstract=*/true, d)) {
+      return nullptr;
+    }
+    if (!d.name.empty()) {
+      diags_.Error(Cur().loc, "type name may not declare '" + d.name + "'");
+      return nullptr;
+    }
+    return d.type;
+  }
+
+  // ---- top-level declarations ---------------------------------------------
+
+  bool ParseTopDecl(TranslationUnit& unit) {
+    if (AtKeyword("typedef")) {
+      return ParseTypedef(unit);
+    }
+    if (AtKeyword("enum")) {
+      return ParseEnum(unit);
+    }
+    if (AtKeyword("struct") && Next().kind == CTokenKind::kIdent &&
+        (tokens_[pos_ + 2].IsPunct("{") || tokens_[pos_ + 2].IsPunct(";"))) {
+      return ParseStructDef(unit);
+    }
+    bool is_static = false;
+    bool is_extern = false;
+    while (AtKeyword("static") || AtKeyword("extern")) {
+      if (Take().text == "static") {
+        is_static = true;
+      } else {
+        is_extern = true;
+      }
+    }
+    const Type* base = ParseBaseType();
+    if (base == nullptr) {
+      return false;
+    }
+    while (true) {
+      Declarator d;
+      SourceLoc loc = Cur().loc;
+      if (!ParseDeclarator(base, /*allow_abstract=*/false, d)) {
+        return false;
+      }
+      if (d.is_function) {
+        if (AtPunct("{")) {
+          return ParseFunctionDefinition(unit, d, is_static, loc);
+        }
+        Decl decl;
+        decl.kind = Decl::Kind::kFunction;
+        decl.loc = loc;
+        decl.name = d.name;
+        decl.func_type = d.type;
+        decl.params = d.params;
+        decl.is_static = is_static;
+        decl.is_definition = false;
+        unit.decls.push_back(std::move(decl));
+      } else {
+        Decl decl;
+        decl.kind = Decl::Kind::kGlobalVar;
+        decl.loc = loc;
+        decl.name = d.name;
+        decl.var_type = d.type;
+        decl.is_static = is_static;
+        decl.is_extern = is_extern;
+        if (AtPunct("=")) {
+          Take();
+          if (!ParseInitializer(decl)) {
+            return false;
+          }
+        }
+        // Complete unsized arrays from their initializer.
+        if (decl.var_type->IsArray() && decl.var_type->array_count < 0) {
+          if (decl.init_list.empty()) {
+            diags_.Error(loc, "array '" + decl.name + "' has no size and no initializer");
+            return false;
+          }
+          decl.var_type =
+              types_.ArrayOf(decl.var_type->base, static_cast<int>(decl.init_list.size()));
+        }
+        unit.decls.push_back(std::move(decl));
+      }
+      if (AtPunct(",")) {
+        Take();
+        continue;
+      }
+      return ExpectPunct(";", "after declaration");
+    }
+  }
+
+  bool ParseInitializer(Decl& decl) {
+    if (AtPunct("{")) {
+      Take();
+      while (!AtPunct("}")) {
+        ExprPtr element = ParseAssign();
+        if (!element) {
+          return false;
+        }
+        decl.init_list.push_back(std::move(element));
+        if (AtPunct(",")) {
+          Take();
+        }
+      }
+      Take();  // }
+      return true;
+    }
+    decl.init = ParseAssign();
+    return decl.init != nullptr;
+  }
+
+  bool ParseTypedef(TranslationUnit& unit) {
+    SourceLoc loc = Take().loc;  // typedef
+    const Type* base = nullptr;
+    // Allow `typedef struct tag { ... } name;` as well as simple base types.
+    if (AtKeyword("struct") && Next().kind == CTokenKind::kIdent &&
+        tokens_[pos_ + 2].IsPunct("{")) {
+      if (!ParseStructDefNoSemi(unit, base)) {
+        return false;
+      }
+    } else {
+      base = ParseBaseType();
+      if (base == nullptr) {
+        return false;
+      }
+    }
+    Declarator d;
+    if (!ParseDeclarator(base, /*allow_abstract=*/false, d)) {
+      return false;
+    }
+    typedefs_[d.name] = d.type;
+    Decl decl;
+    decl.kind = Decl::Kind::kTypedef;
+    decl.loc = loc;
+    decl.name = d.name;
+    decl.defined_type = d.type;
+    unit.decls.push_back(std::move(decl));
+    return ExpectPunct(";", "after typedef");
+  }
+
+  bool ParseStructDef(TranslationUnit& unit) {
+    const Type* type = nullptr;
+    if (Next().kind == CTokenKind::kIdent && tokens_[pos_ + 2].IsPunct(";")) {
+      // Forward declaration: struct foo;
+      Take();  // struct
+      std::string tag = Take().text;
+      types_.StructFor(tag);
+      Take();  // ;
+      return true;
+    }
+    if (!ParseStructDefNoSemi(unit, type)) {
+      return false;
+    }
+    return ExpectPunct(";", "after struct definition");
+  }
+
+  bool ParseStructDefNoSemi(TranslationUnit& unit, const Type*& out_type) {
+    SourceLoc loc = Take().loc;  // struct
+    std::string tag = Take().text;
+    Type* type = types_.StructFor(tag);
+    if (!ExpectPunct("{", "to open struct body")) {
+      return false;
+    }
+    std::vector<StructField> fields;
+    while (!AtPunct("}")) {
+      const Type* base = ParseBaseType();
+      if (base == nullptr) {
+        return false;
+      }
+      while (true) {
+        Declarator d;
+        if (!ParseDeclarator(base, /*allow_abstract=*/false, d)) {
+          return false;
+        }
+        fields.push_back(StructField{d.name, d.type, 0});
+        if (AtPunct(",")) {
+          Take();
+          continue;
+        }
+        break;
+      }
+      if (!ExpectPunct(";", "after struct field")) {
+        return false;
+      }
+    }
+    Take();  // }
+    if (!types_.CompleteStruct(type, std::move(fields))) {
+      diags_.Error(loc, "struct '" + tag + "' redefined with a different layout");
+      return false;
+    }
+    Decl decl;
+    decl.kind = Decl::Kind::kStructDef;
+    decl.loc = loc;
+    decl.name = tag;
+    decl.defined_type = type;
+    unit.decls.push_back(std::move(decl));
+    out_type = type;
+    return true;
+  }
+
+  bool ParseEnum(TranslationUnit& unit) {
+    SourceLoc loc = Take().loc;  // enum
+    if (!ExpectPunct("{", "after 'enum' (MiniC supports only anonymous enums)")) {
+      return false;
+    }
+    Decl decl;
+    decl.kind = Decl::Kind::kEnumConsts;
+    decl.loc = loc;
+    long long next_value = 0;
+    while (!AtPunct("}")) {
+      if (!At(CTokenKind::kIdent)) {
+        diags_.Error(Cur().loc, "expected enum constant name, found " + Describe(Cur()));
+        return false;
+      }
+      std::string name = Take().text;
+      if (AtPunct("=")) {
+        Take();
+        ExprPtr value = ParseConditional();
+        if (!value) {
+          return false;
+        }
+        long long folded = 0;
+        if (!FoldConst(*value, folded)) {
+          diags_.Error(value->loc, "enum value for '" + name + "' is not a constant expression");
+          return false;
+        }
+        next_value = folded;
+      }
+      enum_consts_[name] = next_value;
+      decl.enum_values.emplace_back(name, next_value);
+      ++next_value;
+      if (AtPunct(",")) {
+        Take();
+      }
+    }
+    Take();  // }
+    unit.decls.push_back(std::move(decl));
+    return ExpectPunct(";", "after enum");
+  }
+
+  bool ParseFunctionDefinition(TranslationUnit& unit, const Declarator& d, bool is_static,
+                               SourceLoc loc) {
+    for (const ParamDecl& p : d.params) {
+      if (p.name.empty()) {
+        diags_.Error(loc, "function definition '" + d.name + "' has an unnamed parameter");
+        return false;
+      }
+    }
+    Decl decl;
+    decl.kind = Decl::Kind::kFunction;
+    decl.loc = loc;
+    decl.name = d.name;
+    decl.func_type = d.type;
+    decl.params = d.params;
+    decl.is_static = is_static;
+    decl.is_definition = true;
+    decl.body = ParseBlock();
+    if (!decl.body) {
+      return false;
+    }
+    unit.decls.push_back(std::move(decl));
+    return true;
+  }
+
+  // ---- statements ----------------------------------------------------------
+
+  StmtPtr ParseBlock() {
+    auto block = std::make_unique<Stmt>();
+    block->kind = Stmt::Kind::kBlock;
+    block->loc = Cur().loc;
+    if (!ExpectPunct("{", "to open block")) {
+      return nullptr;
+    }
+    while (!AtPunct("}")) {
+      if (At(CTokenKind::kEnd)) {
+        diags_.Error(Cur().loc, "unexpected end of input inside block");
+        return nullptr;
+      }
+      StmtPtr stmt = ParseStmt();
+      if (!stmt) {
+        return nullptr;
+      }
+      block->stmts.push_back(std::move(stmt));
+    }
+    Take();  // }
+    return block;
+  }
+
+  StmtPtr ParseStmt() {
+    SourceLoc loc = Cur().loc;
+    if (AtPunct("{")) {
+      return ParseBlock();
+    }
+    if (AtPunct(";")) {
+      Take();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kEmpty;
+      stmt->loc = loc;
+      return stmt;
+    }
+    if (AtKeyword("if")) {
+      Take();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kIf;
+      stmt->loc = loc;
+      if (!ExpectPunct("(", "after 'if'")) {
+        return nullptr;
+      }
+      stmt->exprs.push_back(ParseExpr());
+      if (!stmt->exprs[0] || !ExpectPunct(")", "after if condition")) {
+        return nullptr;
+      }
+      stmt->stmts.push_back(ParseStmt());
+      if (!stmt->stmts[0]) {
+        return nullptr;
+      }
+      if (AtKeyword("else")) {
+        Take();
+        stmt->stmts.push_back(ParseStmt());
+        if (!stmt->stmts[1]) {
+          return nullptr;
+        }
+      }
+      return stmt;
+    }
+    if (AtKeyword("while")) {
+      Take();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kWhile;
+      stmt->loc = loc;
+      if (!ExpectPunct("(", "after 'while'")) {
+        return nullptr;
+      }
+      stmt->exprs.push_back(ParseExpr());
+      if (!stmt->exprs[0] || !ExpectPunct(")", "after while condition")) {
+        return nullptr;
+      }
+      stmt->stmts.push_back(ParseStmt());
+      return stmt->stmts[0] ? std::move(stmt) : nullptr;
+    }
+    if (AtKeyword("for")) {
+      Take();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kFor;
+      stmt->loc = loc;
+      if (!ExpectPunct("(", "after 'for'")) {
+        return nullptr;
+      }
+      // init: declaration, expression, or empty
+      if (AtPunct(";")) {
+        Take();
+        stmt->stmts.push_back(nullptr);
+      } else if (AtTypeStart()) {
+        StmtPtr init = ParseLocalDecl();
+        if (!init) {
+          return nullptr;
+        }
+        stmt->stmts.push_back(std::move(init));
+      } else {
+        auto init = std::make_unique<Stmt>();
+        init->kind = Stmt::Kind::kExpr;
+        init->loc = Cur().loc;
+        init->exprs.push_back(ParseExpr());
+        if (!init->exprs[0] || !ExpectPunct(";", "after for-init")) {
+          return nullptr;
+        }
+        stmt->stmts.push_back(std::move(init));
+      }
+      // condition
+      if (AtPunct(";")) {
+        stmt->exprs.push_back(nullptr);
+      } else {
+        stmt->exprs.push_back(ParseExpr());
+        if (!stmt->exprs[0]) {
+          return nullptr;
+        }
+      }
+      if (!ExpectPunct(";", "after for-condition")) {
+        return nullptr;
+      }
+      // step
+      if (AtPunct(")")) {
+        stmt->exprs.push_back(nullptr);
+      } else {
+        stmt->exprs.push_back(ParseExpr());
+        if (!stmt->exprs[1]) {
+          return nullptr;
+        }
+      }
+      if (!ExpectPunct(")", "after for header")) {
+        return nullptr;
+      }
+      stmt->stmts.push_back(ParseStmt());
+      return stmt->stmts[1] ? std::move(stmt) : nullptr;
+    }
+    if (AtKeyword("return")) {
+      Take();
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kReturn;
+      stmt->loc = loc;
+      if (!AtPunct(";")) {
+        stmt->exprs.push_back(ParseExpr());
+        if (!stmt->exprs[0]) {
+          return nullptr;
+        }
+      }
+      return ExpectPunct(";", "after return") ? std::move(stmt) : nullptr;
+    }
+    if (AtKeyword("break") || AtKeyword("continue")) {
+      bool is_break = Take().text == "break";
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = is_break ? Stmt::Kind::kBreak : Stmt::Kind::kContinue;
+      stmt->loc = loc;
+      return ExpectPunct(";", "after break/continue") ? std::move(stmt) : nullptr;
+    }
+    if (AtTypeStart()) {
+      return ParseLocalDecl();
+    }
+    // Expression statement.
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kExpr;
+    stmt->loc = loc;
+    stmt->exprs.push_back(ParseExpr());
+    if (!stmt->exprs[0]) {
+      return nullptr;
+    }
+    return ExpectPunct(";", "after expression") ? std::move(stmt) : nullptr;
+  }
+
+  // One or more comma-separated local declarations sharing a base type. Multiple
+  // declarators become a block of kLocalDecl statements.
+  StmtPtr ParseLocalDecl() {
+    SourceLoc loc = Cur().loc;
+    const Type* base = ParseBaseType();
+    if (base == nullptr) {
+      return nullptr;
+    }
+    std::vector<StmtPtr> decls;
+    while (true) {
+      Declarator d;
+      if (!ParseDeclarator(base, /*allow_abstract=*/false, d)) {
+        return nullptr;
+      }
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = Stmt::Kind::kLocalDecl;
+      stmt->loc = loc;
+      stmt->text = d.name;
+      stmt->decl_type = d.type;
+      if (AtPunct("=")) {
+        Take();
+        stmt->exprs.push_back(ParseAssign());
+        if (!stmt->exprs[0]) {
+          return nullptr;
+        }
+      }
+      if (stmt->decl_type->IsArray() && stmt->decl_type->array_count < 0) {
+        diags_.Error(loc, "local array '" + d.name + "' must have an explicit size");
+        return nullptr;
+      }
+      decls.push_back(std::move(stmt));
+      if (AtPunct(",")) {
+        Take();
+        continue;
+      }
+      break;
+    }
+    if (!ExpectPunct(";", "after declaration")) {
+      return nullptr;
+    }
+    if (decls.size() == 1) {
+      return std::move(decls[0]);
+    }
+    auto block = std::make_unique<Stmt>();
+    block->kind = Stmt::Kind::kBlock;
+    block->loc = loc;
+    block->stmts = std::move(decls);
+    return block;
+  }
+
+  // ---- expressions ---------------------------------------------------------
+
+  ExprPtr ParseExpr() { return ParseAssign(); }
+
+  ExprPtr ParseAssign() {
+    ExprPtr lhs = ParseConditional();
+    if (!lhs) {
+      return nullptr;
+    }
+    static const char* kAssignOps[] = {"=",  "+=", "-=", "*=", "/=",
+                                       "%=", "&=", "|=", "^=", "<<=", ">>="};
+    for (const char* op : kAssignOps) {
+      if (AtPunct(op)) {
+        SourceLoc loc = Take().loc;
+        ExprPtr rhs = ParseAssign();
+        if (!rhs) {
+          return nullptr;
+        }
+        auto out = std::make_unique<Expr>();
+        out->kind = Expr::Kind::kAssign;
+        out->loc = loc;
+        out->text = op;
+        out->args.push_back(std::move(lhs));
+        out->args.push_back(std::move(rhs));
+        return out;
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseConditional() {
+    ExprPtr cond = ParseBinary(0);
+    if (!cond) {
+      return nullptr;
+    }
+    if (!AtPunct("?")) {
+      return cond;
+    }
+    SourceLoc loc = Take().loc;
+    ExprPtr then_expr = ParseExpr();
+    if (!then_expr || !ExpectPunct(":", "in conditional expression")) {
+      return nullptr;
+    }
+    ExprPtr else_expr = ParseConditional();
+    if (!else_expr) {
+      return nullptr;
+    }
+    auto out = std::make_unique<Expr>();
+    out->kind = Expr::Kind::kCond;
+    out->loc = loc;
+    out->args.push_back(std::move(cond));
+    out->args.push_back(std::move(then_expr));
+    out->args.push_back(std::move(else_expr));
+    return out;
+  }
+
+  // Precedence-climbing over binary operators.
+  struct BinOp {
+    const char* spelling;
+    int precedence;
+  };
+
+  static const BinOp* FindBinOp(const CToken& token) {
+    static const BinOp kOps[] = {
+        {"||", 1}, {"&&", 2}, {"|", 3},  {"^", 4},  {"&", 5},  {"==", 6}, {"!=", 6},
+        {"<", 7},  {">", 7},  {"<=", 7}, {">=", 7}, {"<<", 8}, {">>", 8}, {"+", 9},
+        {"-", 9},  {"*", 10}, {"/", 10}, {"%", 10},
+    };
+    if (token.kind != CTokenKind::kPunct) {
+      return nullptr;
+    }
+    for (const BinOp& op : kOps) {
+      if (token.text == op.spelling) {
+        return &op;
+      }
+    }
+    return nullptr;
+  }
+
+  ExprPtr ParseBinary(int min_precedence) {
+    ExprPtr lhs = ParseUnary();
+    if (!lhs) {
+      return nullptr;
+    }
+    while (true) {
+      const BinOp* op = FindBinOp(Cur());
+      if (op == nullptr || op->precedence < min_precedence) {
+        return lhs;
+      }
+      SourceLoc loc = Take().loc;
+      ExprPtr rhs = ParseBinary(op->precedence + 1);
+      if (!rhs) {
+        return nullptr;
+      }
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kBinary;
+      out->loc = loc;
+      out->text = op->spelling;
+      out->args.push_back(std::move(lhs));
+      out->args.push_back(std::move(rhs));
+      lhs = std::move(out);
+    }
+  }
+
+  ExprPtr ParseUnary() {
+    SourceLoc loc = Cur().loc;
+    if (AtPunct("-") || AtPunct("!") || AtPunct("~") || AtPunct("&") || AtPunct("*")) {
+      std::string op = Take().text;
+      ExprPtr operand = ParseUnary();
+      if (!operand) {
+        return nullptr;
+      }
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kUnary;
+      out->loc = loc;
+      out->text = op;
+      out->args.push_back(std::move(operand));
+      return out;
+    }
+    if (AtPunct("+")) {
+      Take();
+      return ParseUnary();
+    }
+    if (AtPunct("++") || AtPunct("--")) {
+      std::string op = Take().text;
+      ExprPtr operand = ParseUnary();
+      if (!operand) {
+        return nullptr;
+      }
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kIncDec;
+      out->loc = loc;
+      out->text = op;
+      out->int_value = 1;  // prefix
+      out->args.push_back(std::move(operand));
+      return out;
+    }
+    if (AtKeyword("sizeof")) {
+      Take();
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kSizeof;
+      out->loc = loc;
+      if (AtPunct("(") && NextIsTypeStart()) {
+        Take();
+        out->sizeof_type = ParseTypeName();
+        if (out->sizeof_type == nullptr || !ExpectPunct(")", "after sizeof type")) {
+          return nullptr;
+        }
+      } else {
+        ExprPtr operand = ParseUnary();
+        if (!operand) {
+          return nullptr;
+        }
+        out->args.push_back(std::move(operand));  // sema resolves to a type
+      }
+      return out;
+    }
+    if (AtPunct("(") && NextIsTypeStart()) {
+      Take();
+      const Type* type = ParseTypeName();
+      if (type == nullptr || !ExpectPunct(")", "after cast type")) {
+        return nullptr;
+      }
+      ExprPtr operand = ParseUnary();
+      if (!operand) {
+        return nullptr;
+      }
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kCast;
+      out->loc = loc;
+      out->cast_type = type;
+      out->args.push_back(std::move(operand));
+      return out;
+    }
+    return ParsePostfix();
+  }
+
+  bool NextIsTypeStart() const {
+    const CToken& next = Next();
+    if (next.IsKeyword("void") || next.IsKeyword("char") || next.IsKeyword("int") ||
+        next.IsKeyword("unsigned") || next.IsKeyword("struct")) {
+      return true;
+    }
+    return next.kind == CTokenKind::kIdent && typedefs_.count(next.text) > 0;
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr expr = ParsePrimary();
+    if (!expr) {
+      return nullptr;
+    }
+    while (true) {
+      SourceLoc loc = Cur().loc;
+      if (AtPunct("(")) {
+        Take();
+        auto out = std::make_unique<Expr>();
+        out->kind = Expr::Kind::kCall;
+        out->loc = loc;
+        out->args.push_back(std::move(expr));
+        while (!AtPunct(")")) {
+          ExprPtr arg = ParseAssign();
+          if (!arg) {
+            return nullptr;
+          }
+          out->args.push_back(std::move(arg));
+          if (AtPunct(",")) {
+            Take();
+          }
+        }
+        Take();  // )
+        expr = std::move(out);
+        continue;
+      }
+      if (AtPunct("[")) {
+        Take();
+        ExprPtr index = ParseExpr();
+        if (!index || !ExpectPunct("]", "to close index")) {
+          return nullptr;
+        }
+        auto out = std::make_unique<Expr>();
+        out->kind = Expr::Kind::kIndex;
+        out->loc = loc;
+        out->args.push_back(std::move(expr));
+        out->args.push_back(std::move(index));
+        expr = std::move(out);
+        continue;
+      }
+      if (AtPunct(".") || AtPunct("->")) {
+        bool arrow = Take().text == "->";
+        if (!At(CTokenKind::kIdent)) {
+          diags_.Error(Cur().loc, "expected member name, found " + Describe(Cur()));
+          return nullptr;
+        }
+        auto out = std::make_unique<Expr>();
+        out->kind = Expr::Kind::kMember;
+        out->loc = loc;
+        out->text = Take().text;
+        out->member_arrow = arrow;
+        out->args.push_back(std::move(expr));
+        expr = std::move(out);
+        continue;
+      }
+      if (AtPunct("++") || AtPunct("--")) {
+        std::string op = Take().text;
+        auto out = std::make_unique<Expr>();
+        out->kind = Expr::Kind::kIncDec;
+        out->loc = loc;
+        out->text = op;
+        out->int_value = 0;  // postfix
+        out->args.push_back(std::move(expr));
+        expr = std::move(out);
+        continue;
+      }
+      return expr;
+    }
+  }
+
+  ExprPtr ParsePrimary() {
+    SourceLoc loc = Cur().loc;
+    if (At(CTokenKind::kIntLit) || At(CTokenKind::kCharLit)) {
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kIntLit;
+      out->loc = loc;
+      out->int_value = Take().int_value;
+      return out;
+    }
+    if (At(CTokenKind::kStrLit)) {
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kStrLit;
+      out->loc = loc;
+      out->text = Take().text;
+      return out;
+    }
+    if (At(CTokenKind::kIdent)) {
+      std::string name = Take().text;
+      auto it = enum_consts_.find(name);
+      if (it != enum_consts_.end()) {
+        auto out = std::make_unique<Expr>();
+        out->kind = Expr::Kind::kIntLit;
+        out->loc = loc;
+        out->int_value = it->second;
+        return out;
+      }
+      auto out = std::make_unique<Expr>();
+      out->kind = Expr::Kind::kIdent;
+      out->loc = loc;
+      out->text = std::move(name);
+      return out;
+    }
+    if (AtPunct("(")) {
+      Take();
+      ExprPtr inner = ParseExpr();
+      if (!inner || !ExpectPunct(")", "to close parenthesized expression")) {
+        return nullptr;
+      }
+      return inner;
+    }
+    diags_.Error(loc, "expected expression, found " + Describe(Cur()));
+    return nullptr;
+  }
+
+  // Folds a parse-time constant (integer literals, unary -, binary arith on
+  // constants) for enum values and array sizes.
+  bool FoldConst(const Expr& expr, long long& out) {
+    switch (expr.kind) {
+      case Expr::Kind::kIntLit:
+        out = expr.int_value;
+        return true;
+      case Expr::Kind::kUnary: {
+        long long v = 0;
+        if (expr.text == "-" && FoldConst(*expr.args[0], v)) {
+          out = -v;
+          return true;
+        }
+        if (expr.text == "~" && FoldConst(*expr.args[0], v)) {
+          out = ~v;
+          return true;
+        }
+        return false;
+      }
+      case Expr::Kind::kBinary: {
+        long long a = 0;
+        long long b = 0;
+        if (!FoldConst(*expr.args[0], a) || !FoldConst(*expr.args[1], b)) {
+          return false;
+        }
+        const std::string& op = expr.text;
+        if (op == "+") {
+          out = a + b;
+        } else if (op == "-") {
+          out = a - b;
+        } else if (op == "*") {
+          out = a * b;
+        } else if (op == "/" && b != 0) {
+          out = a / b;
+        } else if (op == "<<") {
+          out = a << b;
+        } else if (op == ">>") {
+          out = a >> b;
+        } else if (op == "|") {
+          out = a | b;
+        } else if (op == "&") {
+          out = a & b;
+        } else if (op == "^") {
+          out = a ^ b;
+        } else {
+          return false;
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  std::vector<CToken> tokens_;
+  TypeTable& types_;
+  Diagnostics& diags_;
+  size_t pos_ = 0;
+  std::map<std::string, const Type*> typedefs_;
+  std::map<std::string, long long> enum_consts_;
+};
+
+}  // namespace
+
+Result<TranslationUnit> ParseCFiles(const SourceMap& sources,
+                                    const std::vector<std::string>& files,
+                                    const std::string& unit_name, TypeTable& types,
+                                    Diagnostics& diags) {
+  TranslationUnit unit;
+  unit.name = unit_name;
+  for (const std::string& file : files) {
+    Result<std::vector<CToken>> tokens = LexC(sources, file, diags);
+    if (!tokens.ok()) {
+      return Result<TranslationUnit>::Failure();
+    }
+    CParser parser(tokens.take(), types, diags);
+    if (!parser.ParseInto(unit)) {
+      return Result<TranslationUnit>::Failure();
+    }
+  }
+  return unit;
+}
+
+Result<TranslationUnit> ParseC(const SourceMap& sources, const std::string& file,
+                               TypeTable& types, Diagnostics& diags) {
+  return ParseCFiles(sources, {file}, file, types, diags);
+}
+
+Result<TranslationUnit> ParseCString(std::string_view source, const std::string& name,
+                                     TypeTable& types, Diagnostics& diags) {
+  Result<std::vector<CToken>> tokens = LexCString(source, name, diags);
+  if (!tokens.ok()) {
+    return Result<TranslationUnit>::Failure();
+  }
+  TranslationUnit unit;
+  unit.name = name;
+  CParser parser(tokens.take(), types, diags);
+  if (!parser.ParseInto(unit)) {
+    return Result<TranslationUnit>::Failure();
+  }
+  return unit;
+}
+
+}  // namespace knit

@@ -1,0 +1,24 @@
+// Renders MiniC ASTs back to C source. Used to materialize flattened translation
+// units (the paper's Knit hands merged C to gcc; we both compile the AST directly
+// and can emit the merged source for inspection) and by tests for round-tripping.
+#ifndef SRC_MINIC_PRINTER_H_
+#define SRC_MINIC_PRINTER_H_
+
+#include <string>
+
+#include "src/minic/ast.h"
+
+namespace knit {
+
+std::string PrintTranslationUnit(const TranslationUnit& unit);
+std::string PrintDecl(const Decl& decl);
+std::string PrintStmt(const Stmt& stmt, int indent);
+std::string PrintExpr(const Expr& expr);
+
+// Renders "T name" for declarations (C declarator syntax, including function
+// pointers and arrays).
+std::string PrintTypedName(const Type* type, const std::string& name);
+
+}  // namespace knit
+
+#endif  // SRC_MINIC_PRINTER_H_

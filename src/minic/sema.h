@@ -1,0 +1,40 @@
+// MiniC semantic analysis: symbol resolution, type checking, and in-place type
+// annotation of the AST (Expr::type / Expr::is_lvalue). Codegen requires a TU to
+// have passed Sema.
+#ifndef SRC_MINIC_SEMA_H_
+#define SRC_MINIC_SEMA_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/minic/ast.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+// Facts about the checked TU that later phases want.
+struct SemaInfo {
+  // name -> type of every function known to the TU (defined or declared).
+  std::map<std::string, const Type*> functions;
+  // name -> type of every global variable (defined or extern).
+  std::map<std::string, const Type*> globals;
+  // Functions defined in this TU.
+  std::set<std::string> defined_functions;
+  // Globals defined (not extern) in this TU.
+  std::set<std::string> defined_globals;
+  // Functions whose address is taken anywhere in the TU (used as a value rather than
+  // called directly) — the inliner and DCE must keep these.
+  std::set<std::string> address_taken;
+  // Names referenced but not defined here (the object file's undefined symbols).
+  std::set<std::string> undefined;
+};
+
+// Checks `unit`, annotating expression types. Reports into diags; fails on errors.
+Result<SemaInfo> AnalyzeTranslationUnit(TranslationUnit& unit, TypeTable& types,
+                                        Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_MINIC_SEMA_H_

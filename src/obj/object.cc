@@ -1,0 +1,83 @@
+#include "src/obj/object.h"
+
+namespace knit {
+
+int ObjectFile::FindSymbol(const std::string& symbol_name) const {
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    if (symbols[i].name == symbol_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ObjectFile::AddUndefined(const std::string& symbol_name) {
+  int existing = FindSymbol(symbol_name);
+  if (existing >= 0) {
+    return existing;
+  }
+  ObjSymbol symbol;
+  symbol.name = symbol_name;
+  symbol.section = ObjSymbol::Section::kUndefined;
+  symbol.global = true;
+  symbols.push_back(std::move(symbol));
+  return static_cast<int>(symbols.size()) - 1;
+}
+
+Result<void> ObjcopyRename(ObjectFile& object, const std::map<std::string, std::string>& renames,
+                           Diagnostics& diags) {
+  // Validate against collisions first: renaming a -> b when b already exists in the
+  // object (and is not itself being renamed away) would merge distinct symbols.
+  for (const auto& [from, to] : renames) {
+    if (object.FindSymbol(from) < 0) {
+      continue;  // nothing to rename; harmless (unit may not reference an import)
+    }
+    int clash = object.FindSymbol(to);
+    if (clash >= 0 && renames.count(to) == 0 && from != to) {
+      diags.Error(SourceLoc{object.name, 0, 0},
+                  "objcopy rename '" + from + "' -> '" + to + "' collides with an existing "
+                  "symbol in " + object.name);
+      return Result<void>::Failure();
+    }
+  }
+  for (ObjSymbol& symbol : object.symbols) {
+    auto it = renames.find(symbol.name);
+    if (it != renames.end()) {
+      symbol.name = it->second;
+    }
+  }
+  // Function display names track their defining symbol where one exists.
+  for (BytecodeFunction& function : object.functions) {
+    auto it = renames.find(function.name);
+    if (it != renames.end()) {
+      function.name = it->second;
+    }
+  }
+  return Result<void>::Success();
+}
+
+Result<void> ObjcopyLocalize(ObjectFile& object, const std::string& symbol_name,
+                             Diagnostics& diags) {
+  int index = object.FindSymbol(symbol_name);
+  if (index < 0) {
+    diags.Error(SourceLoc{object.name, 0, 0},
+                "objcopy localize: no symbol '" + symbol_name + "' in " + object.name);
+    return Result<void>::Failure();
+  }
+  ObjSymbol& symbol = object.symbols[index];
+  if (symbol.section == ObjSymbol::Section::kUndefined) {
+    diags.Error(SourceLoc{object.name, 0, 0},
+                "objcopy localize: symbol '" + symbol_name + "' is undefined in " + object.name);
+    return Result<void>::Failure();
+  }
+  symbol.global = false;
+  return Result<void>::Success();
+}
+
+ObjectFile ObjcopyDuplicate(const ObjectFile& object, const std::string& new_name) {
+  ObjectFile copy = object;
+  copy.name = new_name;
+  return copy;
+}
+
+}  // namespace knit

@@ -1,0 +1,82 @@
+// Simulated object files, archives, and objcopy-style symbol surgery.
+//
+// This reproduces the toolchain layer Knit manipulates: compiled objects with
+// global/local symbols, archives with pull-on-demand member semantics, and the
+// renaming/localizing/duplication operations Knit performs with its modified
+// objcopy ("renaming symbols and duplicating object code for multiply-instantiated
+// units"). The bag-of-objects linker over this format lives in src/ld.
+#ifndef SRC_OBJ_OBJECT_H_
+#define SRC_OBJ_OBJECT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+#include "src/vm/bytecode.h"
+
+namespace knit {
+
+struct ObjSymbol {
+  enum class Section {
+    kUndefined,  // referenced, defined elsewhere
+    kText,       // a function: `index` is into ObjectFile::functions
+    kData,       // a global: `index` is a byte offset into ObjectFile::data
+  };
+
+  std::string name;
+  Section section = Section::kUndefined;
+  bool global = true;  // false: local (invisible to other objects)
+  int index = 0;       // function index (kText) or data offset (kData)
+  int size = 0;        // data bytes (kData)
+  int align = 4;       // data alignment (kData)
+};
+
+// An absolute 32-bit relocation inside the data image: the word at `data_offset`
+// must be patched with the address/function-reference of `symbol`.
+struct DataReloc {
+  int data_offset = 0;
+  int symbol = 0;  // index into ObjectFile::symbols
+};
+
+struct ObjectFile {
+  std::string name;  // for diagnostics and link maps
+  std::vector<ObjSymbol> symbols;
+  std::vector<BytecodeFunction> functions;  // code refers to symbols by index
+                                            // (kCall.a / kConstSym.a)
+  std::vector<uint8_t> data;                // initialized + zero-init globals
+  std::vector<DataReloc> data_relocs;
+
+  int FindSymbol(const std::string& name) const;  // -1 if absent
+
+  // Adds (or returns) an undefined global symbol.
+  int AddUndefined(const std::string& name);
+};
+
+// An archive: an ordered bag of objects with standard member-pull semantics.
+struct Archive {
+  std::string name;
+  std::vector<ObjectFile> members;
+};
+
+// ---- objcopy operations ------------------------------------------------------
+
+// Renames symbols per `renames` (old -> new). Both defined and undefined symbols
+// are renamed; code references follow automatically (they go through the symbol
+// table). Renaming onto a name that already exists in the object is an error.
+Result<void> ObjcopyRename(ObjectFile& object, const std::map<std::string, std::string>& renames,
+                           Diagnostics& diags);
+
+// Makes a defined global symbol local (Knit hides defined-but-not-exported names).
+// Unknown or undefined symbols are an error.
+Result<void> ObjcopyLocalize(ObjectFile& object, const std::string& symbol, Diagnostics& diags);
+
+// Clones an object under a new name (for multiply-instantiated units; the caller
+// then renames the clone's symbols per instance).
+ObjectFile ObjcopyDuplicate(const ObjectFile& object, const std::string& new_name);
+
+}  // namespace knit
+
+#endif  // SRC_OBJ_OBJECT_H_

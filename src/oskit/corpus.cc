@@ -1,0 +1,892 @@
+#include "src/oskit/corpus.h"
+
+namespace knit {
+
+namespace {
+
+SourceMap BuildSources() {
+  SourceMap sources;
+
+  // ---- console stack ----------------------------------------------------------
+
+  sources["vga.c"] = R"(
+extern void raw_putc(int c);
+void console_putc(int c) { raw_putc(c); }
+void console_puts(char *s) {
+  while (*s) {
+    raw_putc(*s);
+    s = s + 1;
+  }
+}
+)";
+
+  sources["serial.c"] = R"(
+extern void raw_putc(int c);
+static int g_col = 0;
+void serial_putchar(int c) {
+  raw_putc(c);
+  g_col++;
+  if (c == 10) g_col = 0;
+}
+void serial_puts(char *s) {
+  while (*s) {
+    serial_putchar(*s);
+    s = s + 1;
+  }
+}
+)";
+
+  sources["prefixer.c"] = R"(
+extern void inner_putc(int c);
+extern void inner_puts(char *s);
+static int g_at_line_start = 1;
+void console_putc(int c) {
+  if (g_at_line_start) {
+    inner_putc('[');
+    inner_putc('k');
+    inner_putc(']');
+    inner_putc(' ');
+    g_at_line_start = 0;
+  }
+  inner_putc(c);
+  if (c == 10) g_at_line_start = 1;
+}
+void console_puts(char *s) {
+  while (*s) {
+    console_putc(*s);
+    s = s + 1;
+  }
+}
+)";
+
+  sources["locked_console.c"] = R"(
+extern void inner_putc(int c);
+extern void inner_puts(char *s);
+extern void pthread_lock(void);
+extern void pthread_unlock(void);
+void console_putc(int c) {
+  pthread_lock();
+  inner_putc(c);
+  pthread_unlock();
+}
+void console_puts(char *s) {
+  pthread_lock();
+  inner_puts(s);
+  pthread_unlock();
+}
+)";
+
+  sources["pthread.c"] = R"(
+static int g_lock_depth = 0;
+void pthread_lock(void) { g_lock_depth++; }
+void pthread_unlock(void) { g_lock_depth--; }
+)";
+
+  sources["intr.c"] = R"(
+extern void console_puts(char *s);
+static int g_ticks = 0;
+void intr_tick(void) {
+  g_ticks++;
+  console_puts("tick\n");
+}
+)";
+
+  sources["printf.c"] = R"(
+extern void console_putc(int c);
+extern void console_puts(char *s);
+extern int __vararg(int i);
+extern int __vararg_count(void);
+
+static void print_unsigned(unsigned v, unsigned base) {
+  char buf[12];
+  int n = 0;
+  if (v == 0) {
+    console_putc('0');
+    return;
+  }
+  while (v) {
+    unsigned d = v % base;
+    if (d < 10) buf[n] = (char)('0' + d);
+    else buf[n] = (char)('a' + (d - 10));
+    n++;
+    v = v / base;
+  }
+  while (n > 0) {
+    n--;
+    console_putc(buf[n]);
+  }
+}
+
+int kprintf(char *fmt, ...) {
+  int arg = 0;
+  int i = 0;
+  while (fmt[i]) {
+    char c = fmt[i];
+    if (c != '%') {
+      console_putc(c);
+      i++;
+      continue;
+    }
+    i++;
+    c = fmt[i];
+    if (c == 'd') {
+      int v = __vararg(arg);
+      arg++;
+      if (v < 0) {
+        console_putc('-');
+        print_unsigned((unsigned)(-v), 10);
+      } else {
+        print_unsigned((unsigned)v, 10);
+      }
+    } else if (c == 'u') {
+      print_unsigned((unsigned)__vararg(arg), 10);
+      arg++;
+    } else if (c == 'x') {
+      print_unsigned((unsigned)__vararg(arg), 16);
+      arg++;
+    } else if (c == 's') {
+      console_puts((char *)__vararg(arg));
+      arg++;
+    } else if (c == 'c') {
+      console_putc(__vararg(arg));
+      arg++;
+    } else if (c == '%') {
+      console_putc('%');
+    }
+    i++;
+  }
+  return arg;
+}
+)";
+
+  // ---- allocators --------------------------------------------------------------
+
+  sources["bump_malloc.c"] = R"(
+extern unsigned __sbrk(unsigned n);
+static unsigned g_allocated = 0;
+void *malloc(unsigned n) {
+  if (n == 0) n = 1;
+  g_allocated = g_allocated + n;
+  return (void *)__sbrk(n);
+}
+void free(void *p) {
+  (void)p;
+}
+void malloc_init(void) { g_allocated = 0; }
+)";
+
+  sources["pool_malloc.c"] = R"(
+enum { POOL_BYTES = 65536 };
+static char g_pool[POOL_BYTES];
+struct blk {
+  struct blk *next;
+  unsigned size;
+};
+static struct blk *g_free_list;
+static unsigned g_break = 0;
+
+void *malloc(unsigned n) {
+  n = (n + 7) & ~7u;
+  if (n == 0) n = 8;
+  struct blk *b = g_free_list;
+  struct blk *prev = (struct blk *)0;
+  while (b) {
+    if (b->size >= n) {
+      if (prev) prev->next = b->next;
+      else g_free_list = b->next;
+      return (void *)(b + 1);
+    }
+    prev = b;
+    b = b->next;
+  }
+  unsigned need = n + sizeof(struct blk);
+  if (g_break + need > POOL_BYTES) return (void *)0;
+  struct blk *nb = (struct blk *)&g_pool[g_break];
+  g_break = g_break + need;
+  nb->size = n;
+  nb->next = (struct blk *)0;
+  return (void *)(nb + 1);
+}
+
+void free(void *p) {
+  if (!p) return;
+  struct blk *b = (struct blk *)p - 1;
+  b->next = g_free_list;
+  g_free_list = b;
+}
+
+void malloc_init(void) {
+  g_free_list = (struct blk *)0;
+  g_break = 0;
+}
+)";
+
+  // ---- file system + stdio ------------------------------------------------------
+
+  sources["memfs.c"] = R"(
+extern void *malloc(unsigned n);
+extern void free(void *p);
+
+enum { MAX_FILES = 16, NAME_MAX = 31 };
+struct file {
+  char name[32];
+  char *data;
+  unsigned size;
+  unsigned cap;
+  int used;
+};
+static struct file g_files[MAX_FILES];
+
+static int str_eq(char *a, char *b) {
+  int i = 0;
+  while (a[i] && a[i] == b[i]) i++;
+  return a[i] == b[i];
+}
+
+static void str_copy(char *dst, char *src, int max) {
+  int i = 0;
+  while (src[i] && i < max) {
+    dst[i] = src[i];
+    i++;
+  }
+  dst[i] = (char)0;
+}
+
+int fs_open(char *name, int create) {
+  for (int i = 0; i < MAX_FILES; i++) {
+    if (g_files[i].used && str_eq(g_files[i].name, name)) return i;
+  }
+  if (!create) return -1;
+  for (int i = 0; i < MAX_FILES; i++) {
+    if (!g_files[i].used) {
+      g_files[i].used = 1;
+      str_copy(g_files[i].name, name, NAME_MAX);
+      g_files[i].cap = 256;
+      g_files[i].data = (char *)malloc(256);
+      g_files[i].size = 0;
+      return i;
+    }
+  }
+  return -1;
+}
+
+int fs_close(int fd) {
+  if (fd < 0 || fd >= MAX_FILES) return -1;
+  return 0;
+}
+
+int fs_size(int fd) {
+  if (fd < 0 || fd >= MAX_FILES || !g_files[fd].used) return -1;
+  return (int)g_files[fd].size;
+}
+
+int fs_read(int fd, unsigned off, char *buf, unsigned n) {
+  if (fd < 0 || fd >= MAX_FILES || !g_files[fd].used) return -1;
+  struct file *f = &g_files[fd];
+  if (off >= f->size) return 0;
+  unsigned avail = f->size - off;
+  if (n > avail) n = avail;
+  for (unsigned i = 0; i < n; i++) buf[i] = f->data[off + i];
+  return (int)n;
+}
+
+int fs_write(int fd, unsigned off, char *buf, unsigned n) {
+  if (fd < 0 || fd >= MAX_FILES || !g_files[fd].used) return -1;
+  struct file *f = &g_files[fd];
+  unsigned end = off + n;
+  if (end > f->cap) {
+    unsigned newcap = f->cap;
+    while (newcap < end) newcap = newcap * 2;
+    char *nd = (char *)malloc(newcap);
+    if (!nd) return -1;
+    for (unsigned i = 0; i < f->size; i++) nd[i] = f->data[i];
+    free((void *)f->data);
+    f->data = nd;
+    f->cap = newcap;
+  }
+  for (unsigned i = 0; i < n; i++) f->data[off + i] = buf[i];
+  if (end > f->size) f->size = end;
+  return (int)n;
+}
+
+void fs_init(void) {
+  for (int i = 0; i < MAX_FILES; i++) g_files[i].used = 0;
+}
+)";
+
+  sources["stdio.c"] = R"(
+extern int fs_open(char *name, int create);
+extern int fs_close(int fd);
+extern int fs_read(int fd, unsigned off, char *buf, unsigned n);
+extern int fs_write(int fd, unsigned off, char *buf, unsigned n);
+extern int fs_size(int fd);
+extern int __vararg(int i);
+extern int __vararg_count(void);
+
+enum { MAX_OPEN = 8 };
+struct filehandle {
+  int fd;
+  unsigned pos;
+  int used;
+};
+static struct filehandle g_open[MAX_OPEN];
+
+void *fopen(char *name, char *mode) {
+  int create = mode[0] == 'w' || mode[0] == 'a';
+  int fd = fs_open(name, create);
+  if (fd < 0) return (void *)0;
+  for (int i = 0; i < MAX_OPEN; i++) {
+    if (!g_open[i].used) {
+      g_open[i].used = 1;
+      g_open[i].fd = fd;
+      g_open[i].pos = 0;
+      if (mode[0] == 'a') g_open[i].pos = (unsigned)fs_size(fd);
+      return (void *)&g_open[i];
+    }
+  }
+  return (void *)0;
+}
+
+int fclose(void *f) {
+  struct filehandle *fp = (struct filehandle *)f;
+  if (!fp) return -1;
+  fp->used = 0;
+  return fs_close(fp->fd);
+}
+
+int fflush(void *f) {
+  (void)f;
+  return 0;
+}
+
+static void put_ch(struct filehandle *fp, char c) {
+  char b[2];
+  b[0] = c;
+  b[1] = (char)0;
+  fs_write(fp->fd, fp->pos, b, 1);
+  fp->pos += 1;
+}
+
+static void put_str(struct filehandle *fp, char *s) {
+  int n = 0;
+  while (s[n]) n++;
+  fs_write(fp->fd, fp->pos, s, (unsigned)n);
+  fp->pos += (unsigned)n;
+}
+
+static void put_unsigned(struct filehandle *fp, unsigned v) {
+  char buf[12];
+  int n = 0;
+  if (v == 0) {
+    put_ch(fp, '0');
+    return;
+  }
+  while (v) {
+    buf[n] = (char)('0' + v % 10);
+    n++;
+    v = v / 10;
+  }
+  while (n > 0) {
+    n--;
+    put_ch(fp, buf[n]);
+  }
+}
+
+int fprintf(void *f, char *fmt, ...) {
+  struct filehandle *fp = (struct filehandle *)f;
+  if (!fp) return -1;
+  int arg = 0;
+  int i = 0;
+  while (fmt[i]) {
+    char c = fmt[i];
+    if (c != '%') {
+      put_ch(fp, c);
+      i++;
+      continue;
+    }
+    i++;
+    c = fmt[i];
+    if (c == 'd') {
+      int v = __vararg(arg);
+      arg++;
+      if (v < 0) {
+        put_ch(fp, '-');
+        put_unsigned(fp, (unsigned)(-v));
+      } else {
+        put_unsigned(fp, (unsigned)v);
+      }
+    } else if (c == 's') {
+      put_str(fp, (char *)__vararg(arg));
+      arg++;
+    } else if (c == '%') {
+      put_ch(fp, '%');
+    }
+    i++;
+  }
+  return arg;
+}
+
+void stdio_init(void) {
+  for (int i = 0; i < MAX_OPEN; i++) g_open[i].used = 0;
+}
+)";
+
+  // ---- the paper's running example (Figure 6) ------------------------------------
+
+  sources["web.c"] = R"(
+extern int serve_cgi(int s, char *path);
+extern int serve_file(int s, char *path);
+
+static int strncmp_(char *a, char *b, int n) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] != b[i]) return a[i] - b[i];
+    if (!a[i]) return 0;
+  }
+  return 0;
+}
+
+int serve_web(int s, char *path) {
+  if (!strncmp_(path, "/cgi-bin/", 9)) return serve_cgi(s, path + 9);
+  return serve_file(s, path);
+}
+)";
+
+  sources["log.c"] = R"(
+extern void *fopen(char *name, char *mode);
+extern int fclose(void *f);
+extern int fprintf(void *f, char *fmt, ...);
+extern int fflush(void *f);
+extern int serve_unlogged(int s, char *path);
+
+static void *g_log;
+
+void open_log(void) { g_log = fopen("ServerLog", "a"); }
+
+void close_log(void) {
+  if (g_log) {
+    fclose(g_log);
+    g_log = (void *)0;
+  }
+}
+
+int serve_logged(int s, char *path) {
+  int r = serve_unlogged(s, path);
+  fprintf(g_log, "%s -> %d\n", path, r);
+  return r;
+}
+)";
+
+  sources["fileserver.c"] = R"(
+extern int fs_open(char *name, int create);
+extern int fs_size(int fd);
+extern int fs_read(int fd, unsigned off, char *buf, unsigned n);
+extern int kprintf(char *fmt, ...);
+
+int serve_web(int s, char *path) {
+  (void)s;
+  int fd = fs_open(path, 0);
+  if (fd < 0) {
+    kprintf("404 %s\n", path);
+    return -1;
+  }
+  int size = fs_size(fd);
+  kprintf("200 %s (%d bytes)\n", path, size);
+  return size;
+}
+)";
+
+  sources["cgiserver.c"] = R"(
+extern int kprintf(char *fmt, ...);
+
+int serve_web(int s, char *path) {
+  (void)s;
+  unsigned h = 2166136261u;
+  int i = 0;
+  while (path[i]) {
+    h = (h ^ (unsigned)path[i]) * 16777619u;
+    i++;
+  }
+  kprintf("cgi %s -> %x\n", path, h);
+  return (int)(h & 0x7FFFFFFF);
+}
+)";
+
+  // ---- cyclic import demo ---------------------------------------------------------
+
+  sources["ping.c"] = R"(
+extern int pong_step(int x);
+static int g_ping_ready = 0;
+int ping_step(int x) {
+  if (x <= 0) return 0;
+  return 1 + pong_step(x - 1);
+}
+void ping_init(void) { g_ping_ready = 1; }
+)";
+
+  sources["pong.c"] = R"(
+extern int ping_step(int x);
+static int g_pong_ready = 0;
+int pong_step(int x) {
+  if (x <= 0) return 0;
+  return 1 + ping_step(x - 1);
+}
+void pong_init(void) { g_pong_ready = 1; }
+)";
+
+  return sources;
+}
+
+std::string BuildKnit() {
+  return R"KNIT(
+// ---- bundle types ------------------------------------------------------------
+bundletype RawConsole = { raw_putc }
+bundletype Console = { console_putc, console_puts }
+bundletype PrintF = { kprintf }
+bundletype Malloc = { malloc, free }
+bundletype FileSys = { fs_open, fs_close, fs_read, fs_write, fs_size }
+bundletype Stdio = { fopen, fclose, fprintf, fflush }
+bundletype Serve = { serve_web }
+bundletype PThread = { pthread_lock, pthread_unlock }
+bundletype Intr = { intr_tick }
+bundletype Ping = { ping_step }
+bundletype Pong = { pong_step }
+
+flags CFlags = { "-O2", "-Ioskit/include" }
+
+// ---- architectural properties (paper section 4) --------------------------------
+property context
+type NoContext
+type ProcessContext < NoContext
+
+// ---- console components ---------------------------------------------------------
+unit VgaConsole = {
+  imports [ raw : RawConsole ];
+  exports [ console : Console ];
+  depends { console needs raw; };
+  files { "vga.c" } with flags CFlags;
+  constraints { context(console) = NoContext; };
+}
+
+unit SerialConsole = {
+  imports [ raw : RawConsole ];
+  exports [ console : Console ];
+  depends { console needs raw; };
+  files { "serial.c" } with flags CFlags;
+  rename {
+    console.console_putc to serial_putchar;
+    console.console_puts to serial_puts;
+  };
+  constraints { context(console) = NoContext; };
+}
+
+unit ConsolePrefixer = {
+  imports [ inner : Console ];
+  exports [ console : Console ];
+  depends { console needs inner; };
+  files { "prefixer.c" } with flags CFlags;
+  rename {
+    inner.console_putc to inner_putc;
+    inner.console_puts to inner_puts;
+  };
+  constraints { context(exports) <= context(imports); };
+}
+
+unit PThreadLock = {
+  imports [];
+  exports [ pthread : PThread ];
+  files { "pthread.c" } with flags CFlags;
+  constraints { context(pthread) = ProcessContext; };
+}
+
+unit LockedConsole = {
+  imports [ inner : Console, locks : PThread ];
+  exports [ console : Console ];
+  depends { console needs (inner + locks); };
+  files { "locked_console.c" } with flags CFlags;
+  rename {
+    inner.console_putc to inner_putc;
+    inner.console_puts to inner_puts;
+  };
+  constraints { context(exports) <= context(imports); };
+}
+
+unit IntrHandler = {
+  imports [ console : Console ];
+  exports [ intr : Intr ];
+  depends { intr needs console; };
+  files { "intr.c" } with flags CFlags;
+  constraints {
+    context(intr) = NoContext;
+    NoContext <= context(console);
+  };
+}
+
+unit Printf = {
+  imports [ console : Console ];
+  exports [ printf : PrintF ];
+  depends { printf needs console; };
+  files { "printf.c" } with flags CFlags;
+  constraints { context(exports) <= context(imports); };
+}
+
+// ---- allocators ----------------------------------------------------------------
+unit BumpMalloc = {
+  imports [];
+  exports [ malloc : Malloc ];
+  initializer malloc_init for malloc;
+  files { "bump_malloc.c" } with flags CFlags;
+}
+
+unit PoolMalloc = {
+  imports [];
+  exports [ malloc : Malloc ];
+  initializer malloc_init for malloc;
+  files { "pool_malloc.c" } with flags CFlags;
+}
+
+// ---- file system + stdio ---------------------------------------------------------
+unit MemFs = {
+  imports [ malloc : Malloc ];
+  exports [ fs : FileSys ];
+  initializer fs_init for fs;
+  depends {
+    fs needs malloc;
+    fs_init needs ();
+  };
+  files { "memfs.c" } with flags CFlags;
+  constraints { context(exports) <= context(imports); };
+}
+
+unit StdioLib = {
+  imports [ fs : FileSys ];
+  exports [ stdio : Stdio ];
+  initializer stdio_init for stdio;
+  depends {
+    stdio needs fs;
+    stdio_init needs ();
+  };
+  files { "stdio.c" } with flags CFlags;
+  constraints { context(exports) <= context(imports); };
+}
+
+// ---- the paper's Figure 5, verbatim structure -------------------------------------
+unit Web = {
+  imports [ serveFile : Serve,
+            serveCGI : Serve ];
+  exports [ serveWeb : Serve ];
+  depends {
+    serveWeb needs (serveFile + serveCGI);
+  };
+  files { "web.c" } with flags CFlags;
+  rename {
+    serveFile.serve_web to serve_file;
+    serveCGI.serve_web to serve_cgi;
+  };
+  constraints { context(exports) <= context(imports); };
+}
+
+unit Log = {
+  imports [ serveWeb : Serve,
+            stdio : Stdio ];
+  exports [ serveLog : Serve ];
+  initializer open_log for serveLog;
+  finalizer close_log for serveLog;
+  depends {
+    (open_log + close_log) needs stdio;
+    serveLog needs (serveWeb + stdio);
+  };
+  files { "log.c" } with flags CFlags;
+  rename {
+    serveWeb.serve_web to serve_unlogged;
+    serveLog.serve_web to serve_logged;
+  };
+  constraints { context(exports) <= context(imports); };
+}
+
+unit LogServe = {
+  imports [ serveFile : Serve,
+            serveCGI : Serve,
+            stdio : Stdio ];
+  exports [ serveLog : Serve ];
+  link {
+    [serveWeb] <- Web <- [serveFile, serveCGI];
+    [serveLog] <- Log <- [serveWeb, stdio];
+  };
+}
+
+unit FileServer = {
+  imports [ fs : FileSys, printf : PrintF ];
+  exports [ serveFile : Serve ];
+  depends { serveFile needs (fs + printf); };
+  files { "fileserver.c" } with flags CFlags;
+  constraints { context(exports) <= context(imports); };
+}
+
+unit CgiServer = {
+  imports [ printf : PrintF ];
+  exports [ serveCGI : Serve ];
+  depends { serveCGI needs printf; };
+  files { "cgiserver.c" } with flags CFlags;
+  constraints { context(exports) <= context(imports); };
+}
+
+// ---- cyclic import demos -----------------------------------------------------------
+unit PingGood = {
+  imports [ pong : Pong ];
+  exports [ ping : Ping ];
+  initializer ping_init for ping;
+  depends { ping needs pong; ping_init needs (); };
+  files { "ping.c" } with flags CFlags;
+}
+
+unit PongGood = {
+  imports [ ping : Ping ];
+  exports [ pong : Pong ];
+  initializer pong_init for pong;
+  depends { pong needs ping; pong_init needs (); };
+  files { "pong.c" } with flags CFlags;
+}
+
+// Without fine-grained clauses the initializers conservatively need every import,
+// which makes the cyclic configuration unschedulable (paper section 3.2).
+unit PingBad = {
+  imports [ pong : Pong ];
+  exports [ ping : Ping ];
+  initializer ping_init for ping;
+  files { "ping.c" } with flags CFlags;
+}
+
+unit PongBad = {
+  imports [ ping : Ping ];
+  exports [ pong : Pong ];
+  initializer pong_init for pong;
+  files { "pong.c" } with flags CFlags;
+}
+
+// ---- kernels (compound units) --------------------------------------------------------
+unit HelloKernel = {
+  imports [ raw : RawConsole ];
+  exports [ printf : PrintF ];
+  link {
+    [console] <- VgaConsole <- [raw];
+    [printf] <- Printf <- [console];
+  };
+}
+
+unit PrefixedHelloKernel = {
+  imports [ raw : RawConsole ];
+  exports [ printf : PrintF ];
+  link {
+    [vga] <- VgaConsole <- [raw];
+    [console] <- ConsolePrefixer <- [vga];
+    [printf] <- Printf <- [console];
+  };
+}
+
+unit SerialHelloKernel = {
+  imports [ raw : RawConsole ];
+  exports [ printf : PrintF ];
+  link {
+    [console] <- SerialConsole <- [raw];
+    [printf] <- Printf <- [console];
+  };
+}
+
+unit WebKernel = {
+  imports [ raw : RawConsole ];
+  exports [ serve : Serve, stdio : Stdio, fs : FileSys ];
+  link {
+    [console] <- VgaConsole <- [raw];
+    [printf] <- Printf <- [console];
+    [malloc] <- BumpMalloc <- [];
+    [fs] <- MemFs <- [malloc];
+    [stdio] <- StdioLib <- [fs];
+    [serveFile] <- FileServer <- [fs, printf];
+    [serveCGI] <- CgiServer <- [printf];
+    [serve] <- LogServe <- [serveFile, serveCGI, stdio];
+  };
+}
+
+unit WebKernelFlat = {
+  imports [ raw : RawConsole ];
+  exports [ serve : Serve, stdio : Stdio, fs : FileSys ];
+  flatten;
+  link {
+    [console] <- VgaConsole <- [raw];
+    [printf] <- Printf <- [console];
+    [malloc] <- BumpMalloc <- [];
+    [fs] <- MemFs <- [malloc];
+    [stdio] <- StdioLib <- [fs];
+    [serveFile] <- FileServer <- [fs, printf];
+    [serveCGI] <- CgiServer <- [printf];
+    [serve] <- LogServe <- [serveFile, serveCGI, stdio];
+  };
+}
+
+// Two memory pools feeding two MemFs instances (multiple instantiation).
+unit TwoPoolsKernel = {
+  imports [];
+  exports [ fsA : FileSys, fsB : FileSys ];
+  link {
+    [mallocA] <- BumpMalloc <- [];
+    [mallocB] <- PoolMalloc <- [];
+    [fsA] <- MemFs as fsa <- [mallocA];
+    [fsB] <- MemFs as fsb <- [mallocB];
+  };
+}
+
+// Interrupt handler over an interrupt-safe console: passes the checker.
+unit IntrKernelGood = {
+  imports [ raw : RawConsole ];
+  exports [ intr : Intr ];
+  link {
+    [console] <- VgaConsole <- [raw];
+    [intr] <- IntrHandler <- [console];
+  };
+}
+
+// Interrupt handler over a lock-taking console: the section-4 bug, caught statically.
+unit IntrKernelBad = {
+  imports [ raw : RawConsole ];
+  exports [ intr : Intr ];
+  link {
+    [vga] <- VgaConsole <- [raw];
+    [locks] <- PThreadLock <- [];
+    [console] <- LockedConsole <- [vga, locks];
+    [intr] <- IntrHandler <- [console];
+  };
+}
+
+unit CyclicGoodKernel = {
+  imports [];
+  exports [ ping : Ping ];
+  link {
+    [ping] <- PingGood <- [pong];
+    [pong] <- PongGood <- [ping];
+  };
+}
+
+unit CyclicBadKernel = {
+  imports [];
+  exports [ ping : Ping ];
+  link {
+    [ping] <- PingBad <- [pong];
+    [pong] <- PongBad <- [ping];
+  };
+}
+)KNIT";
+}
+
+}  // namespace
+
+const SourceMap& OskitSources() {
+  static const SourceMap kSources = BuildSources();
+  return kSources;
+}
+
+const std::string& OskitKnit() {
+  static const std::string kKnit = BuildKnit();
+  return kKnit;
+}
+
+}  // namespace knit

@@ -1,0 +1,32 @@
+// The mini-OSKit: a component kit written in MiniC with Knit unit descriptions,
+// standing in for the paper's OSKit evaluation substrate. It supplies:
+//   * a console stack (raw device -> console -> printf), with an interposing
+//     prefixer unit (the paper's "redirect device driver output" scenario),
+//   * two interchangeable memory allocators (the paper's memory-pool story),
+//   * an in-memory file system and a stdio layer over it,
+//   * the paper's running example (Figures 5-6): Web + Log + LogServe, with file
+//     and CGI servers,
+//   * initialization-order chains (malloc -> fs -> stdio -> log) and a cyclic
+//     Ping/Pong pair in two flavours (fine-grained deps = schedulable; coarse
+//     deps = genuine cycle),
+//   * the §4 constraint-check scenario: interrupt-context code that must not call
+//     process-context code (pthread-locked console vs interrupt-safe console).
+#ifndef SRC_OSKIT_CORPUS_H_
+#define SRC_OSKIT_CORPUS_H_
+
+#include <string>
+
+#include "src/minic/clexer.h"
+
+namespace knit {
+
+// MiniC sources for every mini-OSKit component.
+const SourceMap& OskitSources();
+
+// Knit declarations: bundle types, flags, properties, all units, and the demo
+// kernels (compound units).
+const std::string& OskitKnit();
+
+}  // namespace knit
+
+#endif  // SRC_OSKIT_CORPUS_H_

@@ -1,0 +1,184 @@
+#include "src/sched/init_sched.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "src/graph/digraph.h"
+#include "src/support/strings.h"
+
+namespace knit {
+namespace {
+
+// Scheduling is symmetric for initializers and finalizers; `Phase` selects which
+// declaration list and edge orientation to use.
+enum class Phase { kInit, kFini };
+
+class Scheduler {
+ public:
+  Scheduler(const Configuration& config, Diagnostics& diags) : config_(config), diags_(diags) {}
+
+  Result<Schedule> Run() {
+    Schedule schedule;
+    if (!RunPhase(Phase::kInit, schedule.initializers) ||
+        !RunPhase(Phase::kFini, schedule.finalizers)) {
+      return Result<Schedule>::Failure();
+    }
+    return schedule;
+  }
+
+ private:
+  const std::vector<InitFiniDecl>& DeclsOf(const Instance& instance, Phase phase) const {
+    return phase == Phase::kInit ? instance.unit->initializers : instance.unit->finalizers;
+  }
+
+  // The set of import-port indices an atom (export bundle name or init/fini function
+  // name) needs. Explicit clauses override; the default is every import.
+  std::vector<int> NeedsOf(const UnitDecl& unit, const std::string& atom) const {
+    std::set<int> needed;
+    bool has_clause = false;
+    for (const DependsClause& clause : unit.depends) {
+      bool mentions = false;
+      for (const std::string& dependent : clause.dependents) {
+        if (dependent == atom) {
+          mentions = true;
+          break;
+        }
+      }
+      if (!mentions) {
+        continue;
+      }
+      has_clause = true;
+      for (const std::string& requirement : clause.requirements) {
+        int index = Elaboration::PortIndex(unit.imports, requirement);
+        assert(index >= 0);  // elaboration validated requirements
+        needed.insert(index);
+      }
+    }
+    if (!has_clause) {
+      for (size_t i = 0; i < unit.imports.size(); ++i) {
+        needed.insert(static_cast<int>(i));
+      }
+    }
+    return std::vector<int>(needed.begin(), needed.end());
+  }
+
+  bool RunPhase(Phase phase, std::vector<InitCall>& out) {
+    // Node numbering: one "call node" per (instance, decl); one "bundle node" per
+    // (instance, export port). Bundle nodes exist only to compute usability closure.
+    struct CallNode {
+      int instance;
+      const InitFiniDecl* decl;
+    };
+    std::vector<CallNode> calls;
+    std::map<std::pair<int, int>, int> bundle_node;  // (instance, export idx) -> node id
+
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      for (const InitFiniDecl& decl : DeclsOf(config_.instances[i], phase)) {
+        calls.push_back(CallNode{static_cast<int>(i), &decl});
+      }
+    }
+    int next = static_cast<int>(calls.size());
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      const UnitDecl& unit = *config_.instances[i].unit;
+      for (size_t e = 0; e < unit.exports.size(); ++e) {
+        bundle_node[{static_cast<int>(i), static_cast<int>(e)}] = next++;
+      }
+    }
+
+    // Usability graph: bundle -> call (own initializers for that export), and
+    // bundle -> supplier bundle (export-level needs).
+    Digraph usability(static_cast<size_t>(next));
+    for (size_t c = 0; c < calls.size(); ++c) {
+      const Instance& instance = config_.instances[calls[c].instance];
+      int export_index =
+          Elaboration::PortIndex(instance.unit->exports, calls[c].decl->port);
+      assert(export_index >= 0);
+      usability.AddEdgeUnique(bundle_node[{calls[c].instance, export_index}],
+                              static_cast<int>(c));
+    }
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      const Instance& instance = config_.instances[i];
+      const UnitDecl& unit = *instance.unit;
+      for (size_t e = 0; e < unit.exports.size(); ++e) {
+        int from = bundle_node[{static_cast<int>(i), static_cast<int>(e)}];
+        for (int import_index : NeedsOf(unit, unit.exports[e].local_name)) {
+          const SupplierRef& supplier = instance.import_suppliers[import_index];
+          if (supplier.IsEnvironment()) {
+            continue;  // the environment is always ready
+          }
+          usability.AddEdgeUnique(from, bundle_node[{supplier.instance, supplier.port}]);
+        }
+      }
+    }
+
+    // Ordering graph over call nodes. For initializers: everything a call needs must
+    // run before it (edge needed -> call). For finalizers, mirrored: the call must
+    // run before the teardown of anything it needs (edge call -> needed).
+    Digraph ordering(calls.size());
+    for (size_t c = 0; c < calls.size(); ++c) {
+      const Instance& instance = config_.instances[calls[c].instance];
+      for (int import_index : NeedsOf(*instance.unit, calls[c].decl->function)) {
+        const SupplierRef& supplier = instance.import_suppliers[import_index];
+        if (supplier.IsEnvironment()) {
+          continue;
+        }
+        int supplier_bundle = bundle_node[{supplier.instance, supplier.port}];
+        std::vector<bool> reachable = usability.ReachableFrom(supplier_bundle);
+        for (size_t m = 0; m < calls.size(); ++m) {
+          if (!reachable[m] || m == c) {
+            continue;
+          }
+          if (phase == Phase::kInit) {
+            ordering.AddEdgeUnique(static_cast<int>(m), static_cast<int>(c));
+          } else {
+            ordering.AddEdgeUnique(static_cast<int>(c), static_cast<int>(m));
+          }
+        }
+        // A call whose needs reach back to itself is a genuine cycle.
+        if (reachable[c]) {
+          ReportSelfCycle(phase, calls[c].instance, calls[c].decl->function);
+          return false;
+        }
+      }
+    }
+
+    std::optional<std::vector<int>> order = ordering.TopologicalSort();
+    if (!order.has_value()) {
+      std::vector<int> cycle = ordering.FindCycle();
+      std::vector<std::string> parts;
+      for (int node : cycle) {
+        parts.push_back(config_.instances[calls[node].instance].path + "." +
+                        calls[node].decl->function);
+      }
+      diags_.Error(SourceLoc::Unknown(),
+                   std::string(phase == Phase::kInit ? "initialization" : "finalization") +
+                       " order has a genuine cycle: " + Join(parts, " -> ") +
+                       " -> (back to start); add fine-grained 'needs' clauses to break it");
+      return false;
+    }
+    for (int node : *order) {
+      out.push_back(InitCall{calls[node].instance, calls[node].decl->function});
+    }
+    return true;
+  }
+
+  void ReportSelfCycle(Phase phase, int instance, const std::string& function) {
+    diags_.Error(SourceLoc::Unknown(),
+                 std::string(phase == Phase::kInit ? "initializer '" : "finalizer '") + function +
+                     "' of instance '" + config_.instances[instance].path +
+                     "' transitively needs a bundle that requires itself; add fine-grained "
+                     "'needs' clauses to break the cycle");
+  }
+
+  const Configuration& config_;
+  Diagnostics& diags_;
+};
+
+}  // namespace
+
+Result<Schedule> ScheduleInitFini(const Configuration& config, Diagnostics& diags) {
+  return Scheduler(config, diags).Run();
+}
+
+}  // namespace knit

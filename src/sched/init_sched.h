@@ -1,0 +1,48 @@
+// Automatic initialization/finalization scheduling (paper §3.2).
+//
+// Semantics reproduced from the paper:
+//  * "serveLog needs stdio" (an *export-level* clause) means: before any function in
+//    the serveLog bundle is called, stdio's supplier must be initialized. It does NOT
+//    by itself order the two components' initializers.
+//  * "open_log needs stdio" (an *initializer-level* clause) means: the stdio
+//    supplier's initialization must precede running open_log. Only these clauses
+//    (expanded through export-level usability closure) create ordering edges.
+//  * A dependent (export bundle or initializer/finalizer) with no explicit clause
+//    conservatively needs ALL of the unit's imports — which is why cyclic import
+//    graphs become unschedulable until the programmer adds fine-grained clauses
+//    ("the programmer must occasionally provide fine-grained dependency information
+//    to break cycles").
+//  * Finalizers run with the mirrored constraint: a finalizer that needs a bundle
+//    must run before the finalizers that tear that bundle down.
+#ifndef SRC_SCHED_INIT_SCHED_H_
+#define SRC_SCHED_INIT_SCHED_H_
+
+#include <string>
+#include <vector>
+
+#include "src/knitsem/instantiate.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+// One call in the generated startup (or shutdown) sequence.
+struct InitCall {
+  int instance = -1;        // index into Configuration::instances
+  std::string function;     // the C-level initializer/finalizer function name
+
+  bool operator==(const InitCall& other) const = default;
+};
+
+struct Schedule {
+  std::vector<InitCall> initializers;  // legal startup order
+  std::vector<InitCall> finalizers;    // legal shutdown order
+};
+
+// Computes a legal schedule, or reports the dependency cycle (with instance paths and
+// function names) and fails.
+Result<Schedule> ScheduleInitFini(const Configuration& config, Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_SCHED_INIT_SCHED_H_

@@ -1,0 +1,35 @@
+#include "src/support/mangle.h"
+
+#include <cctype>
+
+namespace knit {
+
+std::string SanitizeForSymbol(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
+std::string SanitizedPrefix(const std::string& path) { return SanitizeForSymbol(path) + "__"; }
+
+std::string MangleExport(const std::string& path, const std::string& port,
+                         const std::string& symbol) {
+  return SanitizeForSymbol(path) + "__" + port + "_" + symbol;
+}
+
+std::string MangleInitFini(const std::string& path, const std::string& function) {
+  return SanitizeForSymbol(path) + "__" + function;
+}
+
+std::string EnvSymbol(const std::string& port, const std::string& symbol) {
+  return "env__" + port + "__" + symbol;
+}
+
+}  // namespace knit

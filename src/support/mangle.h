@@ -1,0 +1,30 @@
+// Link-name mangling shared by the driver (objcopy path) and the flattener
+// (source-merge path): both must agree on the global name of every instance's
+// exported symbol.
+#ifndef SRC_SUPPORT_MANGLE_H_
+#define SRC_SUPPORT_MANGLE_H_
+
+#include <string>
+
+namespace knit {
+
+// "Top/Log#2" -> "Top_Log_2" (a valid C identifier fragment).
+std::string SanitizeForSymbol(const std::string& path);
+
+// Per-instance prefix for unit-local symbols: "Top_Log__".
+std::string SanitizedPrefix(const std::string& path);
+
+// The global link name for `symbol` of export bundle `port` of the instance at
+// `path`: "Top_Log__serveLog_serve_web".
+std::string MangleExport(const std::string& path, const std::string& port,
+                         const std::string& symbol);
+
+// The link name of an initializer/finalizer function.
+std::string MangleInitFini(const std::string& path, const std::string& function);
+
+// The native (environment) name for `symbol` of a top-level import bundle.
+std::string EnvSymbol(const std::string& port, const std::string& symbol);
+
+}  // namespace knit
+
+#endif  // SRC_SUPPORT_MANGLE_H_

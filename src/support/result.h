@@ -1,0 +1,63 @@
+// Result<T>: the library's exception-free error channel. A failing operation reports
+// detail into a Diagnostics sink and returns Result<T>::Failure(); callers branch on
+// ok(). Result<void> is specialized as a plain success/failure flag.
+#ifndef SRC_SUPPORT_RESULT_H_
+#define SRC_SUPPORT_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+namespace knit {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit from a value: `return some_t;` reads naturally at call sites.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result Failure() { return Result(); }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Result() = default;
+
+  std::optional<T> value_;
+};
+
+template <>
+class Result<void> {
+ public:
+  static Result Success() { return Result(true); }
+  static Result Failure() { return Result(false); }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+ private:
+  explicit Result(bool ok) : ok_(ok) {}
+
+  bool ok_;
+};
+
+}  // namespace knit
+
+#endif  // SRC_SUPPORT_RESULT_H_

@@ -1,0 +1,151 @@
+#include "src/vm/bytecode.h"
+
+#include <sstream>
+
+namespace knit {
+
+namespace {
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kConstInt:
+      return "const";
+    case Op::kConstSym:
+      return "csym";
+    case Op::kAddrLocal:
+      return "lea";
+    case Op::kLoadLocal:
+      return "ldloc";
+    case Op::kStoreLocal:
+      return "stloc";
+    case Op::kLoadMem:
+      return "load";
+    case Op::kStoreMem:
+      return "store";
+    case Op::kDup:
+      return "dup";
+    case Op::kPop:
+      return "pop";
+    case Op::kSwap:
+      return "swap";
+    case Op::kAdd:
+      return "add";
+    case Op::kSub:
+      return "sub";
+    case Op::kMul:
+      return "mul";
+    case Op::kDivS:
+      return "divs";
+    case Op::kDivU:
+      return "divu";
+    case Op::kModS:
+      return "mods";
+    case Op::kModU:
+      return "modu";
+    case Op::kShl:
+      return "shl";
+    case Op::kShrS:
+      return "shrs";
+    case Op::kShrU:
+      return "shru";
+    case Op::kAnd:
+      return "and";
+    case Op::kOr:
+      return "or";
+    case Op::kXor:
+      return "xor";
+    case Op::kNeg:
+      return "neg";
+    case Op::kBitNot:
+      return "not";
+    case Op::kLogNot:
+      return "lnot";
+    case Op::kEq:
+      return "eq";
+    case Op::kNe:
+      return "ne";
+    case Op::kLtS:
+      return "lts";
+    case Op::kLtU:
+      return "ltu";
+    case Op::kLeS:
+      return "les";
+    case Op::kLeU:
+      return "leu";
+    case Op::kGtS:
+      return "gts";
+    case Op::kGtU:
+      return "gtu";
+    case Op::kGeS:
+      return "ges";
+    case Op::kGeU:
+      return "geu";
+    case Op::kSext8:
+      return "sext8";
+    case Op::kJmp:
+      return "jmp";
+    case Op::kJz:
+      return "jz";
+    case Op::kJnz:
+      return "jnz";
+    case Op::kCall:
+      return "call";
+    case Op::kCallIndirect:
+      return "calli";
+    case Op::kRet:
+      return "ret";
+    case Op::kNop:
+      return "nop";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string DisassembleInsn(const Insn& insn) {
+  std::ostringstream out;
+  out << OpName(insn.op);
+  switch (insn.op) {
+    case Op::kConstInt:
+    case Op::kConstSym:
+    case Op::kAddrLocal:
+    case Op::kJmp:
+    case Op::kJz:
+    case Op::kJnz:
+      out << " " << insn.a;
+      break;
+    case Op::kLoadLocal:
+    case Op::kStoreLocal:
+      out << " " << insn.a << " sz" << insn.b;
+      break;
+    case Op::kLoadMem:
+      out << " sz" << insn.b << (insn.a != 0 ? " sext" : "");
+      break;
+    case Op::kStoreMem:
+      out << " sz" << insn.b;
+      break;
+    case Op::kCall:
+      out << " @" << insn.a << " argc" << CallArgc(insn.b)
+          << (CallReturns(insn.b) ? " ->v" : "");
+      break;
+    case Op::kCallIndirect:
+      out << " argc" << CallArgc(insn.b) << (CallReturns(insn.b) ? " ->v" : "");
+      break;
+    case Op::kRet:
+      out << (insn.a != 0 ? " v" : "");
+      break;
+    default:
+      break;
+  }
+  return out.str();
+}
+
+std::string Disassemble(const BytecodeFunction& function) {
+  std::ostringstream out;
+  out << function.name << ": frame=" << function.frame_size
+      << " params=" << function.param_count << (function.variadic ? " variadic" : "") << "\n";
+  for (size_t i = 0; i < function.code.size(); ++i) {
+    out << "  " << i << ": " << DisassembleInsn(function.code[i]) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace knit

@@ -1,0 +1,42 @@
+// MiniC -> bytecode compiler. Produces a relocatable ObjectFile whose code refers to
+// symbols by index (kConstSym / kCall); src/ld resolves them. One translation unit
+// becomes one object — exactly the compilation granularity that makes flattening
+// matter: the optimizer (src/vm/optimize.h) can only inline within an object.
+#ifndef SRC_VM_CODEGEN_H_
+#define SRC_VM_CODEGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/minic/ast.h"
+#include "src/minic/sema.h"
+#include "src/obj/object.h"
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
+
+namespace knit {
+
+struct CodegenOptions {
+  bool optimize = true;      // run the per-TU optimizer (inline + LVN + peephole)
+  int inline_limit = 48;     // max size for inlining a multiply-called function
+  bool inline_single_call = true;  // inline a local function called exactly once
+                                   // (the body is removed afterwards, so text never
+                                   // grows — what lets flattened builds both speed
+                                   // up and shrink, as in Table 1)
+  int single_call_limit = 8192;    // effectively unlimited; lower to keep big
+                                   // rarely-taken bodies out of the hot path
+  int caller_growth = 32768; // stop inlining when a function reaches this many insns
+
+  // Parses gcc-style flag spellings used in Knit `flags` declarations:
+  //   -O0 / -O (disable/enable optimization), -finline-limit=N, -fno-inline.
+  static CodegenOptions FromFlags(const std::vector<std::string>& flags);
+};
+
+// Compiles a Sema-checked TU. `object_name` labels the resulting object.
+Result<ObjectFile> CompileTranslationUnit(const TranslationUnit& unit, const SemaInfo& info,
+                                          TypeTable& types, const CodegenOptions& options,
+                                          const std::string& object_name, Diagnostics& diags);
+
+}  // namespace knit
+
+#endif  // SRC_VM_CODEGEN_H_

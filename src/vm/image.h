@@ -1,0 +1,41 @@
+// A fully linked program image, ready to execute on the VM (src/vm/machine.h).
+// Produced by the bag-of-objects linker (src/ld/link.h).
+#ifndef SRC_VM_IMAGE_H_
+#define SRC_VM_IMAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/vm/bytecode.h"
+
+namespace knit {
+
+struct Image {
+  // Callable space: ids [0, functions.size()) are VM functions; ids
+  // [functions.size(), functions.size() + natives.size()) are natives.
+  std::vector<BytecodeFunction> functions;  // text_offset assigned, code resolved
+  std::vector<std::string> natives;         // native callable names, in id order
+
+  std::vector<uint8_t> data;       // initialized data image, loaded at data_base
+  uint32_t data_base = 0x1000;
+
+  std::map<std::string, int> function_symbols;     // global name -> function id
+  std::map<std::string, uint32_t> data_symbols;    // global name -> absolute address
+
+  int text_bytes = 0;  // total placed text (the paper's "text size" column)
+
+  int FindFunction(const std::string& name) const {
+    auto it = function_symbols.find(name);
+    return it == function_symbols.end() ? -1 : it->second;
+  }
+
+  bool IsNativeId(int callable) const {
+    return callable >= static_cast<int>(functions.size());
+  }
+};
+
+}  // namespace knit
+
+#endif  // SRC_VM_IMAGE_H_

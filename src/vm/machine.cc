@@ -1,0 +1,619 @@
+#include "src/vm/machine.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace knit {
+
+namespace {
+constexpr uint32_t kNullGuard = 0x1000;  // accesses below this address trap
+constexpr uint32_t kStackBytes = 1 << 20;
+}  // namespace
+
+Machine::Machine(const Image& image, CostModel cost, uint32_t memory_bytes)
+    : image_(image), cost_(cost), memory_(memory_bytes, 0) {
+  assert(image.data_base >= kNullGuard);
+  // Load the data image.
+  for (size_t i = 0; i < image.data.size(); ++i) {
+    memory_[image.data_base + i] = image.data[i];
+  }
+  heap_end_ = image.data_base + static_cast<uint32_t>(image.data.size());
+  heap_end_ = (heap_end_ + 0xFFF) & ~0xFFFu;  // page align
+  stack_pointer_ = memory_bytes;
+
+  icache_sets_ = cost_.icache_bytes / (cost_.icache_line * cost_.icache_ways);
+  icache_.assign(static_cast<size_t>(icache_sets_) * cost_.icache_ways, CacheWay{});
+
+  BindBuiltins();
+}
+
+void Machine::BindBuiltins() {
+  BindNative("__sbrk", [](Machine& m, const std::vector<uint32_t>& args) {
+    return m.Sbrk(args.empty() ? 0 : args[0]);
+  });
+  BindNative("__putchar", [](Machine& m, const std::vector<uint32_t>& args) {
+    if (!args.empty()) {
+      m.console_ += static_cast<char>(args[0] & 0xFF);
+    }
+    return 0u;
+  });
+  BindNative("__cycles", [](Machine& m, const std::vector<uint32_t>&) {
+    return static_cast<uint32_t>(m.cycles_);
+  });
+  BindNative("__vararg_count", [](Machine& m, const std::vector<uint32_t>&) {
+    return static_cast<uint32_t>(m.CurrentVarargCount());
+  });
+  BindNative("__vararg", [](Machine& m, const std::vector<uint32_t>& args) {
+    return m.CurrentVararg(args.empty() ? 0 : static_cast<int>(args[0]));
+  });
+  BindNative("__abort", [](Machine& m, const std::vector<uint32_t>& args) {
+    m.Trap("program aborted (code " + std::to_string(args.empty() ? 0 : args[0]) + ")");
+    return 0u;
+  });
+  BindNative("__trace", [](Machine& m, const std::vector<uint32_t>& args) {
+    m.console_ += "[trace " + std::to_string(args.empty() ? 0 : static_cast<int32_t>(args[0])) +
+                  "]";
+    return 0u;
+  });
+}
+
+void Machine::BindNative(const std::string& name, NativeFn fn) {
+  natives_[name] = std::move(fn);
+}
+
+void Machine::ResetCounters() {
+  cycles_ = 0;
+  ifetch_stalls_ = 0;
+  insns_ = 0;
+}
+
+void Machine::Trap(const std::string& message) {
+  if (!trapped_) {
+    trapped_ = true;
+    std::string where;
+    if (!frames_.empty()) {
+      const Frame& frame = frames_.back();
+      where = " in " + image_.functions[frame.function].name + " at pc " +
+              std::to_string(frame.pc - 1);
+    }
+    trap_message_ = message + where;
+  }
+}
+
+bool Machine::CheckRange(uint32_t address, uint32_t size) {
+  if (address < kNullGuard) {
+    Trap("null/guard-page dereference at address " + std::to_string(address));
+    return false;
+  }
+  if (static_cast<uint64_t>(address) + size > memory_.size()) {
+    Trap("out-of-range memory access at address " + std::to_string(address));
+    return false;
+  }
+  return true;
+}
+
+uint32_t Machine::ReadWord(uint32_t address) {
+  if (!CheckRange(address, 4)) {
+    return 0;
+  }
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(memory_[address + i]) << (8 * i);
+  }
+  return value;
+}
+
+void Machine::WriteWord(uint32_t address, uint32_t value) {
+  if (!CheckRange(address, 4)) {
+    return;
+  }
+  for (int i = 0; i < 4; ++i) {
+    memory_[address + i] = static_cast<uint8_t>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+uint8_t Machine::ReadByte(uint32_t address) {
+  if (!CheckRange(address, 1)) {
+    return 0;
+  }
+  return memory_[address];
+}
+
+void Machine::WriteByte(uint32_t address, uint8_t value) {
+  if (!CheckRange(address, 1)) {
+    return;
+  }
+  memory_[address] = value;
+}
+
+std::string Machine::ReadCString(uint32_t address, uint32_t max_length) {
+  std::string out;
+  for (uint32_t i = 0; i < max_length; ++i) {
+    uint8_t c = ReadByte(address + i);
+    if (trapped_ || c == 0) {
+      break;
+    }
+    out += static_cast<char>(c);
+  }
+  return out;
+}
+
+uint32_t Machine::Sbrk(uint32_t bytes) {
+  uint32_t base = heap_end_;
+  uint32_t aligned = (bytes + 7) & ~7u;
+  if (heap_end_ + aligned >= stack_pointer_ - kStackBytes) {
+    Trap("heap exhausted (sbrk of " + std::to_string(bytes) + " bytes)");
+    return 0;
+  }
+  heap_end_ += aligned;
+  return base;
+}
+
+int Machine::CurrentVarargCount() const {
+  // The __vararg natives execute while the variadic function's frame is on top.
+  return frames_.empty() ? 0 : frames_.back().vararg_count;
+}
+
+uint32_t Machine::CurrentVararg(int index) {
+  if (frames_.empty()) {
+    return 0;
+  }
+  const Frame& frame = frames_.back();
+  if (index < 0 || index >= frame.vararg_count) {
+    return 0;
+  }
+  return ReadWord(frame.vararg_base + static_cast<uint32_t>(index) * 4);
+}
+
+void Machine::ICacheAccess(uint32_t text_address) {
+  int64_t line = text_address / static_cast<uint32_t>(cost_.icache_line);
+  int set = static_cast<int>(line % icache_sets_);
+  int64_t tag = line / icache_sets_;
+  CacheWay* ways = &icache_[static_cast<size_t>(set) * cost_.icache_ways];
+  ++icache_clock_;
+  int victim = 0;
+  for (int w = 0; w < cost_.icache_ways; ++w) {
+    if (ways[w].tag == tag) {
+      ways[w].stamp = icache_clock_;
+      return;  // hit
+    }
+    if (ways[w].stamp < ways[victim].stamp) {
+      victim = w;
+    }
+  }
+  // Miss: fill + stall.
+  ways[victim].tag = tag;
+  ways[victim].stamp = icache_clock_;
+  ifetch_stalls_ += cost_.icache_miss_stall;
+  cycles_ += cost_.icache_miss_stall;
+}
+
+bool Machine::EnterFunction(int function_id, const uint32_t* args, int argc) {
+  const BytecodeFunction& function = image_.functions[function_id];
+  int fixed = function.param_count;
+  int extras = argc - fixed;
+  if (extras < 0) {
+    Trap("call to " + function.name + " with too few arguments");
+    return false;
+  }
+  if (!function.variadic) {
+    extras = 0;  // ignore surplus (checked by sema; defensive here)
+  }
+  uint32_t frame_bytes =
+      static_cast<uint32_t>(function.frame_size) + static_cast<uint32_t>(extras) * 4 + 16;
+  frame_bytes = (frame_bytes + 7) & ~7u;
+  if (stack_pointer_ < heap_end_ + frame_bytes + 4096) {
+    Trap("stack overflow entering " + function.name);
+    return false;
+  }
+  Frame frame;
+  frame.saved_sp = stack_pointer_;
+  stack_pointer_ -= frame_bytes;
+  frame.function = function_id;
+  frame.pc = 0;
+  frame.fp = stack_pointer_;
+  frame.eval_base = eval_.size();
+  frame.vararg_count = function.variadic ? extras : 0;
+  frame.vararg_base = frame.fp + static_cast<uint32_t>(function.frame_size);
+  // Copy fixed params into the first slots and varargs after the static frame.
+  for (int i = 0; i < fixed && i < argc; ++i) {
+    WriteWord(frame.fp + static_cast<uint32_t>(i) * 4, args[i]);
+  }
+  for (int i = 0; i < frame.vararg_count; ++i) {
+    WriteWord(frame.vararg_base + static_cast<uint32_t>(i) * 4, args[fixed + i]);
+  }
+  frames_.push_back(frame);
+  return true;
+}
+
+RunResult Machine::Call(const std::string& name, std::vector<uint32_t> args) {
+  int id = image_.FindFunction(name);
+  if (id < 0) {
+    return RunResult{false, 0, "no such function: " + name};
+  }
+  return CallId(id, std::move(args));
+}
+
+RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
+  trapped_ = false;
+  trap_message_.clear();
+  size_t base_frames = frames_.size();
+
+  if (function_id < 0 || function_id >= static_cast<int>(image_.functions.size())) {
+    return RunResult{false, 0, "bad function id"};
+  }
+  if (!EnterFunction(function_id, args.data(), static_cast<int>(args.size()))) {
+    return RunResult{false, 0, trap_message_};
+  }
+
+  while (frames_.size() > base_frames && !trapped_) {
+    Frame& frame = frames_.back();
+    const BytecodeFunction& function = image_.functions[frame.function];
+    if (frame.pc < 0 || static_cast<size_t>(frame.pc) >= function.code.size()) {
+      Trap("pc out of range in " + function.name);
+      break;
+    }
+    const Insn insn = function.code[frame.pc];
+    ICacheAccess(static_cast<uint32_t>(function.text_offset + frame.pc * 4));
+    ++frame.pc;
+    ++insns_;
+    cycles_ += cost_.base;
+    if (insns_ > max_insns_) {
+      Trap("instruction budget exceeded");
+      break;
+    }
+
+    switch (insn.op) {
+      case Op::kNop:
+        break;
+      case Op::kConstInt:
+        eval_.push_back(static_cast<uint32_t>(insn.a));
+        break;
+      case Op::kConstSym:
+        Trap("unresolved symbol reference executed (unlinked code)");
+        break;
+      case Op::kAddrLocal:
+        eval_.push_back(frame.fp + static_cast<uint32_t>(insn.a));
+        break;
+      case Op::kLoadLocal: {
+        uint32_t address = frame.fp + static_cast<uint32_t>(insn.a);
+        if (insn.b == 1) {
+          eval_.push_back(ReadByte(address));
+        } else {
+          eval_.push_back(ReadWord(address));
+        }
+        break;
+      }
+      case Op::kStoreLocal: {
+        if (eval_.size() <= frame.eval_base) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        uint32_t value = eval_.back();
+        eval_.pop_back();
+        uint32_t address = frame.fp + static_cast<uint32_t>(insn.a);
+        if (insn.b == 1) {
+          WriteByte(address, static_cast<uint8_t>(value & 0xFF));
+        } else {
+          WriteWord(address, value);
+        }
+        break;
+      }
+      case Op::kLoadMem: {
+        if (eval_.size() <= frame.eval_base) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        uint32_t address = eval_.back();
+        eval_.pop_back();
+        cycles_ += cost_.mem_access;
+        if (insn.b == 1) {
+          eval_.push_back(ReadByte(address));
+        } else {
+          eval_.push_back(ReadWord(address));
+        }
+        break;
+      }
+      case Op::kStoreMem: {
+        if (eval_.size() < frame.eval_base + 2) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        uint32_t value = eval_.back();
+        eval_.pop_back();
+        uint32_t address = eval_.back();
+        eval_.pop_back();
+        cycles_ += cost_.mem_access;
+        if (insn.b == 1) {
+          WriteByte(address, static_cast<uint8_t>(value & 0xFF));
+        } else {
+          WriteWord(address, value);
+        }
+        break;
+      }
+      case Op::kDup:
+        if (eval_.size() <= frame.eval_base) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        eval_.push_back(eval_.back());
+        break;
+      case Op::kPop:
+        if (eval_.size() <= frame.eval_base) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        eval_.pop_back();
+        break;
+      case Op::kSwap:
+        if (eval_.size() < frame.eval_base + 2) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        std::swap(eval_[eval_.size() - 1], eval_[eval_.size() - 2]);
+        break;
+      case Op::kNeg:
+      case Op::kBitNot:
+      case Op::kLogNot:
+      case Op::kSext8:
+        if (eval_.size() <= frame.eval_base) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        if (insn.op == Op::kNeg) {
+          eval_.back() = 0u - eval_.back();
+        } else if (insn.op == Op::kBitNot) {
+          eval_.back() = ~eval_.back();
+        } else if (insn.op == Op::kLogNot) {
+          eval_.back() = eval_.back() == 0 ? 1 : 0;
+        } else {
+          eval_.back() = static_cast<uint32_t>(
+              static_cast<int32_t>(static_cast<int8_t>(eval_.back() & 0xFF)));
+        }
+        break;
+      case Op::kJmp:
+        frame.pc = insn.a;
+        break;
+      case Op::kJz: {
+        if (eval_.size() <= frame.eval_base) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        uint32_t value = eval_.back();
+        eval_.pop_back();
+        if (value == 0) {
+          frame.pc = insn.a;
+        }
+        break;
+      }
+      case Op::kJnz: {
+        if (eval_.size() <= frame.eval_base) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        uint32_t value = eval_.back();
+        eval_.pop_back();
+        if (value != 0) {
+          frame.pc = insn.a;
+        }
+        break;
+      }
+      case Op::kCall:
+      case Op::kCallIndirect: {
+        int callable;
+        if (insn.op == Op::kCall) {
+          callable = insn.a;
+          cycles_ += cost_.call_overhead;
+        } else {
+          if (eval_.size() <= frame.eval_base) {
+            Trap("evaluation stack underflow");
+            break;
+          }
+          uint32_t ref = eval_.back();
+          eval_.pop_back();
+          if (!IsFuncRef(ref)) {
+            Trap("indirect call through a non-function value");
+            break;
+          }
+          callable = DecodeFuncRef(ref);
+          auto [btb_it, btb_new] = btb_.try_emplace({frame.function, frame.pc - 1}, callable);
+          if (!btb_new && btb_it->second == callable) {
+            cycles_ += cost_.indirect_predicted;
+          } else {
+            btb_it->second = callable;
+            cycles_ += cost_.indirect_call_overhead;
+          }
+        }
+        int argc = CallArgc(insn.b);
+        cycles_ += cost_.per_argument * argc;
+        if (eval_.size() < frame.eval_base + static_cast<size_t>(argc)) {
+          Trap("evaluation stack underflow at call");
+          break;
+        }
+        const uint32_t* args_begin = eval_.data() + (eval_.size() - argc);
+        if (callable < 0) {
+          Trap("call through unresolved or non-text symbol");
+          break;
+        }
+        if (image_.IsNativeId(callable)) {
+          int native_index = callable - static_cast<int>(image_.functions.size());
+          const std::string& native_name = image_.natives[native_index];
+          auto it = natives_.find(native_name);
+          if (it == natives_.end()) {
+            Trap("native '" + native_name + "' is not bound");
+            break;
+          }
+          std::vector<uint32_t> native_args(args_begin, args_begin + argc);
+          eval_.resize(eval_.size() - argc);
+          cycles_ += cost_.native_cost;
+          uint32_t result = it->second(*this, native_args);
+          if (CallReturns(insn.b)) {
+            eval_.push_back(result);
+          }
+          break;
+        }
+        std::vector<uint32_t> callee_args(args_begin, args_begin + argc);
+        eval_.resize(eval_.size() - argc);
+        if (!EnterFunction(callable, callee_args.data(), argc)) {
+          break;
+        }
+        // Mismatched value expectations are reconciled at the callee's kRet.
+        frames_.back().vararg_count = image_.functions[callable].variadic
+                                          ? argc - image_.functions[callable].param_count
+                                          : 0;
+        break;
+      }
+      case Op::kRet: {
+        cycles_ += cost_.ret_overhead;
+        uint32_t value = 0;
+        bool has_value = insn.a != 0;
+        if (has_value) {
+          if (eval_.size() <= frame.eval_base) {
+            Trap("return with empty evaluation stack");
+            break;
+          }
+          value = eval_.back();
+        }
+        // Discard the callee's leftover stack and frame.
+        eval_.resize(frame.eval_base);
+        stack_pointer_ = frame.saved_sp;
+        bool caller_exists = frames_.size() > base_frames + 1;
+        int caller_index = static_cast<int>(frames_.size()) - 2;
+        frames_.pop_back();
+        if (!caller_exists) {
+          // Returning to the host.
+          return RunResult{!trapped_, has_value ? value : 0, trap_message_};
+        }
+        // The caller's kCall encoded whether it expects a value; we cannot see that
+        // insn here cheaply, so push if the callee returns one — codegen keeps the
+        // conventions consistent (kPop after calls whose results are unused).
+        (void)caller_index;
+        if (has_value) {
+          eval_.push_back(value);
+        }
+        break;
+      }
+      default: {
+        // Binary ALU.
+        if (eval_.size() < frame.eval_base + 2) {
+          Trap("evaluation stack underflow");
+          break;
+        }
+        uint32_t y = eval_.back();
+        eval_.pop_back();
+        uint32_t x = eval_.back();
+        eval_.pop_back();
+        int32_t sx = static_cast<int32_t>(x);
+        int32_t sy = static_cast<int32_t>(y);
+        uint32_t result = 0;
+        switch (insn.op) {
+          case Op::kAdd:
+            result = x + y;
+            break;
+          case Op::kSub:
+            result = x - y;
+            break;
+          case Op::kMul:
+            result = x * y;
+            break;
+          case Op::kDivS:
+            cycles_ += cost_.divide;
+            if (sy == 0) {
+              Trap("division by zero");
+              break;
+            }
+            result = static_cast<uint32_t>(sx / sy);
+            break;
+          case Op::kDivU:
+            cycles_ += cost_.divide;
+            if (y == 0) {
+              Trap("division by zero");
+              break;
+            }
+            result = x / y;
+            break;
+          case Op::kModS:
+            cycles_ += cost_.divide;
+            if (sy == 0) {
+              Trap("modulo by zero");
+              break;
+            }
+            result = static_cast<uint32_t>(sx % sy);
+            break;
+          case Op::kModU:
+            cycles_ += cost_.divide;
+            if (y == 0) {
+              Trap("modulo by zero");
+              break;
+            }
+            result = x % y;
+            break;
+          case Op::kShl:
+            result = x << (y & 31);
+            break;
+          case Op::kShrS:
+            result = static_cast<uint32_t>(sx >> (y & 31));
+            break;
+          case Op::kShrU:
+            result = x >> (y & 31);
+            break;
+          case Op::kAnd:
+            result = x & y;
+            break;
+          case Op::kOr:
+            result = x | y;
+            break;
+          case Op::kXor:
+            result = x ^ y;
+            break;
+          case Op::kEq:
+            result = x == y;
+            break;
+          case Op::kNe:
+            result = x != y;
+            break;
+          case Op::kLtS:
+            result = sx < sy;
+            break;
+          case Op::kLtU:
+            result = x < y;
+            break;
+          case Op::kLeS:
+            result = sx <= sy;
+            break;
+          case Op::kLeU:
+            result = x <= y;
+            break;
+          case Op::kGtS:
+            result = sx > sy;
+            break;
+          case Op::kGtU:
+            result = x > y;
+            break;
+          case Op::kGeS:
+            result = sx >= sy;
+            break;
+          case Op::kGeU:
+            result = x >= y;
+            break;
+          default:
+            Trap("illegal instruction");
+            break;
+        }
+        if (!trapped_) {
+          eval_.push_back(result);
+        }
+        break;
+      }
+    }
+  }
+
+  // Trapped (or ran out of frames unexpectedly): unwind.
+  while (frames_.size() > base_frames) {
+    stack_pointer_ = frames_.back().saved_sp;
+    frames_.pop_back();
+  }
+  return RunResult{false, 0, trap_message_.empty() ? "execution error" : trap_message_};
+}
+
+}  // namespace knit

@@ -1,0 +1,1445 @@
+#include "src/vm/optimize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace knit {
+namespace {
+
+constexpr int kWordSize = 4;
+
+int RoundUp(int value, int align) { return (value + align - 1) / align * align; }
+
+bool IsJump(Op op) { return op == Op::kJmp || op == Op::kJz || op == Op::kJnz; }
+
+bool IsBinaryAlu(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDivS:
+    case Op::kDivU:
+    case Op::kModS:
+    case Op::kModU:
+    case Op::kShl:
+    case Op::kShrS:
+    case Op::kShrU:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLtS:
+    case Op::kLtU:
+    case Op::kLeS:
+    case Op::kLeU:
+    case Op::kGtS:
+    case Op::kGtU:
+    case Op::kGeS:
+    case Op::kGeU:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsUnaryAlu(Op op) {
+  return op == Op::kNeg || op == Op::kBitNot || op == Op::kLogNot || op == Op::kSext8;
+}
+
+bool IsCommutative(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kEq:
+    case Op::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint32_t FoldBinary(Op op, uint32_t x, uint32_t y) {
+  int32_t sx = static_cast<int32_t>(x);
+  int32_t sy = static_cast<int32_t>(y);
+  switch (op) {
+    case Op::kAdd:
+      return x + y;
+    case Op::kSub:
+      return x - y;
+    case Op::kMul:
+      return x * y;
+    case Op::kDivS:
+      return sy == 0 ? 0 : static_cast<uint32_t>(sx / sy);
+    case Op::kDivU:
+      return y == 0 ? 0 : x / y;
+    case Op::kModS:
+      return sy == 0 ? 0 : static_cast<uint32_t>(sx % sy);
+    case Op::kModU:
+      return y == 0 ? 0 : x % y;
+    case Op::kShl:
+      return x << (y & 31);
+    case Op::kShrS:
+      return static_cast<uint32_t>(sx >> (y & 31));
+    case Op::kShrU:
+      return x >> (y & 31);
+    case Op::kAnd:
+      return x & y;
+    case Op::kOr:
+      return x | y;
+    case Op::kXor:
+      return x ^ y;
+    case Op::kEq:
+      return x == y ? 1 : 0;
+    case Op::kNe:
+      return x != y ? 1 : 0;
+    case Op::kLtS:
+      return sx < sy ? 1 : 0;
+    case Op::kLtU:
+      return x < y ? 1 : 0;
+    case Op::kLeS:
+      return sx <= sy ? 1 : 0;
+    case Op::kLeU:
+      return x <= y ? 1 : 0;
+    case Op::kGtS:
+      return sx > sy ? 1 : 0;
+    case Op::kGtU:
+      return x > y ? 1 : 0;
+    case Op::kGeS:
+      return sx >= sy ? 1 : 0;
+    case Op::kGeU:
+      return x >= y ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+uint32_t FoldUnary(Op op, uint32_t x) {
+  switch (op) {
+    case Op::kNeg:
+      return 0u - x;
+    case Op::kBitNot:
+      return ~x;
+    case Op::kLogNot:
+      return x == 0 ? 1 : 0;
+    case Op::kSext8:
+      return static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(x & 0xFF)));
+    default:
+      return 0;
+  }
+}
+
+// ---- basic-block structure ------------------------------------------------------
+
+// Stack depth at the start of each instruction (-1 = unreachable).
+std::vector<int> ComputeDepths(const BytecodeFunction& function) {
+  const std::vector<Insn>& code = function.code;
+  std::vector<int> depth(code.size(), -1);
+  std::vector<int> work;
+  if (!code.empty()) {
+    depth[0] = 0;
+    work.push_back(0);
+  }
+  auto propagate = [&](int index, int d) {
+    if (index < 0 || static_cast<size_t>(index) >= code.size()) {
+      return;
+    }
+    if (depth[index] == -1) {
+      depth[index] = d;
+      work.push_back(index);
+    }
+  };
+  while (!work.empty()) {
+    int i = work.back();
+    work.pop_back();
+    const Insn& insn = code[i];
+    int d = depth[i];
+    int after = d;
+    switch (insn.op) {
+      case Op::kConstInt:
+      case Op::kConstSym:
+      case Op::kAddrLocal:
+      case Op::kLoadLocal:
+      case Op::kDup:
+        after = d + 1;
+        break;
+      case Op::kStoreLocal:
+      case Op::kPop:
+        after = d - 1;
+        break;
+      case Op::kLoadMem:
+      case Op::kSwap:
+      case Op::kNop:
+        after = d;
+        break;
+      case Op::kStoreMem:
+        after = d - 2;
+        break;
+      case Op::kCall:
+        after = d - CallArgc(insn.b) + (CallReturns(insn.b) ? 1 : 0);
+        break;
+      case Op::kCallIndirect:
+        after = d - 1 - CallArgc(insn.b) + (CallReturns(insn.b) ? 1 : 0);
+        break;
+      case Op::kRet:
+        continue;  // no successor
+      case Op::kJmp:
+        propagate(insn.a, d);
+        continue;
+      case Op::kJz:
+      case Op::kJnz:
+        propagate(insn.a, d - 1);
+        after = d - 1;
+        break;
+      default:
+        if (IsBinaryAlu(insn.op)) {
+          after = d - 1;
+        } else if (IsUnaryAlu(insn.op)) {
+          after = d;
+        }
+        break;
+    }
+    propagate(i + 1, after);
+  }
+  return depth;
+}
+
+std::set<int> LeadersOf(const BytecodeFunction& function) {
+  std::set<int> leaders;
+  leaders.insert(0);
+  for (size_t i = 0; i < function.code.size(); ++i) {
+    const Insn& insn = function.code[i];
+    if (IsJump(insn.op)) {
+      leaders.insert(insn.a);
+      leaders.insert(static_cast<int>(i) + 1);
+    } else if (insn.op == Op::kRet) {
+      leaders.insert(static_cast<int>(i) + 1);
+    }
+  }
+  leaders.erase(static_cast<int>(function.code.size()));
+  return leaders;
+}
+
+// Rebuilds code without kNop, remapping jump targets.
+void CompactNops(BytecodeFunction& function) {
+  std::vector<int> new_index(function.code.size() + 1, 0);
+  int next = 0;
+  for (size_t i = 0; i < function.code.size(); ++i) {
+    new_index[i] = next;
+    if (function.code[i].op != Op::kNop) {
+      ++next;
+    }
+  }
+  new_index[function.code.size()] = next;
+  std::vector<Insn> out;
+  out.reserve(static_cast<size_t>(next));
+  for (size_t i = 0; i < function.code.size(); ++i) {
+    if (function.code[i].op == Op::kNop) {
+      continue;
+    }
+    Insn insn = function.code[i];
+    if (IsJump(insn.op)) {
+      insn.a = new_index[insn.a];
+    }
+    out.push_back(insn);
+  }
+  function.code = std::move(out);
+}
+
+// ---- local value numbering -------------------------------------------------------
+//
+// Two identical simulations run over the function: a counting pass (which VNs are
+// consumed how often) and an emission pass. Both must create VNs in the same order
+// and evolve the physical/lazy state of the symbolic stack identically; only the
+// code emission differs.
+
+struct VN {
+  enum class K {
+    kOpaque,     // value physically on the stack at block entry / a call result;
+                 // keyed (a = original site index, b = stack position) so both
+                 // passes assign identical ids
+    kConst,      // a = value
+    kSym,        // a = symbol index
+    kAddrLocal,  // a = frame offset
+    kLoadLocal,  // a = offset, b = size, gen
+    kUnary,      // op(x)
+    kBinary,     // op(x, y)
+    kLoadMem,    // *(x), a = sext flag, b = size, gen
+  };
+  K k = K::kOpaque;
+  Op op = Op::kNop;
+  int32_t a = 0;
+  int32_t b = 0;
+  int x = -1;
+  int y = -1;
+  int gen = 0;
+  // Analysis state:
+  int uses = 0;              // counted in pass 1
+  int scratch = -1;          // frame slot caching the value (pass 2)
+  bool mem_dep = false;      // transitively contains a memory load
+  bool has_opaque = false;   // transitively contains an opaque value (cannot be
+                             // rematerialized -> never forwarded into lazy entries)
+  std::set<int> local_deps;  // frame offsets transitively read
+};
+
+class LvnPass {
+ public:
+  explicit LvnPass(BytecodeFunction& function) : fn_(function) {}
+
+  void Run() {
+    depths_ = ComputeDepths(fn_);
+    leaders_ = LeadersOf(fn_);
+    ComputeInheritingLeaders();
+    for (const Insn& insn : fn_.code) {
+      if (insn.op == Op::kAddrLocal) {
+        escaped_.insert(insn.a);
+      }
+    }
+    Simulate(/*emit=*/false);
+    for (VN& vn : vns_) {
+      vn.scratch = -1;
+    }
+    Simulate(/*emit=*/true);
+    for (Insn& insn : out_) {
+      if (IsJump(insn.op)) {
+        auto it = index_map_.find(insn.a);
+        assert(it != index_map_.end());
+        insn.a = it->second;
+      }
+    }
+    fn_.code = std::move(out_);
+    fn_.frame_size = RoundUp(frame_size_, kWordSize);
+  }
+
+ private:
+  struct Entry {
+    int vn;
+    bool physical;
+  };
+
+  // Single-predecessor leaders inherit the predecessor's value-numbering state
+  // (the predecessor dominates them). Two shapes:
+  //  * fallthrough-only: no jump targets the leader and the preceding instruction
+  //    falls through — inherit the linear-scan state as-is;
+  //  * forward-jump-only: exactly one jump (from an earlier index) targets the
+  //    leader and there is no fallthrough edge — snapshot the state at the jump
+  //    and restore it at the leader.
+  // Hot paths through inlined element chains alternate between both shapes; with
+  // inheritance, loads of packet fields are eliminated across former component
+  // boundaries — the global-CSE effect the paper gets from gcc on flattened source.
+  void ComputeInheritingLeaders() {
+    std::map<int, std::vector<int>> jump_preds;
+    for (size_t i = 0; i < fn_.code.size(); ++i) {
+      if (IsJump(fn_.code[i].op)) {
+        jump_preds[fn_.code[i].a].push_back(static_cast<int>(i));
+      }
+    }
+    for (int leader : leaders_) {
+      if (leader == 0) {
+        continue;
+      }
+      const Insn& prev = fn_.code[leader - 1];
+      bool has_fallthrough = prev.op != Op::kJmp && prev.op != Op::kRet &&
+                             depths_[leader - 1] >= 0;
+      auto it = jump_preds.find(leader);
+      int jumps = it == jump_preds.end() ? 0 : static_cast<int>(it->second.size());
+      if (has_fallthrough && jumps == 0) {
+        inheriting_leaders_.insert(leader);
+      } else if (!has_fallthrough && jumps == 1 && it->second[0] < leader) {
+        snapshot_at_jump_[it->second[0]] = leader;
+      }
+    }
+  }
+
+  struct StateSnapshot {
+    std::map<std::pair<int, int>, int> local_forward;
+    std::map<std::pair<int, int>, int> mem_forward;
+    std::map<int, int> local_gen;
+    int mem_gen = 0;
+    int block_epoch = 0;
+    std::vector<int> scratches;  // scratch slot of every VN at snapshot time
+    std::map<int, int> scratch_home;
+  };
+
+  void TakeSnapshot(int target) {
+    StateSnapshot snap;
+    snap.local_forward = local_forward_;
+    snap.mem_forward = mem_forward_;
+    snap.local_gen = local_gen_;
+    snap.mem_gen = mem_gen_;
+    snap.block_epoch = block_epoch_;
+    snap.scratches.reserve(vns_.size());
+    for (const VN& vn : vns_) {
+      snap.scratches.push_back(vn.scratch);
+    }
+    snap.scratch_home = scratch_home_;
+    snapshots_[target] = std::move(snap);
+  }
+
+  // Restores a dominating jump's state. Scratch caches created after the snapshot
+  // were filled on paths that do not reach the target; revert them.
+  bool RestoreSnapshot(int leader) {
+    auto it = snapshots_.find(leader);
+    if (it == snapshots_.end()) {
+      return false;
+    }
+    const StateSnapshot& snap = it->second;
+    local_forward_ = snap.local_forward;
+    mem_forward_ = snap.mem_forward;
+    local_gen_ = snap.local_gen;
+    mem_gen_ = snap.mem_gen;
+    block_epoch_ = snap.block_epoch;
+    for (size_t v = 0; v < vns_.size(); ++v) {
+      vns_[v].scratch = v < snap.scratches.size() ? snap.scratches[v] : -1;
+    }
+    scratch_home_ = snap.scratch_home;
+    return true;
+  }
+
+  // ---- value numbering ----
+
+  int InternVN(VN vn) {
+    // block_epoch_ makes every value number block-local: scratch caches and use
+    // counts never span basic blocks (a cached value does not dominate other
+    // blocks, and cross-block "reuse" would double-count uses and trigger
+    // pessimizing caching).
+    auto key = std::make_tuple(block_epoch_, static_cast<int>(vn.k), static_cast<int>(vn.op),
+                               vn.a, vn.b, vn.x, vn.y, vn.gen);
+    auto it = intern_.find(key);
+    if (it != intern_.end()) {
+      return it->second;
+    }
+    vns_.push_back(std::move(vn));
+    int id = static_cast<int>(vns_.size()) - 1;
+    intern_[key] = id;
+    return id;
+  }
+
+  int ConstVN(uint32_t value) {
+    VN vn;
+    vn.k = VN::K::kConst;
+    vn.a = static_cast<int32_t>(value);
+    return InternVN(std::move(vn));
+  }
+
+  // Opaque values are keyed by their creation site so both passes agree.
+  int OpaqueVN(int site, int position) {
+    VN vn;
+    vn.k = VN::K::kOpaque;
+    vn.a = site;
+    vn.b = position;
+    vn.has_opaque = true;
+    return InternVN(std::move(vn));
+  }
+
+  void InheritDeps(VN& vn, int operand) {
+    vn.mem_dep |= vns_[operand].mem_dep;
+    vn.has_opaque |= vns_[operand].has_opaque;
+    vn.local_deps.insert(vns_[operand].local_deps.begin(), vns_[operand].local_deps.end());
+  }
+
+  void CountUse(int id) {
+    if (counting_) {
+      ++vns_[id].uses;
+    }
+  }
+
+  int UnaryVN(Op op, int x) {
+    if (vns_[x].k == VN::K::kConst) {
+      return ConstVN(FoldUnary(op, static_cast<uint32_t>(vns_[x].a)));
+    }
+    if (op == Op::kSext8 && vns_[x].k == VN::K::kUnary && vns_[x].op == Op::kSext8) {
+      return x;
+    }
+    CountUse(x);
+    VN vn;
+    vn.k = VN::K::kUnary;
+    vn.op = op;
+    vn.x = x;
+    InheritDeps(vn, x);
+    return InternVN(std::move(vn));
+  }
+
+  int BinaryVN(Op op, int x, int y) {
+    const VN& vx = vns_[x];
+    const VN& vy = vns_[y];
+    if (vx.k == VN::K::kConst && vy.k == VN::K::kConst) {
+      return ConstVN(FoldBinary(op, static_cast<uint32_t>(vx.a), static_cast<uint32_t>(vy.a)));
+    }
+    if (vy.k == VN::K::kConst) {
+      uint32_t c = static_cast<uint32_t>(vy.a);
+      if ((op == Op::kAdd || op == Op::kSub || op == Op::kOr || op == Op::kXor ||
+           op == Op::kShl || op == Op::kShrS || op == Op::kShrU) &&
+          c == 0) {
+        return x;
+      }
+      if ((op == Op::kMul || op == Op::kDivS || op == Op::kDivU) && c == 1) {
+        return x;
+      }
+      if (op == Op::kMul && c == 0) {
+        return ConstVN(0);
+      }
+      if (op == Op::kAnd && c == 0) {
+        return ConstVN(0);
+      }
+    }
+    if (vx.k == VN::K::kConst) {
+      uint32_t c = static_cast<uint32_t>(vx.a);
+      if ((op == Op::kAdd || op == Op::kOr || op == Op::kXor) && c == 0) {
+        return y;
+      }
+      if (op == Op::kMul && c == 1) {
+        return y;
+      }
+      if ((op == Op::kMul || op == Op::kAnd) && c == 0) {
+        return ConstVN(0);
+      }
+    }
+    if (x == y && op == Op::kSub) {
+      return ConstVN(0);
+    }
+    if (x == y && op == Op::kXor) {
+      return ConstVN(0);
+    }
+    int nx = x;
+    int ny = y;
+    if (IsCommutative(op) && nx > ny) {
+      std::swap(nx, ny);
+    }
+    CountUse(x);
+    CountUse(y);
+    VN vn;
+    vn.k = VN::K::kBinary;
+    vn.op = op;
+    vn.x = nx;
+    vn.y = ny;
+    InheritDeps(vn, nx);
+    InheritDeps(vn, ny);
+    return InternVN(std::move(vn));
+  }
+
+  // ---- emission ----
+
+  void EmitOut(Op op, int32_t a = 0, int32_t b = 0) {
+    if (emitting_) {
+      out_.push_back(Insn{op, a, b});
+    }
+  }
+
+  int AllocScratch() {
+    frame_size_ = RoundUp(frame_size_, kWordSize);
+    int offset = frame_size_;
+    frame_size_ += kWordSize;
+    return offset;
+  }
+
+  int CostOf(int id) const {
+    const VN& vn = vns_[id];
+    switch (vn.k) {
+      case VN::K::kUnary:
+        return 1 + CostOf(vn.x);
+      case VN::K::kBinary:
+        return 1 + CostOf(vn.x) + CostOf(vn.y);
+      case VN::K::kLoadMem:
+        return 2 + CostOf(vn.x);
+      default:
+        return 1;
+    }
+  }
+
+  // Emits code pushing the value of `id` onto the real stack. Only pass 2 calls
+  // this. Caches multi-use values in scratch slots.
+  void Materialize(int id) {
+    VN& vn = vns_[id];
+    if (vn.scratch >= 0) {
+      EmitOut(Op::kLoadLocal, vn.scratch, kWordSize);
+      return;
+    }
+    switch (vn.k) {
+      case VN::K::kOpaque:
+        assert(false && "opaque values are always physical");
+        return;
+      case VN::K::kConst:
+        EmitOut(Op::kConstInt, vn.a);
+        break;
+      case VN::K::kSym:
+        EmitOut(Op::kConstSym, vn.a);
+        break;
+      case VN::K::kAddrLocal:
+        EmitOut(Op::kAddrLocal, vn.a);
+        break;
+      case VN::K::kLoadLocal:
+        EmitOut(Op::kLoadLocal, vn.a, vn.b);
+        break;
+      case VN::K::kUnary:
+        Materialize(vn.x);
+        EmitOut(vn.op);
+        break;
+      case VN::K::kBinary:
+        Materialize(vn.x);
+        Materialize(vn.y);
+        EmitOut(vn.op);
+        break;
+      case VN::K::kLoadMem:
+        Materialize(vn.x);
+        EmitOut(Op::kLoadMem, vn.a, vn.b);
+        break;
+    }
+    // Cache only when it pays: recomputing u times costs u*c instructions; caching
+    // costs c + 2 (store+reload) + (u-1) reloads. Cache iff (u-1)*(c-1) > 2.
+    VN& self = vns_[id];
+    int cost = CostOf(id);
+    if (self.scratch < 0 && (self.uses - 1) * (cost - 1) > 2) {
+      self.scratch = AllocScratch();
+      EmitOut(Op::kStoreLocal, self.scratch, kWordSize);
+      EmitOut(Op::kLoadLocal, self.scratch, kWordSize);
+    }
+  }
+
+  // Makes every entry physical. In pass 1 this only flips flags (keeping both
+  // passes' state machines identical); in pass 2 it emits the pushes.
+  void MaterializeAll(std::vector<Entry>& stack) {
+    for (Entry& entry : stack) {
+      if (!entry.physical) {
+        if (emitting_) {
+          Materialize(entry.vn);
+        }
+        entry.physical = true;
+      }
+    }
+  }
+
+  // Before a state-changing op: lazy entries whose value depends on state the op
+  // will clobber must be computed NOW into scratch slots (pass 2 only — no
+  // physical flags change, so the passes stay in sync).
+  // `consumed_top` entries at the top of the stack are exempt: the current op
+  // materializes and consumes them itself, so pre-computing them into scratch
+  // slots would only add store/load traffic.
+  void ForceStale(const std::vector<Entry>& stack, bool invalidate_mem, int local_offset,
+                  int consumed_top) {
+    if (!emitting_) {
+      return;
+    }
+    size_t limit = stack.size() >= static_cast<size_t>(consumed_top)
+                       ? stack.size() - static_cast<size_t>(consumed_top)
+                       : 0;
+    for (size_t e = 0; e < limit; ++e) {
+      const Entry& entry = stack[e];
+      if (entry.physical || vns_[entry.vn].scratch >= 0) {
+        continue;
+      }
+      const VN& vn = vns_[entry.vn];
+      bool stale = false;
+      if (invalidate_mem && vn.mem_dep) {
+        stale = true;
+      }
+      if (invalidate_mem && !stale) {
+        for (int dep : vn.local_deps) {
+          if (escaped_.count(dep) > 0) {
+            stale = true;
+            break;
+          }
+        }
+      }
+      if (local_offset >= 0 && vn.local_deps.count(local_offset) > 0) {
+        stale = true;
+      }
+      if (!stale) {
+        continue;
+      }
+      Materialize(entry.vn);
+      if (vns_[entry.vn].scratch < 0) {
+        int scratch = AllocScratch();
+        vns_[entry.vn].scratch = scratch;
+        EmitOut(Op::kStoreLocal, scratch, kWordSize);
+      } else {
+        EmitOut(Op::kPop);  // Materialize cached it and left a copy on the stack
+      }
+    }
+  }
+
+  bool DependsOnLocal(int vn, int offset) const {
+    return vns_[vn].local_deps.count(offset) > 0;
+  }
+
+  bool DependsOnMemoryState(int vn) const {
+    if (vns_[vn].mem_dep) {
+      return true;
+    }
+    for (int dep : vns_[vn].local_deps) {
+      if (escaped_.count(dep) > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Forward-map hygiene: an entry whose VN reads state that is about to change
+  // must not be handed out afterwards — it would rematerialize with the NEW state.
+  // (Stack entries are handled by ForceStale; these maps are the other channel.)
+  // A VN whose value was just stored into program local `offset` can be reloaded
+  // from there — no separate scratch needed. The home is evicted when the slot is
+  // overwritten (or may be, via escape).
+  void HomeValueInSlot(int offset, int value) {
+    if (!emitting_ || vns_[value].scratch >= 0 || escaped_.count(offset) > 0 ||
+        CostOf(value) < 2) {
+      return;  // trivial values are cheaper to rematerialize than to reload
+    }
+    EvictHome(offset);
+    vns_[value].scratch = offset;
+    scratch_home_[offset] = value;
+  }
+
+  void EvictHome(int offset) {
+    auto it = scratch_home_.find(offset);
+    if (it != scratch_home_.end()) {
+      if (vns_[it->second].scratch == offset) {
+        vns_[it->second].scratch = -1;
+      }
+      scratch_home_.erase(it);
+    }
+  }
+
+  void ScrubForwardsForLocal(int offset) {
+    for (auto it = local_forward_.begin(); it != local_forward_.end();) {
+      if (it->first.first == offset || DependsOnLocal(it->second, offset)) {
+        it = local_forward_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = mem_forward_.begin(); it != mem_forward_.end();) {
+      if (DependsOnLocal(it->second, offset) || DependsOnLocal(it->first.first, offset)) {
+        it = mem_forward_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void ScrubForwardsForMemory() {
+    for (auto it = local_forward_.begin(); it != local_forward_.end();) {
+      if (escaped_.count(it->first.first) > 0 || DependsOnMemoryState(it->second)) {
+        it = local_forward_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void InvalidateMemory() {
+    ++mem_gen_;
+    mem_forward_.clear();
+    ScrubForwardsForMemory();
+    for (int offset : escaped_) {
+      ++local_gen_[offset];
+      EvictHome(offset);
+    }
+  }
+
+  // Decomposes an address VN into (base VN, constant offset) for alias checks.
+  std::pair<int, int32_t> BaseOffset(int vn) const {
+    const VN& v = vns_[vn];
+    if (v.k == VN::K::kBinary && v.op == Op::kAdd) {
+      if (vns_[v.y].k == VN::K::kConst) {
+        return {v.x, vns_[v.y].a};
+      }
+      if (vns_[v.x].k == VN::K::kConst) {
+        return {v.y, vns_[v.x].a};
+      }
+    }
+    if (v.k == VN::K::kBinary && v.op == Op::kSub && vns_[v.y].k == VN::K::kConst) {
+      return {v.x, -vns_[v.y].a};
+    }
+    return {vn, 0};
+  }
+
+  // True when a store to (store_addr, store_size) may overwrite the bytes read by
+  // (load_addr, load_size). Same-base accesses with disjoint constant ranges
+  // provably do not alias; everything else conservatively may.
+  bool MayAlias(int store_addr, int store_size, int load_addr, int load_size) const {
+    auto [sb, so] = BaseOffset(store_addr);
+    auto [lb, lo] = BaseOffset(load_addr);
+    if (sb != lb) {
+      return true;
+    }
+    return !(so + store_size <= lo || lo + load_size <= so);
+  }
+
+  // A store happened through `addr`: drop only the memory forwards it may clobber
+  // (plus anything whose *value* depends on memory, via the generation bump the
+  // caller performs).
+  void InvalidateMemoryForStore(int addr, int size) {
+    for (auto it = mem_forward_.begin(); it != mem_forward_.end();) {
+      if (MayAlias(addr, size, it->first.first, it->first.second) ||
+          vns_[it->second].mem_dep) {
+        it = mem_forward_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ScrubForwardsForMemory();
+  }
+
+  // ---- the simulation ----
+
+  void Simulate(bool emit) {
+    emitting_ = emit;
+    counting_ = !emit;
+    out_.clear();
+    index_map_.clear();
+    mem_gen_ = 0;
+    block_epoch_ = 0;
+    next_epoch_ = 0;
+    snapshots_.clear();
+    scratch_home_.clear();
+    local_gen_.clear();
+    local_forward_.clear();
+    mem_forward_.clear();
+    frame_size_ = fn_.frame_size;
+
+    std::vector<Entry> stack;
+    bool block_live = true;
+
+    for (size_t i = 0; i < fn_.code.size(); ++i) {
+      int index = static_cast<int>(i);
+      if (leaders_.count(index) > 0) {
+        index_map_[index] = static_cast<int>(out_.size());
+        bool inherit = inheriting_leaders_.count(index) > 0 && block_live;
+        stack.clear();
+        int depth = depths_[i] < 0 ? 0 : depths_[i];
+        for (int d = 0; d < depth; ++d) {
+          stack.push_back(Entry{OpaqueVN(index, d), true});
+        }
+        if (!inherit) {
+          if (!RestoreSnapshot(index)) {
+            local_forward_.clear();
+            mem_forward_.clear();
+            mem_gen_ += 1;                 // fresh generation per block
+            block_epoch_ = ++next_epoch_;  // fresh, never-reused VN space
+          }
+        }
+        block_live = depths_[i] >= 0;
+      }
+      if (!block_live) {
+        continue;
+      }
+      const Insn& insn = fn_.code[i];
+      SimulateInsn(index, insn, stack);
+      if (insn.op == Op::kRet || insn.op == Op::kJmp) {
+        block_live = false;
+      } else if (leaders_.count(index + 1) > 0) {
+        // Falling through into the next block: everything still lazy must be
+        // physically on the stack at the boundary.
+        MaterializeAll(stack);
+      }
+    }
+  }
+
+  int Pop(std::vector<Entry>& stack) {
+    assert(!stack.empty());
+    int vn = stack.back().vn;
+    stack.pop_back();
+    CountUse(vn);
+    return vn;
+  }
+
+  // Materializes the top entry (it is about to be consumed by an emitted op).
+  void MaterializeTop(std::vector<Entry>& stack) {
+    Entry& top = stack.back();
+    if (!top.physical) {
+      if (emitting_) {
+        Materialize(top.vn);
+      }
+      top.physical = true;
+    }
+  }
+
+  void SimulateInsn(int site, const Insn& insn, std::vector<Entry>& stack) {
+    switch (insn.op) {
+      case Op::kNop:
+        return;
+      case Op::kConstInt:
+        stack.push_back(Entry{ConstVN(static_cast<uint32_t>(insn.a)), false});
+        return;
+      case Op::kConstSym: {
+        VN vn;
+        vn.k = VN::K::kSym;
+        vn.a = insn.a;
+        stack.push_back(Entry{InternVN(std::move(vn)), false});
+        return;
+      }
+      case Op::kAddrLocal: {
+        VN vn;
+        vn.k = VN::K::kAddrLocal;
+        vn.a = insn.a;
+        stack.push_back(Entry{InternVN(std::move(vn)), false});
+        return;
+      }
+      case Op::kLoadLocal: {
+        auto fwd = local_forward_.find({insn.a, insn.b});
+        if (fwd != local_forward_.end()) {
+          stack.push_back(Entry{fwd->second, false});
+          return;
+        }
+        VN vn;
+        vn.k = VN::K::kLoadLocal;
+        vn.a = insn.a;
+        vn.b = insn.b;
+        vn.gen = local_gen_[insn.a];
+        vn.local_deps.insert(insn.a);
+        int id = InternVN(std::move(vn));
+        local_forward_[{insn.a, insn.b}] = id;  // subsequent loads reuse this VN
+        stack.push_back(Entry{id, false});
+        return;
+      }
+      case Op::kStoreLocal: {
+        ForceStale(stack, /*invalidate_mem=*/false, insn.a, /*consumed_top=*/1);
+        MaterializeTop(stack);
+        int value = Pop(stack);
+        ++local_gen_[insn.a];
+        EmitOut(Op::kStoreLocal, insn.a, insn.b);
+        ScrubForwardsForLocal(insn.a);
+        EvictHome(insn.a);
+        if (insn.b == kWordSize && !vns_[value].has_opaque &&
+            !DependsOnLocal(value, insn.a)) {
+          local_forward_[{insn.a, insn.b}] = value;
+          HomeValueInSlot(insn.a, value);
+        }
+        if (escaped_.count(insn.a) > 0) {
+          ++mem_gen_;
+          mem_forward_.clear();
+          ScrubForwardsForMemory();
+        }
+        return;
+      }
+      case Op::kLoadMem: {
+        Entry addr_entry = stack.back();
+        auto fwd = mem_forward_.find({addr_entry.vn, insn.b});
+        if (fwd != mem_forward_.end()) {
+          if (addr_entry.physical) {
+            EmitOut(Op::kPop);  // drop the already-pushed address
+          }
+          stack.pop_back();
+          CountUse(addr_entry.vn);
+          stack.push_back(Entry{fwd->second, false});
+          return;
+        }
+        bool addr_physical = addr_entry.physical;
+        int addr = Pop(stack);
+        VN vn;
+        vn.k = VN::K::kLoadMem;
+        vn.a = insn.a;
+        vn.b = insn.b;
+        vn.x = addr;
+        vn.gen = mem_gen_;
+        InheritDeps(vn, addr);
+        vn.mem_dep = true;
+        int id = InternVN(std::move(vn));
+        mem_forward_[{addr, insn.b}] = id;
+        if (addr_physical) {
+          // The address is already on the real stack: load eagerly and (if the
+          // value is reused) cache it.
+          EmitOut(Op::kLoadMem, insn.a, insn.b);
+          if (emitting_ && vns_[id].scratch < 0 &&
+              (vns_[id].uses - 1) * (CostOf(id) - 1) > 2) {
+            int scratch = AllocScratch();
+            vns_[id].scratch = scratch;
+            EmitOut(Op::kStoreLocal, scratch, kWordSize);
+            EmitOut(Op::kLoadLocal, scratch, kWordSize);
+          }
+          stack.push_back(Entry{id, true});
+        } else {
+          stack.push_back(Entry{id, false});
+        }
+        return;
+      }
+      case Op::kStoreMem: {
+        ForceStale(stack, /*invalidate_mem=*/true, -1, /*consumed_top=*/2);
+        MaterializeAll(stack);
+        int value = Pop(stack);
+        int addr = Pop(stack);
+        EmitOut(Op::kStoreMem, insn.a, insn.b);
+        ++mem_gen_;
+        InvalidateMemoryForStore(addr, insn.b);
+        for (int offset : escaped_) {
+          ++local_gen_[offset];
+          EvictHome(offset);
+        }
+        if (insn.b == kWordSize && !vns_[value].has_opaque) {
+          mem_forward_[{addr, insn.b}] = value;  // store-to-load forwarding
+        }
+        return;
+      }
+      case Op::kDup: {
+        Entry top = stack.back();
+        if (top.physical) {
+          EmitOut(Op::kDup);
+        }
+        CountUse(top.vn);
+        stack.push_back(top);
+        return;
+      }
+      case Op::kPop: {
+        Entry top = stack.back();
+        stack.pop_back();
+        if (top.physical) {
+          EmitOut(Op::kPop);
+        }
+        return;
+      }
+      case Op::kSwap: {
+        assert(stack.size() >= 2);
+        if (stack[stack.size() - 1].physical || stack[stack.size() - 2].physical) {
+          MaterializeAll(stack);
+          EmitOut(Op::kSwap);
+        }
+        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        return;
+      }
+      case Op::kJmp:
+        MaterializeAll(stack);
+        if (snapshot_at_jump_.count(site) > 0) {
+          TakeSnapshot(snapshot_at_jump_[site]);
+        }
+        EmitOut(Op::kJmp, insn.a);
+        return;
+      case Op::kJz:
+      case Op::kJnz: {
+        Entry cond = stack.back();
+        stack.pop_back();
+        MaterializeAll(stack);  // survivors cross the block boundary
+        if (snapshot_at_jump_.count(site) > 0) {
+          TakeSnapshot(snapshot_at_jump_[site]);
+        }
+        if (!cond.physical && vns_[cond.vn].k == VN::K::kConst) {
+          bool taken = (vns_[cond.vn].a != 0) == (insn.op == Op::kJnz);
+          if (taken) {
+            EmitOut(Op::kJmp, insn.a);
+          }
+          return;
+        }
+        if (!cond.physical && emitting_) {
+          Materialize(cond.vn);
+        }
+        CountUse(cond.vn);
+        EmitOut(insn.op, insn.a);
+        return;
+      }
+      case Op::kCall:
+      case Op::kCallIndirect: {
+        int operands = CallArgc(insn.b) + (insn.op == Op::kCallIndirect ? 1 : 0);
+        ForceStale(stack, /*invalidate_mem=*/true, -1, /*consumed_top=*/operands);
+        MaterializeAll(stack);
+        for (int k = 0; k < operands; ++k) {
+          Pop(stack);
+        }
+        EmitOut(insn.op, insn.a, insn.b);
+        InvalidateMemory();
+        if (CallReturns(insn.b)) {
+          stack.push_back(Entry{OpaqueVN(site, -1), true});
+        }
+        return;
+      }
+      case Op::kRet: {
+        if (insn.a != 0) {
+          MaterializeTop(stack);
+          Pop(stack);
+        }
+        EmitOut(Op::kRet, insn.a);
+        stack.clear();
+        return;
+      }
+      default:
+        break;
+    }
+    if (IsUnaryAlu(insn.op)) {
+      Entry top = stack.back();
+      stack.pop_back();
+      CountUse(top.vn);
+      int result = UnaryVN(insn.op, top.vn);
+      if (top.physical) {
+        EmitOut(insn.op);
+        stack.push_back(Entry{result, true});
+      } else {
+        stack.push_back(Entry{result, false});
+      }
+      return;
+    }
+    if (IsBinaryAlu(insn.op)) {
+      bool any_physical =
+          stack[stack.size() - 1].physical || stack[stack.size() - 2].physical;
+      if (any_physical) {
+        MaterializeAll(stack);
+        int y = Pop(stack);
+        int x = Pop(stack);
+        EmitOut(insn.op);
+        stack.push_back(Entry{BinaryVN(insn.op, x, y), true});
+        return;
+      }
+      int y = Pop(stack);
+      int x = Pop(stack);
+      stack.push_back(Entry{BinaryVN(insn.op, x, y), false});
+      return;
+    }
+    assert(false && "unhandled opcode in LVN");
+  }
+
+  BytecodeFunction& fn_;
+  std::vector<int> depths_;
+  std::set<int> leaders_;
+  std::set<int> inheriting_leaders_;
+  std::map<int, int> snapshot_at_jump_;  // jump insn index -> target leader
+  std::map<int, StateSnapshot> snapshots_;
+  std::set<int> escaped_;
+
+  std::vector<VN> vns_;
+  std::map<std::tuple<int, int, int, int32_t, int32_t, int, int, int>, int> intern_;
+  int block_epoch_ = 0;
+  int next_epoch_ = 0;
+  std::vector<Insn> out_;
+  std::map<int, int> index_map_;
+  bool emitting_ = false;
+  bool counting_ = false;
+  int frame_size_ = 0;
+  int mem_gen_ = 0;
+  std::map<int, int> local_gen_;
+  std::map<std::pair<int, int>, int> local_forward_;  // (offset, size) -> VN
+  std::map<std::pair<int, int>, int> mem_forward_;    // (addr VN, size) -> VN
+  std::map<int, int> scratch_home_;                   // offset -> VN homed there
+};
+
+// ---- cleanup passes ---------------------------------------------------------------
+
+// Replaces stores to frame slots that are never read (no kLoadLocal/kAddrLocal of
+// that offset anywhere in the function) with kPop: store-to-load forwarding in the
+// LVN pass routinely makes the original slot dead, especially at inline seams.
+void DeadStoreElim(BytecodeFunction& function) {
+  std::set<int> read;
+  for (const Insn& insn : function.code) {
+    if (insn.op == Op::kLoadLocal || insn.op == Op::kAddrLocal) {
+      read.insert(insn.a);
+    }
+  }
+  for (Insn& insn : function.code) {
+    if (insn.op == Op::kStoreLocal && read.count(insn.a) == 0) {
+      insn = Insn{Op::kPop, 0, 0};
+    }
+  }
+}
+
+// Cancels pure value producers against an immediately following kPop:
+//   push-like + pop        -> (nothing)
+//   unary + pop            -> pop        (the operand is dead too; next round)
+//   binary + pop           -> pop, pop
+//   loadmem + pop          -> pop        (drops a potentially-trapping load of an
+//                                         unused value; MiniC has no volatile)
+//   dup + pop              -> (nothing)
+// Runs to a fixpoint together with nop compaction.
+bool PopCancellation(BytecodeFunction& function) {
+  std::set<int> leaders = LeadersOf(function);
+  bool changed = false;
+  for (size_t i = 0; i + 1 < function.code.size(); ++i) {
+    if (function.code[i + 1].op != Op::kPop ||
+        leaders.count(static_cast<int>(i) + 1) > 0) {
+      continue;
+    }
+    Op op = function.code[i].op;
+    if (op == Op::kConstInt || op == Op::kConstSym || op == Op::kAddrLocal ||
+        op == Op::kLoadLocal || op == Op::kDup) {
+      function.code[i] = Insn{Op::kNop, 0, 0};
+      function.code[i + 1] = Insn{Op::kNop, 0, 0};
+      changed = true;
+    } else if (IsUnaryAlu(op)) {
+      function.code[i] = Insn{Op::kNop, 0, 0};
+      changed = true;
+    } else if (op == Op::kLoadMem) {
+      function.code[i] = Insn{Op::kNop, 0, 0};
+      changed = true;
+    } else if (IsBinaryAlu(op)) {
+      function.code[i] = Insn{Op::kPop, 0, 0};
+      changed = true;
+    }
+  }
+  if (changed) {
+    CompactNops(function);
+  }
+  return changed;
+}
+
+// Removes `kStoreLocal t; kLoadLocal t` pairs where t is touched nowhere else.
+void StoreLoadPeephole(BytecodeFunction& function) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<int, int> touches;
+    for (const Insn& insn : function.code) {
+      if (insn.op == Op::kLoadLocal || insn.op == Op::kStoreLocal ||
+          insn.op == Op::kAddrLocal) {
+        ++touches[insn.a];
+      }
+    }
+    std::set<int> leaders = LeadersOf(function);
+    for (size_t i = 0; i + 1 < function.code.size(); ++i) {
+      const Insn& store = function.code[i];
+      const Insn& load = function.code[i + 1];
+      if (store.op == Op::kStoreLocal && load.op == Op::kLoadLocal && store.a == load.a &&
+          store.b == load.b && store.b == kWordSize && touches[store.a] == 2 &&
+          leaders.count(static_cast<int>(i) + 1) == 0) {
+        function.code[i].op = Op::kNop;
+        function.code[i + 1].op = Op::kNop;
+        changed = true;
+      }
+    }
+    if (changed) {
+      CompactNops(function);
+    }
+  }
+}
+
+void ThreadJumps(BytecodeFunction& function) {
+  for (Insn& insn : function.code) {
+    if (!IsJump(insn.op)) {
+      continue;
+    }
+    int target = insn.a;
+    int hops = 0;
+    while (hops < 8 && static_cast<size_t>(target) < function.code.size() &&
+           function.code[target].op == Op::kJmp && function.code[target].a != target) {
+      target = function.code[target].a;
+      ++hops;
+    }
+    insn.a = target;
+  }
+  for (size_t i = 0; i < function.code.size(); ++i) {
+    if (function.code[i].op == Op::kJmp && function.code[i].a == static_cast<int>(i) + 1) {
+      function.code[i].op = Op::kNop;
+    }
+  }
+}
+
+void RemoveUnreachable(BytecodeFunction& function) {
+  std::vector<int> depth = ComputeDepths(function);
+  for (size_t i = 0; i < function.code.size(); ++i) {
+    if (depth[i] == -1) {
+      function.code[i] = Insn{Op::kNop, 0, 0};
+    }
+  }
+}
+
+}  // namespace
+
+void OptimizeFunction(BytecodeFunction& function) {
+  RemoveUnreachable(function);
+  CompactNops(function);
+  LvnPass(function).Run();
+  ThreadJumps(function);
+  RemoveUnreachable(function);
+  CompactNops(function);
+  StoreLoadPeephole(function);
+  // Dead stores and the values feeding them cancel iteratively.
+  for (int round = 0; round < 8; ++round) {
+    DeadStoreElim(function);
+    if (!PopCancellation(function)) {
+      break;
+    }
+    StoreLoadPeephole(function);
+  }
+}
+
+namespace {
+
+// kCall references per function index across the whole object (data relocations
+// count as extra references so address-taken functions are never "single-call").
+std::vector<int> CountCallSites(const ObjectFile& object) {
+  std::vector<int> counts(object.functions.size(), 0);
+  auto count_symbol = [&](int symbol_index, int weight) {
+    const ObjSymbol& symbol = object.symbols[symbol_index];
+    if (symbol.section == ObjSymbol::Section::kText && symbol.index >= 0 &&
+        symbol.index < static_cast<int>(counts.size())) {
+      counts[symbol.index] += weight;
+    }
+  };
+  for (const BytecodeFunction& function : object.functions) {
+    for (const Insn& insn : function.code) {
+      if (insn.op == Op::kCall) {
+        count_symbol(insn.a, 1);
+      } else if (insn.op == Op::kConstSym) {
+        count_symbol(insn.a, 2);  // address taken: disqualify single-call inlining
+      }
+    }
+  }
+  for (const DataReloc& reloc : object.data_relocs) {
+    count_symbol(reloc.symbol, 2);
+  }
+  return counts;
+}
+
+}  // namespace
+
+int InlineCalls(ObjectFile& object, int function_index, const CodegenOptions& options) {
+  int inlined = 0;
+  bool progress = true;
+  while (progress &&
+         static_cast<int>(object.functions[function_index].code.size()) <
+             options.caller_growth) {
+    progress = false;
+    std::vector<int> call_sites = CountCallSites(object);
+    BytecodeFunction& caller = object.functions[function_index];
+    for (size_t p = 0; p < caller.code.size(); ++p) {
+      const Insn call = caller.code[p];
+      if (call.op != Op::kCall) {
+        continue;
+      }
+      const ObjSymbol& symbol = object.symbols[call.a];
+      if (symbol.section != ObjSymbol::Section::kText || symbol.index < 0 ||
+          symbol.index >= function_index) {
+        continue;  // undefined here, or defined later in the TU — not inlinable
+      }
+      const BytecodeFunction& callee = object.functions[symbol.index];
+      if (callee.variadic) {
+        continue;
+      }
+      bool small = options.inline_limit > 0 &&
+                   static_cast<int>(callee.code.size()) <= options.inline_limit;
+      bool single = options.inline_single_call && !symbol.global &&
+                    call_sites[symbol.index] == 1 &&
+                    static_cast<int>(callee.code.size()) <= options.single_call_limit;
+      if (!small && !single) {
+        continue;
+      }
+      if (callee.returns_value != CallReturns(call.b) ||
+          callee.param_count != CallArgc(call.b)) {
+        continue;
+      }
+
+      int base = RoundUp(caller.frame_size, kWordSize);
+      caller.frame_size = base + callee.frame_size;
+      std::vector<Insn> splice;
+      for (int i = callee.param_count - 1; i >= 0; --i) {
+        splice.push_back(Insn{Op::kStoreLocal, base + i * kWordSize, kWordSize});
+      }
+      int body_start = static_cast<int>(splice.size());
+      int end_index = body_start + static_cast<int>(callee.code.size());
+      for (const Insn& insn : callee.code) {
+        Insn copy = insn;
+        switch (copy.op) {
+          case Op::kLoadLocal:
+          case Op::kStoreLocal:
+          case Op::kAddrLocal:
+            copy.a += base;
+            break;
+          case Op::kJmp:
+          case Op::kJz:
+          case Op::kJnz:
+            copy.a += body_start;
+            break;
+          case Op::kRet:
+            copy.op = Op::kJmp;
+            copy.a = end_index;
+            break;
+          default:
+            break;
+        }
+        splice.push_back(copy);
+      }
+
+      int grow = static_cast<int>(splice.size()) - 1;
+      std::vector<Insn> out;
+      out.reserve(caller.code.size() + splice.size());
+      for (size_t i = 0; i < p; ++i) {
+        Insn insn = caller.code[i];
+        if (IsJump(insn.op) && insn.a > static_cast<int>(p)) {
+          insn.a += grow;
+        }
+        out.push_back(insn);
+      }
+      for (Insn insn : splice) {
+        if (IsJump(insn.op)) {
+          insn.a += static_cast<int>(p);
+        }
+        out.push_back(insn);
+      }
+      for (size_t i = p + 1; i < caller.code.size(); ++i) {
+        Insn insn = caller.code[i];
+        if (IsJump(insn.op) && insn.a > static_cast<int>(p)) {
+          insn.a += grow;
+        }
+        out.push_back(insn);
+      }
+      caller.code = std::move(out);
+      ++inlined;
+      progress = true;
+      break;  // indices changed; rescan
+    }
+  }
+  return inlined;
+}
+
+void RemoveDeadLocalFunctions(ObjectFile& object) {
+  std::set<int> live_functions;
+  std::vector<int> work;
+  auto add_symbol = [&](int symbol_index) {
+    const ObjSymbol& symbol = object.symbols[symbol_index];
+    if (symbol.section == ObjSymbol::Section::kText && symbol.index >= 0 &&
+        live_functions.insert(symbol.index).second) {
+      work.push_back(symbol.index);
+    }
+  };
+  for (size_t s = 0; s < object.symbols.size(); ++s) {
+    if (object.symbols[s].section == ObjSymbol::Section::kText && object.symbols[s].global) {
+      add_symbol(static_cast<int>(s));
+    }
+  }
+  for (const DataReloc& reloc : object.data_relocs) {
+    add_symbol(reloc.symbol);
+  }
+  while (!work.empty()) {
+    int f = work.back();
+    work.pop_back();
+    for (const Insn& insn : object.functions[f].code) {
+      if (insn.op == Op::kCall || insn.op == Op::kConstSym) {
+        add_symbol(insn.a);
+      }
+    }
+  }
+  if (live_functions.size() == object.functions.size()) {
+    return;
+  }
+  std::vector<int> remap(object.functions.size(), -1);
+  std::vector<BytecodeFunction> kept;
+  for (size_t f = 0; f < object.functions.size(); ++f) {
+    if (live_functions.count(static_cast<int>(f)) > 0) {
+      remap[f] = static_cast<int>(kept.size());
+      kept.push_back(std::move(object.functions[f]));
+    }
+  }
+  object.functions = std::move(kept);
+  for (ObjSymbol& symbol : object.symbols) {
+    if (symbol.section == ObjSymbol::Section::kText) {
+      if (symbol.index >= 0 && remap[symbol.index] >= 0) {
+        symbol.index = remap[symbol.index];
+      } else {
+        symbol.section = ObjSymbol::Section::kUndefined;
+        symbol.index = 0;
+        symbol.global = false;
+      }
+    }
+  }
+}
+
+void OptimizeObject(ObjectFile& object, const CodegenOptions& options) {
+  for (size_t f = 0; f < object.functions.size(); ++f) {
+    InlineCalls(object, static_cast<int>(f), options);
+    OptimizeFunction(object.functions[f]);
+  }
+  RemoveDeadLocalFunctions(object);
+}
+
+}  // namespace knit

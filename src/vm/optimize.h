@@ -1,0 +1,36 @@
+// Per-translation-unit bytecode optimizer, deliberately modeled on what the paper
+// relies on from gcc 2.95 after flattening ("turns function call nests into compact
+// straight-line code, and eliminates redundant reads via common subexpression
+// elimination"):
+//
+//  * Inlining of direct calls whose callee is defined EARLIER in the same object —
+//    the same restriction that makes the flattener's defs-before-uses sorting
+//    matter, and that confines inlining to a translation unit (so componentized
+//    builds cannot inline across units; flattened builds can).
+//  * Local value numbering per basic block: constant folding, algebraic identities,
+//    redundant-load elimination with store-to-load forwarding, dead pure code.
+//  * Jump threading, unreachable-code removal, scratch store/load peepholes.
+//  * Dead local-function elimination (inlined-away statics shrink the text, which
+//    is why Table 1's flattened router is *smaller* than the modular one).
+#ifndef SRC_VM_OPTIMIZE_H_
+#define SRC_VM_OPTIMIZE_H_
+
+#include "src/obj/object.h"
+#include "src/vm/codegen.h"
+
+namespace knit {
+
+struct CodegenOptions;
+
+// Optimizes every function in the object in definition order, then removes dead
+// local functions.
+void OptimizeObject(ObjectFile& object, const CodegenOptions& options);
+
+// Exposed for targeted tests.
+void OptimizeFunction(BytecodeFunction& function);
+int InlineCalls(ObjectFile& object, int function_index, const CodegenOptions& options);
+void RemoveDeadLocalFunctions(ObjectFile& object);
+
+}  // namespace knit
+
+#endif  // SRC_VM_OPTIMIZE_H_

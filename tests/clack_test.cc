@@ -1,0 +1,169 @@
+// Clack router tests: all four Table-1 configurations must behave identically on
+// the same trace (same counters, same transmitted bytes), and the performance
+// ordering must match the paper's shape.
+#include <gtest/gtest.h>
+
+#include "src/clack/corpus.h"
+#include "src/clack/harness.h"
+#include "src/clack/trace.h"
+#include "src/support/mangle.h"
+
+namespace knit {
+namespace {
+
+RouterStats RunConfig(const std::string& top_unit, const std::vector<TracePacket>& trace) {
+  Diagnostics diags;
+  KnitcOptions options;
+  Result<RouterProgram> program = RouterProgram::FromClack(top_unit, options, diags);
+  EXPECT_TRUE(program.ok()) << diags.ToString();
+  if (!program.ok()) {
+    return RouterStats{};
+  }
+  Result<RouterStats> stats = program.value().RunTrace(trace, diags);
+  EXPECT_TRUE(stats.ok()) << diags.ToString();
+  return stats.ok() ? stats.value() : RouterStats{};
+}
+
+class ClackConfigTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(ClackConfigTest, CountersMatchTraceExpectation) {
+  TraceOptions trace_options;
+  trace_options.count = 300;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+  TraceExpectation expect = ExpectationOf(trace);
+
+  RouterStats stats = RunConfig(GetParam(), trace);
+  EXPECT_EQ(stats.in0, expect.in0);
+  EXPECT_EQ(stats.in1, expect.in1);
+  EXPECT_EQ(stats.ip, expect.ip);
+  EXPECT_EQ(stats.out, expect.out);
+  EXPECT_EQ(stats.drop, expect.drop);
+  EXPECT_EQ(stats.tx_count, expect.tx);
+  EXPECT_GT(stats.cycles, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRouterConfigs, ClackConfigTest,
+                         testing::Values("ClackRouter", "ClackRouterFlat", "HandRouter",
+                                         "HandRouterFlat"));
+
+TEST(Clack, AllConfigurationsTransmitIdenticalBytes) {
+  TraceOptions trace_options;
+  trace_options.count = 250;
+  trace_options.seed = 99;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+
+  RouterStats modular = RunConfig("ClackRouter", trace);
+  RouterStats flat = RunConfig("ClackRouterFlat", trace);
+  RouterStats hand = RunConfig("HandRouter", trace);
+  RouterStats hand_flat = RunConfig("HandRouterFlat", trace);
+
+  ASSERT_GT(modular.tx_count, 0u);
+  EXPECT_EQ(modular.tx_hash, flat.tx_hash);
+  EXPECT_EQ(modular.tx_hash, hand.tx_hash);
+  EXPECT_EQ(modular.tx_hash, hand_flat.tx_hash);
+}
+
+TEST(Clack, PerformanceOrderingMatchesPaper) {
+  // Table 1's shape: base slowest; hand-optimization helps; flattening helps more;
+  // flattening improves (not hurts) i-fetch stalls.
+  TraceOptions trace_options;
+  trace_options.count = 400;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+
+  RouterStats base = RunConfig("ClackRouter", trace);
+  RouterStats hand = RunConfig("HandRouter", trace);
+  RouterStats flat = RunConfig("ClackRouterFlat", trace);
+  RouterStats both = RunConfig("HandRouterFlat", trace);
+
+  EXPECT_LT(hand.cycles, base.cycles);
+  EXPECT_LT(flat.cycles, base.cycles);
+  EXPECT_LT(both.cycles, flat.cycles + flat.cycles / 10);  // within ~10% or better
+  EXPECT_LE(flat.ifetch_stalls, base.ifetch_stalls);
+}
+
+
+TEST(Clack, PacketTypeConstraintsAcceptTheRealRouter) {
+  // The full router carries pkttype annotations on every element; the correct
+  // wiring must pass the checker (it is on by default in KnitcOptions).
+  Diagnostics diags;
+  KnitcOptions options;
+  Result<RouterProgram> program = RouterProgram::FromClack("ClackRouter", options, diags);
+  EXPECT_TRUE(program.ok()) << diags.ToString();
+}
+
+TEST(Clack, PacketTypeConstraintsCatchMissingStrip) {
+  // MiswiredClackRouter feeds the classifier's (Ethernet) IP output directly into
+  // CheckIPHeader (which requires IpPacket) — the paper's "components only receive
+  // packets of an appropriate type" scenario, caught at build time.
+  Diagnostics diags;
+  KnitcOptions options;
+  Result<RouterProgram> program =
+      RouterProgram::FromClack("MiswiredClackRouter", options, diags);
+  EXPECT_FALSE(program.ok());
+  EXPECT_NE(diags.ToString().find("pkttype"), std::string::npos) << diags.ToString();
+
+  // With checking disabled the broken router builds — and would misparse frames.
+  // (Built directly: the measurement harness requires a two-port router.)
+  Diagnostics quiet;
+  KnitcOptions unchecked;
+  unchecked.check_constraints = false;
+  EXPECT_TRUE(
+      KnitBuild(ClackKnit(), ClackSources(), "MiswiredClackRouter", unchecked, quiet).ok())
+      << quiet.ToString();
+}
+
+TEST(Clack, ModularRouterHas24Instances) {
+  Diagnostics diags;
+  KnitcOptions options;
+  Result<RouterProgram> program = RouterProgram::FromClack("ClackRouter", options, diags);
+  ASSERT_TRUE(program.ok()) << diags.ToString();
+  EXPECT_EQ(program.value().build()->stats.instance_count, 24);
+}
+
+TEST(Clack, TtlIsActuallyDecremented) {
+  // Forwarded packets must come out with TTL-1 and a re-valid checksum; covered
+  // indirectly by tx_hash equality, but verify once against a hand-computed frame.
+  TraceOptions trace_options;
+  trace_options.count = 1;
+  trace_options.arp_percent = 0;
+  trace_options.other_percent = 0;
+  trace_options.bad_checksum_percent = 0;
+  trace_options.ttl_expired_percent = 0;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+  ASSERT_EQ(trace[0].kind, PacketKind::kForward);
+
+  Diagnostics diags;
+  KnitcOptions options;
+  Result<RouterProgram> program = RouterProgram::FromClack("ClackRouter", options, diags);
+  ASSERT_TRUE(program.ok()) << diags.ToString();
+
+  uint8_t ttl_in = trace[0].frame[14 + 8];
+  std::vector<uint8_t> tx_frame;
+  program.value().machine().BindNative(
+      EnvSymbol("dev", "dev_tx"), [&](Machine& m, const std::vector<uint32_t>& args) {
+        tx_frame.clear();
+        for (uint32_t i = 0; i < args[1]; ++i) {
+          tx_frame.push_back(m.ReadByte(args[0] + i));
+        }
+        return 0u;
+      });
+  Result<RouterStats> stats = program.value().RunTrace(trace, diags);
+  ASSERT_TRUE(stats.ok()) << diags.ToString();
+  ASSERT_GE(tx_frame.size(), 34u);
+  EXPECT_EQ(tx_frame[14 + 8], ttl_in - 1);
+  // Recompute the IP checksum of the transmitted frame: must be valid.
+  uint32_t sum = 0;
+  for (int i = 0; i < 20; i += 2) {
+    sum += (static_cast<uint32_t>(tx_frame[14 + i]) << 8) | tx_frame[14 + i + 1];
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  EXPECT_EQ(sum, 0xFFFFu);
+  // Ethernet type still IPv4 and destination MAC derived from the gateway.
+  EXPECT_EQ(tx_frame[12], 8);
+  EXPECT_EQ(tx_frame[13], 0);
+}
+
+}  // namespace
+}  // namespace knit

@@ -1,0 +1,86 @@
+// Click source-generator tests: the generated program's structure must reflect the
+// selected optimizations (generic pattern interpreter vs specialized compares,
+// indirect vs direct dispatch, fused xform elements).
+#include <gtest/gtest.h>
+
+#include "src/click/click_gen.h"
+
+namespace knit {
+namespace {
+
+TEST(ClickGen, UnoptimizedUsesIndirectDispatchAndGenericClassifier) {
+  std::string source = GenerateClickRouter(ClickOptim::None());
+  // Object-based: push function pointers and run-time wiring.
+  EXPECT_NE(source.find("void (*push)(struct element *self, struct pkt *p);"),
+            std::string::npos);
+  EXPECT_NE(source.find("self->out0->push(self->out0, p)"), std::string::npos);
+  EXPECT_NE(source.find(".push = click_classifier_push"), std::string::npos);
+  // Generic classifier interprets the configured pattern table.
+  EXPECT_NE(source.find("pat_n"), std::string::npos);
+  EXPECT_NE(source.find("pat_val[0] = 0x800"), std::string::npos);
+  // No per-instance specialized functions.
+  EXPECT_EQ(source.find("static void el0_push"), std::string::npos);
+}
+
+TEST(ClickGen, FastClassifierSpecializesCompares) {
+  std::string source = GenerateClickRouter(ClickOptim{true, false, false});
+  EXPECT_NE(source.find("if (v == 0x800)"), std::string::npos);
+  // Dispatch is still indirect (no devirtualization).
+  EXPECT_NE(source.find("self->out0->push(self->out0, p)"), std::string::npos);
+}
+
+TEST(ClickGen, SpecializerEmitsPerInstanceDirectCalls) {
+  std::string source = GenerateClickRouter(ClickOptim{false, true, false});
+  EXPECT_NE(source.find("static void el0_push(struct pkt *p)"), std::string::npos);
+  // Direct calls between element functions; no indirect dispatch anywhere.
+  EXPECT_EQ(source.find("->push("), std::string::npos);
+  // The classifier stays generic (per-instance pattern loop) without fast-classifier.
+  EXPECT_NE(source.find("pat_n"), std::string::npos);
+}
+
+TEST(ClickGen, XformFusesElements) {
+  std::string without = GenerateClickRouter(ClickOptim::None());
+  std::string with = GenerateClickRouter(ClickOptim{false, false, true});
+  // The fused TTL+checksum element uses the incremental RFC1624 update.
+  EXPECT_EQ(without.find("old_ck"), std::string::npos);
+  EXPECT_NE(with.find("old_ck"), std::string::npos);
+  // The separate full-recompute FixIPChecksum disappears from the fused build.
+  EXPECT_NE(without.find("click_fixck_push"), std::string::npos);
+  EXPECT_EQ(with.find("click_fixck_push"), std::string::npos);
+}
+
+TEST(ClickGen, AllVariantsBuildToImages) {
+  for (const ClickOptim& optim :
+       {ClickOptim::None(), ClickOptim{true, false, false}, ClickOptim{false, true, false},
+        ClickOptim{false, false, true}, ClickOptim::All()}) {
+    Diagnostics diags;
+    Result<std::unique_ptr<Image>> image = BuildClickRouter(optim, diags);
+    ASSERT_TRUE(image.ok()) << diags.ToString();
+    EXPECT_GE(image.value()->FindFunction("click_in0"), 0);
+    EXPECT_GE(image.value()->FindFunction("click_init"), 0);
+    EXPECT_GE(image.value()->FindFunction("click_stats_drop"), 0);
+  }
+}
+
+TEST(ClickGen, OptimizedImageHasFewerCallsOnThePath) {
+  Diagnostics diags;
+  Result<std::unique_ptr<Image>> unopt = BuildClickRouter(ClickOptim::None(), diags);
+  Result<std::unique_ptr<Image>> opt = BuildClickRouter(ClickOptim::All(), diags);
+  ASSERT_TRUE(unopt.ok() && opt.ok()) << diags.ToString();
+  auto indirect_count = [](const Image& image) {
+    int count = 0;
+    for (const BytecodeFunction& function : image.functions) {
+      for (const Insn& insn : function.code) {
+        if (insn.op == Op::kCallIndirect) {
+          ++count;
+        }
+      }
+    }
+    return count;
+  };
+  EXPECT_GT(indirect_count(*unopt.value()), 10);
+  EXPECT_EQ(indirect_count(*opt.value()), 0);
+}
+
+}  // namespace
+}  // namespace knit

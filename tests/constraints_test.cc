@@ -1,0 +1,304 @@
+// Constraint-system tests (paper §4): lattice construction, propagation through
+// link graphs, violation detection with useful messages, and statistics.
+#include <gtest/gtest.h>
+
+#include "src/constraints/check.h"
+#include "src/knitlang/parser.h"
+#include "src/knitsem/elaborate.h"
+#include "src/knitsem/instantiate.h"
+
+namespace knit {
+namespace {
+
+constexpr const char* kContextPrelude = R"(
+bundletype T = { f }
+property context
+type NoContext
+type ProcessContext < NoContext
+)";
+
+struct CheckedBuild {
+  std::unique_ptr<Elaboration> elaboration;
+  Configuration config;
+  ConstraintSolution solution;
+  std::string error;
+  bool ok = false;
+};
+
+CheckedBuild Check(const std::string& text, const std::string& top) {
+  CheckedBuild out;
+  Diagnostics diags;
+  Result<KnitProgram> program = ParseKnit(text, "t.knit", diags);
+  if (!program.ok()) {
+    out.error = diags.ToString();
+    return out;
+  }
+  Result<Elaboration> elaboration = Elaborate(program.value(), diags);
+  if (!elaboration.ok()) {
+    out.error = diags.ToString();
+    return out;
+  }
+  out.elaboration = std::make_unique<Elaboration>(std::move(elaboration.value()));
+  Result<Configuration> config = Instantiate(*out.elaboration, top, diags);
+  if (!config.ok()) {
+    out.error = diags.ToString();
+    return out;
+  }
+  out.config = std::move(config.value());
+  out.ok = CheckConstraints(*out.elaboration, out.config, diags, &out.solution).ok();
+  out.error = diags.ToString();
+  return out;
+}
+
+TEST(PropertyLattice, TransitiveReflexiveClosure) {
+  std::vector<PropertyValueDecl> values;
+  values.push_back({"p", "Bottom", "Middle", {}});
+  values.push_back({"p", "Middle", "Top", {}});
+  values.push_back({"p", "Top", "", {}});
+  PropertyLattice lattice("p", values);
+  int bottom = lattice.IndexOf("Bottom");
+  int middle = lattice.IndexOf("Middle");
+  int top = lattice.IndexOf("Top");
+  ASSERT_GE(bottom, 0);
+  EXPECT_TRUE(lattice.Leq(bottom, bottom));
+  EXPECT_TRUE(lattice.Leq(bottom, middle));
+  EXPECT_TRUE(lattice.Leq(bottom, top));  // transitive
+  EXPECT_TRUE(lattice.Leq(middle, top));
+  EXPECT_FALSE(lattice.Leq(top, bottom));
+  EXPECT_FALSE(lattice.Leq(middle, bottom));
+  EXPECT_EQ(lattice.IndexOf("Ghost"), -1);
+}
+
+TEST(Constraints, SatisfiableChainPasses) {
+  CheckedBuild built = Check(std::string(kContextPrelude) + R"(
+unit Safe = {
+  exports [o : T];
+  files {"s.c"};
+  constraints { context(o) = NoContext; };
+}
+unit Wrapper = {
+  imports [i : T];
+  exports [o : T];
+  files {"w.c"};
+  constraints { context(exports) <= context(imports); };
+}
+unit NeedsSafe = {
+  imports [i : T];
+  exports [o : T];
+  files {"n.c"};
+  constraints { NoContext <= context(i); };
+}
+unit Top = {
+  imports [];
+  exports [o : T];
+  link {
+    [s] <- Safe <- [];
+    [w] <- Wrapper <- [s];
+    [o] <- NeedsSafe <- [w];
+  };
+}
+)",
+                             "Top");
+  EXPECT_TRUE(built.ok) << built.error;
+  // The wrapper's export domain must allow NoContext (required downstream).
+  const auto& domain =
+      built.solution.domains.at("context").at("Top/Wrapper").at("exports/o");
+  EXPECT_NE(std::find(domain.begin(), domain.end(), "NoContext"), domain.end());
+}
+
+TEST(Constraints, ViolationThroughPropagationIsCaught) {
+  CheckedBuild built = Check(std::string(kContextPrelude) + R"(
+unit Locky = {
+  exports [o : T];
+  files {"l.c"};
+  constraints { context(o) = ProcessContext; };
+}
+unit Wrapper = {
+  imports [i : T];
+  exports [o : T];
+  files {"w.c"};
+  constraints { context(exports) <= context(imports); };
+}
+unit NeedsSafe = {
+  imports [i : T];
+  exports [o : T];
+  files {"n.c"};
+  constraints { NoContext <= context(i); };
+}
+unit Top = {
+  imports [];
+  exports [o : T];
+  link {
+    [l] <- Locky <- [];
+    [w] <- Wrapper <- [l];
+    [o] <- NeedsSafe <- [w];
+  };
+}
+)",
+                             "Top");
+  EXPECT_FALSE(built.ok);
+  EXPECT_NE(built.error.find("context"), std::string::npos) << built.error;
+}
+
+TEST(Constraints, DirectConflictIsCaught) {
+  CheckedBuild built = Check(std::string(kContextPrelude) + R"(
+unit A = {
+  exports [o : T];
+  files {"a.c"};
+  constraints { context(o) = ProcessContext; };
+}
+unit B = {
+  imports [i : T];
+  exports [o : T];
+  files {"b.c"};
+  constraints { context(i) = NoContext; };
+}
+unit Top = {
+  imports [];
+  exports [o : T];
+  link { [a] <- A <- []; [o] <- B <- [a]; };
+}
+)",
+                             "Top");
+  EXPECT_FALSE(built.ok);
+}
+
+TEST(Constraints, UnannotatedUnitsBreakPropagationChains) {
+  // An unannotated intermediary leaves its ports unconstrained — the paper's
+  // reason 70% of annotated units carry the propagation constraint.
+  CheckedBuild built = Check(std::string(kContextPrelude) + R"(
+unit Locky = {
+  exports [o : T];
+  files {"l.c"};
+  constraints { context(o) = ProcessContext; };
+}
+unit Unannotated = {
+  imports [i : T];
+  exports [o : T];
+  files {"u.c"};
+}
+unit NeedsSafe = {
+  imports [i : T];
+  exports [o : T];
+  files {"n.c"};
+  constraints { NoContext <= context(i); };
+}
+unit Top = {
+  imports [];
+  exports [o : T];
+  link {
+    [l] <- Locky <- [];
+    [u] <- Unannotated <- [l];
+    [o] <- NeedsSafe <- [u];
+  };
+}
+)",
+                             "Top");
+  // No propagation annotation on the middle unit: the (real) bug goes unnoticed.
+  EXPECT_TRUE(built.ok) << built.error;
+}
+
+TEST(Constraints, EqualityBetweenPortsUnifies) {
+  CheckedBuild built = Check(std::string(kContextPrelude) + R"(
+unit Eq = {
+  imports [i : T];
+  exports [o : T];
+  files {"e.c"};
+  constraints { context(o) = context(i); };
+}
+unit Fixed = {
+  exports [o : T];
+  files {"f.c"};
+  constraints { context(o) = ProcessContext; };
+}
+unit Top = {
+  imports [];
+  exports [o : T];
+  link { [f] <- Fixed <- []; [o] <- Eq <- [f]; };
+}
+)",
+                             "Top");
+  ASSERT_TRUE(built.ok) << built.error;
+  const auto& domain = built.solution.domains.at("context").at("Top/Eq").at("exports/o");
+  ASSERT_EQ(domain.size(), 1u);
+  EXPECT_EQ(domain[0], "ProcessContext");
+}
+
+TEST(Constraints, UnknownValueNameIsReported) {
+  CheckedBuild built = Check(std::string(kContextPrelude) + R"(
+unit Bad = {
+  exports [o : T];
+  files {"b.c"};
+  constraints { context(o) = Ghost; };
+}
+)",
+                             "Bad");
+  EXPECT_FALSE(built.ok);
+  EXPECT_NE(built.error.find("unknown value 'Ghost'"), std::string::npos) << built.error;
+}
+
+TEST(Constraints, MultiplePropertiesSolveIndependently) {
+  CheckedBuild built = Check(R"(
+bundletype T = { f }
+property context
+type NoContext
+type ProcessContext < NoContext
+property trust
+type Trusted
+type Untrusted < Trusted
+unit A = {
+  exports [o : T];
+  files {"a.c"};
+  constraints { context(o) = NoContext; trust(o) = Untrusted; };
+}
+unit B = {
+  imports [i : T];
+  exports [o : T];
+  files {"b.c"};
+  constraints { NoContext <= context(i); trust(i) = Untrusted; };
+}
+unit Top = {
+  imports [];
+  exports [o : T];
+  link { [a] <- A <- []; [o] <- B <- [a]; };
+}
+)",
+                             "Top");
+  EXPECT_TRUE(built.ok) << built.error;
+  EXPECT_EQ(built.solution.domains.count("context"), 1u);
+  EXPECT_EQ(built.solution.domains.count("trust"), 1u);
+}
+
+TEST(ConstraintStats, ClassifiesPropagationOnly) {
+  CheckedBuild built = Check(std::string(kContextPrelude) + R"(
+unit Plain = { exports [o : T]; files {"p.c"}; }
+unit Propagator = {
+  imports [i : T];
+  exports [o : T];
+  files {"w.c"};
+  constraints { context(exports) <= context(imports); };
+}
+unit Fixer = {
+  exports [o : T];
+  files {"f.c"};
+  constraints { context(o) = NoContext; };
+}
+unit Top = {
+  imports [];
+  exports [o : T];
+  link {
+    [f] <- Fixer <- [];
+    [o] <- Propagator <- [f];
+  };
+}
+)",
+                             "Top");
+  ASSERT_TRUE(built.ok) << built.error;
+  ConstraintStats stats = ComputeConstraintStats(built.config);
+  EXPECT_EQ(stats.instance_count, 2);
+  EXPECT_EQ(stats.annotated_instances, 2);
+  EXPECT_EQ(stats.propagation_only_instances, 1);
+}
+
+}  // namespace
+}  // namespace knit

@@ -1,0 +1,240 @@
+// Flattener tests: scope-aware renaming, deduplication, conflict detection, and
+// definition ordering.
+#include <gtest/gtest.h>
+
+#include "src/flatten/flatten.h"
+#include "src/minic/cparser.h"
+#include "src/minic/printer.h"
+#include "src/minic/sema.h"
+
+namespace knit {
+namespace {
+
+TranslationUnit ParseOrDie(TypeTable& types, const std::string& source,
+                           const std::string& name = "in.c") {
+  Diagnostics diags;
+  Result<TranslationUnit> unit = ParseCString(source, name, types, diags);
+  EXPECT_TRUE(unit.ok()) << diags.ToString();
+  return unit.take();
+}
+
+TEST(FlattenRename, RenamesDeclarationsAndReferences) {
+  TypeTable types;
+  TranslationUnit unit = ParseOrDie(types, R"(
+extern int next(int);
+static int counter = 0;
+int work(int x) { counter++; return next(x) + counter; }
+)");
+  RenameTranslationUnit(unit, {{"work", "inst__work"}, {"next", "other__work"}}, "inst_",
+                        {"inst__work"});
+  std::string printed = PrintTranslationUnit(unit);
+  EXPECT_NE(printed.find("int inst__work(int x)"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("other__work(x)"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("inst_counter"), std::string::npos) << printed;
+  EXPECT_EQ(printed.find(" work("), std::string::npos) << printed;
+}
+
+TEST(FlattenRename, LocalShadowingIsRespected) {
+  TypeTable types;
+  TranslationUnit unit = ParseOrDie(types, R"(
+int value = 1;
+int f(int value) { return value; }
+int g(void) {
+  int value = 5;
+  return value;
+}
+int h(void) { return value; }
+)");
+  RenameTranslationUnit(unit, {{"value", "RENAMED_value"}}, "p_", {});
+  std::string printed = PrintTranslationUnit(unit);
+  // The global and its non-shadowed use renamed...
+  EXPECT_NE(printed.find("int RENAMED_value = 1"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("return RENAMED_value;"), std::string::npos) << printed;
+  // ...but the parameter and local uses untouched (the functions themselves get
+  // the instance prefix and become static, as unit-local definitions do).
+  EXPECT_NE(printed.find("p_f(int value)"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("int value = 5"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("return value;"), std::string::npos) << printed;
+}
+
+TEST(FlattenRename, InitializerSeesOuterScopeBeforeBinding) {
+  TypeTable types;
+  TranslationUnit unit = ParseOrDie(types, R"(
+int value = 1;
+int f(void) {
+  int value = value + 1;
+  return value;
+}
+)");
+  RenameTranslationUnit(unit, {{"value", "G"}}, "p_", {});
+  std::string printed = PrintTranslationUnit(unit);
+  // C scoping would make the initializer self-referential, but our renamer binds
+  // the name only after the initializer (documented MiniC behaviour).
+  EXPECT_NE(printed.find("int value = G + 1;"), std::string::npos) << printed;
+}
+
+TEST(FlattenRename, IntrinsicsPassThrough) {
+  TypeTable types;
+  TranslationUnit unit = ParseOrDie(types, R"(
+extern unsigned __sbrk(unsigned);
+int f(void) { return (int)__sbrk(8); }
+)");
+  RenameTranslationUnit(unit, {}, "p_", {});
+  std::string printed = PrintTranslationUnit(unit);
+  EXPECT_NE(printed.find("__sbrk(8)"), std::string::npos) << printed;
+  EXPECT_EQ(printed.find("p___sbrk"), std::string::npos) << printed;
+}
+
+FlattenInput MakeInput(TypeTable& types, const std::string& path, const std::string& source,
+                       std::map<std::string, std::string> renames,
+                       std::vector<std::string> keep_global) {
+  FlattenInput input;
+  input.instance_path = path;
+  input.unit = ParseOrDie(types, source, path + ".c");
+  input.renames = std::move(renames);
+  input.keep_global = std::move(keep_global);
+  return input;
+}
+
+TEST(FlattenMerge, DeduplicatesSharedTypesAndExterns) {
+  TypeTable types;
+  std::vector<FlattenInput> inputs;
+  // `helper` is an import both instances wire to the same supplier symbol.
+  inputs.push_back(MakeInput(types, "A", R"(
+struct pkt { int len; };
+extern void helper(void);
+int a_fn(struct pkt *p) { return p->len; }
+)",
+                             {{"a_fn", "A__a_fn"}, {"helper", "helper"}}, {"A__a_fn"}));
+  inputs.push_back(MakeInput(types, "B", R"(
+struct pkt { int len; };
+extern void helper(void);
+int b_fn(struct pkt *p) { return p->len * 2; }
+)",
+                             {{"b_fn", "B__b_fn"}, {"helper", "helper"}}, {"B__b_fn"}));
+  Diagnostics diags;
+  Result<TranslationUnit> merged = FlattenUnits(std::move(inputs), FlattenOptions(), diags);
+  ASSERT_TRUE(merged.ok()) << diags.ToString();
+  int struct_defs = 0;
+  int helper_decls = 0;
+  for (const Decl& decl : merged.value().decls) {
+    if (decl.kind == Decl::Kind::kStructDef && decl.name == "pkt") {
+      ++struct_defs;
+    }
+    if (decl.kind == Decl::Kind::kFunction && decl.name == "helper") {
+      ++helper_decls;
+    }
+  }
+  EXPECT_EQ(struct_defs, 1);
+  EXPECT_EQ(helper_decls, 1);
+}
+
+TEST(FlattenMerge, ConflictingDefinitionsAreReported) {
+  TypeTable types;
+  std::vector<FlattenInput> inputs;
+  inputs.push_back(MakeInput(types, "A", "int shared(void) { return 1; }\n",
+                             {{"shared", "CLASH"}}, {"CLASH"}));
+  inputs.push_back(MakeInput(types, "B", "int shared(void) { return 2; }\n",
+                             {{"shared", "CLASH"}}, {"CLASH"}));
+  Diagnostics diags;
+  EXPECT_FALSE(FlattenUnits(std::move(inputs), FlattenOptions(), diags).ok());
+  EXPECT_NE(diags.FirstError().find("defined by both"), std::string::npos);
+}
+
+TEST(FlattenMerge, DefinitionsAreCalleeFirst) {
+  TypeTable types;
+  std::vector<FlattenInput> inputs;
+  // caller (in instance A) calls callee (in instance B); input order is
+  // caller-first, the merge must re-order callee-first.
+  inputs.push_back(MakeInput(types, "A", R"(
+extern int callee(int);
+int caller(int x) { return callee(x) + 1; }
+)",
+                             {{"caller", "A__caller"}, {"callee", "B__callee"}},
+                             {"A__caller"}));
+  inputs.push_back(MakeInput(types, "B", "int callee(int x) { return x * 2; }\n",
+                             {{"callee", "B__callee"}}, {"B__callee"}));
+  Diagnostics diags;
+  Result<TranslationUnit> merged = FlattenUnits(std::move(inputs), FlattenOptions(), diags);
+  ASSERT_TRUE(merged.ok()) << diags.ToString();
+  int callee_at = -1;
+  int caller_at = -1;
+  int index = 0;
+  for (const Decl& decl : merged.value().decls) {
+    if (decl.kind == Decl::Kind::kFunction && decl.is_definition) {
+      if (decl.name == "B__callee") {
+        callee_at = index;
+      }
+      if (decl.name == "A__caller") {
+        caller_at = index;
+      }
+    }
+    ++index;
+  }
+  ASSERT_GE(callee_at, 0);
+  ASSERT_GE(caller_at, 0);
+  EXPECT_LT(callee_at, caller_at);
+
+  // The merged TU must sema-check as a whole.
+  Result<SemaInfo> info = AnalyzeTranslationUnit(merged.value(), types, diags);
+  EXPECT_TRUE(info.ok()) << diags.ToString();
+}
+
+TEST(FlattenMerge, CallersFirstReversesOrder) {
+  TypeTable types;
+  std::vector<FlattenInput> inputs;
+  inputs.push_back(MakeInput(types, "A", R"(
+extern int callee(int);
+int caller(int x) { return callee(x) + 1; }
+)",
+                             {{"caller", "A__caller"}, {"callee", "B__callee"}},
+                             {"A__caller"}));
+  inputs.push_back(MakeInput(types, "B", "int callee(int x) { return x * 2; }\n",
+                             {{"callee", "B__callee"}}, {"B__callee"}));
+  Diagnostics diags;
+  FlattenOptions options;
+  options.callers_first = true;
+  Result<TranslationUnit> merged = FlattenUnits(std::move(inputs), options, diags);
+  ASSERT_TRUE(merged.ok()) << diags.ToString();
+  int callee_at = -1;
+  int caller_at = -1;
+  int index = 0;
+  for (const Decl& decl : merged.value().decls) {
+    if (decl.kind == Decl::Kind::kFunction && decl.is_definition) {
+      if (decl.name == "B__callee") {
+        callee_at = index;
+      }
+      if (decl.name == "A__caller") {
+        caller_at = index;
+      }
+    }
+    ++index;
+  }
+  EXPECT_GT(callee_at, caller_at);
+}
+
+TEST(FlattenMerge, NonKeptDefinitionsBecomeStatic) {
+  TypeTable types;
+  std::vector<FlattenInput> inputs;
+  inputs.push_back(MakeInput(types, "A", R"(
+int internal(void) { return 3; }
+int api(void) { return internal(); }
+)",
+                             {{"api", "A__api"}, {"internal", "A__internal"}}, {"A__api"}));
+  Diagnostics diags;
+  Result<TranslationUnit> merged = FlattenUnits(std::move(inputs), FlattenOptions(), diags);
+  ASSERT_TRUE(merged.ok()) << diags.ToString();
+  for (const Decl& decl : merged.value().decls) {
+    if (decl.kind == Decl::Kind::kFunction && decl.is_definition) {
+      if (decl.name == "A__internal") {
+        EXPECT_TRUE(decl.is_static);
+      }
+      if (decl.name == "A__api") {
+        EXPECT_FALSE(decl.is_static);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace knit

@@ -1,0 +1,143 @@
+// Digraph algorithm tests, including property sweeps over random graphs.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/graph/digraph.h"
+
+namespace knit {
+namespace {
+
+TEST(Digraph, TopologicalSortLinearChain) {
+  Digraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  auto order = graph.TopologicalSort();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Digraph, TopologicalSortDetectsCycle) {
+  Digraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 0);
+  EXPECT_FALSE(graph.TopologicalSort().has_value());
+}
+
+TEST(Digraph, TopologicalSortIsDeterministic) {
+  Digraph graph(5);
+  graph.AddEdge(4, 0);
+  auto a = graph.TopologicalSort();
+  auto b = graph.TopologicalSort();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, *b);
+  // Kahn with a min-heap: smallest READY id first (node 0 waits on the 4->0 edge).
+  EXPECT_EQ((*a)[0], 1);
+}
+
+TEST(Digraph, SelfLoopIsCycle) {
+  Digraph graph(2);
+  graph.AddEdge(1, 1);
+  EXPECT_FALSE(graph.TopologicalSort().has_value());
+  std::vector<int> cycle = graph.FindCycle();
+  ASSERT_EQ(cycle.size(), 1u);
+  EXPECT_EQ(cycle[0], 1);
+}
+
+TEST(Digraph, FindCycleReturnsClosedPath) {
+  Digraph graph(6);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(3, 1);  // cycle 1 -> 2 -> 3 -> 1
+  graph.AddEdge(3, 4);
+  std::vector<int> cycle = graph.FindCycle();
+  ASSERT_GE(cycle.size(), 3u);
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    EXPECT_TRUE(graph.HasEdge(cycle[i], cycle[(i + 1) % cycle.size()]))
+        << "edge " << cycle[i] << "->" << cycle[(i + 1) % cycle.size()];
+  }
+}
+
+TEST(Digraph, SccComponentsAreCalleeFirst) {
+  // 0 -> 1 -> 2, 2 -> 1 (SCC {1,2}), 0 alone: Tarjan emits callees first.
+  Digraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 1);
+  auto sccs = graph.StronglyConnectedComponents();
+  ASSERT_EQ(sccs.size(), 2u);
+  EXPECT_EQ(sccs[0], (std::vector<int>{1, 2}));
+  EXPECT_EQ(sccs[1], (std::vector<int>{0}));
+}
+
+TEST(Digraph, Reachability) {
+  Digraph graph(5);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  graph.AddEdge(3, 4);
+  std::vector<bool> reachable = graph.ReachableFrom(0);
+  EXPECT_TRUE(reachable[0]);
+  EXPECT_TRUE(reachable[1]);
+  EXPECT_TRUE(reachable[2]);
+  EXPECT_FALSE(reachable[3]);
+  EXPECT_FALSE(reachable[4]);
+}
+
+TEST(Digraph, ReversedSwapsEdges) {
+  Digraph graph(3);
+  graph.AddEdge(0, 2);
+  Digraph reversed = graph.Reversed();
+  EXPECT_TRUE(reversed.HasEdge(2, 0));
+  EXPECT_FALSE(reversed.HasEdge(0, 2));
+}
+
+// Property: a random DAG (edges only low -> high) always sorts, and the order
+// respects every edge; adding a back edge always breaks it.
+class RandomDagTest : public testing::TestWithParam<int> {};
+
+TEST_P(RandomDagTest, TopologicalSortRespectsEdges) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  int n = 2 + static_cast<int>(rng() % 40);
+  Digraph graph(static_cast<size_t>(n));
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n * 2; ++i) {
+    int a = static_cast<int>(rng() % static_cast<unsigned>(n));
+    int b = static_cast<int>(rng() % static_cast<unsigned>(n));
+    if (a == b) {
+      continue;
+    }
+    if (a > b) {
+      std::swap(a, b);
+    }
+    graph.AddEdge(a, b);
+    edges.emplace_back(a, b);
+  }
+  auto order = graph.TopologicalSort();
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> position(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    position[static_cast<size_t>((*order)[static_cast<size_t>(i)])] = i;
+  }
+  for (auto [a, b] : edges) {
+    EXPECT_LT(position[static_cast<size_t>(a)], position[static_cast<size_t>(b)]);
+  }
+  // SCC count == node count for a DAG.
+  EXPECT_EQ(graph.StronglyConnectedComponents().size(), static_cast<size_t>(n));
+  EXPECT_TRUE(graph.FindCycle().empty());
+
+  // Close a cycle and require detection.
+  if (!edges.empty()) {
+    auto [a, b] = edges[rng() % edges.size()];
+    graph.AddEdge(b, a);
+    EXPECT_FALSE(graph.TopologicalSort().has_value());
+    EXPECT_FALSE(graph.FindCycle().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest, testing::Range(1, 25));
+
+}  // namespace
+}  // namespace knit

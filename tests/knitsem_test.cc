@@ -1,0 +1,289 @@
+// Elaboration and instantiation tests: definition validation, wiring resolution,
+// cyclic linking, multiple instantiation, and error reporting.
+#include <gtest/gtest.h>
+
+#include "src/knitlang/parser.h"
+#include "src/knitsem/elaborate.h"
+#include "src/knitsem/instantiate.h"
+
+namespace knit {
+namespace {
+
+constexpr const char* kPrelude = R"(
+bundletype T = { f }
+bundletype U = { g, h }
+)";
+
+Result<Elaboration> ElaborateText(const std::string& text, std::string* error = nullptr) {
+  Diagnostics diags;
+  Result<KnitProgram> program = ParseKnit(text, "t.knit", diags);
+  if (!program.ok()) {
+    if (error != nullptr) {
+      *error = diags.ToString();
+    }
+    return Result<Elaboration>::Failure();
+  }
+  Result<Elaboration> elaboration = Elaborate(program.value(), diags);
+  if (error != nullptr) {
+    *error = diags.ToString();
+  }
+  return elaboration;
+}
+
+struct Built {
+  std::unique_ptr<Elaboration> elaboration;
+  Configuration config;
+  std::string error;
+  bool ok = false;
+};
+
+Built Build(const std::string& text, const std::string& top) {
+  Built out;
+  Diagnostics diags;
+  Result<KnitProgram> program = ParseKnit(text, "t.knit", diags);
+  if (!program.ok()) {
+    out.error = diags.ToString();
+    return out;
+  }
+  Result<Elaboration> elaboration = Elaborate(program.value(), diags);
+  if (!elaboration.ok()) {
+    out.error = diags.ToString();
+    return out;
+  }
+  out.elaboration = std::make_unique<Elaboration>(std::move(elaboration.value()));
+  Result<Configuration> config = Instantiate(*out.elaboration, top, diags);
+  if (!config.ok()) {
+    out.error = diags.ToString();
+    return out;
+  }
+  out.config = std::move(config.value());
+  out.ok = true;
+  return out;
+}
+
+TEST(Elaborate, RejectsDuplicateUnit) {
+  std::string error;
+  EXPECT_FALSE(ElaborateText(std::string(kPrelude) +
+                                 "unit A = { exports [o : T]; files {\"a.c\"}; }\n"
+                                 "unit A = { exports [o : T]; files {\"a.c\"}; }",
+                             &error)
+                   .ok());
+  EXPECT_NE(error.find("duplicate unit"), std::string::npos) << error;
+}
+
+TEST(Elaborate, RejectsUnknownBundleType) {
+  std::string error;
+  EXPECT_FALSE(
+      ElaborateText("unit A = { exports [o : Nope]; files {\"a.c\"}; }", &error).ok());
+  EXPECT_NE(error.find("unknown bundle type"), std::string::npos) << error;
+}
+
+TEST(Elaborate, RejectsRenameOfUnknownSymbol) {
+  std::string error;
+  EXPECT_FALSE(ElaborateText(std::string(kPrelude) +
+                                 "unit A = { exports [o : T]; files {\"a.c\"};\n"
+                                 "  rename { o.nope to x; }; }",
+                             &error)
+                   .ok());
+  EXPECT_NE(error.find("has no symbol"), std::string::npos) << error;
+}
+
+TEST(Elaborate, RejectsInitializerForImport) {
+  std::string error;
+  EXPECT_FALSE(ElaborateText(std::string(kPrelude) +
+                                 "unit A = { imports [i : T]; exports [o : T];\n"
+                                 "  files {\"a.c\"}; initializer setup for i; }",
+                             &error)
+                   .ok());
+  EXPECT_NE(error.find("not an export"), std::string::npos) << error;
+}
+
+TEST(Elaborate, RejectsDependsOnUnknownAtom) {
+  std::string error;
+  EXPECT_FALSE(ElaborateText(std::string(kPrelude) +
+                                 "unit A = { exports [o : T]; files {\"a.c\"};\n"
+                                 "  depends { o needs ghost; }; }",
+                             &error)
+                   .ok());
+  EXPECT_NE(error.find("not a port"), std::string::npos) << error;
+}
+
+TEST(Elaborate, RejectsLinkArityMismatch) {
+  std::string error;
+  EXPECT_FALSE(ElaborateText(std::string(kPrelude) +
+                                 "unit A = { imports [i : T]; exports [o : T]; files {\"a.c\"}; }\n"
+                                 "unit C = { exports [x : T]; link { [x] <- A <- []; }; }",
+                             &error)
+                   .ok());
+  EXPECT_NE(error.find("supplies 0 inputs"), std::string::npos) << error;
+}
+
+TEST(Elaborate, RejectsLinkTypeMismatch) {
+  std::string error;
+  EXPECT_FALSE(ElaborateText(std::string(kPrelude) +
+                                 "unit A = { imports [i : U]; exports [o : T]; files {\"a.c\"}; }\n"
+                                 "unit B = { exports [t : T]; files {\"b.c\"}; }\n"
+                                 "unit C = { exports [x : T];\n"
+                                 "  link { [t] <- B <- []; [x] <- A <- [t]; }; }",
+                             &error)
+                   .ok());
+  EXPECT_NE(error.find("bundle type"), std::string::npos) << error;
+}
+
+TEST(Elaborate, RejectsUnboundCompoundExport) {
+  std::string error;
+  EXPECT_FALSE(ElaborateText(std::string(kPrelude) +
+                                 "unit B = { exports [t : T]; files {\"b.c\"}; }\n"
+                                 "unit C = { exports [missing : T]; link { [t] <- B <- []; }; }",
+                             &error)
+                   .ok());
+  EXPECT_NE(error.find("not bound"), std::string::npos) << error;
+}
+
+TEST(Instantiate, WiresChainAcrossCompoundBoundaries) {
+  Built built = Build(std::string(kPrelude) + R"(
+unit Leaf = { exports [o : T]; files {"leaf.c"}; }
+unit Wrap = { imports [i : T]; exports [o : T]; files {"wrap.c"}; }
+unit Inner = {
+  imports [i : T];
+  exports [o : T];
+  link { [o] <- Wrap <- [i]; };
+}
+unit Top = {
+  imports [];
+  exports [o : T];
+  link {
+    [leaf] <- Leaf <- [];
+    [o] <- Inner <- [leaf];
+  };
+}
+)",
+                      "Top");
+  ASSERT_TRUE(built.ok) << built.error;
+  ASSERT_EQ(built.config.instances.size(), 2u);  // Leaf + Wrap (Inner dissolves)
+  int leaf = built.config.FindInstance("Top/Leaf");
+  int wrap = built.config.FindInstance("Top/Inner/Wrap");
+  ASSERT_GE(leaf, 0);
+  ASSERT_GE(wrap, 0);
+  // Wrap's import is supplied by Leaf's export 0.
+  EXPECT_EQ(built.config.instances[wrap].import_suppliers[0].instance, leaf);
+  EXPECT_EQ(built.config.instances[wrap].import_suppliers[0].port, 0);
+  // The top-level export resolves to Wrap.
+  ASSERT_EQ(built.config.top_export_suppliers.size(), 1u);
+  EXPECT_EQ(built.config.top_export_suppliers[0].instance, wrap);
+}
+
+TEST(Instantiate, CyclicLinkingResolves) {
+  Built built = Build(std::string(kPrelude) + R"(
+unit A = { imports [i : T]; exports [o : T]; files {"a.c"}; }
+unit B = { imports [i : T]; exports [o : T]; files {"b.c"}; }
+unit Top = {
+  imports [];
+  exports [o : T];
+  link {
+    [a] <- A <- [b];
+    [b] <- B <- [a];
+    [o] <- A as front <- [a];
+  };
+}
+)",
+                      "Top");
+  ASSERT_TRUE(built.ok) << built.error;
+  int a = built.config.FindInstance("Top/A");
+  int b = built.config.FindInstance("Top/B");
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(built.config.instances[a].import_suppliers[0].instance, b);
+  EXPECT_EQ(built.config.instances[b].import_suppliers[0].instance, a);
+}
+
+TEST(Instantiate, MultipleInstancesGetDistinctPaths) {
+  Built built = Build(std::string(kPrelude) + R"(
+unit Leaf = { exports [o : T]; files {"leaf.c"}; }
+unit Top = {
+  imports [];
+  exports [x : T, y : T];
+  link {
+    [x] <- Leaf <- [];
+    [y] <- Leaf <- [];
+  };
+}
+)",
+                      "Top");
+  ASSERT_TRUE(built.ok) << built.error;
+  EXPECT_GE(built.config.FindInstance("Top/Leaf"), 0);
+  EXPECT_GE(built.config.FindInstance("Top/Leaf#2"), 0);
+  EXPECT_NE(built.config.top_export_suppliers[0].instance,
+            built.config.top_export_suppliers[1].instance);
+}
+
+TEST(Instantiate, EnvironmentSuppliesTopImports) {
+  Built built = Build(std::string(kPrelude) + R"(
+unit A = { imports [i : T]; exports [o : U]; files {"a.c"}; }
+unit Top = {
+  imports [ext : T];
+  exports [o : U];
+  link { [o] <- A <- [ext]; };
+}
+)",
+                      "Top");
+  ASSERT_TRUE(built.ok) << built.error;
+  const Instance& a = built.config.instances[0];
+  EXPECT_TRUE(a.import_suppliers[0].IsEnvironment());
+  EXPECT_EQ(a.import_suppliers[0].port, 0);
+}
+
+TEST(Instantiate, RejectsRecursiveComposition) {
+  Built built = Build(std::string(kPrelude) + R"(
+unit Rec = {
+  imports [];
+  exports [o : T];
+  link { [o] <- Rec <- []; };
+}
+)",
+                      "Rec");
+  EXPECT_FALSE(built.ok);
+  EXPECT_NE(built.error.find("recursive composition"), std::string::npos) << built.error;
+}
+
+TEST(Instantiate, RejectsUnknownTopUnit) {
+  Built built = Build(std::string(kPrelude), "Ghost");
+  EXPECT_FALSE(built.ok);
+  EXPECT_NE(built.error.find("unknown top-level unit"), std::string::npos) << built.error;
+}
+
+TEST(Instantiate, FlattenGroupsPropagateToSubtrees) {
+  Built built = Build(std::string(kPrelude) + R"(
+unit Leaf = { exports [o : T]; files {"leaf.c"}; }
+unit Wrap = { imports [i : T]; exports [o : T]; files {"wrap.c"}; }
+unit Group = {
+  imports [];
+  exports [o : T];
+  flatten;
+  link {
+    [leaf] <- Leaf <- [];
+    [o] <- Wrap <- [leaf];
+  };
+}
+unit Top = {
+  imports [];
+  exports [o : T, solo : T];
+  link {
+    [o] <- Group <- [];
+    [solo] <- Leaf <- [];
+  };
+}
+)",
+                      "Top");
+  ASSERT_TRUE(built.ok) << built.error;
+  ASSERT_EQ(built.config.flatten_group_count, 1);
+  int grouped_leaf = built.config.FindInstance("Top/Group/Leaf");
+  int grouped_wrap = built.config.FindInstance("Top/Group/Wrap");
+  int solo_leaf = built.config.FindInstance("Top/Leaf");
+  EXPECT_EQ(built.config.instances[grouped_leaf].flatten_group, 0);
+  EXPECT_EQ(built.config.instances[grouped_wrap].flatten_group, 0);
+  EXPECT_EQ(built.config.instances[solo_leaf].flatten_group, -1);
+}
+
+}  // namespace
+}  // namespace knit

@@ -1,0 +1,175 @@
+// Property test: the per-TU optimizer (inlining + LVN + EBB inheritance + dead-store
+// elimination + peepholes) must never change program behaviour. We generate random
+// deterministic MiniC programs — arithmetic, globals, arrays, branches, bounded
+// loops, and calls into earlier functions (inliner food) — and compare O0 vs O2
+// results over several inputs.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "tests/testutil.h"
+
+namespace knit {
+namespace {
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(unsigned seed) : rng_(seed) {}
+
+  std::string Generate() {
+    source_ = "static int g_arr[8];\nstatic int g_x = 3;\nstatic int g_y = 11;\n";
+    int function_count = 2 + static_cast<int>(rng_() % 4);
+    for (int i = 0; i < function_count; ++i) {
+      EmitFunction(i);
+    }
+    // The entry point seeds state, calls every function, and mixes the results.
+    source_ += "int entry(int seed) {\n";
+    source_ += "  for (int i = 0; i < 8; i++) g_arr[i] = seed * (i + 3) + i;\n";
+    source_ += "  g_x = seed | 5;\n  g_y = (seed >> 1) + 7;\n";
+    source_ += "  int acc = seed;\n";
+    for (int i = 0; i < function_count; ++i) {
+      source_ += "  acc = acc * 31 + fn" + std::to_string(i) + "(acc, seed + " +
+                 std::to_string(i) + ");\n";
+    }
+    source_ += "  for (int i = 0; i < 8; i++) acc = acc * 17 + g_arr[i];\n";
+    source_ += "  return acc + g_x * 13 + g_y;\n}\n";
+    return source_;
+  }
+
+ private:
+  int Rand(int n) { return static_cast<int>(rng_() % static_cast<unsigned>(n)); }
+
+  // An int-valued expression over the in-scope names. `depth` bounds recursion.
+  std::string Expr(int depth, int defined_functions) {
+    if (depth <= 0 || Rand(4) == 0) {
+      switch (Rand(6)) {
+        case 0:
+          return std::to_string(Rand(200) - 100);
+        case 1:
+          return "a";
+        case 2:
+          return "b";
+        case 3:
+          return "g_x";
+        case 4:
+          return "g_y";
+        default:
+          return "g_arr[" + Expr(0, defined_functions) + " & 7]";
+      }
+    }
+    switch (Rand(9)) {
+      case 0:
+        return "(" + Expr(depth - 1, defined_functions) + " + " +
+               Expr(depth - 1, defined_functions) + ")";
+      case 1:
+        return "(" + Expr(depth - 1, defined_functions) + " - " +
+               Expr(depth - 1, defined_functions) + ")";
+      case 2:
+        return "(" + Expr(depth - 1, defined_functions) + " * " +
+               Expr(depth - 1, defined_functions) + ")";
+      case 3:
+        // Division guarded against zero and INT_MIN/-1 overflow.
+        return "(" + Expr(depth - 1, defined_functions) + " / ((" +
+               Expr(depth - 1, defined_functions) + " & 15) + 1))";
+      case 4:
+        return "(" + Expr(depth - 1, defined_functions) + " ^ " +
+               Expr(depth - 1, defined_functions) + ")";
+      case 5:
+        return "(" + Expr(depth - 1, defined_functions) + " << (" +
+               Expr(depth - 1, defined_functions) + " & 7))";
+      case 6:
+        return "(" + Expr(depth - 1, defined_functions) + " < " +
+               Expr(depth - 1, defined_functions) + " ? " +
+               Expr(depth - 1, defined_functions) + " : " +
+               Expr(depth - 1, defined_functions) + ")";
+      case 7:
+        if (defined_functions > 0) {
+          int callee = Rand(defined_functions);
+          return "fn" + std::to_string(callee) + "(" + Expr(depth - 1, defined_functions) +
+                 ", " + Expr(depth - 1, defined_functions) + ")";
+        }
+        return "(" + Expr(depth - 1, defined_functions) + " & " +
+               Expr(depth - 1, defined_functions) + ")";
+      default:
+        // Written as 0-x: a literal unary minus next to a negative literal would
+        // lex as '--'.
+        return "(0 - " + Expr(depth - 1, defined_functions) + ")";
+    }
+  }
+
+  void EmitStatements(int count, int depth, int defined_functions) {
+    for (int s = 0; s < count; ++s) {
+      switch (Rand(6)) {
+        case 0:
+          source_ += "  a = " + Expr(depth, defined_functions) + ";\n";
+          break;
+        case 1:
+          source_ += "  b = b + " + Expr(depth, defined_functions) + ";\n";
+          break;
+        case 2:
+          source_ += "  g_arr[" + Expr(1, defined_functions) + " & 7] = " +
+                     Expr(depth, defined_functions) + ";\n";
+          break;
+        case 3:
+          source_ += "  if (" + Expr(depth, defined_functions) + " > " +
+                     Expr(1, defined_functions) + ") { a = a ^ " +
+                     Expr(depth, defined_functions) + "; } else { b = b - " +
+                     Expr(depth, defined_functions) + "; }\n";
+          break;
+        case 4:
+          source_ += "  for (int k = 0; k < (" + Expr(1, defined_functions) +
+                     " & 7); k++) { a = a + g_arr[k] + " + std::to_string(Rand(9)) + "; }\n";
+          break;
+        default:
+          source_ += "  g_x = g_x + " + Expr(depth, defined_functions) + ";\n";
+          break;
+      }
+    }
+  }
+
+  void EmitFunction(int index) {
+    source_ += "static int fn" + std::to_string(index) + "(int a, int b) {\n";
+    EmitStatements(2 + Rand(4), 2, index);
+    source_ += "  return a * 7 + b;\n}\n";
+  }
+
+  std::mt19937 rng_;
+  std::string source_;
+};
+
+class OptimizerEquivalenceTest : public testing::TestWithParam<int> {};
+
+TEST_P(OptimizerEquivalenceTest, O0AndO2Agree) {
+  ProgramGenerator generator(static_cast<unsigned>(GetParam()) * 2654435761u);
+  std::string source = generator.Generate();
+
+  TestProgram plain = BuildProgram(source, /*optimize=*/false);
+  TestProgram optimized = BuildProgram(source, /*optimize=*/true);
+  ASSERT_TRUE(plain.ok()) << plain.error << "\n" << source;
+  ASSERT_TRUE(optimized.ok()) << optimized.error << "\n" << source;
+
+  for (uint32_t input : {0u, 1u, 7u, 42u, 0xFFFFu, 0x80000000u}) {
+    RunResult a = plain.machine->Call("entry", {input});
+    RunResult b = optimized.machine->Call("entry", {input});
+    ASSERT_TRUE(a.ok) << a.error << "\n" << source;
+    ASSERT_TRUE(b.ok) << b.error << "\n" << source;
+    EXPECT_EQ(a.value, b.value) << "input " << input << "\n" << source;
+  }
+
+  // Regression tripwire: the optimizer must not meaningfully grow the dynamic
+  // instruction count (block-local value numbering may add a couple of percent on
+  // pathological loop bodies; anything beyond that is a bug).
+  plain.machine->ResetCounters();
+  optimized.machine->ResetCounters();
+  plain.machine->Call("entry", {42});
+  optimized.machine->Call("entry", {42});
+  EXPECT_LE(optimized.machine->insns(), plain.machine->insns() * 21 / 20 + 8)
+      << "optimized build executes many more instructions\n"
+      << source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerEquivalenceTest, testing::Range(1, 41));
+
+}  // namespace
+}  // namespace knit

@@ -1,0 +1,89 @@
+// Tests for the support utilities: strings, mangling, diagnostics, results.
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostics.h"
+#include "src/support/mangle.h"
+#include "src/support/result.h"
+#include "src/support/strings.h"
+
+namespace knit {
+namespace {
+
+TEST(Strings, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{});
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("knitc", "knit"));
+  EXPECT_FALSE(StartsWith("kni", "knit"));
+  EXPECT_TRUE(EndsWith("file.c", ".c"));
+  EXPECT_FALSE(EndsWith(".c", "file.c"));
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("serve_web"));
+  EXPECT_TRUE(IsIdentifier("_x9"));
+  EXPECT_FALSE(IsIdentifier("9x"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+}
+
+TEST(Strings, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(109464), "109,464");
+  EXPECT_EQ(WithThousands(-1234567), "-1,234,567");
+}
+
+TEST(Mangle, Sanitization) {
+  EXPECT_EQ(SanitizeForSymbol("Top/Log#2"), "Top_Log_2");
+  EXPECT_EQ(MangleExport("A/B", "serveLog", "serve_web"), "A_B__serveLog_serve_web");
+  EXPECT_EQ(MangleInitFini("A/B", "open_log"), "A_B__open_log");
+  EXPECT_EQ(EnvSymbol("raw", "raw_putc"), "env__raw__raw_putc");
+}
+
+TEST(Mangle, DistinctInstancesDistinctNames) {
+  EXPECT_NE(MangleExport("K/MemFs", "fs", "fs_open"), MangleExport("K/MemFs#2", "fs", "fs_open"));
+}
+
+TEST(Diagnostics, CountsAndRendering) {
+  Diagnostics diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.Warning(SourceLoc{"f.knit", 3, 7}, "odd");
+  diags.Error(SourceLoc{"f.knit", 4, 1}, "bad");
+  diags.Note(SourceLoc::Unknown(), "context");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.warning_count(), 1u);
+  EXPECT_EQ(diags.FirstError(), "bad");
+  std::string text = diags.ToString();
+  EXPECT_NE(text.find("f.knit:3:7: warning: odd"), std::string::npos);
+  EXPECT_NE(text.find("f.knit:4:1: error: bad"), std::string::npos);
+  diags.Clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(diags.ToString(), "");
+}
+
+TEST(ResultType, ValueAndFailure) {
+  Result<int> ok = 7;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(9), 7);
+  Result<int> fail = Result<int>::Failure();
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(fail.value_or(9), 9);
+  EXPECT_TRUE(Result<void>::Success().ok());
+  EXPECT_FALSE(Result<void>::Failure().ok());
+}
+
+}  // namespace
+}  // namespace knit

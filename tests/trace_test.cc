@@ -1,0 +1,141 @@
+// Trace-generator tests: the synthetic workload must be deterministic, well-formed
+// (valid IP checksums, correct ARP requests, honest expectations), and respect the
+// configured mix.
+#include <gtest/gtest.h>
+
+#include "src/clack/trace.h"
+
+namespace knit {
+namespace {
+
+uint16_t IpChecksumOf(const std::vector<uint8_t>& frame) {
+  uint32_t sum = 0;
+  for (int i = 0; i < 20; i += 2) {
+    sum += (static_cast<uint32_t>(frame[14 + static_cast<size_t>(i)]) << 8) |
+           frame[14 + static_cast<size_t>(i) + 1];
+  }
+  while ((sum >> 16) != 0) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(sum);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  TraceOptions options;
+  options.count = 100;
+  std::vector<TracePacket> a = GenerateTrace(options);
+  std::vector<TracePacket> b = GenerateTrace(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frame, b[i].frame);
+    EXPECT_EQ(a[i].in_port, b[i].in_port);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+  }
+  options.seed = 2;
+  std::vector<TracePacket> c = GenerateTrace(options);
+  bool any_different = false;
+  for (size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (a[i].frame != c[i].frame) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Trace, ForwardPacketsHaveValidHeaders) {
+  TraceOptions options;
+  options.count = 400;
+  for (const TracePacket& packet : GenerateTrace(options)) {
+    if (packet.kind != PacketKind::kForward) {
+      continue;
+    }
+    ASSERT_GE(packet.frame.size(), 34u);
+    EXPECT_EQ(packet.frame[12], 0x08);
+    EXPECT_EQ(packet.frame[13], 0x00);
+    EXPECT_EQ(packet.frame[14] >> 4, 4);       // IPv4
+    EXPECT_EQ(packet.frame[14] & 0xF, 5);      // no options
+    EXPECT_GT(packet.frame[14 + 8], 1);        // TTL > 1
+    EXPECT_EQ(IpChecksumOf(packet.frame), 0xFFFF) << "ones-complement sum must be -0";
+    int total = (packet.frame[16] << 8) | packet.frame[17];
+    EXPECT_EQ(static_cast<size_t>(total) + 14, packet.frame.size());
+  }
+}
+
+TEST(Trace, BadChecksumPacketsAreActuallyBad) {
+  TraceOptions options;
+  options.count = 400;
+  int bad = 0;
+  for (const TracePacket& packet : GenerateTrace(options)) {
+    if (packet.kind == PacketKind::kBadChecksum) {
+      ++bad;
+      EXPECT_NE(IpChecksumOf(packet.frame), 0xFFFF);
+    }
+  }
+  EXPECT_GT(bad, 0);
+}
+
+TEST(Trace, TtlExpiredPacketsHaveTtlOne) {
+  TraceOptions options;
+  options.count = 400;
+  for (const TracePacket& packet : GenerateTrace(options)) {
+    if (packet.kind == PacketKind::kTtlExpired) {
+      EXPECT_EQ(packet.frame[14 + 8], 1);
+      EXPECT_EQ(IpChecksumOf(packet.frame), 0xFFFF) << "expired != corrupt";
+    }
+  }
+}
+
+TEST(Trace, ArpRequestsAreWellFormed) {
+  TraceOptions options;
+  options.count = 400;
+  options.arp_percent = 50;
+  for (const TracePacket& packet : GenerateTrace(options)) {
+    if (packet.kind != PacketKind::kArpRequest) {
+      continue;
+    }
+    ASSERT_GE(packet.frame.size(), 60u);  // Ethernet minimum
+    EXPECT_EQ(packet.frame[12], 0x08);
+    EXPECT_EQ(packet.frame[13], 0x06);
+    EXPECT_EQ(packet.frame[14 + 6], 0);  // op hi
+    EXPECT_EQ(packet.frame[14 + 7], 1);  // op lo = request
+  }
+}
+
+TEST(Trace, MixRoughlyMatchesConfiguration) {
+  TraceOptions options;
+  options.count = 2000;
+  options.arp_percent = 10;
+  options.other_percent = 10;
+  options.bad_checksum_percent = 10;
+  options.ttl_expired_percent = 10;
+  std::vector<TracePacket> trace = GenerateTrace(options);
+  TraceExpectation expect = ExpectationOf(trace);
+  // 60% should forward; allow generous slack for the PRNG.
+  EXPECT_GT(expect.out, 1000u);
+  EXPECT_LT(expect.out, 1400u);
+  EXPECT_GT(expect.drop, 400u);
+  EXPECT_EQ(expect.in0 + expect.in1, 2000u);
+  uint32_t arp_count = 0;
+  for (const TracePacket& packet : trace) {
+    if (packet.kind == PacketKind::kArpRequest) {
+      ++arp_count;
+    }
+  }
+  EXPECT_EQ(expect.tx, expect.out + arp_count);
+}
+
+TEST(Trace, AllForwardMixWhenDisabled) {
+  TraceOptions options;
+  options.count = 50;
+  options.arp_percent = 0;
+  options.other_percent = 0;
+  options.bad_checksum_percent = 0;
+  options.ttl_expired_percent = 0;
+  TraceExpectation expect = ExpectationOf(GenerateTrace(options));
+  EXPECT_EQ(expect.out, 50u);
+  EXPECT_EQ(expect.drop, 0u);
+  EXPECT_EQ(expect.tx, 50u);
+}
+
+}  // namespace
+}  // namespace knit

@@ -1,0 +1,347 @@
+// End-to-end tests for the MiniC -> bytecode -> link -> VM pipeline, run both
+// unoptimized and optimized (every case doubles as an optimizer-soundness check).
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace knit {
+namespace {
+
+TEST(VmEndToEnd, ReturnsConstant) {
+  EXPECT_EQ(RunBoth("int f(void) { return 42; }", "f"), 42u);
+}
+
+TEST(VmEndToEnd, Arithmetic) {
+  EXPECT_EQ(RunBoth("int f(int a, int b) { return a * 10 + b - 3; }", "f", {4, 7}), 44u);
+}
+
+TEST(VmEndToEnd, SignedDivision) {
+  EXPECT_EQ(RunBoth("int f(int a, int b) { return a / b; }", "f",
+                    {static_cast<uint32_t>(-7), 2}),
+            static_cast<uint32_t>(-3));
+}
+
+TEST(VmEndToEnd, UnsignedComparison) {
+  EXPECT_EQ(RunBoth("int f(unsigned a, unsigned b) { return a < b; }", "f",
+                    {0x80000000u, 1u}),
+            0u);
+  EXPECT_EQ(RunBoth("int f(int a, int b) { return a < b; }", "f", {0x80000000u, 1u}), 1u);
+}
+
+TEST(VmEndToEnd, FactorialRecursive) {
+  const char* source = "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }";
+  EXPECT_EQ(RunBoth(source, "fact", {10}), 3628800u);
+}
+
+TEST(VmEndToEnd, FibonacciIterative) {
+  const char* source =
+      "int fib(int n) {\n"
+      "  int a = 0; int b = 1;\n"
+      "  for (int i = 0; i < n; i++) { int t = a + b; a = b; b = t; }\n"
+      "  return a;\n"
+      "}\n";
+  EXPECT_EQ(RunBoth(source, "fib", {20}), 6765u);
+}
+
+TEST(VmEndToEnd, WhileLoopBreakContinue) {
+  const char* source =
+      "int f(void) {\n"
+      "  int sum = 0; int i = 0;\n"
+      "  while (1) {\n"
+      "    i++;\n"
+      "    if (i > 100) break;\n"
+      "    if (i % 2) continue;\n"
+      "    sum += i;\n"
+      "  }\n"
+      "  return sum;\n"
+      "}\n";
+  EXPECT_EQ(RunBoth(source, "f"), 2550u);
+}
+
+TEST(VmEndToEnd, GlobalsAndPointers) {
+  const char* source =
+      "int counter = 7;\n"
+      "int *addr_of(void) { return &counter; }\n"
+      "int f(void) { int *p = addr_of(); *p = *p + 5; return counter; }\n";
+  EXPECT_EQ(RunBoth(source, "f"), 12u);
+}
+
+TEST(VmEndToEnd, LocalArraysAndIndexing) {
+  const char* source =
+      "int f(void) {\n"
+      "  int t[8];\n"
+      "  for (int i = 0; i < 8; i++) t[i] = i * i;\n"
+      "  int sum = 0;\n"
+      "  for (int i = 0; i < 8; i++) sum += t[i];\n"
+      "  return sum;\n"
+      "}\n";
+  EXPECT_EQ(RunBoth(source, "f"), 140u);
+}
+
+TEST(VmEndToEnd, GlobalArrayInitializers) {
+  const char* source =
+      "int table[] = { 3, 1, 4, 1, 5, 9, 2, 6 };\n"
+      "int f(void) { int s = 0; for (int i = 0; i < 8; i++) s += table[i]; return s; }\n";
+  EXPECT_EQ(RunBoth(source, "f"), 31u);
+}
+
+TEST(VmEndToEnd, Structs) {
+  const char* source =
+      "struct point { int x; int y; };\n"
+      "struct rect { struct point a; struct point b; };\n"
+      "int area(struct rect *r) {\n"
+      "  return (r->b.x - r->a.x) * (r->b.y - r->a.y);\n"
+      "}\n"
+      "struct rect g;\n"
+      "int f(void) {\n"
+      "  g.a.x = 1; g.a.y = 2; g.b.x = 5; g.b.y = 7;\n"
+      "  return area(&g);\n"
+      "}\n";
+  EXPECT_EQ(RunBoth(source, "f"), 20u);
+}
+
+TEST(VmEndToEnd, CharsAndSignExtension) {
+  const char* source =
+      "int f(void) {\n"
+      "  char c = 200;\n"  // wraps to -56 as signed char
+      "  return c;\n"
+      "}\n";
+  EXPECT_EQ(RunBoth(source, "f"), static_cast<uint32_t>(-56));
+}
+
+TEST(VmEndToEnd, StringsAndBytes) {
+  const char* source =
+      "int strlen_(char *s) { int n = 0; while (s[n]) n++; return n; }\n"
+      "int f(void) { return strlen_(\"hello knit\"); }\n";
+  EXPECT_EQ(RunBoth(source, "f"), 10u);
+}
+
+TEST(VmEndToEnd, PointerArithmetic) {
+  const char* source =
+      "int f(void) {\n"
+      "  int t[5];\n"
+      "  int *p = t;\n"
+      "  for (int i = 0; i < 5; i++) *(p + i) = i + 1;\n"
+      "  int *q = &t[4];\n"
+      "  return (q - p) * 100 + *q;\n"
+      "}\n";
+  EXPECT_EQ(RunBoth(source, "f"), 405u);
+}
+
+TEST(VmEndToEnd, FunctionPointers) {
+  const char* source =
+      "int add(int a, int b) { return a + b; }\n"
+      "int mul(int a, int b) { return a * b; }\n"
+      "int apply(int (*op)(int, int), int a, int b) { return op(a, b); }\n"
+      "int f(int which) { return apply(which ? add : mul, 6, 7); }\n";
+  EXPECT_EQ(RunBoth(source, "f", {1}), 13u);
+  EXPECT_EQ(RunBoth(source, "f", {0}), 42u);
+}
+
+TEST(VmEndToEnd, FunctionPointerInStruct) {
+  const char* source =
+      "struct ops { int (*work)(int); int bias; };\n"
+      "int twice(int x) { return 2 * x; }\n"
+      "struct ops g_ops = { twice, 5 };\n"
+      "int f(int x) { return g_ops.work(x) + g_ops.bias; }\n";
+  EXPECT_EQ(RunBoth(source, "f", {10}), 25u);
+}
+
+TEST(VmEndToEnd, TernaryAndShortCircuit) {
+  const char* source =
+      "int g_calls = 0;\n"
+      "int bump(void) { g_calls++; return 1; }\n"
+      "int f(int x) {\n"
+      "  int r = (x > 0 && bump()) ? 10 : 20;\n"
+      "  int s = (x > 0 || bump()) ? 1 : 2;\n"
+      "  return r * 100 + s * 10 + g_calls;\n"
+      "}\n";
+  EXPECT_EQ(RunBoth(source, "f", {5}), 1011u);  // r=10, s=1, one bump() call
+  EXPECT_EQ(RunBoth(source, "f", {0}), 2011u);  // r=20, s=1, one bump() call
+}
+
+TEST(VmEndToEnd, CompoundAssignmentAndIncDec) {
+  const char* source =
+      "int f(void) {\n"
+      "  int x = 10;\n"
+      "  x += 5; x -= 2; x *= 3; x /= 2; x %= 11; x <<= 2; x |= 1; x ^= 2; x &= 0xFF;\n"
+      "  int t[3]; t[0] = 0; t[1] = 0; t[2] = 0;\n"
+      "  int i = 0;\n"
+      "  t[i++] = 7;\n"
+      "  t[++i] = 9;\n"
+      "  return x * 1000 + t[0] * 100 + t[1] * 10 + t[2] + i;\n"
+      "}\n";
+  // x: 10+5=15-2=13*3=39/2=19%11=8<<2=32|1=33^2=35&255=35
+  EXPECT_EQ(RunBoth(source, "f"), 35000u + 700u + 0u + 9u + 2u);
+}
+
+TEST(VmEndToEnd, EnumsAndSizeof) {
+  const char* source =
+      "enum { RED = 1, GREEN, BLUE = 7 };\n"
+      "struct packet { char kind; int length; char payload[6]; };\n"
+      "int f(void) { return GREEN * 100 + sizeof(struct packet) * 10 + sizeof(int); }\n";
+  // layout: kind@0, length@4..8, payload@8..14 -> size 16 (align 4)
+  EXPECT_EQ(RunBoth(source, "f"), 200u + 160u + 4u);
+}
+
+TEST(VmEndToEnd, NativeSbrkHeap) {
+  const char* source =
+      "int f(void) {\n"
+      "  int *p = (int *)__sbrk(64);\n"
+      "  for (int i = 0; i < 16; i++) p[i] = i;\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 16; i++) s += p[i];\n"
+      "  return s;\n"
+      "}\n"
+      "extern unsigned __sbrk(unsigned n);\n";
+  // Declaration order: MiniC requires declaration before use.
+  const char* fixed =
+      "extern unsigned __sbrk(unsigned n);\n"
+      "int f(void) {\n"
+      "  int *p = (int *)__sbrk(64);\n"
+      "  for (int i = 0; i < 16; i++) p[i] = i;\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 16; i++) s += p[i];\n"
+      "  return s;\n"
+      "}\n";
+  (void)source;
+  EXPECT_EQ(RunBoth(fixed, "f"), 120u);
+}
+
+TEST(VmEndToEnd, ConsoleOutput) {
+  const char* source =
+      "extern void __putchar(int c);\n"
+      "void print(char *s) { while (*s) { __putchar(*s); s++; } }\n"
+      "int f(void) { print(\"knit\\n\"); return 0; }\n";
+  TestProgram program = BuildProgram(source, /*optimize=*/true);
+  ASSERT_TRUE(program.ok()) << program.error;
+  program.Run("f");
+  EXPECT_EQ(program.machine->console(), "knit\n");
+}
+
+TEST(VmEndToEnd, Varargs) {
+  const char* source =
+      "extern int __vararg(int i);\n"
+      "extern int __vararg_count(void);\n"
+      "int sum(int n, ...) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < __vararg_count(); i++) s += __vararg(i);\n"
+      "  return s * 100 + n;\n"
+      "}\n"
+      "int f(void) { return sum(7, 1, 2, 3); }\n";
+  EXPECT_EQ(RunBoth(source, "f"), 607u);
+}
+
+TEST(VmEndToEnd, NullDereferenceTraps) {
+  const char* source = "int f(void) { int *p = (int *)0; return *p; }";
+  TestProgram program = BuildProgram(source, /*optimize=*/false);
+  ASSERT_TRUE(program.ok()) << program.error;
+  RunResult result = program.machine->Call("f");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("null"), std::string::npos) << result.error;
+}
+
+TEST(VmEndToEnd, DivisionByZeroTraps) {
+  TestProgram program = BuildProgram("int f(int a, int b) { return a / b; }", false);
+  ASSERT_TRUE(program.ok()) << program.error;
+  RunResult result = program.machine->Call("f", {5, 0});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(VmEndToEnd, ChecksumKernel) {
+  // The kind of code the Clack elements run: a ones-complement checksum.
+  const char* source =
+      "unsigned cksum(char *data, int len) {\n"
+      "  unsigned sum = 0;\n"
+      "  int i = 0;\n"
+      "  while (i + 1 < len) {\n"
+      "    unsigned hi = (unsigned)(data[i] & 0xFF);\n"
+      "    unsigned lo = (unsigned)(data[i + 1] & 0xFF);\n"
+      "    sum += (hi << 8) | lo;\n"
+      "    i += 2;\n"
+      "  }\n"
+      "  if (i < len) sum += (unsigned)(data[i] & 0xFF) << 8;\n"
+      "  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);\n"
+      "  return ~sum & 0xFFFF;\n"
+      "}\n"
+      "char g_buf[20];\n"
+      "int f(void) {\n"
+      "  for (int i = 0; i < 20; i++) g_buf[i] = (char)(i * 13 + 1);\n"
+      "  return (int)cksum(g_buf, 20);\n"
+      "}\n";
+  uint32_t value = RunBoth(source, "f");
+  EXPECT_EQ(value, RunBoth(source, "f"));  // deterministic
+  EXPECT_LE(value, 0xFFFFu);
+}
+
+TEST(VmEndToEnd, OptimizedIsNotSlower) {
+  const char* source =
+      "static int square(int x) { return x * x; }\n"
+      "static int cube(int x) { return square(x) * x; }\n"
+      "int f(void) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 100; i++) s += cube(i) - square(i);\n"
+      "  return s;\n"
+      "}\n";
+  TestProgram plain = BuildProgram(source, false);
+  TestProgram optimized = BuildProgram(source, true);
+  ASSERT_TRUE(plain.ok() && optimized.ok()) << plain.error << optimized.error;
+  uint32_t a = plain.Run("f");
+  uint32_t b = optimized.Run("f");
+  EXPECT_EQ(a, b);
+  EXPECT_LT(optimized.machine->cycles(), plain.machine->cycles())
+      << "inlining + LVN should reduce cycles on call-heavy code";
+}
+
+TEST(VmEndToEnd, InliningRemovesCalls) {
+  const char* source =
+      "static int helper(int x) { return x + 1; }\n"
+      "int f(int x) { return helper(helper(helper(x))); }\n";
+  std::string error;
+  Result<ObjectFile> object = CompileSource(source, /*optimize=*/true, &error);
+  ASSERT_TRUE(object.ok()) << error;
+  // After inlining + DCE, the static helper should be gone entirely.
+  for (const BytecodeFunction& function : object.value().functions) {
+    EXPECT_NE(function.name, "helper");
+    for (const Insn& insn : function.code) {
+      EXPECT_NE(insn.op, Op::kCall) << "call survived inlining in " << function.name;
+    }
+  }
+}
+
+TEST(VmEndToEnd, RedundantLoadsEliminated) {
+  const char* source =
+      "struct hdr { int a; int b; };\n"
+      "int f(struct hdr *h) { return h->a + h->a + h->a + h->b; }\n";
+  std::string error;
+  Result<ObjectFile> plain = CompileSource(source, false, &error);
+  Result<ObjectFile> optimized = CompileSource(source, true, &error);
+  ASSERT_TRUE(plain.ok() && optimized.ok()) << error;
+  auto count_loads = [](const ObjectFile& object) {
+    int loads = 0;
+    for (const BytecodeFunction& function : object.functions) {
+      for (const Insn& insn : function.code) {
+        if (insn.op == Op::kLoadMem) {
+          ++loads;
+        }
+      }
+    }
+    return loads;
+  };
+  EXPECT_EQ(count_loads(optimized.value()), 2);  // one for ->a, one for ->b
+  EXPECT_GT(count_loads(plain.value()), 2);
+}
+
+TEST(VmEndToEnd, ConstantFolding) {
+  std::string error;
+  Result<ObjectFile> object =
+      CompileSource("int f(void) { return 2 * 3 + (10 << 2) - 6 / 3; }", true, &error);
+  ASSERT_TRUE(object.ok()) << error;
+  const BytecodeFunction& f = object.value().functions[0];
+  ASSERT_EQ(f.code.size(), 2u);  // const 44; ret v
+  EXPECT_EQ(f.code[0].op, Op::kConstInt);
+  EXPECT_EQ(f.code[0].a, 44);
+}
+
+}  // namespace
+}  // namespace knit

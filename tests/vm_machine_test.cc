@@ -1,0 +1,193 @@
+// VM machine-model tests: cost accounting, I-cache simulation, BTB behaviour,
+// traps, determinism, and the memory interface.
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace knit {
+namespace {
+
+TEST(Machine, DeterministicCounters) {
+  const char* source =
+      "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * i; return s; }";
+  TestProgram a = BuildProgram(source, true);
+  TestProgram b = BuildProgram(source, true);
+  ASSERT_TRUE(a.ok() && b.ok());
+  a.Run("f", {100});
+  b.Run("f", {100});
+  EXPECT_EQ(a.machine->cycles(), b.machine->cycles());
+  EXPECT_EQ(a.machine->insns(), b.machine->insns());
+  EXPECT_EQ(a.machine->ifetch_stalls(), b.machine->ifetch_stalls());
+}
+
+TEST(Machine, HotLoopHasFewStalls) {
+  const char* source =
+      "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }";
+  TestProgram program = BuildProgram(source, true);
+  ASSERT_TRUE(program.ok());
+  program.Run("f", {10000});
+  // The loop fits in a handful of cache lines: stalls must be a tiny fraction.
+  EXPECT_LT(program.machine->ifetch_stalls(), program.machine->cycles() / 100);
+}
+
+TEST(Machine, CallsCostMoreThanInlineCode) {
+  const char* calls =
+      "int helper(int x) { return x + 1; }\n"
+      "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s = helper(s); return s; }";
+  const char* inline_code =
+      "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s = s + 1; return s; }";
+  // -O0 so the call is not inlined away.
+  TestProgram with_calls = BuildProgram(calls, false);
+  TestProgram without = BuildProgram(inline_code, false);
+  ASSERT_TRUE(with_calls.ok() && without.ok());
+  EXPECT_EQ(with_calls.Run("f", {1000}), without.Run("f", {1000}));
+  EXPECT_GT(with_calls.machine->cycles(), without.machine->cycles() * 3 / 2)
+      << "call overhead should dominate this loop";
+}
+
+TEST(Machine, BtbMakesMonomorphicIndirectCallsCheap) {
+  const char* source =
+      "int work(int x) { return x + 1; }\n"
+      "int f(int n) {\n"
+      "  int (*fp)(int) = work;\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; i++) s = fp(s);\n"
+      "  return s;\n"
+      "}\n";
+  TestProgram program = BuildProgram(source, false);
+  ASSERT_TRUE(program.ok());
+  program.machine->ResetCounters();
+  program.Run("f", {1000});
+  long long mono = program.machine->cycles();
+
+  // Alternating targets defeat the last-target predictor.
+  const char* bimorphic =
+      "int work_a(int x) { return x + 1; }\n"
+      "int work_b(int x) { return x + 1; }\n"
+      "int f(int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    int (*fp)(int) = (i & 1) ? work_a : work_b;\n"
+      "    s = fp(s);\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n";
+  TestProgram program2 = BuildProgram(bimorphic, false);
+  ASSERT_TRUE(program2.ok());
+  program2.machine->ResetCounters();
+  program2.Run("f", {1000});
+  EXPECT_GT(program2.machine->cycles(), mono) << "mispredicted indirect calls cost more";
+}
+
+TEST(Machine, SmallerICacheMeansMoreStalls) {
+  // Many distinct functions called round-robin: thrashes a small cache.
+  std::string source;
+  for (int i = 0; i < 24; ++i) {
+    source += "int f" + std::to_string(i) + "(int x) { return x * " + std::to_string(i + 2) +
+              " + x / 3 + (x << 2) - (x >> 1) + x % 7 + " + std::to_string(i) + "; }\n";
+  }
+  source += "int f(int n) {\n  int s = 1;\n";
+  source += "  for (int i = 0; i < n; i++) {\n";
+  for (int i = 0; i < 24; ++i) {
+    source += "    s += f" + std::to_string(i) + "(s);\n";
+  }
+  source += "  }\n  return s;\n}\n";
+
+  std::string error;
+  Result<ObjectFile> object = CompileSource(source, false, &error);
+  ASSERT_TRUE(object.ok()) << error;
+  Diagnostics diags;
+  std::vector<LinkItem> items;
+  items.emplace_back(object.take());
+  Result<LinkResult> linked = Link(std::move(items), LinkOptions(), diags);
+  ASSERT_TRUE(linked.ok()) << diags.ToString();
+
+  auto stalls_with_cache = [&](int bytes) {
+    CostModel cost;
+    cost.icache_bytes = bytes;
+    Machine machine(linked.value().image, cost);
+    machine.Call("f", {50});
+    return machine.ifetch_stalls();
+  };
+  long long big = stalls_with_cache(16384);
+  long long small = stalls_with_cache(512);
+  EXPECT_GT(small, big * 2) << "big=" << big << " small=" << small;
+}
+
+TEST(Machine, StackOverflowIsTrapped) {
+  TestProgram program = BuildProgram("int f(int n) { return f(n + 1); }", false);
+  ASSERT_TRUE(program.ok());
+  RunResult result = program.machine->Call("f", {0});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("stack overflow"), std::string::npos) << result.error;
+}
+
+TEST(Machine, InstructionBudgetIsEnforced) {
+  TestProgram program = BuildProgram("int f(void) { while (1) { } return 0; }", false);
+  ASSERT_TRUE(program.ok());
+  program.machine->set_max_insns(100000);
+  RunResult result = program.machine->Call("f");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("budget"), std::string::npos) << result.error;
+}
+
+TEST(Machine, OutOfRangeAccessTraps) {
+  TestProgram program = BuildProgram(
+      "int f(void) { int *p = (int *)0x7FFFFFFF; return *p; }", false);
+  ASSERT_TRUE(program.ok());
+  RunResult result = program.machine->Call("f");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("out-of-range"), std::string::npos) << result.error;
+}
+
+TEST(Machine, IndirectCallThroughDataTraps) {
+  TestProgram program = BuildProgram(
+      "int f(void) { int x = 5; int (*fp)(void) = (int (*)(void))x; return fp(); }", false);
+  ASSERT_TRUE(program.ok());
+  RunResult result = program.machine->Call("f");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("non-function"), std::string::npos) << result.error;
+}
+
+TEST(Machine, HostMemoryInterface) {
+  TestProgram program = BuildProgram("int f(void) { return 0; }", false);
+  ASSERT_TRUE(program.ok());
+  Machine& machine = *program.machine;
+  uint32_t address = machine.Sbrk(64);
+  ASSERT_GE(address, 0x1000u);
+  machine.WriteWord(address, 0xDEADBEEF);
+  EXPECT_EQ(machine.ReadWord(address), 0xDEADBEEFu);
+  machine.WriteByte(address + 4, 'h');
+  machine.WriteByte(address + 5, 'i');
+  machine.WriteByte(address + 6, 0);
+  EXPECT_EQ(machine.ReadCString(address + 4), "hi");
+  // Little-endian byte order of words.
+  EXPECT_EQ(machine.ReadByte(address), 0xEF);
+}
+
+TEST(Machine, TrapMessageNamesFunctionAndPc) {
+  TestProgram program = BuildProgram(
+      "int inner(int *p) { return *p; }\n"
+      "int f(void) { return inner((int *)0); }\n",
+      false);
+  ASSERT_TRUE(program.ok());
+  RunResult result = program.machine->Call("f");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("inner"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("pc"), std::string::npos) << result.error;
+}
+
+TEST(Machine, ConsoleCapture) {
+  TestProgram program = BuildProgram(
+      "extern void __putchar(int c);\n"
+      "int f(void) { __putchar('o'); __putchar('k'); return 0; }\n",
+      true);
+  ASSERT_TRUE(program.ok());
+  program.Run("f");
+  EXPECT_EQ(program.machine->console(), "ok");
+  program.machine->ClearConsole();
+  EXPECT_EQ(program.machine->console(), "");
+}
+
+}  // namespace
+}  // namespace knit

@@ -1,0 +1,286 @@
+// knitc: command-line front end to the Knit pipeline.
+//
+//   knitc --knit=app.knit --src=dir --top=App [options]
+//
+// Reads the Knit declarations and every *.c / *.h file under --src into the
+// virtual file system, builds the configuration, and optionally runs an exported
+// function on the VM.
+//
+// Options:
+//   --top=UNIT            top-level unit to instantiate (required)
+//   --src=DIR             directory of MiniC sources (default: the .knit file's dir)
+//   --no-optimize         disable the per-TU optimizer (-O0)
+//   --no-check            skip constraint checking
+//   --no-flatten          ignore `flatten` markers
+//   --flatten-all         merge the whole program into one translation unit
+//   --dump-units          print the parsed declarations back as canonical Knit
+//   --print-schedule      print the computed init/fini order
+//   --print-stats         print build statistics (phase times, text size)
+//   --list-exports        print the top-level export symbols
+//   --print-map           print the ld placement map (object -> text/data)
+//   --run=PORT.SYMBOL     after knit__init, call this export (args: --args=1,2,3)
+//   --args=N,N,...        integer arguments for --run
+//
+// Environment imports of the top unit are auto-bound: natives whose name ends in
+// "putc" write to stdout; everything else logs its invocation.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/driver/knitc.h"
+#include "src/knitlang/parser.h"
+#include "src/knitlang/printer.h"
+#include "src/support/strings.h"
+#include "src/vm/machine.h"
+
+namespace knit {
+namespace {
+
+struct CliOptions {
+  std::string knit_file;
+  std::string src_dir;
+  std::string top;
+  bool dump_units = false;
+  bool print_schedule = false;
+  bool print_stats = false;
+  bool list_exports = false;
+  bool print_map = false;
+  std::string run;
+  std::vector<uint32_t> run_args;
+  KnitcOptions build;
+};
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> std::string {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--knit=", 0) == 0) {
+      options.knit_file = value_of("--knit=");
+    } else if (arg.rfind("--src=", 0) == 0) {
+      options.src_dir = value_of("--src=");
+    } else if (arg.rfind("--top=", 0) == 0) {
+      options.top = value_of("--top=");
+    } else if (arg == "--no-optimize") {
+      options.build.optimize = false;
+    } else if (arg == "--no-check") {
+      options.build.check_constraints = false;
+    } else if (arg == "--no-flatten") {
+      options.build.flatten = false;
+    } else if (arg == "--flatten-all") {
+      options.build.flatten_everything = true;
+    } else if (arg == "--dump-units") {
+      options.dump_units = true;
+    } else if (arg == "--print-schedule") {
+      options.print_schedule = true;
+    } else if (arg == "--print-stats") {
+      options.print_stats = true;
+    } else if (arg == "--list-exports") {
+      options.list_exports = true;
+    } else if (arg == "--print-map") {
+      options.print_map = true;
+    } else if (arg.rfind("--run=", 0) == 0) {
+      options.run = value_of("--run=");
+    } else if (arg.rfind("--args=", 0) == 0) {
+      for (const std::string& piece : Split(value_of("--args="), ',')) {
+        options.run_args.push_back(static_cast<uint32_t>(std::stoll(piece)));
+      }
+    } else {
+      std::fprintf(stderr, "knitc: unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options.knit_file.empty() || options.top.empty()) {
+    std::fprintf(stderr, "usage: knitc --knit=FILE --top=UNIT [--src=DIR] [options]\n");
+    return false;
+  }
+  if (options.src_dir.empty()) {
+    options.src_dir = std::filesystem::path(options.knit_file).parent_path().string();
+    if (options.src_dir.empty()) {
+      options.src_dir = ".";
+    }
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+bool LoadSources(const std::string& dir, SourceMap& sources) {
+  std::error_code error;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, error)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string name = entry.path().filename().string();
+    if (EndsWith(name, ".c") || EndsWith(name, ".h")) {
+      std::string content;
+      if (!ReadFile(entry.path().string(), content)) {
+        std::fprintf(stderr, "knitc: cannot read %s\n", entry.path().string().c_str());
+        return false;
+      }
+      sources[name] = std::move(content);
+    }
+  }
+  if (error) {
+    std::fprintf(stderr, "knitc: cannot read directory %s: %s\n", dir.c_str(),
+                 error.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+void BindEnvironment(Machine& machine, const KnitBuildResult& build) {
+  for (const std::string& native : build.natives) {
+    if (native.rfind("env__", 0) != 0) {
+      continue;  // intrinsics are pre-bound by the Machine
+    }
+    if (EndsWith(native, "putc")) {
+      machine.BindNative(native, [](Machine&, const std::vector<uint32_t>& args) {
+        if (!args.empty()) {
+          std::fputc(static_cast<char>(args[0] & 0xFF), stdout);
+        }
+        return 0u;
+      });
+    } else {
+      std::string name = native;
+      machine.BindNative(native, [name](Machine&, const std::vector<uint32_t>& args) {
+        std::printf("[env %s(", name.c_str());
+        for (size_t i = 0; i < args.size(); ++i) {
+          std::printf("%s%u", i > 0 ? ", " : "", args[i]);
+        }
+        std::printf(")]\n");
+        return 0u;
+      });
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, options)) {
+    return 2;
+  }
+
+  std::string knit_text;
+  if (!ReadFile(options.knit_file, knit_text)) {
+    std::fprintf(stderr, "knitc: cannot read %s\n", options.knit_file.c_str());
+    return 1;
+  }
+  SourceMap sources;
+  if (!LoadSources(options.src_dir, sources)) {
+    return 1;
+  }
+
+  if (options.dump_units) {
+    Diagnostics diags;
+    Result<KnitProgram> program = ParseKnit(knit_text, options.knit_file, diags);
+    if (!program.ok()) {
+      std::fprintf(stderr, "%s", diags.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", PrintKnitProgram(program.value()).c_str());
+  }
+
+  Diagnostics diags;
+  Result<KnitBuildResult> build =
+      KnitBuild(knit_text, sources, options.top, options.build, diags);
+  std::fprintf(stderr, "%s", diags.ToString().c_str());
+  if (!build.ok()) {
+    return 1;
+  }
+  KnitBuildResult& result = build.value();
+  std::printf("knitc: built '%s': %d instances, %d objects, %d flatten groups, %d bytes "
+              "text\n",
+              options.top.c_str(), result.stats.instance_count, result.stats.object_count,
+              result.stats.flatten_group_count, result.image.text_bytes);
+
+  if (options.print_schedule) {
+    std::printf("initializers:\n");
+    for (const InitCall& call : result.schedule.initializers) {
+      std::printf("  %s.%s()\n", result.config.instances[call.instance].path.c_str(),
+                  call.function.c_str());
+    }
+    std::printf("finalizers:\n");
+    for (const InitCall& call : result.schedule.finalizers) {
+      std::printf("  %s.%s()\n", result.config.instances[call.instance].path.c_str(),
+                  call.function.c_str());
+    }
+  }
+  if (options.print_stats) {
+    const BuildStats& stats = result.stats;
+    std::printf("phases (ms): frontend %.3f, schedule %.3f, constraints %.3f, compile %.3f, "
+                "objcopy %.3f, flatten %.3f, link %.3f\n",
+                stats.frontend_seconds * 1e3, stats.schedule_seconds * 1e3,
+                stats.constraint_seconds * 1e3, stats.compile_seconds * 1e3,
+                stats.objcopy_seconds * 1e3, stats.flatten_seconds * 1e3,
+                stats.link_seconds * 1e3);
+  }
+  if (options.print_map) {
+    std::printf("link map:\n");
+    for (const PlacedObject& placed : result.placements) {
+      std::printf("  %-32s data@0x%08x  functions %d..%d\n", placed.name.c_str(),
+                  placed.data_offset, placed.first_function,
+                  placed.first_function + placed.function_count - 1);
+    }
+  }
+  if (options.list_exports) {
+    const UnitDecl* top = result.config.top;
+    for (const PortDecl& port : top->exports) {
+      std::printf("export %s : %s\n", port.local_name.c_str(), port.bundle_type.c_str());
+    }
+  }
+
+  if (!options.run.empty()) {
+    size_t dot = options.run.find('.');
+    if (dot == std::string::npos) {
+      std::fprintf(stderr, "knitc: --run expects PORT.SYMBOL\n");
+      return 2;
+    }
+    std::string symbol =
+        result.ExportedSymbol(options.run.substr(0, dot), options.run.substr(dot + 1));
+    if (symbol.empty()) {
+      std::fprintf(stderr, "knitc: no export '%s'\n", options.run.c_str());
+      return 1;
+    }
+    Machine machine(result.image);
+    BindEnvironment(machine, result);
+    RunResult init = machine.Call(result.init_function);
+    if (!init.ok) {
+      std::fprintf(stderr, "knitc: knit__init failed: %s\n", init.error.c_str());
+      return 1;
+    }
+    RunResult run = machine.Call(symbol, options.run_args);
+    if (!run.ok) {
+      std::fprintf(stderr, "knitc: %s trapped: %s\n", options.run.c_str(),
+                   run.error.c_str());
+      return 1;
+    }
+    std::printf("%s returned %u (0x%x) in %lld cycles\n", options.run.c_str(), run.value,
+                run.value, machine.cycles());
+    RunResult fini = machine.Call(result.fini_function);
+    if (!fini.ok) {
+      std::fprintf(stderr, "knitc: knit__fini failed: %s\n", fini.error.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace knit
+
+int main(int argc, char** argv) { return knit::Main(argc, argv); }

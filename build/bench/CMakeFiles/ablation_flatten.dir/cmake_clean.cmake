@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flatten.dir/ablation_flatten.cc.o"
+  "CMakeFiles/ablation_flatten.dir/ablation_flatten.cc.o.d"
+  "ablation_flatten"
+  "ablation_flatten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flatten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_icache.dir/ablation_icache.cc.o"
+  "CMakeFiles/ablation_icache.dir/ablation_icache.cc.o.d"
+  "ablation_icache"
+  "ablation_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_time.dir/build_time.cc.o"
+  "CMakeFiles/build_time.dir/build_time.cc.o.d"
+  "build_time"
+  "build_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

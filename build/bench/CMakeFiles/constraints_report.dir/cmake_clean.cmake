@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraints_report.dir/constraints_report.cc.o"
+  "CMakeFiles/constraints_report.dir/constraints_report.cc.o.d"
+  "constraints_report"
+  "constraints_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraints_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_boundaries.dir/micro_boundaries.cc.o"
+  "CMakeFiles/micro_boundaries.dir/micro_boundaries.cc.o.d"
+  "micro_boundaries"
+  "micro_boundaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_clack.dir/table1_clack.cc.o"
+  "CMakeFiles/table1_clack.dir/table1_clack.cc.o.d"
+  "table1_clack"
+  "table1_clack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_clack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

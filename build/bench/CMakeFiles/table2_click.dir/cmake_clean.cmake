@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_click.dir/table2_click.cc.o"
+  "CMakeFiles/table2_click.dir/table2_click.cc.o.d"
+  "table2_click"
+  "table2_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

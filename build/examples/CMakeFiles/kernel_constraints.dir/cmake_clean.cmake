@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_constraints.dir/kernel_constraints.cpp.o"
+  "CMakeFiles/kernel_constraints.dir/kernel_constraints.cpp.o.d"
+  "kernel_constraints"
+  "kernel_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

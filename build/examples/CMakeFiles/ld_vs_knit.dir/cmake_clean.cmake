@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ld_vs_knit.dir/ld_vs_knit.cpp.o"
+  "CMakeFiles/ld_vs_knit.dir/ld_vs_knit.cpp.o.d"
+  "ld_vs_knit"
+  "ld_vs_knit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ld_vs_knit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ld_vs_knit.
+# This may be replaced when dependencies are built.

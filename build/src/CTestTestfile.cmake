@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("graph")
+subdirs("knitlang")
+subdirs("knitsem")
+subdirs("sched")
+subdirs("constraints")
+subdirs("minic")
+subdirs("flatten")
+subdirs("obj")
+subdirs("ld")
+subdirs("vm")
+subdirs("driver")
+subdirs("oskit")
+subdirs("clack")
+subdirs("click")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_clack.dir/corpus.cc.o"
+  "CMakeFiles/knit_clack.dir/corpus.cc.o.d"
+  "CMakeFiles/knit_clack.dir/harness.cc.o"
+  "CMakeFiles/knit_clack.dir/harness.cc.o.d"
+  "CMakeFiles/knit_clack.dir/trace.cc.o"
+  "CMakeFiles/knit_clack.dir/trace.cc.o.d"
+  "libknit_clack.a"
+  "libknit_clack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_clack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

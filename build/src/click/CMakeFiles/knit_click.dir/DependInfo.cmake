@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/click/click_gen.cc" "src/click/CMakeFiles/knit_click.dir/click_gen.cc.o" "gcc" "src/click/CMakeFiles/knit_click.dir/click_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/knit_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ld/CMakeFiles/knit_ld.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/knit_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/knit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/knit_obj.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

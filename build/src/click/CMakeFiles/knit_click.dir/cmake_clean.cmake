@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_click.dir/click_gen.cc.o"
+  "CMakeFiles/knit_click.dir/click_gen.cc.o.d"
+  "libknit_click.a"
+  "libknit_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libknit_click.a"
+)

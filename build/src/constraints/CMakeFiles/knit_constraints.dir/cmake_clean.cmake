@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_constraints.dir/check.cc.o"
+  "CMakeFiles/knit_constraints.dir/check.cc.o.d"
+  "libknit_constraints.a"
+  "libknit_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

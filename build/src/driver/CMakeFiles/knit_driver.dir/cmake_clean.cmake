@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_driver.dir/knitc.cc.o"
+  "CMakeFiles/knit_driver.dir/knitc.cc.o.d"
+  "libknit_driver.a"
+  "libknit_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

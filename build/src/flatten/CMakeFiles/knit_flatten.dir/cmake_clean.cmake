@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_flatten.dir/flatten.cc.o"
+  "CMakeFiles/knit_flatten.dir/flatten.cc.o.d"
+  "libknit_flatten.a"
+  "libknit_flatten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_flatten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

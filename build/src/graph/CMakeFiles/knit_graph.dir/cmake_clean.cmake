@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_graph.dir/digraph.cc.o"
+  "CMakeFiles/knit_graph.dir/digraph.cc.o.d"
+  "libknit_graph.a"
+  "libknit_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_lang.dir/lexer.cc.o"
+  "CMakeFiles/knit_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/knit_lang.dir/parser.cc.o"
+  "CMakeFiles/knit_lang.dir/parser.cc.o.d"
+  "CMakeFiles/knit_lang.dir/printer.cc.o"
+  "CMakeFiles/knit_lang.dir/printer.cc.o.d"
+  "libknit_lang.a"
+  "libknit_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

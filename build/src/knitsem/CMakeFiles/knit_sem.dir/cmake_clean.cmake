@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_sem.dir/elaborate.cc.o"
+  "CMakeFiles/knit_sem.dir/elaborate.cc.o.d"
+  "CMakeFiles/knit_sem.dir/instantiate.cc.o"
+  "CMakeFiles/knit_sem.dir/instantiate.cc.o.d"
+  "libknit_sem.a"
+  "libknit_sem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_sem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

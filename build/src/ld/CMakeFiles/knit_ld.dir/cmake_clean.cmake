@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_ld.dir/link.cc.o"
+  "CMakeFiles/knit_ld.dir/link.cc.o.d"
+  "libknit_ld.a"
+  "libknit_ld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_ld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

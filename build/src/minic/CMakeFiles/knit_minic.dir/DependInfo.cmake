@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/ast.cc" "src/minic/CMakeFiles/knit_minic.dir/ast.cc.o" "gcc" "src/minic/CMakeFiles/knit_minic.dir/ast.cc.o.d"
+  "/root/repo/src/minic/clexer.cc" "src/minic/CMakeFiles/knit_minic.dir/clexer.cc.o" "gcc" "src/minic/CMakeFiles/knit_minic.dir/clexer.cc.o.d"
+  "/root/repo/src/minic/cparser.cc" "src/minic/CMakeFiles/knit_minic.dir/cparser.cc.o" "gcc" "src/minic/CMakeFiles/knit_minic.dir/cparser.cc.o.d"
+  "/root/repo/src/minic/printer.cc" "src/minic/CMakeFiles/knit_minic.dir/printer.cc.o" "gcc" "src/minic/CMakeFiles/knit_minic.dir/printer.cc.o.d"
+  "/root/repo/src/minic/sema.cc" "src/minic/CMakeFiles/knit_minic.dir/sema.cc.o" "gcc" "src/minic/CMakeFiles/knit_minic.dir/sema.cc.o.d"
+  "/root/repo/src/minic/types.cc" "src/minic/CMakeFiles/knit_minic.dir/types.cc.o" "gcc" "src/minic/CMakeFiles/knit_minic.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/knit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_minic.dir/ast.cc.o"
+  "CMakeFiles/knit_minic.dir/ast.cc.o.d"
+  "CMakeFiles/knit_minic.dir/clexer.cc.o"
+  "CMakeFiles/knit_minic.dir/clexer.cc.o.d"
+  "CMakeFiles/knit_minic.dir/cparser.cc.o"
+  "CMakeFiles/knit_minic.dir/cparser.cc.o.d"
+  "CMakeFiles/knit_minic.dir/printer.cc.o"
+  "CMakeFiles/knit_minic.dir/printer.cc.o.d"
+  "CMakeFiles/knit_minic.dir/sema.cc.o"
+  "CMakeFiles/knit_minic.dir/sema.cc.o.d"
+  "CMakeFiles/knit_minic.dir/types.cc.o"
+  "CMakeFiles/knit_minic.dir/types.cc.o.d"
+  "libknit_minic.a"
+  "libknit_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

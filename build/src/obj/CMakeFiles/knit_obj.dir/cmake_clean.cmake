@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_obj.dir/object.cc.o"
+  "CMakeFiles/knit_obj.dir/object.cc.o.d"
+  "libknit_obj.a"
+  "libknit_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for knit_obj.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_oskit.dir/corpus.cc.o"
+  "CMakeFiles/knit_oskit.dir/corpus.cc.o.d"
+  "libknit_oskit.a"
+  "libknit_oskit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_oskit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/init_sched.cc" "src/sched/CMakeFiles/knit_sched.dir/init_sched.cc.o" "gcc" "src/sched/CMakeFiles/knit_sched.dir/init_sched.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/knitsem/CMakeFiles/knit_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/knit_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/knit_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/knitlang/CMakeFiles/knit_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

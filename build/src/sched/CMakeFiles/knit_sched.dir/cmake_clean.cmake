@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_sched.dir/init_sched.cc.o"
+  "CMakeFiles/knit_sched.dir/init_sched.cc.o.d"
+  "libknit_sched.a"
+  "libknit_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

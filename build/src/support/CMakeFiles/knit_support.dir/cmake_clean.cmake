@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_support.dir/diagnostics.cc.o"
+  "CMakeFiles/knit_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/knit_support.dir/mangle.cc.o"
+  "CMakeFiles/knit_support.dir/mangle.cc.o.d"
+  "CMakeFiles/knit_support.dir/strings.cc.o"
+  "CMakeFiles/knit_support.dir/strings.cc.o.d"
+  "libknit_support.a"
+  "libknit_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

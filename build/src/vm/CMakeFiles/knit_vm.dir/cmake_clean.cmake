@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knit_vm.dir/bytecode.cc.o"
+  "CMakeFiles/knit_vm.dir/bytecode.cc.o.d"
+  "CMakeFiles/knit_vm.dir/codegen.cc.o"
+  "CMakeFiles/knit_vm.dir/codegen.cc.o.d"
+  "CMakeFiles/knit_vm.dir/machine.cc.o"
+  "CMakeFiles/knit_vm.dir/machine.cc.o.d"
+  "CMakeFiles/knit_vm.dir/optimize.cc.o"
+  "CMakeFiles/knit_vm.dir/optimize.cc.o.d"
+  "libknit_vm.a"
+  "libknit_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knit_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clack_test.dir/clack_test.cc.o"
+  "CMakeFiles/clack_test.dir/clack_test.cc.o.d"
+  "clack_test"
+  "clack_test.pdb"
+  "clack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

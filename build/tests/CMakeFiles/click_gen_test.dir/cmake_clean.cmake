@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_gen_test.dir/click_gen_test.cc.o"
+  "CMakeFiles/click_gen_test.dir/click_gen_test.cc.o.d"
+  "click_gen_test"
+  "click_gen_test.pdb"
+  "click_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

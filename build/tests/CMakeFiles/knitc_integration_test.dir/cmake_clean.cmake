@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knitc_integration_test.dir/knitc_integration_test.cc.o"
+  "CMakeFiles/knitc_integration_test.dir/knitc_integration_test.cc.o.d"
+  "knitc_integration_test"
+  "knitc_integration_test.pdb"
+  "knitc_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knitc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knitlang_test.dir/knitlang_test.cc.o"
+  "CMakeFiles/knitlang_test.dir/knitlang_test.cc.o.d"
+  "knitlang_test"
+  "knitlang_test.pdb"
+  "knitlang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knitlang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

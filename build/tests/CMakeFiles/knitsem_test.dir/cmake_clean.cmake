@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knitsem_test.dir/knitsem_test.cc.o"
+  "CMakeFiles/knitsem_test.dir/knitsem_test.cc.o.d"
+  "knitsem_test"
+  "knitsem_test.pdb"
+  "knitsem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knitsem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

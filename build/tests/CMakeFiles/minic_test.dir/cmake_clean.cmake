@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_test.dir/minic_test.cc.o"
+  "CMakeFiles/minic_test.dir/minic_test.cc.o.d"
+  "minic_test"
+  "minic_test.pdb"
+  "minic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_components_test.dir/oskit_components_test.cc.o"
+  "CMakeFiles/oskit_components_test.dir/oskit_components_test.cc.o.d"
+  "oskit_components_test"
+  "oskit_components_test.pdb"
+  "oskit_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

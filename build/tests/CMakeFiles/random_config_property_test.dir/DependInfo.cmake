@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/random_config_property_test.cc" "tests/CMakeFiles/random_config_property_test.dir/random_config_property_test.cc.o" "gcc" "tests/CMakeFiles/random_config_property_test.dir/random_config_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/knit_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/flatten/CMakeFiles/knit_flatten.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/knit_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/knit_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/knitsem/CMakeFiles/knit_sem.dir/DependInfo.cmake"
+  "/root/repo/build/src/knitlang/CMakeFiles/knit_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/knit_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ld/CMakeFiles/knit_ld.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/knit_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/knit_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/knit_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/knit_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

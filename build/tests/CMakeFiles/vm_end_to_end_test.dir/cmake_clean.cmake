@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_end_to_end_test.dir/vm_end_to_end_test.cc.o"
+  "CMakeFiles/vm_end_to_end_test.dir/vm_end_to_end_test.cc.o.d"
+  "vm_end_to_end_test"
+  "vm_end_to_end_test.pdb"
+  "vm_end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

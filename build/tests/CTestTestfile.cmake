@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/vm_end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/knitc_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/clack_test[1]_include.cmake")
+include("/root/repo/build/tests/click_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/knitlang_test[1]_include.cmake")
+include("/root/repo/build/tests/knitsem_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_test[1]_include.cmake")
+include("/root/repo/build/tests/obj_ld_test[1]_include.cmake")
+include("/root/repo/build/tests/flatten_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_property_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/random_config_property_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/click_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/oskit_components_test[1]_include.cmake")

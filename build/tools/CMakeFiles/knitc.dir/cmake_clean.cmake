@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knitc.dir/knitc_main.cc.o"
+  "CMakeFiles/knitc.dir/knitc_main.cc.o.d"
+  "knitc"
+  "knitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,7 +1,9 @@
 #include "src/driver/knitc.h"
 
+#include <algorithm>
 #include <chrono>
 #include <set>
+#include <variant>
 
 #include "src/flatten/flatten.h"
 #include "src/knitlang/parser.h"
@@ -49,6 +51,47 @@ std::string KnitBuildResult::ExportedSymbol(const std::string& port,
                                             const std::string& symbol) const {
   auto it = export_names_.find({port, symbol});
   return it == export_names_.end() ? "" : it->second;
+}
+
+int KnitBuildResult::InstanceOfInitSymbol(const std::string& link_name) const {
+  auto it = init_symbol_instances_.find(link_name);
+  return it == init_symbol_instances_.end() ? -1 : it->second;
+}
+
+int KnitBuildResult::FailingInstance(const RunResult& result) const {
+  if (result.ok) {
+    // Failsafe knit__init returns -1 on success, else the failing instance index.
+    if (rollback_function.empty() || result.value == 0xFFFFFFFFu) {
+      return -1;
+    }
+    int index = static_cast<int>(result.value);
+    return index >= 0 && index < static_cast<int>(instance_paths.size()) ? index : -1;
+  }
+  // Trap: the innermost backtrace frame belonging to an init/fini entry point
+  // identifies the instance (frames are "symbol (pc N)").
+  for (const std::string& frame : result.backtrace) {
+    int instance = InstanceOfInitSymbol(frame.substr(0, frame.find(' ')));
+    if (instance >= 0) {
+      return instance;
+    }
+  }
+  return -1;
+}
+
+int KnitBuildResult::ReportInitFailure(const RunResult& result, Diagnostics& diags) const {
+  int instance = FailingInstance(result);
+  if (result.ok && instance < 0) {
+    return -1;  // success: nothing to report
+  }
+  std::string detail = result.ok ? "initializer reported a nonzero status"
+                                 : result.error.substr(0, result.error.find('\n'));
+  if (instance >= 0) {
+    diags.Error(SourceLoc::Unknown(), "initialization of component '" +
+                                          instance_paths[instance] + "' failed: " + detail);
+  } else {
+    diags.Error(SourceLoc::Unknown(), "initialization failed: " + detail);
+  }
+  return instance;
 }
 
 class KnitCompiler {
@@ -514,30 +557,131 @@ class KnitCompiler {
 
   // ---- init/fini object ----------------------------------------------------------
 
+  // True when the compiled function bound to `link_name` returns a value. Such an
+  // initializer is *failable*: the failsafe init runtime treats a nonzero return as
+  // "initialization failed" and rolls back.
+  bool ReturnsValue(const std::string& link_name) const {
+    for (const LinkItem& item : link_items_) {
+      const ObjectFile* object = std::get_if<ObjectFile>(&item);
+      if (object == nullptr) {
+        continue;
+      }
+      int index = object->FindSymbol(link_name);
+      if (index < 0 || object->symbols[index].section != ObjSymbol::Section::kText) {
+        continue;
+      }
+      return object->functions[object->symbols[index].index].returns_value;
+    }
+    return false;
+  }
+
+  // The failure-aware init runtime (DESIGN.md "Initialization failure semantics").
+  // knit__status[i] counts instance i's completed initializer calls; knit__rollback
+  // finalizes exactly the fully-initialized instances (finalizer-schedule order,
+  // i.e. reverse dependency order) and resets progress; knit__init returns -1 on
+  // success or the failing instance index after a status failure (having already
+  // rolled back). A trapped knit__init leaves the status array intact so the host
+  // can invoke knit__rollback itself.
+  std::string GenerateFailsafeInitSource() {
+    const Schedule& schedule = result_.schedule;
+    std::vector<int> counts = InitializerCounts(result_.config);
+    int instance_count = static_cast<int>(result_.config.instances.size());
+
+    result_.rollback_function = "knit__rollback";
+    result_.status_symbol = "knit__status";
+    result_.failed_symbol = "knit__failed";
+
+    std::string source;
+    source += "int knit__status[" + std::to_string(std::max(1, instance_count)) + "];\n";
+    source += "int knit__failed;\n";
+
+    auto reset_progress = [&](std::string& out) {
+      for (int i = 0; i < instance_count; ++i) {
+        out += "  knit__status[" + std::to_string(i) + "] = 0;\n";
+      }
+      out += "  knit__failed = -1;\n";
+    };
+
+    source += "void knit__rollback(void) {\n";
+    for (const InitCall& call : schedule.finalizers) {
+      if (counts[call.instance] == 0) {
+        continue;  // never had initializers: nothing to undo on rollback
+      }
+      source += "  if (knit__status[" + std::to_string(call.instance) +
+                "] == " + std::to_string(counts[call.instance]) + ") { " +
+                InitCallName(call) + "(); }\n";
+    }
+    reset_progress(source);
+    source += "}\n";
+
+    source += "int knit__init(void) {\n";
+    for (const InitCall& call : schedule.initializers) {
+      std::string instance = std::to_string(call.instance);
+      std::string name = InitCallName(call);
+      source += "  knit__failed = " + instance + ";\n";
+      if (ReturnsValue(name)) {
+        source += "  if (" + name + "() != 0) { knit__rollback(); return " + instance +
+                  "; }\n";
+      } else {
+        source += "  " + name + "();\n";
+      }
+      source += "  knit__status[" + instance + "] = knit__status[" + instance + "] + 1;\n";
+    }
+    source += "  knit__failed = -1;\n";
+    source += "  return -1;\n";
+    source += "}\n";
+
+    source += "void knit__fini(void) {\n";
+    for (const InitCall& call : schedule.finalizers) {
+      source += "  " + InitCallName(call) + "();\n";
+    }
+    reset_progress(source);
+    source += "}\n";
+    return source;
+  }
+
   bool GenerateInitObject() {
+    const Schedule& schedule = result_.schedule;
+    for (const Instance& instance : result_.config.instances) {
+      result_.instance_paths.push_back(instance.path);
+    }
+    for (const std::vector<InitCall>* list : {&schedule.initializers, &schedule.finalizers}) {
+      for (const InitCall& call : *list) {
+        result_.init_symbol_instances_.emplace(InitCallName(call), call.instance);
+      }
+    }
+
     std::string source;
     std::set<std::string> declared;
-    auto declare = [&](const std::string& name) {
+    auto declare = [&](const InitCall& call) {
+      std::string name = InitCallName(call);
       if (declared.insert(name).second) {
-        source += "extern void " + name + "(void);\n";
+        bool failable = options_.failsafe_init && ReturnsValue(name);
+        source += std::string("extern ") + (failable ? "int " : "void ") + name + "(void);\n";
       }
     };
-    for (const InitCall& call : result_.schedule.initializers) {
-      declare(InitCallName(call));
+    for (const InitCall& call : schedule.initializers) {
+      declare(call);
     }
-    for (const InitCall& call : result_.schedule.finalizers) {
-      declare(InitCallName(call));
+    for (const InitCall& call : schedule.finalizers) {
+      declare(call);
     }
-    source += "void knit__init(void) {\n";
-    for (const InitCall& call : result_.schedule.initializers) {
-      source += "  " + InitCallName(call) + "();\n";
+
+    if (!options_.failsafe_init) {
+      // The paper's monolithic call sequence: no progress tracking, no rollback.
+      source += "void knit__init(void) {\n";
+      for (const InitCall& call : schedule.initializers) {
+        source += "  " + InitCallName(call) + "();\n";
+      }
+      source += "}\n";
+      source += "void knit__fini(void) {\n";
+      for (const InitCall& call : schedule.finalizers) {
+        source += "  " + InitCallName(call) + "();\n";
+      }
+      source += "}\n";
+    } else {
+      source += GenerateFailsafeInitSource();
     }
-    source += "}\n";
-    source += "void knit__fini(void) {\n";
-    for (const InitCall& call : result_.schedule.finalizers) {
-      source += "  " + InitCallName(call) + "();\n";
-    }
-    source += "}\n";
 
     Result<TranslationUnit> tu = ParseCString(source, "<knit-init>", types_, diags_);
     if (!tu.ok()) {

@@ -30,6 +30,7 @@
 #include "src/support/diagnostics.h"
 #include "src/support/result.h"
 #include "src/vm/image.h"
+#include "src/vm/machine.h"
 
 namespace knit {
 
@@ -40,6 +41,15 @@ struct KnitcOptions {
   bool flatten_everything = false; // merge the whole program into one TU (ablation)
   bool sort_definitions = true;    // flattener defs-before-uses sorting (ablation)
   bool callers_first_definitions = false;  // adversarial order (ablation)
+
+  // Failure-aware initialization (see DESIGN.md "Initialization failure
+  // semantics"). When on, the generated knit__init records per-instance progress
+  // into a status array, treats a nonzero return from an int-returning initializer
+  // as failure (rolling back and reporting the failing instance index), and a
+  // generated knit__rollback finalizes exactly the already-initialized instances in
+  // finalizer-schedule order. When off, knit__init is the paper's monolithic void
+  // call sequence.
+  bool failsafe_init = true;
 
   // Extra native names to make available at link time (besides the intrinsics and
   // the environment symbols derived from the top unit's imports).
@@ -80,9 +90,40 @@ struct KnitBuildResult {
   std::vector<PlacedObject> placements;
   BuildStats stats;
 
-  // Call these (via the VM) around the workload.
+  // Call these (via the VM) around the workload. With failsafe init, knit__init
+  // returns -1 (0xFFFFFFFF) on success or the failing instance index after an
+  // initializer reported a nonzero status (rollback has already run in that case).
   std::string init_function = "knit__init";
   std::string fini_function = "knit__fini";
+
+  // Failure-aware init runtime, generated when KnitcOptions::failsafe_init:
+  //   rollback_function — call after a *trapped* knit__init to finalize exactly the
+  //     already-initialized instances (finalizer-schedule order) and reset progress
+  //     so knit__init can be retried; "" when failsafe init is disabled.
+  //   status_symbol — data symbol of the per-instance array of completed
+  //     initializer counts (instance i is initialized when it reaches
+  //     InitializerCounts(config)[i]).
+  //   failed_symbol — data symbol holding the instance index currently (or last)
+  //     being initialized; -1 when init is not running / succeeded.
+  std::string rollback_function;
+  std::string status_symbol;
+  std::string failed_symbol;
+
+  // Instance index -> Knit component path ("Top/Log#2"), for failure reporting.
+  std::vector<std::string> instance_paths;
+
+  // Maps an init/fini link symbol (e.g. from RunResult::backtrace) back to the
+  // instance it belongs to; -1 if the symbol is not an init/fini entry point.
+  int InstanceOfInitSymbol(const std::string& link_name) const;
+
+  // The failing instance of a knit__init RunResult: -1 on success, the reported
+  // index for a status failure, or the instance of the innermost init symbol on the
+  // trap backtrace (-1 if none can be identified).
+  int FailingInstance(const RunResult& result) const;
+
+  // Reports an init failure as Knit-level component diagnostics (instance path +
+  // initializer) instead of raw VM symbols. Returns FailingInstance(result).
+  int ReportInitFailure(const RunResult& result, Diagnostics& diags) const;
 
   // Native names the image was linked against; bind environment functions on the
   // Machine under these names (see EnvSymbol() in src/support/mangle.h).
@@ -95,6 +136,7 @@ struct KnitBuildResult {
  private:
   friend class KnitCompiler;
   std::map<std::pair<std::string, std::string>, std::string> export_names_;
+  std::map<std::string, int> init_symbol_instances_;  // init/fini link name -> instance
 };
 
 // The intrinsic natives every image may use (the VM pre-binds implementations).

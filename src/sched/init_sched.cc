@@ -181,4 +181,12 @@ Result<Schedule> ScheduleInitFini(const Configuration& config, Diagnostics& diag
   return Scheduler(config, diags).Run();
 }
 
+std::vector<int> InitializerCounts(const Configuration& config) {
+  std::vector<int> counts(config.instances.size(), 0);
+  for (size_t i = 0; i < config.instances.size(); ++i) {
+    counts[i] = static_cast<int>(config.instances[i].unit->initializers.size());
+  }
+  return counts;
+}
+
 }  // namespace knit

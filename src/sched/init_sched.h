@@ -43,6 +43,13 @@ struct Schedule {
 // function names) and fails.
 Result<Schedule> ScheduleInitFini(const Configuration& config, Diagnostics& diags);
 
+// Number of initializer calls each instance contributes to the schedule, indexed
+// like Configuration::instances. The failure-aware init runtime treats an instance
+// as "initialized" (and thus eligible for rollback finalization) once this many of
+// its initializers have completed; instances with zero initializers have nothing to
+// undo and are never finalized by rollback.
+std::vector<int> InitializerCounts(const Configuration& config);
+
 }  // namespace knit
 
 #endif  // SRC_SCHED_INIT_SCHED_H_

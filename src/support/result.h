@@ -1,10 +1,15 @@
 // Result<T>: the library's exception-free error channel. A failing operation reports
 // detail into a Diagnostics sink and returns Result<T>::Failure(); callers branch on
 // ok(). Result<void> is specialized as a plain success/failure flag.
+//
+// value()/take() on a failed Result abort with a message in every build mode: the
+// misuse would otherwise be silent UB exactly on failure paths, which are the
+// least-tested ones.
 #ifndef SRC_SUPPORT_RESULT_H_
 #define SRC_SUPPORT_RESULT_H_
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <utility>
 
@@ -22,16 +27,16 @@ class Result {
   explicit operator bool() const { return ok(); }
 
   T& value() {
-    assert(ok());
+    RequireOk("value()");
     return *value_;
   }
   const T& value() const {
-    assert(ok());
+    RequireOk("value()");
     return *value_;
   }
 
   T&& take() {
-    assert(ok());
+    RequireOk("take()");
     return std::move(*value_);
   }
 
@@ -39,6 +44,13 @@ class Result {
 
  private:
   Result() = default;
+
+  void RequireOk(const char* accessor) const {
+    if (!ok()) {
+      std::fprintf(stderr, "fatal: Result::%s called on a failed Result\n", accessor);
+      std::abort();
+    }
+  }
 
   std::optional<T> value_;
 };

@@ -11,7 +11,7 @@ constexpr uint32_t kStackBytes = 1 << 20;
 }  // namespace
 
 Machine::Machine(const Image& image, CostModel cost, uint32_t memory_bytes)
-    : image_(image), cost_(cost), memory_(memory_bytes, 0) {
+    : image_(image), cost_(cost), memory_(memory_bytes, 0), max_insns_(cost.max_insns) {
   assert(image.data_base >= kNullGuard);
   // Load the data image.
   for (size_t i = 0; i < image.data.size(); ++i) {
@@ -70,14 +70,49 @@ void Machine::ResetCounters() {
 void Machine::Trap(const std::string& message) {
   if (!trapped_) {
     trapped_ = true;
-    std::string where;
-    if (!frames_.empty()) {
-      const Frame& frame = frames_.back();
-      where = " in " + image_.functions[frame.function].name + " at pc " +
-              std::to_string(frame.pc - 1);
+    trap_message_ = message;
+    // Snapshot the call stack before CallId unwinds it: function names innermost
+    // first, with the instruction the frame was executing (pc already advanced).
+    trap_backtrace_.clear();
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      trap_backtrace_.push_back(image_.functions[it->function].name + " (pc " +
+                                std::to_string(it->pc > 0 ? it->pc - 1 : 0) + ")");
     }
-    trap_message_ = message + where;
   }
+}
+
+std::string Machine::TrapError() const {
+  std::string error = trap_message_.empty() ? "execution error" : trap_message_;
+  for (const std::string& frame : trap_backtrace_) {
+    error += "\n  at " + frame;
+  }
+  return error;
+}
+
+void Machine::set_fault_plan(FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  invocation_counts_.clear();
+}
+
+// Decides the planned fate of this invocation; the caller raises the trap itself so
+// the backtrace reflects where the fault lands (inside the callee for functions, at
+// the call site for natives).
+Machine::FaultAction Machine::CheckFault(const std::string& function, uint32_t* value_out) {
+  if (fault_plan_.empty()) {
+    return FaultAction::kNone;
+  }
+  long long count = ++invocation_counts_[function];
+  for (const FaultInjection& injection : fault_plan_.injections) {
+    if (injection.function != function || injection.invocation != count) {
+      continue;
+    }
+    if (injection.trap) {
+      return FaultAction::kTrap;
+    }
+    *value_out = injection.value;
+    return FaultAction::kReturn;
+  }
+  return FaultAction::kNone;
 }
 
 bool Machine::CheckRange(uint32_t address, uint32_t size) {
@@ -229,7 +264,7 @@ bool Machine::EnterFunction(int function_id, const uint32_t* args, int argc) {
 RunResult Machine::Call(const std::string& name, std::vector<uint32_t> args) {
   int id = image_.FindFunction(name);
   if (id < 0) {
-    return RunResult{false, 0, "no such function: " + name};
+    return RunResult{false, 0, "no such function: " + name, {}};
   }
   return CallId(id, std::move(args));
 }
@@ -237,13 +272,23 @@ RunResult Machine::Call(const std::string& name, std::vector<uint32_t> args) {
 RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
   trapped_ = false;
   trap_message_.clear();
+  trap_backtrace_.clear();
   size_t base_frames = frames_.size();
 
   if (function_id < 0 || function_id >= static_cast<int>(image_.functions.size())) {
-    return RunResult{false, 0, "bad function id"};
+    return RunResult{false, 0, "bad function id", {}};
+  }
+  uint32_t injected = 0;
+  FaultAction action = CheckFault(image_.functions[function_id].name, &injected);
+  if (action == FaultAction::kReturn) {
+    return RunResult{true, injected, "", {}};
   }
   if (!EnterFunction(function_id, args.data(), static_cast<int>(args.size()))) {
-    return RunResult{false, 0, trap_message_};
+    return RunResult{false, 0, TrapError(), trap_backtrace_};
+  }
+  if (action == FaultAction::kTrap) {
+    // Trap inside the callee's frame so the backtrace names it.
+    Trap("fault injected into '" + image_.functions[function_id].name + "'");
   }
 
   while (frames_.size() > base_frames && !trapped_) {
@@ -259,7 +304,8 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
     ++insns_;
     cycles_ += cost_.base;
     if (insns_ > max_insns_) {
-      Trap("instruction budget exceeded");
+      Trap("fuel exhausted (instruction budget of " + std::to_string(max_insns_) +
+           " insns exceeded)");
       break;
     }
 
@@ -438,6 +484,19 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
         if (image_.IsNativeId(callable)) {
           int native_index = callable - static_cast<int>(image_.functions.size());
           const std::string& native_name = image_.natives[native_index];
+          uint32_t fault_value = 0;
+          FaultAction action = CheckFault(native_name, &fault_value);
+          if (action == FaultAction::kTrap) {
+            Trap("fault injected into '" + native_name + "'");
+            break;
+          }
+          if (action == FaultAction::kReturn) {
+            eval_.resize(eval_.size() - argc);
+            if (CallReturns(insn.b)) {
+              eval_.push_back(fault_value);
+            }
+            break;
+          }
           auto it = natives_.find(native_name);
           if (it == natives_.end()) {
             Trap("native '" + native_name + "' is not bound");
@@ -452,9 +511,23 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
           }
           break;
         }
+        uint32_t fault_value = 0;
+        FaultAction action = CheckFault(image_.functions[callable].name, &fault_value);
+        if (action == FaultAction::kReturn) {
+          eval_.resize(eval_.size() - argc);
+          if (CallReturns(insn.b)) {
+            eval_.push_back(fault_value);
+          }
+          break;
+        }
         std::vector<uint32_t> callee_args(args_begin, args_begin + argc);
         eval_.resize(eval_.size() - argc);
         if (!EnterFunction(callable, callee_args.data(), argc)) {
+          break;
+        }
+        if (action == FaultAction::kTrap) {
+          // Trap inside the callee's frame so the backtrace names it.
+          Trap("fault injected into '" + image_.functions[callable].name + "'");
           break;
         }
         // Mismatched value expectations are reconciled at the callee's kRet.
@@ -482,7 +555,7 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
         frames_.pop_back();
         if (!caller_exists) {
           // Returning to the host.
-          return RunResult{!trapped_, has_value ? value : 0, trap_message_};
+          return RunResult{!trapped_, has_value ? value : 0, trap_message_, trap_backtrace_};
         }
         // The caller's kCall encoded whether it expects a value; we cannot see that
         // insn here cheaply, so push if the callee returns one — codegen keeps the
@@ -613,7 +686,7 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
     stack_pointer_ = frames_.back().saved_sp;
     frames_.pop_back();
   }
-  return RunResult{false, 0, trap_message_.empty() ? "execution error" : trap_message_};
+  return RunResult{false, 0, TrapError(), trap_backtrace_};
 }
 
 }  // namespace knit

@@ -37,6 +37,10 @@ namespace knit {
 
 struct CostModel {
   long long base = 1;
+  // Fuel: the instruction budget for a Machine (overridable per machine with
+  // set_max_insns). Exhausting it raises a clean "fuel exhausted" trap so runaway
+  // or cyclic code cannot hang a harness.
+  long long max_insns = 2'000'000'000;
   long long mem_access = 1;
   long long divide = 20;
   long long call_overhead = 8;
@@ -58,10 +62,32 @@ class Machine;
 // popped argument values; returns the result (ignored for void uses).
 using NativeFn = std::function<uint32_t(Machine&, const std::vector<uint32_t>&)>;
 
+// One forced failure: the Nth invocation of `function` (a VM function or a native,
+// by link name) is intercepted before its body runs. `trap` makes it trap the
+// machine; otherwise the call is skipped and `value` is returned in its place (for
+// int-returning functions, a nonzero `value` models "initializer reported failure").
+struct FaultInjection {
+  std::string function;
+  long long invocation = 1;  // 1-based: fail the Nth call
+  bool trap = true;
+  uint32_t value = 1;  // result substituted when !trap
+};
+
+// A fault-injection plan, used by the init/fini robustness harness to prove
+// rollback correct under every possible failure point.
+struct FaultPlan {
+  std::vector<FaultInjection> injections;
+
+  bool empty() const { return injections.empty(); }
+};
+
 struct RunResult {
   bool ok = false;
   uint32_t value = 0;
-  std::string error;  // set when !ok
+  std::string error;  // set when !ok: trap message plus rendered backtrace
+  // Call stack at the trap, innermost frame first, each entry "function (pc N)".
+  // Empty on success.
+  std::vector<std::string> backtrace;
 };
 
 class Machine {
@@ -83,8 +109,17 @@ class Machine {
   long long insns() const { return insns_; }
   void ResetCounters();
 
-  // Limits (defensive against runaway corpus code).
+  // Fuel limit (defensive against runaway corpus code): exceeding it traps with
+  // "fuel exhausted". Defaults to CostModel::max_insns.
   void set_max_insns(long long max) { max_insns_ = max; }
+  long long fuel_remaining() const { return max_insns_ > insns_ ? max_insns_ - insns_ : 0; }
+
+  // Fault injection: installing a plan resets the per-function invocation counters;
+  // every subsequent call of a planned function is counted and the matching
+  // invocation is forced to fail (see FaultInjection).
+  void set_fault_plan(FaultPlan plan);
+  void ClearFaultPlan() { set_fault_plan(FaultPlan()); }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
 
   // Memory access (for natives and tests). Out-of-range accesses trap the current
   // execution; from the host side they return 0 / are ignored with ok_ set false.
@@ -121,7 +156,11 @@ class Machine {
     uint32_t saved_sp = 0;
   };
 
+  enum class FaultAction { kNone, kTrap, kReturn };
+
   void Trap(const std::string& message);
+  std::string TrapError() const;
+  FaultAction CheckFault(const std::string& function, uint32_t* value_out);
   bool CheckRange(uint32_t address, uint32_t size);
   void ICacheAccess(uint32_t text_address);
   bool EnterFunction(int function_id, const uint32_t* args, int argc);
@@ -142,10 +181,14 @@ class Machine {
   long long cycles_ = 0;
   long long ifetch_stalls_ = 0;
   long long insns_ = 0;
-  long long max_insns_ = 2'000'000'000;
+  long long max_insns_;  // initialized from CostModel::max_insns
 
   bool trapped_ = false;
   std::string trap_message_;
+  std::vector<std::string> trap_backtrace_;
+
+  FaultPlan fault_plan_;
+  std::map<std::string, long long> invocation_counts_;
 
   // I-cache state: per set, per way: tag (-1 empty) and LRU stamp.
   struct CacheWay {

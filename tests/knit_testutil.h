@@ -46,13 +46,31 @@ struct KernelProgram {
   }
 
   void Init() {
-    RunResult result = machine->Call(build->init_function);
+    RunResult result = TryInit();
     EXPECT_TRUE(result.ok) << "knit__init: " << result.error;
+    EXPECT_EQ(build->FailingInstance(result), -1)
+        << "knit__init reported a failing instance: " << result.value;
   }
 
   void Fini() {
     RunResult result = machine->Call(build->fini_function);
     EXPECT_TRUE(result.ok) << "knit__fini: " << result.error;
+  }
+
+  // Raw init attempt: callers inspect RunResult / FailingInstance themselves.
+  RunResult TryInit() { return machine->Call(build->init_function); }
+
+  // Runs the generated rollback entry point (failsafe init only): finalizes the
+  // already-initialized instances and resets progress so TryInit can be retried.
+  RunResult Rollback() {
+    EXPECT_FALSE(build->rollback_function.empty()) << "failsafe init is disabled";
+    return machine->Call(build->rollback_function);
+  }
+
+  // Reads instance i's completed-initializer count from the VM's status array.
+  uint32_t StatusOf(int instance) {
+    uint32_t base = build->image.data_symbols.at(build->status_symbol);
+    return machine->ReadWord(base + static_cast<uint32_t>(instance) * 4);
   }
 };
 

@@ -316,5 +316,59 @@ TEST_P(RandomLayeredConfigTest, ScheduleRespectsDeclaredNeeds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLayeredConfigTest, testing::Range(1, 21));
 
+TEST(Scheduler, CycleDiagnosticNamesInstancePathAndInitializer) {
+  // The user-facing requirement: an unschedulable configuration must be reported in
+  // terms of Knit components — instance path plus initializer function — not just
+  // "cycle detected".
+  SchedBuild built = BuildSchedule(std::string(kPrelude) + R"(
+unit P = { imports [i : T]; exports [o : T]; initializer p_init for o; files {"p.c"}; }
+unit Q = { imports [i : T]; exports [o : T]; initializer q_init for o; files {"q.c"}; }
+unit Top = {
+  imports [];
+  exports [o : T];
+  link { [p] <- P <- [q]; [q] <- Q <- [p]; [o] <- P as front <- [p]; };
+}
+)",
+                                   "Top");
+  ASSERT_FALSE(built.ok);
+  EXPECT_NE(built.error.find("cycle"), std::string::npos) << built.error;
+  // Must name at least one offending initializer and its instance path.
+  bool names_initializer = built.error.find("p_init") != std::string::npos ||
+                           built.error.find("q_init") != std::string::npos;
+  EXPECT_TRUE(names_initializer) << built.error;
+  bool names_instance = built.error.find("Top/P") != std::string::npos ||
+                        built.error.find("Top/Q") != std::string::npos;
+  EXPECT_TRUE(names_instance) << built.error;
+  // And suggest the fix the paper prescribes: fine-grained needs clauses.
+  EXPECT_NE(built.error.find("needs"), std::string::npos) << built.error;
+}
+
+TEST(Scheduler, InitializerCountsFollowInstanceOrder) {
+  SchedBuild built = BuildSchedule(std::string(kPrelude) + R"(
+unit Plain = { exports [o : T]; files {"n.c"}; }
+unit One = { exports [o : T]; initializer one_init for o; files {"o.c"}; }
+unit Top = {
+  imports [];
+  exports [o : T];
+  link { [n] <- Plain <- []; [o] <- One <- []; };
+}
+)",
+                                   "Top");
+  ASSERT_TRUE(built.ok) << built.error;
+  std::vector<int> counts = InitializerCounts(built.config);
+  ASSERT_EQ(counts.size(), built.config.instances.size());
+  int total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    const std::string& path = built.config.instances[i].path;
+    if (path == "Top/Plain") {
+      EXPECT_EQ(counts[i], 0);
+    } else if (path == "Top/One") {
+      EXPECT_EQ(counts[i], 1);
+    }
+  }
+  EXPECT_EQ(total, static_cast<int>(built.schedule.initializers.size()));
+}
+
 }  // namespace
 }  // namespace knit

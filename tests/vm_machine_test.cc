@@ -177,6 +177,110 @@ TEST(Machine, TrapMessageNamesFunctionAndPc) {
   EXPECT_NE(result.error.find("pc"), std::string::npos) << result.error;
 }
 
+TEST(Machine, RunResultCarriesStructuredBacktrace) {
+  TestProgram program = BuildProgram(
+      "int inner(int *p) { return *p; }\n"
+      "int mid(void) { return inner((int *)0); }\n"
+      "int f(void) { return mid(); }\n",
+      false);
+  ASSERT_TRUE(program.ok());
+  RunResult result = program.machine->Call("f");
+  ASSERT_FALSE(result.ok);
+  // Innermost first: inner, mid, f — each entry "name (pc N)".
+  ASSERT_EQ(result.backtrace.size(), 3u);
+  EXPECT_EQ(result.backtrace[0].substr(0, 6), "inner ");
+  EXPECT_EQ(result.backtrace[1].substr(0, 4), "mid ");
+  EXPECT_EQ(result.backtrace[2].substr(0, 2), "f ");
+  for (const std::string& frame : result.backtrace) {
+    EXPECT_NE(frame.find("(pc "), std::string::npos) << frame;
+  }
+  // The flat error embeds the same frames for plain printing.
+  EXPECT_NE(result.error.find("at inner"), std::string::npos) << result.error;
+  // A successful call leaves no stale backtrace behind.
+  RunResult ok = program.machine->Call("mid_ok", {});
+  (void)ok;  // function does not exist; just must not crash
+  RunResult clean = program.machine->Call("f");
+  EXPECT_EQ(clean.backtrace.size(), 3u);
+}
+
+TEST(Machine, FaultPlanTrapsTheNthInvocation) {
+  TestProgram program = BuildProgram(
+      "int g(int x) { return x + 1; }\n"
+      "int f(void) { int s = 0; for (int i = 0; i < 5; i++) s = g(s); return s; }\n",
+      false);
+  ASSERT_TRUE(program.ok());
+
+  FaultPlan plan;
+  plan.injections.push_back(FaultInjection{"g", 3, /*trap=*/true, 0});
+  program.machine->set_fault_plan(plan);
+  RunResult result = program.machine->Call("f");
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("fault injected"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("'g'"), std::string::npos) << result.error;
+  // The fault fires inside the callee's frame, so the backtrace names it.
+  ASSERT_FALSE(result.backtrace.empty());
+  EXPECT_EQ(result.backtrace.front().substr(0, 2), "g ");
+
+  // Setting a plan resets invocation counting; clearing it removes the fault.
+  program.machine->ClearFaultPlan();
+  EXPECT_EQ(program.machine->Call("f").value, 5u);
+}
+
+TEST(Machine, FaultPlanInjectsReturnValues) {
+  TestProgram program = BuildProgram(
+      "int g(int x) { return x + 1; }\n"
+      "int f(void) { int s = 0; for (int i = 0; i < 5; i++) s = s + g(0); return s; }\n",
+      false);
+  ASSERT_TRUE(program.ok());
+
+  FaultPlan plan;
+  plan.injections.push_back(FaultInjection{"g", 2, /*trap=*/false, 100});
+  program.machine->set_fault_plan(plan);
+  RunResult result = program.machine->Call("f");
+  ASSERT_TRUE(result.ok) << result.error;
+  // Four real calls return 1; the second invocation is forced to 100.
+  EXPECT_EQ(result.value, 104u);
+}
+
+TEST(Machine, FaultPlanAppliesToNatives) {
+  TestProgram program = BuildProgram(
+      "extern int ping(void);\n"
+      "int f(void) { return ping() + ping(); }\n",
+      false, {"ping"});
+  ASSERT_TRUE(program.ok());
+  program.machine->BindNative(
+      "ping", [](Machine&, const std::vector<uint32_t>&) { return 1u; });
+  EXPECT_EQ(program.machine->Call("f").value, 2u);
+
+  FaultPlan trap_plan;
+  trap_plan.injections.push_back(FaultInjection{"ping", 2, /*trap=*/true, 0});
+  program.machine->set_fault_plan(trap_plan);
+  RunResult trapped = program.machine->Call("f");
+  ASSERT_FALSE(trapped.ok);
+  EXPECT_NE(trapped.error.find("fault injected"), std::string::npos) << trapped.error;
+  EXPECT_NE(trapped.error.find("'ping'"), std::string::npos) << trapped.error;
+
+  FaultPlan value_plan;
+  value_plan.injections.push_back(FaultInjection{"ping", 1, /*trap=*/false, 41});
+  program.machine->set_fault_plan(value_plan);
+  EXPECT_EQ(program.machine->Call("f").value, 42u);
+}
+
+TEST(Machine, FuelRemainingTracksExecution) {
+  TestProgram program = BuildProgram("int f(void) { return 0; }", false);
+  ASSERT_TRUE(program.ok());
+  program.machine->set_max_insns(10'000);
+  EXPECT_EQ(program.machine->fuel_remaining(), 10'000);
+  program.Run("f");
+  long long after = program.machine->fuel_remaining();
+  EXPECT_LT(after, 10'000);
+  EXPECT_GT(after, 0);
+  EXPECT_EQ(after, 10'000 - program.machine->insns());
+  // ResetCounters refills the budget.
+  program.machine->ResetCounters();
+  EXPECT_EQ(program.machine->fuel_remaining(), 10'000);
+}
+
 TEST(Machine, ConsoleCapture) {
   TestProgram program = BuildProgram(
       "extern void __putchar(int c);\n"

@@ -20,6 +20,12 @@
 //   --print-map           print the ld placement map (object -> text/data)
 //   --run=PORT.SYMBOL     after knit__init, call this export (args: --args=1,2,3)
 //   --args=N,N,...        integer arguments for --run
+//   --no-failsafe-init    generate the paper's monolithic knit__init (no rollback)
+//   --fuel=N              VM instruction budget; a runaway program traps cleanly
+//   --inject-fault=F[@N][=V]
+//                         force the Nth invocation (default 1st) of function or
+//                         native F to trap, or — with =V — to return V instead of
+//                         running (fault-injection testing)
 //
 // Environment imports of the top unit are auto-bound: natives whose name ends in
 // "putc" write to stdout; everything else logs its invocation.
@@ -51,8 +57,34 @@ struct CliOptions {
   bool print_map = false;
   std::string run;
   std::vector<uint32_t> run_args;
+  long long fuel = 0;  // 0: leave the CostModel default
+  FaultPlan fault_plan;
   KnitcOptions build;
 };
+
+// Parses --inject-fault=FUNC[@N][=V]: fault the Nth invocation of FUNC; with =V
+// return V instead of trapping.
+bool ParseFaultSpec(const std::string& spec, FaultPlan& plan) {
+  FaultInjection injection;
+  std::string name = spec;
+  size_t eq = name.find('=');
+  if (eq != std::string::npos) {
+    injection.trap = false;
+    injection.value = static_cast<uint32_t>(std::stoll(name.substr(eq + 1)));
+    name = name.substr(0, eq);
+  }
+  size_t at = name.find('@');
+  if (at != std::string::npos) {
+    injection.invocation = std::stoll(name.substr(at + 1));
+    name = name.substr(0, at);
+  }
+  if (name.empty() || injection.invocation < 1) {
+    return false;
+  }
+  injection.function = name;
+  plan.injections.push_back(std::move(injection));
+  return true;
+}
 
 bool ParseArgs(int argc, char** argv, CliOptions& options) {
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +121,20 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
     } else if (arg.rfind("--args=", 0) == 0) {
       for (const std::string& piece : Split(value_of("--args="), ',')) {
         options.run_args.push_back(static_cast<uint32_t>(std::stoll(piece)));
+      }
+    } else if (arg == "--no-failsafe-init") {
+      options.build.failsafe_init = false;
+    } else if (arg.rfind("--fuel=", 0) == 0) {
+      options.fuel = std::stoll(value_of("--fuel="));
+      if (options.fuel < 1) {
+        std::fprintf(stderr, "knitc: --fuel expects a positive instruction count\n");
+        return false;
+      }
+    } else if (arg.rfind("--inject-fault=", 0) == 0) {
+      if (!ParseFaultSpec(value_of("--inject-fault="), options.fault_plan)) {
+        std::fprintf(stderr, "knitc: bad fault spec '%s' (want FUNC[@N][=V])\n",
+                     arg.c_str());
+        return false;
       }
     } else {
       std::fprintf(stderr, "knitc: unknown option '%s'\n", arg.c_str());
@@ -258,9 +304,30 @@ int Main(int argc, char** argv) {
     }
     Machine machine(result.image);
     BindEnvironment(machine, result);
+    if (options.fuel > 0) {
+      machine.set_max_insns(options.fuel);
+    }
+    if (!options.fault_plan.empty()) {
+      machine.set_fault_plan(options.fault_plan);
+    }
     RunResult init = machine.Call(result.init_function);
-    if (!init.ok) {
-      std::fprintf(stderr, "knitc: knit__init failed: %s\n", init.error.c_str());
+    if (!init.ok || result.FailingInstance(init) != -1) {
+      // Report the failure in Knit component terms, then (after a trap) run the
+      // generated rollback so the already-initialized instances are finalized.
+      Diagnostics init_diags;
+      result.ReportInitFailure(init, init_diags);
+      std::fprintf(stderr, "%s", init_diags.ToString().c_str());
+      std::fprintf(stderr, "knitc: knit__init failed%s%s\n", init.ok ? "" : ": ",
+                   init.ok ? "" : init.error.c_str());
+      if (!init.ok && !result.rollback_function.empty()) {
+        machine.ResetCounters();
+        RunResult rollback = machine.Call(result.rollback_function);
+        if (rollback.ok) {
+          std::fprintf(stderr, "knitc: rolled back initialized components\n");
+        } else {
+          std::fprintf(stderr, "knitc: rollback failed: %s\n", rollback.error.c_str());
+        }
+      }
       return 1;
     }
     RunResult run = machine.Call(symbol, options.run_args);

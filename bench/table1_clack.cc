@@ -41,12 +41,16 @@ int Run() {
       {"flattened", "ClackRouterFlat"},
       {"hand-optimized + flattened", "HandRouterFlat"},
   };
+  // One artifact cache across the four builds: a unit compiled for the modular
+  // router is reused (pre-objcopy) by every later configuration that keeps it.
+  KnitcOptions options;
+  options.cache = std::make_shared<BuildCache>();
   double base_cycles = 0;
   for (const Row& row : rows) {
     Diagnostics diags;
-    KnitcOptions options;
+    KnitPipeline pipeline(options);
     Result<RouterProgram> program =
-        RouterProgram::FromClack(row.top, options, diags, RouterCostModel());
+        RouterProgram::FromClack(pipeline, row.top, diags, RouterCostModel());
     if (!program.ok()) {
       std::fprintf(stderr, "build failed for %s:\n%s", row.top, diags.ToString().c_str());
       return 1;

@@ -140,16 +140,16 @@ unit App = {
       "int logger_calls(void) { return g_calls; }\n";
 
   Diagnostics diags;
-  KnitcOptions options;
-  Result<KnitBuildResult> build = KnitBuild(knit_text, sources, "App", options, diags);
-  if (!build.ok()) {
+  KnitPipeline pipeline;
+  Result<LinkedImage> built = pipeline.Build(knit_text, sources, "App", diags);
+  if (!built.ok()) {
     std::fprintf(stderr, "knit build failed:\n%s", diags.ToString().c_str());
     return 1;
   }
-  Machine machine(build.value().image);
-  machine.Call(build.value().init_function);
-  uint32_t result =
-      machine.Call(build.value().ExportedSymbol("run", "client_run"), {4}).value;
+  KnitBuildResult app = KnitBuildResultFrom(built.take(), pipeline.metrics());
+  Machine machine(app.image);
+  machine.Call(app.init_function);
+  uint32_t result = machine.Call(app.ExportedSymbol("run", "client_run"), {4}).value;
   std::printf("client -> logger -> server via Knit: client_run(4) = %u "
               "(10*4, +1 from the logger)\n",
               result);

@@ -31,28 +31,48 @@ uint32_t PutString(Machine& machine, const std::string& text) {
 }  // namespace
 
 int main() {
-  // 1. Build the WebKernel configuration with knitc: parse the Knit declarations,
-  //    elaborate, instantiate, schedule initializers, check constraints, compile
-  //    each unit once, objcopy-rename per instance, and ld-link.
+  // 1. Build the WebKernel configuration through the staged pipeline, one phase at
+  //    a time: parse the Knit declarations, elaborate + instantiate, schedule
+  //    initializers, check constraints, compile every unit (objcopy-rename per
+  //    instance), and ld-link. Each stage returns a plain artifact that can be
+  //    inspected — here we print the init order as soon as Schedule produces it,
+  //    before a single unit compiles.
   Diagnostics diags;
-  KnitcOptions options;
-  Result<KnitBuildResult> build =
-      KnitBuild(OskitKnit(), OskitSources(), "WebKernel", options, diags);
-  if (!build.ok()) {
+  KnitPipeline pipeline;
+  Result<ParsedProgram> parsed = pipeline.Parse(OskitKnit(), diags);
+  Result<ElaboratedConfig> elaborated =
+      parsed.ok() ? pipeline.Elaborate(parsed.value(), "WebKernel", diags)
+                  : Result<ElaboratedConfig>::Failure();
+  Result<ScheduledConfig> scheduled = elaborated.ok()
+                                          ? pipeline.Schedule(elaborated.value(), diags)
+                                          : Result<ScheduledConfig>::Failure();
+  if (!scheduled.ok()) {
     std::fprintf(stderr, "build failed:\n%s", diags.ToString().c_str());
     return 1;
   }
-  KnitBuildResult& kernel = build.value();
 
-  std::printf("built WebKernel: %d unit instances, %d objects, %d bytes of text\n",
-              kernel.stats.instance_count, kernel.stats.object_count,
-              kernel.image.text_bytes);
-
-  std::printf("\nautomatically scheduled initialization order:\n");
-  for (const InitCall& call : kernel.schedule.initializers) {
-    std::printf("  %s.%s()\n", kernel.config.instances[call.instance].path.c_str(),
+  std::printf("automatically scheduled initialization order:\n");
+  for (const InitCall& call : scheduled.value().schedule->initializers) {
+    const Configuration& config = *scheduled.value().elaborated.config;
+    std::printf("  %s.%s()\n", config.instances[call.instance].path.c_str(),
                 call.function.c_str());
   }
+
+  Result<CheckedConfig> checked = pipeline.Check(scheduled.value(), diags);
+  Result<CompiledUnits> compiled =
+      checked.ok() ? pipeline.Compile(checked.value(), OskitSources(), diags)
+                   : Result<CompiledUnits>::Failure();
+  Result<LinkedImage> linked = compiled.ok() ? pipeline.Link(compiled.value(), diags)
+                                             : Result<LinkedImage>::Failure();
+  if (!linked.ok()) {
+    std::fprintf(stderr, "build failed:\n%s", diags.ToString().c_str());
+    return 1;
+  }
+  KnitBuildResult kernel = KnitBuildResultFrom(linked.take(), pipeline.metrics());
+
+  std::printf("\nbuilt WebKernel: %d unit instances, %d objects, %d bytes of text\n",
+              kernel.stats.instance_count, kernel.stats.object_count,
+              kernel.image.text_bytes);
 
   // 2. Load the image; the environment supplies the raw console.
   Machine machine(kernel.image);

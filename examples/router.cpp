@@ -13,10 +13,21 @@ using namespace knit;
 
 namespace {
 
+// One artifact cache shared by both router builds: the flattened rebuild reuses
+// every standalone unit object the modular build already compiled.
+KnitcOptions SharedOptions() {
+  static KnitcOptions options = [] {
+    KnitcOptions o;
+    o.cache = std::make_shared<BuildCache>();
+    return o;
+  }();
+  return options;
+}
+
 bool RunRouter(const char* top, const std::vector<TracePacket>& trace, RouterStats* out) {
   Diagnostics diags;
-  KnitcOptions options;
-  Result<RouterProgram> program = RouterProgram::FromClack(top, options, diags);
+  KnitPipeline pipeline(SharedOptions());
+  Result<RouterProgram> program = RouterProgram::FromClack(pipeline, top, diags);
   if (!program.ok()) {
     std::fprintf(stderr, "build failed:\n%s", diags.ToString().c_str());
     return false;

@@ -16,13 +16,20 @@ uint64_t FnvMix(uint64_t hash, uint8_t byte) {
 Result<RouterProgram> RouterProgram::FromClack(const std::string& top_unit,
                                                const KnitcOptions& options, Diagnostics& diags,
                                                const CostModel& cost) {
+  KnitPipeline pipeline(options);
+  return FromClack(pipeline, top_unit, diags, cost);
+}
+
+Result<RouterProgram> RouterProgram::FromClack(KnitPipeline& pipeline,
+                                               const std::string& top_unit, Diagnostics& diags,
+                                               const CostModel& cost) {
   RouterProgram program;
-  Result<KnitBuildResult> build =
-      KnitBuild(ClackKnit(), ClackSources(), top_unit, options, diags);
-  if (!build.ok()) {
+  Result<LinkedImage> built = pipeline.Build(ClackKnit(), ClackSources(), top_unit, diags);
+  if (!built.ok()) {
     return Result<RouterProgram>::Failure();
   }
-  program.build_ = std::make_unique<KnitBuildResult>(std::move(build.value()));
+  program.build_ = std::make_unique<KnitBuildResult>(
+      KnitBuildResultFrom(built.take(), pipeline.metrics()));
   for (const char* port : {"in0", "in1"}) {
     program.entry_names_[port] = program.build_->ExportedSymbol(port, "pkt_push");
   }

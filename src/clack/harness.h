@@ -51,6 +51,14 @@ class RouterProgram {
                                          const KnitcOptions& options, Diagnostics& diags,
                                          const CostModel& cost = CostModel());
 
+  // Same, but on a caller-owned staged pipeline: the caller's KnitcOptions (jobs,
+  // cache) apply, the artifact cache persists across calls (building four router
+  // variants shares every unchanged unit object), and the caller can read
+  // pipeline.metrics() afterwards.
+  static Result<RouterProgram> FromClack(KnitPipeline& pipeline, const std::string& top_unit,
+                                         Diagnostics& diags,
+                                         const CostModel& cost = CostModel());
+
   // Wraps an already-linked image. `entry_names` maps the harness's logical names
   // (in0, in1, statsIn0, statsIn1, statsIp, statsOut, statsDrop) to image symbols;
   // the image must import the native named by `dev_native`.

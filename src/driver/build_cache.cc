@@ -1,0 +1,239 @@
+#include "src/driver/build_cache.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/hash.h"
+
+namespace knit {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'O', 'B', 'J', '0', '0', '0', '1'};
+
+void PutU32(std::string& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutI32(std::string& out, int32_t value) { PutU32(out, static_cast<uint32_t>(value)); }
+
+void PutString(std::string& out, const std::string& text) {
+  PutU32(out, static_cast<uint32_t>(text.size()));
+  out.append(text);
+}
+
+class Reader {
+ public:
+  Reader(const std::string& bytes, size_t start) : bytes_(bytes), pos_(start) {}
+
+  bool ok() const { return ok_; }
+
+  uint32_t U32() {
+    if (pos_ + 4 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+
+  std::string Str() {
+    uint32_t size = U32();
+    if (!ok_ || pos_ + size > bytes_.size()) {
+      ok_ = false;
+      return "";
+    }
+    std::string out = bytes_.substr(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
+  std::vector<uint8_t> Raw(uint32_t size) {
+    if (!ok_ || pos_ + size > bytes_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<uint8_t> out(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+                             bytes_.begin() + static_cast<ptrdiff_t>(pos_ + size));
+    pos_ += size;
+    return out;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string SerializeObjectFile(const ObjectFile& object) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutString(out, object.name);
+
+  PutU32(out, static_cast<uint32_t>(object.symbols.size()));
+  for (const ObjSymbol& symbol : object.symbols) {
+    PutString(out, symbol.name);
+    PutU32(out, static_cast<uint32_t>(symbol.section));
+    PutU32(out, symbol.global ? 1 : 0);
+    PutI32(out, symbol.index);
+    PutI32(out, symbol.size);
+    PutI32(out, symbol.align);
+  }
+
+  PutU32(out, static_cast<uint32_t>(object.functions.size()));
+  for (const BytecodeFunction& function : object.functions) {
+    PutString(out, function.name);
+    PutI32(out, function.frame_size);
+    PutI32(out, function.param_count);
+    PutU32(out, function.variadic ? 1 : 0);
+    PutU32(out, function.returns_value ? 1 : 0);
+    PutI32(out, function.text_offset);
+    PutU32(out, static_cast<uint32_t>(function.code.size()));
+    for (const Insn& insn : function.code) {
+      PutU32(out, static_cast<uint32_t>(insn.op));
+      PutI32(out, insn.a);
+      PutI32(out, insn.b);
+    }
+  }
+
+  PutU32(out, static_cast<uint32_t>(object.data.size()));
+  out.append(reinterpret_cast<const char*>(object.data.data()), object.data.size());
+
+  PutU32(out, static_cast<uint32_t>(object.data_relocs.size()));
+  for (const DataReloc& reloc : object.data_relocs) {
+    PutI32(out, reloc.data_offset);
+    PutI32(out, reloc.symbol);
+  }
+  return out;
+}
+
+bool DeserializeObjectFile(const std::string& bytes, ObjectFile* out) {
+  if (bytes.size() < sizeof(kMagic) || std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  Reader reader(bytes, sizeof(kMagic));
+  ObjectFile object;
+  object.name = reader.Str();
+
+  uint32_t symbol_count = reader.U32();
+  for (uint32_t i = 0; reader.ok() && i < symbol_count; ++i) {
+    ObjSymbol symbol;
+    symbol.name = reader.Str();
+    uint32_t section = reader.U32();
+    if (section > static_cast<uint32_t>(ObjSymbol::Section::kData)) {
+      return false;
+    }
+    symbol.section = static_cast<ObjSymbol::Section>(section);
+    symbol.global = reader.U32() != 0;
+    symbol.index = reader.I32();
+    symbol.size = reader.I32();
+    symbol.align = reader.I32();
+    object.symbols.push_back(std::move(symbol));
+  }
+
+  uint32_t function_count = reader.U32();
+  for (uint32_t i = 0; reader.ok() && i < function_count; ++i) {
+    BytecodeFunction function;
+    function.name = reader.Str();
+    function.frame_size = reader.I32();
+    function.param_count = reader.I32();
+    function.variadic = reader.U32() != 0;
+    function.returns_value = reader.U32() != 0;
+    function.text_offset = reader.I32();
+    uint32_t insn_count = reader.U32();
+    for (uint32_t k = 0; reader.ok() && k < insn_count; ++k) {
+      Insn insn;
+      insn.op = static_cast<Op>(reader.U32());
+      insn.a = reader.I32();
+      insn.b = reader.I32();
+      function.code.push_back(insn);
+    }
+    object.functions.push_back(std::move(function));
+  }
+
+  uint32_t data_size = reader.U32();
+  object.data = reader.Raw(data_size);
+
+  uint32_t reloc_count = reader.U32();
+  for (uint32_t i = 0; reader.ok() && i < reloc_count; ++i) {
+    DataReloc reloc;
+    reloc.data_offset = reader.I32();
+    reloc.symbol = reader.I32();
+    object.data_relocs.push_back(reloc);
+  }
+
+  if (!reader.ok() || !reader.AtEnd()) {
+    return false;
+  }
+  *out = std::move(object);
+  return true;
+}
+
+BuildCache::BuildCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code error;
+    std::filesystem::create_directories(dir_, error);
+  }
+}
+
+std::string BuildCache::PathFor(uint64_t key) const {
+  return dir_ + "/knit-" + HexDigest(key) + ".kobj";
+}
+
+bool BuildCache::Lookup(uint64_t key, ObjectFile* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = memory_.find(key);
+  if (it != memory_.end()) {
+    *out = it->second;
+    return true;
+  }
+  if (dir_.empty()) {
+    return false;
+  }
+  std::ifstream in(PathFor(key), std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  ObjectFile object;
+  if (!DeserializeObjectFile(buffer.str(), &object)) {
+    return false;  // stale format or corrupt file: treat as a miss
+  }
+  memory_.emplace(key, object);
+  *out = std::move(object);
+  return true;
+}
+
+void BuildCache::Store(uint64_t key, const ObjectFile& object) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  memory_.insert_or_assign(key, object);
+  if (dir_.empty()) {
+    return;
+  }
+  std::ofstream out(PathFor(key), std::ios::binary | std::ios::trunc);
+  if (out) {
+    std::string bytes = SerializeObjectFile(object);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+}
+
+size_t BuildCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_.size();
+}
+
+}  // namespace knit

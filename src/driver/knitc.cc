@@ -1,51 +1,6 @@
 #include "src/driver/knitc.h"
 
-#include <algorithm>
-#include <chrono>
-#include <set>
-#include <variant>
-
-#include "src/flatten/flatten.h"
-#include "src/knitlang/parser.h"
-#include "src/ld/link.h"
-#include "src/minic/cparser.h"
-#include "src/minic/sema.h"
-#include "src/obj/object.h"
-#include "src/support/mangle.h"
-#include "src/vm/codegen.h"
-
 namespace knit {
-
-namespace {
-
-double Seconds(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
-}
-
-// True when the unit is backed by pre-compiled object code rather than sources.
-bool IsObjectUnit(const UnitDecl& unit) {
-  return unit.files.size() == 1 && unit.files[0].size() > 2 &&
-         unit.files[0].rfind(".o") == unit.files[0].size() - 2;
-}
-
-// The C identifier a unit's source uses for (port, symbol), honoring renames.
-std::string CNameOf(const UnitDecl& unit, const std::string& port, const std::string& symbol) {
-  for (const RenameDecl& rename : unit.renames) {
-    if (rename.port == port && rename.symbol == symbol) {
-      return rename.c_name;
-    }
-  }
-  return symbol;
-}
-
-}  // namespace
-
-const std::vector<std::string>& IntrinsicNatives() {
-  static const std::vector<std::string> kIntrinsics = {
-      "__sbrk", "__putchar", "__cycles", "__abort", "__vararg", "__vararg_count", "__trace",
-  };
-  return kIntrinsics;
-}
 
 std::string KnitBuildResult::ExportedSymbol(const std::string& port,
                                             const std::string& symbol) const {
@@ -94,675 +49,42 @@ int KnitBuildResult::ReportInitFailure(const RunResult& result, Diagnostics& dia
   return instance;
 }
 
-class KnitCompiler {
- public:
-  KnitCompiler(const std::string& knit_source, const SourceMap& sources,
-               const std::string& top_unit, const KnitcOptions& options, Diagnostics& diags)
-      : knit_source_(knit_source),
-        sources_(sources),
-        top_unit_(top_unit),
-        options_(options),
-        diags_(diags) {}
+KnitBuildResult KnitBuildResultFrom(LinkedImage built, PipelineMetrics metrics) {
+  KnitBuildResult result;
+  const CompiledUnits& compiled = built.compiled;
+  const ElaboratedConfig& elaborated = compiled.checked.scheduled.elaborated;
 
-  Result<KnitBuildResult> Run() {
-    auto t0 = std::chrono::steady_clock::now();
-    Result<KnitProgram> program = ParseKnit(knit_source_, "<knit>", diags_);
-    if (!program.ok()) {
-      return Result<KnitBuildResult>::Failure();
-    }
-    Result<Elaboration> elaboration = Elaborate(program.value(), diags_);
-    if (!elaboration.ok()) {
-      return Result<KnitBuildResult>::Failure();
-    }
-    result_.elaboration = std::make_unique<Elaboration>(std::move(elaboration.value()));
-    Result<Configuration> config = Instantiate(*result_.elaboration, top_unit_, diags_);
-    if (!config.ok()) {
-      return Result<KnitBuildResult>::Failure();
-    }
-    result_.config = std::move(config.value());
-    result_.stats.frontend_seconds = Seconds(t0);
-    result_.stats.instance_count = static_cast<int>(result_.config.instances.size());
+  result.elaboration = elaborated.elaboration;
+  result.config = *elaborated.config;
+  result.schedule = *compiled.checked.scheduled.schedule;
+  result.constraint_solution = *compiled.checked.solution;
 
-    t0 = std::chrono::steady_clock::now();
-    Result<Schedule> schedule = ScheduleInitFini(result_.config, diags_);
-    if (!schedule.ok()) {
-      return Result<KnitBuildResult>::Failure();
-    }
-    result_.schedule = std::move(schedule.value());
-    result_.stats.schedule_seconds = Seconds(t0);
+  result.image = std::move(built.image);
+  result.placements = std::move(built.placements);
+  result.stats = std::move(metrics);
 
-    if (options_.check_constraints) {
-      t0 = std::chrono::steady_clock::now();
-      if (!CheckConstraints(*result_.elaboration, result_.config, diags_,
-                            &result_.constraint_solution)
-               .ok()) {
-        return Result<KnitBuildResult>::Failure();
-      }
-      result_.stats.constraint_seconds = Seconds(t0);
-    }
+  result.init_function = compiled.init_function;
+  result.fini_function = compiled.fini_function;
+  result.rollback_function = compiled.rollback_function;
+  result.status_symbol = compiled.status_symbol;
+  result.failed_symbol = compiled.failed_symbol;
+  result.instance_paths = compiled.instance_paths;
+  result.init_symbol_instances_ = compiled.init_symbol_instances;
 
-    if (!AssignGroups()) {
-      return Result<KnitBuildResult>::Failure();
-    }
-    ComputeExternalExports();
-    if (!CompileEverything() || !GenerateInitObject() || !LinkAll()) {
-      return Result<KnitBuildResult>::Failure();
-    }
-    FillExportNames();
-    return std::move(result_);
-  }
-
- private:
-  // ---- grouping -------------------------------------------------------------
-
-  // group id per instance; -1 = standalone object (objcopy path).
-  bool AssignGroups() {
-    const Configuration& config = result_.config;
-    groups_.assign(config.instances.size(), -1);
-    if (options_.flatten_everything) {
-      for (size_t i = 0; i < config.instances.size(); ++i) {
-        groups_[i] = 0;
-      }
-      group_count_ = 1;
-      StripObjectUnitsFromGroups();
-      return true;
-    }
-    if (!options_.flatten) {
-      group_count_ = 0;
-      return true;
-    }
-    for (size_t i = 0; i < config.instances.size(); ++i) {
-      groups_[i] = config.instances[i].flatten_group;
-    }
-    group_count_ = config.flatten_group_count;
-    StripObjectUnitsFromGroups();
-    return true;
-  }
-
-  // Pre-compiled units cannot be source-merged; they fall back to the objcopy path
-  // even inside a flatten region.
-  void StripObjectUnitsFromGroups() {
-    for (size_t i = 0; i < result_.config.instances.size(); ++i) {
-      if (IsObjectUnit(*result_.config.instances[i].unit)) {
-        groups_[i] = -1;
-      }
-    }
-  }
-
-  // Exports that must remain globally visible after compilation: those consumed by
-  // an instance in a *different* object (another flatten group or a standalone
-  // instance) and those realizing top-level exports. Everything else can be
-  // localized/staticized, which is what lets the optimizer inline unit code away
-  // entirely inside a flattened group (and is why the paper's flattened router is
-  // smaller, not larger, than the modular one).
-  void ComputeExternalExports() {
-    const Configuration& config = result_.config;
-    auto group_of = [&](int i) { return groups_[i] >= 0 ? groups_[i] : -(i + 2); };
-    for (size_t i = 0; i < config.instances.size(); ++i) {
-      const Instance& instance = config.instances[i];
-      for (const SupplierRef& supplier : instance.import_suppliers) {
-        if (supplier.IsEnvironment()) {
-          continue;
-        }
-        if (group_of(supplier.instance) != group_of(static_cast<int>(i))) {
-          external_exports_.insert({supplier.instance, supplier.port});
-        }
-      }
-    }
-    for (const SupplierRef& supplier : config.top_export_suppliers) {
-      if (!supplier.IsEnvironment()) {
-        external_exports_.insert({supplier.instance, supplier.port});
-      }
-    }
-  }
-
-  // ---- per-instance rename maps ----------------------------------------------
-
-  struct InstanceNames {
-    std::map<std::string, std::string> renames;  // C name -> link name
-    std::set<std::string> keep_global;           // link names that stay global
-  };
-
-  // Resolves the top-level-import environment name for a supplier reference.
-  std::string SupplierLinkName(const SupplierRef& supplier, const std::string& symbol) {
-    const Configuration& config = result_.config;
-    if (supplier.IsEnvironment()) {
-      const PortDecl& port = config.top->imports[supplier.port];
-      return EnvSymbol(port.local_name, symbol);
-    }
-    const Instance& producer = config.instances[supplier.instance];
-    const PortDecl& port = producer.unit->exports[supplier.port];
-    return MangleExport(producer.path, port.local_name, symbol);
-  }
-
-  bool BuildInstanceNames(int instance_index, InstanceNames& out) {
-    const Configuration& config = result_.config;
-    const Instance& instance = config.instances[instance_index];
-    const UnitDecl& unit = *instance.unit;
-    const Elaboration& elaboration = *result_.elaboration;
-
-    auto add = [&](const std::string& c_name, const std::string& link_name,
-                   const SourceLoc& loc) {
-      auto [it, inserted] = out.renames.emplace(c_name, link_name);
-      if (!inserted && it->second != link_name) {
-        diags_.Error(loc, "unit '" + unit.name + "' (instance " + instance.path +
-                              "): C identifier '" + c_name +
-                              "' is used for two different connections; add a rename "
-                              "declaration to disambiguate");
-        return false;
-      }
-      return true;
-    };
-
-    for (size_t e = 0; e < unit.exports.size(); ++e) {
-      const PortDecl& port = unit.exports[e];
-      const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
-      bool external =
-          external_exports_.count({instance_index, static_cast<int>(e)}) > 0;
-      for (const std::string& symbol : bundle->symbols) {
-        std::string link = MangleExport(instance.path, port.local_name, symbol);
-        if (!add(CNameOf(unit, port.local_name, symbol), link, port.loc)) {
-          return false;
-        }
-        if (external) {
-          out.keep_global.insert(link);
-        }
-      }
-    }
-    for (size_t m = 0; m < unit.imports.size(); ++m) {
-      const PortDecl& port = unit.imports[m];
-      const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
-      const SupplierRef& supplier = instance.import_suppliers[m];
-      for (const std::string& symbol : bundle->symbols) {
-        if (!add(CNameOf(unit, port.local_name, symbol), SupplierLinkName(supplier, symbol),
-                 port.loc)) {
-          return false;
-        }
-      }
-    }
-    for (const std::vector<InitFiniDecl>* list : {&unit.initializers, &unit.finalizers}) {
-      for (const InitFiniDecl& decl : *list) {
-        auto existing = out.renames.find(decl.function);
-        if (existing != out.renames.end()) {
-          // Also an exported symbol; the generated init object calls it by its
-          // export link name, which therefore must stay global.
-          out.keep_global.insert(existing->second);
-          continue;
-        }
-        std::string link = MangleInitFini(instance.path, decl.function);
-        if (!add(decl.function, link, decl.loc)) {
-          return false;
-        }
-        out.keep_global.insert(link);
-      }
-    }
-    return true;
-  }
-
-  // Link name used to CALL an init/fini function of an instance.
-  std::string InitCallName(const InitCall& call) {
-    const Instance& instance = result_.config.instances[call.instance];
-    // If the function doubles as an exported symbol, use the export link name.
-    for (size_t e = 0; e < instance.unit->exports.size(); ++e) {
-      const PortDecl& port = instance.unit->exports[e];
-      const BundleTypeDecl* bundle =
-          result_.elaboration->FindBundleType(port.bundle_type);
-      for (const std::string& symbol : bundle->symbols) {
-        if (CNameOf(*instance.unit, port.local_name, symbol) == call.function) {
-          return MangleExport(instance.path, port.local_name, symbol);
-        }
-      }
-    }
-    return MangleInitFini(instance.path, call.function);
-  }
-
-  // ---- compilation -------------------------------------------------------------
-
-  CodegenOptions UnitCodegenOptions(const UnitDecl& unit) {
-    std::vector<std::string> flags;
-    if (!unit.flags_name.empty()) {
-      const FlagsDecl* decl = result_.elaboration->FindFlags(unit.flags_name);
-      if (decl != nullptr) {
-        flags = decl->flags;
-      }
-    }
-    CodegenOptions options = CodegenOptions::FromFlags(flags);
-    if (!options_.optimize) {
-      options.optimize = false;
-    }
-    return options;
-  }
-
-  // Parses + checks a unit's translation unit. Verifies that the unit's files
-  // define every export and initializer/finalizer and do not define imports.
-  Result<TranslationUnit> FrontUnit(const UnitDecl& unit, SemaInfo* info_out) {
-    if (IsObjectUnit(unit)) {
-      diags_.Error(unit.loc, "unit '" + unit.name + "' is object-backed and cannot be "
-                             "source-flattened");
-      return Result<TranslationUnit>::Failure();
-    }
-    Result<TranslationUnit> tu = ParseCFiles(sources_, unit.files, unit.name, types_, diags_);
-    if (!tu.ok()) {
-      return tu;
-    }
-    Result<SemaInfo> info = AnalyzeTranslationUnit(tu.value(), types_, diags_);
-    if (!info.ok()) {
-      return Result<TranslationUnit>::Failure();
-    }
-    const Elaboration& elaboration = *result_.elaboration;
-    bool ok = true;
-    for (const PortDecl& port : unit.exports) {
-      const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
-      for (const std::string& symbol : bundle->symbols) {
-        std::string c_name = CNameOf(unit, port.local_name, symbol);
-        if (info.value().defined_functions.count(c_name) == 0 &&
-            info.value().defined_globals.count(c_name) == 0) {
-          diags_.Error(port.loc, "unit '" + unit.name + "': files do not define '" + c_name +
-                                     "' (the C name of export " + port.local_name + "." +
-                                     symbol + ")");
-          ok = false;
-        }
-      }
-    }
-    for (const PortDecl& port : unit.imports) {
-      const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
-      for (const std::string& symbol : bundle->symbols) {
-        std::string c_name = CNameOf(unit, port.local_name, symbol);
-        if (info.value().defined_functions.count(c_name) > 0 ||
-            info.value().defined_globals.count(c_name) > 0) {
-          diags_.Error(port.loc, "unit '" + unit.name + "': files DEFINE '" + c_name +
-                                     "', which is the C name of import " + port.local_name +
-                                     "." + symbol + " (imports must only be declared)");
-          ok = false;
-        }
-      }
-    }
-    for (const std::vector<InitFiniDecl>* list : {&unit.initializers, &unit.finalizers}) {
-      for (const InitFiniDecl& decl : *list) {
-        if (info.value().defined_functions.count(decl.function) == 0) {
-          diags_.Error(decl.loc, "unit '" + unit.name + "': files do not define "
-                                 "initializer/finalizer '" +
-                                     decl.function + "'");
-          ok = false;
-        }
-      }
-    }
-    if (!ok) {
-      return Result<TranslationUnit>::Failure();
-    }
-    if (info_out != nullptr) {
-      *info_out = std::move(info.value());
-    }
-    return tu;
-  }
-
-  // Compiles a unit once (cached); returns a copy of the object.
-  Result<ObjectFile> CompileUnitOnce(const UnitDecl& unit) {
-    auto it = unit_objects_.find(unit.name);
-    if (it != unit_objects_.end()) {
-      return it->second;  // copy; callers duplicate anyway
-    }
-    if (IsObjectUnit(unit)) {
-      auto prebuilt = options_.prebuilt_objects.find(unit.files[0]);
-      if (prebuilt == options_.prebuilt_objects.end()) {
-        diags_.Error(unit.loc, "unit '" + unit.name + "': no prebuilt object '" +
-                                   unit.files[0] + "' was provided");
-        return Result<ObjectFile>::Failure();
-      }
-      // Verify the object defines every export (and initializer/finalizer) under
-      // the unit's C names; the usual source-level checks don't apply.
-      const ObjectFile& object = prebuilt->second;
-      bool ok = true;
-      for (const PortDecl& port : unit.exports) {
-        const BundleTypeDecl* bundle = result_.elaboration->FindBundleType(port.bundle_type);
-        for (const std::string& symbol : bundle->symbols) {
-          std::string c_name = CNameOf(unit, port.local_name, symbol);
-          int index = object.FindSymbol(c_name);
-          if (index < 0 ||
-              object.symbols[index].section == ObjSymbol::Section::kUndefined) {
-            diags_.Error(port.loc, "unit '" + unit.name + "': prebuilt object does not "
-                                   "define '" +
-                                       c_name + "'");
-            ok = false;
-          }
-        }
-      }
-      if (!ok) {
-        return Result<ObjectFile>::Failure();
-      }
-      unit_objects_.emplace(unit.name, object);
-      return object;
-    }
-    SemaInfo info;
-    Result<TranslationUnit> tu = FrontUnit(unit, &info);
-    if (!tu.ok()) {
-      return Result<ObjectFile>::Failure();
-    }
-    Result<ObjectFile> object = CompileTranslationUnit(
-        tu.value(), info, types_, UnitCodegenOptions(unit), unit.name + ".o", diags_);
-    if (!object.ok()) {
-      return object;
-    }
-    unit_objects_.emplace(unit.name, object.value());
-    return object;
-  }
-
-  bool CompileEverything() {
-    auto t0 = std::chrono::steady_clock::now();
-    const Configuration& config = result_.config;
-
-    // Standalone instances: compile unit once, objcopy-duplicate + rename.
-    for (size_t i = 0; i < config.instances.size(); ++i) {
-      if (groups_[i] >= 0) {
-        continue;
-      }
-      const Instance& instance = config.instances[i];
-      Result<ObjectFile> base = CompileUnitOnce(*instance.unit);
-      if (!base.ok()) {
-        return false;
-      }
-      auto t_objcopy = std::chrono::steady_clock::now();
-      InstanceNames names;
-      if (!BuildInstanceNames(static_cast<int>(i), names)) {
-        return false;
-      }
-      ObjectFile object = ObjcopyDuplicate(base.value(), instance.path + ".o");
-      if (!ObjcopyRename(object, names.renames, diags_).ok()) {
-        return false;
-      }
-      // Hide every defined global that is not an export/init symbol: Knit's
-      // "defined names that are not exported will be hidden from all other units".
-      for (const ObjSymbol& symbol : object.symbols) {
-        if (symbol.global && symbol.section != ObjSymbol::Section::kUndefined &&
-            names.keep_global.count(symbol.name) == 0) {
-          if (!ObjcopyLocalize(object, symbol.name, diags_).ok()) {
-            return false;
-          }
-        }
-      }
-      // Verify init/fini symbols are global (a static initializer cannot be called
-      // from the generated init object).
-      for (const std::string& keep : names.keep_global) {
-        int index = object.FindSymbol(keep);
-        if (index < 0 || object.symbols[index].section == ObjSymbol::Section::kUndefined) {
-          diags_.Error(instance.unit->loc,
-                       "instance " + instance.path + ": expected defined symbol '" + keep +
-                           "' after renaming (is an export or initializer declared static, "
-                           "or missing?)");
-          return false;
-        }
-      }
-      result_.stats.objcopy_seconds += Seconds(t_objcopy);
-      link_items_.emplace_back(std::move(object));
-      ++result_.stats.object_count;
-    }
-
-    // Flatten groups: merge instance sources into one TU per group and compile.
-    for (int group = 0; group < group_count_; ++group) {
-      auto t_flatten = std::chrono::steady_clock::now();
-      std::vector<FlattenInput> inputs;
-      for (size_t i = 0; i < config.instances.size(); ++i) {
-        if (groups_[i] != group) {
-          continue;
-        }
-        const Instance& instance = config.instances[i];
-        Result<TranslationUnit> tu = FrontUnit(*instance.unit, nullptr);
-        if (!tu.ok()) {
-          return false;
-        }
-        InstanceNames names;
-        if (!BuildInstanceNames(static_cast<int>(i), names)) {
-          return false;
-        }
-        FlattenInput input;
-        input.instance_path = instance.path;
-        input.unit = std::move(tu.value());
-        input.renames = std::move(names.renames);
-        input.keep_global.assign(names.keep_global.begin(), names.keep_global.end());
-        inputs.push_back(std::move(input));
-      }
-      if (inputs.empty()) {
-        continue;
-      }
-      FlattenOptions flatten_options;
-      flatten_options.sort_definitions = options_.sort_definitions;
-      flatten_options.callers_first = options_.callers_first_definitions;
-      Result<TranslationUnit> merged = FlattenUnits(std::move(inputs), flatten_options, diags_);
-      if (!merged.ok()) {
-        return false;
-      }
-      result_.stats.flatten_seconds += Seconds(t_flatten);
-
-      Result<SemaInfo> info = AnalyzeTranslationUnit(merged.value(), types_, diags_);
-      if (!info.ok()) {
-        return false;
-      }
-      CodegenOptions codegen_options;
-      codegen_options.optimize = options_.optimize;
-      Result<ObjectFile> object =
-          CompileTranslationUnit(merged.value(), info.value(), types_, codegen_options,
-                                 "flatten" + std::to_string(group) + ".o", diags_);
-      if (!object.ok()) {
-        return false;
-      }
-      link_items_.emplace_back(std::move(object.value()));
-      ++result_.stats.object_count;
-      ++result_.stats.flatten_group_count;
-    }
-
-    result_.stats.compile_seconds = Seconds(t0) - result_.stats.objcopy_seconds -
-                                    result_.stats.flatten_seconds;
-    return true;
-  }
-
-  // ---- init/fini object ----------------------------------------------------------
-
-  // True when the compiled function bound to `link_name` returns a value. Such an
-  // initializer is *failable*: the failsafe init runtime treats a nonzero return as
-  // "initialization failed" and rolls back.
-  bool ReturnsValue(const std::string& link_name) const {
-    for (const LinkItem& item : link_items_) {
-      const ObjectFile* object = std::get_if<ObjectFile>(&item);
-      if (object == nullptr) {
-        continue;
-      }
-      int index = object->FindSymbol(link_name);
-      if (index < 0 || object->symbols[index].section != ObjSymbol::Section::kText) {
-        continue;
-      }
-      return object->functions[object->symbols[index].index].returns_value;
-    }
-    return false;
-  }
-
-  // The failure-aware init runtime (DESIGN.md "Initialization failure semantics").
-  // knit__status[i] counts instance i's completed initializer calls; knit__rollback
-  // finalizes exactly the fully-initialized instances (finalizer-schedule order,
-  // i.e. reverse dependency order) and resets progress; knit__init returns -1 on
-  // success or the failing instance index after a status failure (having already
-  // rolled back). A trapped knit__init leaves the status array intact so the host
-  // can invoke knit__rollback itself.
-  std::string GenerateFailsafeInitSource() {
-    const Schedule& schedule = result_.schedule;
-    std::vector<int> counts = InitializerCounts(result_.config);
-    int instance_count = static_cast<int>(result_.config.instances.size());
-
-    result_.rollback_function = "knit__rollback";
-    result_.status_symbol = "knit__status";
-    result_.failed_symbol = "knit__failed";
-
-    std::string source;
-    source += "int knit__status[" + std::to_string(std::max(1, instance_count)) + "];\n";
-    source += "int knit__failed;\n";
-
-    auto reset_progress = [&](std::string& out) {
-      for (int i = 0; i < instance_count; ++i) {
-        out += "  knit__status[" + std::to_string(i) + "] = 0;\n";
-      }
-      out += "  knit__failed = -1;\n";
-    };
-
-    source += "void knit__rollback(void) {\n";
-    for (const InitCall& call : schedule.finalizers) {
-      if (counts[call.instance] == 0) {
-        continue;  // never had initializers: nothing to undo on rollback
-      }
-      source += "  if (knit__status[" + std::to_string(call.instance) +
-                "] == " + std::to_string(counts[call.instance]) + ") { " +
-                InitCallName(call) + "(); }\n";
-    }
-    reset_progress(source);
-    source += "}\n";
-
-    source += "int knit__init(void) {\n";
-    for (const InitCall& call : schedule.initializers) {
-      std::string instance = std::to_string(call.instance);
-      std::string name = InitCallName(call);
-      source += "  knit__failed = " + instance + ";\n";
-      if (ReturnsValue(name)) {
-        source += "  if (" + name + "() != 0) { knit__rollback(); return " + instance +
-                  "; }\n";
-      } else {
-        source += "  " + name + "();\n";
-      }
-      source += "  knit__status[" + instance + "] = knit__status[" + instance + "] + 1;\n";
-    }
-    source += "  knit__failed = -1;\n";
-    source += "  return -1;\n";
-    source += "}\n";
-
-    source += "void knit__fini(void) {\n";
-    for (const InitCall& call : schedule.finalizers) {
-      source += "  " + InitCallName(call) + "();\n";
-    }
-    reset_progress(source);
-    source += "}\n";
-    return source;
-  }
-
-  bool GenerateInitObject() {
-    const Schedule& schedule = result_.schedule;
-    for (const Instance& instance : result_.config.instances) {
-      result_.instance_paths.push_back(instance.path);
-    }
-    for (const std::vector<InitCall>* list : {&schedule.initializers, &schedule.finalizers}) {
-      for (const InitCall& call : *list) {
-        result_.init_symbol_instances_.emplace(InitCallName(call), call.instance);
-      }
-    }
-
-    std::string source;
-    std::set<std::string> declared;
-    auto declare = [&](const InitCall& call) {
-      std::string name = InitCallName(call);
-      if (declared.insert(name).second) {
-        bool failable = options_.failsafe_init && ReturnsValue(name);
-        source += std::string("extern ") + (failable ? "int " : "void ") + name + "(void);\n";
-      }
-    };
-    for (const InitCall& call : schedule.initializers) {
-      declare(call);
-    }
-    for (const InitCall& call : schedule.finalizers) {
-      declare(call);
-    }
-
-    if (!options_.failsafe_init) {
-      // The paper's monolithic call sequence: no progress tracking, no rollback.
-      source += "void knit__init(void) {\n";
-      for (const InitCall& call : schedule.initializers) {
-        source += "  " + InitCallName(call) + "();\n";
-      }
-      source += "}\n";
-      source += "void knit__fini(void) {\n";
-      for (const InitCall& call : schedule.finalizers) {
-        source += "  " + InitCallName(call) + "();\n";
-      }
-      source += "}\n";
-    } else {
-      source += GenerateFailsafeInitSource();
-    }
-
-    Result<TranslationUnit> tu = ParseCString(source, "<knit-init>", types_, diags_);
-    if (!tu.ok()) {
-      return false;
-    }
-    Result<SemaInfo> info = AnalyzeTranslationUnit(tu.value(), types_, diags_);
-    if (!info.ok()) {
-      return false;
-    }
-    CodegenOptions codegen_options;
-    codegen_options.optimize = false;  // nothing to optimize; keep call order obvious
-    Result<ObjectFile> object = CompileTranslationUnit(tu.value(), info.value(), types_,
-                                                       codegen_options, "knit-init.o", diags_);
-    if (!object.ok()) {
-      return false;
-    }
-    link_items_.emplace_back(std::move(object.value()));
-    return true;
-  }
-
-  // ---- final link ----------------------------------------------------------------
-
-  bool LinkAll() {
-    auto t0 = std::chrono::steady_clock::now();
-    LinkOptions link_options;
-    link_options.natives = IntrinsicNatives();
-    const Configuration& config = result_.config;
-    for (const PortDecl& port : config.top->imports) {
-      const BundleTypeDecl* bundle = result_.elaboration->FindBundleType(port.bundle_type);
-      for (const std::string& symbol : bundle->symbols) {
-        link_options.natives.push_back(EnvSymbol(port.local_name, symbol));
-      }
-    }
-    for (const std::string& native : options_.extra_natives) {
-      link_options.natives.push_back(native);
-    }
-    result_.natives = link_options.natives;
-
-    Result<LinkResult> linked = Link(std::move(link_items_), link_options, diags_);
-    if (!linked.ok()) {
-      return false;
-    }
-    result_.image = std::move(linked.value().image);
-    result_.placements = std::move(linked.value().placements);
-    result_.stats.link_seconds = Seconds(t0);
-    return true;
-  }
-
-  void FillExportNames() {
-    const Configuration& config = result_.config;
-    for (size_t e = 0; e < config.top->exports.size(); ++e) {
-      const PortDecl& port = config.top->exports[e];
-      const BundleTypeDecl* bundle = result_.elaboration->FindBundleType(port.bundle_type);
-      const SupplierRef& supplier = config.top_export_suppliers[e];
-      for (const std::string& symbol : bundle->symbols) {
-        result_.export_names_[{port.local_name, symbol}] =
-            SupplierLinkName(supplier, symbol);
-      }
-    }
-  }
-
-  const std::string& knit_source_;
-  const SourceMap& sources_;
-  const std::string& top_unit_;
-  const KnitcOptions& options_;
-  Diagnostics& diags_;
-
-  KnitBuildResult result_;
-  TypeTable types_;
-  std::vector<int> groups_;
-  int group_count_ = 0;
-  std::set<std::pair<int, int>> external_exports_;  // (instance, export port)
-  std::map<std::string, ObjectFile> unit_objects_;
-  std::vector<LinkItem> link_items_;
-};
+  result.natives = std::move(built.natives);
+  result.export_names_ = std::move(built.export_names);
+  return result;
+}
 
 Result<KnitBuildResult> KnitBuild(const std::string& knit_source, const SourceMap& sources,
                                   const std::string& top_unit, const KnitcOptions& options,
                                   Diagnostics& diags) {
-  KnitCompiler compiler(knit_source, sources, top_unit, options, diags);
-  return compiler.Run();
+  KnitPipeline pipeline(options);
+  Result<LinkedImage> built = pipeline.Build(knit_source, sources, top_unit, diags);
+  if (!built.ok()) {
+    return Result<KnitBuildResult>::Failure();
+  }
+  return KnitBuildResultFrom(built.take(), pipeline.metrics());
 }
 
 }  // namespace knit

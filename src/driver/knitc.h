@@ -1,4 +1,4 @@
-// knitc: the end-to-end Knit compiler pipeline (paper §6, first paragraph):
+// knitc: the end-to-end Knit compiler (paper §6, first paragraph):
 //
 //   "In a typical use, the Knit compiler reads the linking specification and unit
 //    files, generates initialization and finalization code, runs the C compiler or
@@ -8,10 +8,12 @@
 //    instantiated units. Finally, these object files are linked together using ld
 //    to produce the program."
 //
-// Pipeline: parse .knit -> elaborate -> instantiate -> schedule init/fini ->
-// check constraints -> compile each unit once -> objcopy-duplicate + rename per
-// instance (or source-flatten marked groups into one TU) -> generate the init/fini
-// translation unit -> ld-link everything into a VM image.
+// This header is the one-shot convenience entry point. The build itself is the
+// staged pipeline of src/driver/pipeline.h (Parse → Elaborate → Schedule → Check
+// → Compile → Link); KnitBuild() runs all six stages and repackages the final
+// LinkedImage as a KnitBuildResult. Hosts that want to stop between phases,
+// inspect artifacts, share an artifact cache, or compile in parallel should use
+// KnitPipeline directly.
 #ifndef SRC_DRIVER_KNITC_H_
 #define SRC_DRIVER_KNITC_H_
 
@@ -20,66 +22,20 @@
 #include <string>
 #include <vector>
 
-#include "src/constraints/check.h"
-#include "src/knitsem/elaborate.h"
-#include "src/knitsem/instantiate.h"
-#include "src/minic/clexer.h"
-#include "src/ld/link.h"
-#include "src/obj/object.h"
-#include "src/sched/init_sched.h"
-#include "src/support/diagnostics.h"
-#include "src/support/result.h"
-#include "src/vm/image.h"
+#include "src/driver/pipeline.h"
 #include "src/vm/machine.h"
 
 namespace knit {
 
-struct KnitcOptions {
-  bool optimize = true;            // per-TU optimizer (inline + LVN)
-  bool check_constraints = true;   // run the §4 constraint checker
-  bool flatten = true;             // honor `flatten` markers in compound units
-  bool flatten_everything = false; // merge the whole program into one TU (ablation)
-  bool sort_definitions = true;    // flattener defs-before-uses sorting (ablation)
-  bool callers_first_definitions = false;  // adversarial order (ablation)
-
-  // Failure-aware initialization (see DESIGN.md "Initialization failure
-  // semantics"). When on, the generated knit__init records per-instance progress
-  // into a status array, treats a nonzero return from an int-returning initializer
-  // as failure (rolling back and reporting the failing instance index), and a
-  // generated knit__rollback finalizes exactly the already-initialized instances in
-  // finalizer-schedule order. When off, knit__init is the paper's monolithic void
-  // call sequence.
-  bool failsafe_init = true;
-
-  // Extra native names to make available at link time (besides the intrinsics and
-  // the environment symbols derived from the top unit's imports).
-  std::vector<std::string> extra_natives;
-
-  // Pre-compiled components (paper §3.2 fn. 2: "Knit can actually work with C,
-  // assembly, and object code"). A unit whose files clause names a single "*.o"
-  // entry takes its object from this map instead of compiling sources; such units
-  // go through the normal objcopy duplicate/rename/localize path but cannot be
-  // source-flattened (they are pulled out of any flatten group).
-  std::map<std::string, ObjectFile> prebuilt_objects;
-};
-
-struct BuildStats {
-  double frontend_seconds = 0;    // knit parse + elaborate + instantiate
-  double schedule_seconds = 0;
-  double constraint_seconds = 0;
-  double compile_seconds = 0;     // MiniC parsing + sema + codegen + optimizer
-  double objcopy_seconds = 0;     // duplicate/rename/localize
-  double flatten_seconds = 0;
-  double link_seconds = 0;
-  int instance_count = 0;
-  int object_count = 0;
-  int flatten_group_count = 0;
-};
+// Stage timings/counters of the build. Historical name; see PipelineMetrics for
+// the per-stage records (StageSeconds("compile"), CacheHits(), ToJson(), ...).
+using BuildStats = PipelineMetrics;
 
 // A fully built Knit program.
 struct KnitBuildResult {
-  // Owns the definitions Configuration points into; keep alive as long as config.
-  std::unique_ptr<Elaboration> elaboration;
+  // Owns the definitions Configuration points into; shared with any pipeline
+  // artifacts that outlive this result.
+  std::shared_ptr<const Elaboration> elaboration;
   Configuration config;
   Schedule schedule;
   ConstraintSolution constraint_solution;
@@ -134,18 +90,24 @@ struct KnitBuildResult {
   std::string ExportedSymbol(const std::string& port, const std::string& symbol) const;
 
  private:
-  friend class KnitCompiler;
+  friend Result<KnitBuildResult> KnitBuild(const std::string&, const SourceMap&,
+                                           const std::string&, const KnitcOptions&,
+                                           Diagnostics&);
+  friend KnitBuildResult KnitBuildResultFrom(LinkedImage built, PipelineMetrics metrics);
   std::map<std::pair<std::string, std::string>, std::string> export_names_;
   std::map<std::string, int> init_symbol_instances_;  // init/fini link name -> instance
 };
 
-// The intrinsic natives every image may use (the VM pre-binds implementations).
-const std::vector<std::string>& IntrinsicNatives();
-
-// Builds `top_unit` from a Knit source and a map of MiniC sources.
+// Builds `top_unit` from a Knit source and a map of MiniC sources. Thin wrapper:
+// constructs a KnitPipeline over `options` and runs all six stages.
 Result<KnitBuildResult> KnitBuild(const std::string& knit_source, const SourceMap& sources,
                                   const std::string& top_unit, const KnitcOptions& options,
                                   Diagnostics& diags);
+
+// Repackages a staged-pipeline LinkedImage (plus the pipeline's metrics) as the
+// legacy result type — for hosts mid-migration that drive KnitPipeline themselves
+// but still feed KnitBuildResult-shaped consumers.
+KnitBuildResult KnitBuildResultFrom(LinkedImage built, PipelineMetrics metrics);
 
 }  // namespace knit
 

@@ -1,0 +1,1177 @@
+#include "src/driver/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <set>
+#include <string_view>
+
+#include "src/flatten/flatten.h"
+#include "src/knitlang/parser.h"
+#include "src/minic/cparser.h"
+#include "src/minic/sema.h"
+#include "src/support/executor.h"
+#include "src/support/hash.h"
+#include "src/support/mangle.h"
+#include "src/vm/codegen.h"
+
+namespace knit {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
+}
+
+// True when the unit is backed by pre-compiled object code rather than sources.
+bool IsObjectUnit(const UnitDecl& unit) {
+  return unit.files.size() == 1 && unit.files[0].size() > 2 &&
+         unit.files[0].rfind(".o") == unit.files[0].size() - 2;
+}
+
+// The C identifier a unit's source uses for (port, symbol), honoring renames.
+std::string CNameOf(const UnitDecl& unit, const std::string& port, const std::string& symbol) {
+  for (const RenameDecl& rename : unit.renames) {
+    if (rename.port == port && rename.symbol == symbol) {
+      return rename.c_name;
+    }
+  }
+  return symbol;
+}
+
+// Re-reports diagnostics collected by a compile task into the caller's sink,
+// preserving severity and order (tasks are merged in task-index order, so the
+// combined stream is deterministic for every --jobs value).
+void MergeDiagnostics(const Diagnostics& from, Diagnostics& into) {
+  for (const Diagnostic& diagnostic : from.entries()) {
+    switch (diagnostic.severity) {
+      case Severity::kError:
+        into.Error(diagnostic.loc, diagnostic.message);
+        break;
+      case Severity::kWarning:
+        into.Warning(diagnostic.loc, diagnostic.message);
+        break;
+      case Severity::kNote:
+        into.Note(diagnostic.loc, diagnostic.message);
+        break;
+    }
+  }
+}
+
+// ---- cache keys --------------------------------------------------------------
+
+// Hashes `file` plus its transitive `#include "..."` closure through the in-memory
+// SourceMap (include-once, matching the lexer's semantics). A missing file hashes
+// as such — the subsequent real compile reports the diagnostic.
+void HashFileClosure(const SourceMap& sources, const std::string& file,
+                     std::set<std::string>& visited, Fnv64& hasher) {
+  if (!visited.insert(file).second) {
+    return;
+  }
+  hasher.Update(file);
+  auto it = sources.find(file);
+  if (it == sources.end()) {
+    hasher.Update("<missing>");
+    return;
+  }
+  const std::string& text = it->second;
+  hasher.Update(text);
+  for (size_t pos = 0; pos < text.size();) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    std::string_view line(text.data() + pos, end - pos);
+    size_t i = line.find_first_not_of(" \t");
+    if (i != std::string_view::npos && line[i] == '#') {
+      size_t open = line.find('"', i);
+      size_t close = open == std::string_view::npos ? std::string_view::npos
+                                                    : line.find('"', open + 1);
+      if (line.find("include", i) != std::string_view::npos &&
+          close != std::string_view::npos) {
+        HashFileClosure(sources, std::string(line.substr(open + 1, close - open - 1)),
+                        visited, hasher);
+      }
+    }
+    pos = end + 1;
+  }
+}
+
+void HashCodegenOptions(const CodegenOptions& options, Fnv64& hasher) {
+  hasher.Update(options.optimize);
+  hasher.Update(options.inline_limit);
+  hasher.Update(options.inline_single_call);
+  hasher.Update(options.single_call_limit);
+  hasher.Update(options.caller_growth);
+}
+
+// The unit's component interface, as compilation sees it: C names checked by
+// FrontUnit and the initializer/finalizer entry points. A bundletype edit that
+// adds a symbol must invalidate cached objects even when no .c file changed.
+void HashUnitInterface(const Elaboration& elaboration, const UnitDecl& unit, Fnv64& hasher) {
+  hasher.Update(unit.name);
+  for (const std::vector<PortDecl>* ports : {&unit.exports, &unit.imports}) {
+    hasher.Update(static_cast<uint64_t>(ports->size()));
+    for (const PortDecl& port : *ports) {
+      hasher.Update(port.local_name);
+      hasher.Update(port.bundle_type);
+      const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+      if (bundle == nullptr) {
+        hasher.Update("<unknown-bundle>");
+        continue;
+      }
+      for (const std::string& symbol : bundle->symbols) {
+        hasher.Update(symbol);
+        hasher.Update(CNameOf(unit, port.local_name, symbol));
+      }
+    }
+  }
+  for (const std::vector<InitFiniDecl>* list : {&unit.initializers, &unit.finalizers}) {
+    hasher.Update(static_cast<uint64_t>(list->size()));
+    for (const InitFiniDecl& decl : *list) {
+      hasher.Update(decl.function);
+    }
+  }
+}
+
+}  // namespace
+
+// ---- metrics -----------------------------------------------------------------
+
+double PipelineMetrics::StageSeconds(const std::string& stage) const {
+  double total = 0;
+  for (const StageMetrics& row : stages) {
+    if (row.stage == stage) {
+      total += row.seconds;
+    }
+  }
+  return total;
+}
+
+double PipelineMetrics::TotalSeconds() const {
+  double total = 0;
+  for (const StageMetrics& row : stages) {
+    total += row.seconds;
+  }
+  return total;
+}
+
+int PipelineMetrics::CacheHits() const {
+  int total = 0;
+  for (const StageMetrics& row : stages) {
+    total += row.cache_hits;
+  }
+  return total;
+}
+
+int PipelineMetrics::CacheMisses() const {
+  int total = 0;
+  for (const StageMetrics& row : stages) {
+    total += row.cache_misses;
+  }
+  return total;
+}
+
+const StageMetrics* PipelineMetrics::Find(const std::string& stage) const {
+  const StageMetrics* found = nullptr;
+  for (const StageMetrics& row : stages) {
+    if (row.stage == stage) {
+      found = &row;
+    }
+  }
+  return found;
+}
+
+std::string PipelineMetrics::ToJson() const {
+  auto number = [](double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    return std::string(buffer);
+  };
+  std::string json = "{\n";
+  json += "  \"instances\": " + std::to_string(instance_count) + ",\n";
+  json += "  \"objects\": " + std::to_string(object_count) + ",\n";
+  json += "  \"flatten_groups\": " + std::to_string(flatten_group_count) + ",\n";
+  json += "  \"cache_hits\": " + std::to_string(CacheHits()) + ",\n";
+  json += "  \"cache_misses\": " + std::to_string(CacheMisses()) + ",\n";
+  json += "  \"total_seconds\": " + number(TotalSeconds()) + ",\n";
+  json += "  \"stages\": [\n";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageMetrics& row = stages[i];
+    json += "    {\"stage\": \"" + row.stage + "\", \"seconds\": " + number(row.seconds) +
+            ", \"items\": " + std::to_string(row.items) +
+            ", \"cache_hits\": " + std::to_string(row.cache_hits) +
+            ", \"cache_misses\": " + std::to_string(row.cache_misses) +
+            ", \"threads\": " + std::to_string(row.threads) + "}";
+    json += i + 1 < stages.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+// ---- image fingerprint -------------------------------------------------------
+
+uint64_t FingerprintImage(const Image& image) {
+  Fnv64 hasher;
+  hasher.Update(static_cast<uint64_t>(image.functions.size()));
+  for (const BytecodeFunction& function : image.functions) {
+    hasher.Update(function.name);
+    hasher.Update(function.frame_size);
+    hasher.Update(function.param_count);
+    hasher.Update(function.variadic);
+    hasher.Update(function.returns_value);
+    hasher.Update(function.text_offset);
+    hasher.Update(static_cast<uint64_t>(function.code.size()));
+    for (const Insn& insn : function.code) {
+      hasher.Update(static_cast<uint64_t>(static_cast<uint8_t>(insn.op)));
+      hasher.Update(insn.a);
+      hasher.Update(insn.b);
+    }
+  }
+  hasher.Update(static_cast<uint64_t>(image.natives.size()));
+  for (const std::string& native : image.natives) {
+    hasher.Update(native);
+  }
+  hasher.Update(image.data.data(), image.data.size());
+  hasher.Update(static_cast<uint64_t>(image.data_base));
+  hasher.Update(static_cast<uint64_t>(image.function_symbols.size()));
+  for (const auto& [name, id] : image.function_symbols) {
+    hasher.Update(name);
+    hasher.Update(id);
+  }
+  hasher.Update(static_cast<uint64_t>(image.data_symbols.size()));
+  for (const auto& [name, address] : image.data_symbols) {
+    hasher.Update(name);
+    hasher.Update(static_cast<uint64_t>(address));
+  }
+  hasher.Update(image.text_bytes);
+  return hasher.digest();
+}
+
+const std::vector<std::string>& IntrinsicNatives() {
+  static const std::vector<std::string> kIntrinsics = {
+      "__sbrk", "__putchar", "__cycles", "__abort", "__vararg", "__vararg_count", "__trace",
+  };
+  return kIntrinsics;
+}
+
+// ---- front-end stages --------------------------------------------------------
+
+KnitPipeline::KnitPipeline(KnitcOptions options) : options_(std::move(options)) {
+  cache_ = options_.cache != nullptr ? options_.cache
+                                     : std::make_shared<BuildCache>(options_.cache_dir);
+}
+
+StageMetrics& KnitPipeline::BeginStage(const std::string& stage) {
+  StageMetrics row;
+  row.stage = stage;
+  metrics_.stages.push_back(std::move(row));
+  return metrics_.stages.back();
+}
+
+Result<ParsedProgram> KnitPipeline::Parse(const std::string& knit_source, Diagnostics& diags) {
+  auto t0 = std::chrono::steady_clock::now();
+  StageMetrics& metrics = BeginStage("parse");
+  Result<KnitProgram> program = ParseKnit(knit_source, "<knit>", diags);
+  if (!program.ok()) {
+    metrics.seconds = Seconds(t0);
+    return Result<ParsedProgram>::Failure();
+  }
+  ParsedProgram parsed;
+  parsed.program = std::make_shared<const KnitProgram>(program.take());
+  metrics.items = static_cast<int>(parsed.program->units.size());
+  metrics.seconds = Seconds(t0);
+  return parsed;
+}
+
+Result<ElaboratedConfig> KnitPipeline::Elaborate(const ParsedProgram& parsed,
+                                                 const std::string& top_unit,
+                                                 Diagnostics& diags) {
+  auto t0 = std::chrono::steady_clock::now();
+  StageMetrics& metrics = BeginStage("elaborate");
+  Result<Elaboration> elaboration = knit::Elaborate(*parsed.program, diags);
+  if (!elaboration.ok()) {
+    metrics.seconds = Seconds(t0);
+    return Result<ElaboratedConfig>::Failure();
+  }
+  ElaboratedConfig elaborated;
+  elaborated.elaboration = std::make_shared<const Elaboration>(elaboration.take());
+  elaborated.top_unit = top_unit;
+  Result<Configuration> config = Instantiate(*elaborated.elaboration, top_unit, diags);
+  if (!config.ok()) {
+    metrics.seconds = Seconds(t0);
+    return Result<ElaboratedConfig>::Failure();
+  }
+  elaborated.config = std::make_shared<const Configuration>(config.take());
+  metrics.items = static_cast<int>(elaborated.config->instances.size());
+  metrics_.instance_count = metrics.items;
+  metrics.seconds = Seconds(t0);
+  return elaborated;
+}
+
+Result<ScheduledConfig> KnitPipeline::Schedule(const ElaboratedConfig& elaborated,
+                                               Diagnostics& diags) {
+  auto t0 = std::chrono::steady_clock::now();
+  StageMetrics& metrics = BeginStage("schedule");
+  Result<knit::Schedule> schedule = ScheduleInitFini(*elaborated.config, diags);
+  metrics.seconds = Seconds(t0);
+  if (!schedule.ok()) {
+    return Result<ScheduledConfig>::Failure();
+  }
+  ScheduledConfig scheduled;
+  scheduled.elaborated = elaborated;
+  scheduled.schedule = std::make_shared<const knit::Schedule>(schedule.take());
+  metrics_.stages.back().items =
+      static_cast<int>(scheduled.schedule->initializers.size() +
+                       scheduled.schedule->finalizers.size());
+  return scheduled;
+}
+
+Result<CheckedConfig> KnitPipeline::Check(const ScheduledConfig& scheduled, Diagnostics& diags) {
+  auto t0 = std::chrono::steady_clock::now();
+  StageMetrics& metrics = BeginStage("check");
+  CheckedConfig checked;
+  checked.scheduled = scheduled;
+  if (!options_.check_constraints) {
+    checked.solution = std::make_shared<const ConstraintSolution>();
+    metrics.seconds = Seconds(t0);
+    return checked;
+  }
+  ConstraintSolution solution;
+  Result<void> result = CheckConstraints(*scheduled.elaborated.elaboration,
+                                         *scheduled.elaborated.config, diags, &solution);
+  metrics.items = static_cast<int>(scheduled.elaborated.config->instances.size());
+  metrics.seconds = Seconds(t0);
+  if (!result.ok()) {
+    return Result<CheckedConfig>::Failure();
+  }
+  checked.solution = std::make_shared<const ConstraintSolution>(std::move(solution));
+  return checked;
+}
+
+// ---- compile stage -----------------------------------------------------------
+
+namespace {
+
+// One compile task's output. Tasks never touch shared mutable state other than the
+// (internally locked) BuildCache; everything else lands here and is merged on the
+// calling thread in task-index order.
+struct TaskResult {
+  Diagnostics diags;
+  Result<ObjectFile> object = Result<ObjectFile>::Failure();
+  bool cache_hit = false;
+  bool cacheable = true;  // prebuilt objects are neither hits nor misses
+};
+
+// The compile stage: groups instances, compiles every needed unit/flatten-group
+// object (parallel, cached), then merges deterministically — objcopy per
+// standalone instance in instance order, flatten groups in group order, and the
+// generated init/fini object last.
+class CompileStage {
+ public:
+  CompileStage(const KnitcOptions& options, const CheckedConfig& checked,
+               const SourceMap& sources, BuildCache& cache, PipelineMetrics& metrics)
+      : options_(options),
+        checked_(checked),
+        config_(*checked.scheduled.elaborated.config),
+        elaboration_(*checked.scheduled.elaborated.elaboration),
+        schedule_(*checked.scheduled.schedule),
+        sources_(sources),
+        cache_(cache),
+        metrics_(metrics) {}
+
+  Result<CompiledUnits> Run(Diagnostics& diags) {
+    auto t0 = std::chrono::steady_clock::now();
+    StageMetrics compile_metrics;
+    compile_metrics.stage = "compile";
+
+    AssignGroups();
+    ComputeExternalExports();
+    metrics_.instance_count = static_cast<int>(config_.instances.size());
+
+    // Task list: one task per distinct standalone unit (first-use order), then one
+    // per flatten group. Slots are indexed, so the merge below is deterministic no
+    // matter which thread ran what.
+    std::vector<const UnitDecl*> unit_tasks;
+    std::map<std::string, size_t> unit_task_index;
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      const UnitDecl* unit = config_.instances[i].unit;
+      if (groups_[i] < 0 && unit_task_index.emplace(unit->name, unit_tasks.size()).second) {
+        unit_tasks.push_back(unit);
+      }
+    }
+
+    std::vector<TaskResult> results(unit_tasks.size() + static_cast<size_t>(group_count_));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(results.size());
+    for (size_t t = 0; t < unit_tasks.size(); ++t) {
+      tasks.push_back([this, t, &unit_tasks, &results] {
+        CompileUnitTask(*unit_tasks[t], results[t]);
+      });
+    }
+    for (int group = 0; group < group_count_; ++group) {
+      size_t slot = unit_tasks.size() + static_cast<size_t>(group);
+      tasks.push_back([this, group, slot, &results] { CompileGroupTask(group, results[slot]); });
+    }
+
+    Executor executor(options_.jobs);
+    compile_metrics.threads = executor.Run(tasks);
+    compile_metrics.items = static_cast<int>(tasks.size());
+
+    bool failed = false;
+    for (const TaskResult& result : results) {
+      MergeDiagnostics(result.diags, diags);
+      failed = failed || !result.object.ok();
+      if (result.cacheable) {
+        ++(result.cache_hit ? compile_metrics.cache_hits : compile_metrics.cache_misses);
+      }
+    }
+    compile_metrics.seconds = Seconds(t0);
+    metrics_.stages.push_back(compile_metrics);
+    if (failed) {
+      return Result<CompiledUnits>::Failure();
+    }
+
+    // ---- deterministic merge -------------------------------------------------
+    CompiledUnits compiled;
+    compiled.checked = checked_;
+    compiled.init_function = "knit__init";
+    compiled.fini_function = "knit__fini";
+
+    auto t_objcopy = std::chrono::steady_clock::now();
+    StageMetrics objcopy_metrics;
+    objcopy_metrics.stage = "objcopy";
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      if (groups_[i] >= 0) {
+        continue;
+      }
+      const Instance& instance = config_.instances[i];
+      const TaskResult& base = results[unit_task_index.at(instance.unit->name)];
+      if (!InstantiateObject(static_cast<int>(i), base.object.value(), compiled, diags)) {
+        return Result<CompiledUnits>::Failure();
+      }
+      ++objcopy_metrics.items;
+    }
+    objcopy_metrics.seconds = Seconds(t_objcopy);
+    metrics_.stages.push_back(objcopy_metrics);
+
+    for (int group = 0; group < group_count_; ++group) {
+      const TaskResult& result = results[unit_tasks.size() + static_cast<size_t>(group)];
+      if (result.object.value().functions.empty() && result.object.value().symbols.empty() &&
+          result.object.value().name.empty()) {
+        continue;  // empty group (all members were pulled out as object units)
+      }
+      compiled.objects.push_back(result.object.value());
+      ++metrics_.flatten_group_count;
+    }
+
+    auto t_init = std::chrono::steady_clock::now();
+    StageMetrics init_metrics;
+    init_metrics.stage = "init-object";
+    if (!GenerateInitObject(compiled, diags)) {
+      return Result<CompiledUnits>::Failure();
+    }
+    init_metrics.items = 1;
+    init_metrics.seconds = Seconds(t_init);
+    metrics_.stages.push_back(init_metrics);
+
+    metrics_.object_count =
+        static_cast<int>(compiled.objects.size()) - 1;  // init object not counted
+    return compiled;
+  }
+
+ private:
+  // ---- grouping (unchanged semantics from the monolithic driver) -------------
+
+  void AssignGroups() {
+    groups_.assign(config_.instances.size(), -1);
+    if (options_.flatten_everything) {
+      for (size_t i = 0; i < config_.instances.size(); ++i) {
+        groups_[i] = 0;
+      }
+      group_count_ = 1;
+      StripObjectUnitsFromGroups();
+      return;
+    }
+    if (!options_.flatten) {
+      group_count_ = 0;
+      return;
+    }
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      groups_[i] = config_.instances[i].flatten_group;
+    }
+    group_count_ = config_.flatten_group_count;
+    StripObjectUnitsFromGroups();
+  }
+
+  // Pre-compiled units cannot be source-merged; they fall back to the objcopy path
+  // even inside a flatten region.
+  void StripObjectUnitsFromGroups() {
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      if (IsObjectUnit(*config_.instances[i].unit)) {
+        groups_[i] = -1;
+      }
+    }
+  }
+
+  // Exports that must remain globally visible after compilation: those consumed by
+  // an instance in a *different* object (another flatten group or a standalone
+  // instance) and those realizing top-level exports. Everything else can be
+  // localized/staticized, which is what lets the optimizer inline unit code away
+  // entirely inside a flattened group (and is why the paper's flattened router is
+  // smaller, not larger, than the modular one).
+  void ComputeExternalExports() {
+    auto group_of = [&](int i) { return groups_[i] >= 0 ? groups_[i] : -(i + 2); };
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      const Instance& instance = config_.instances[i];
+      for (const SupplierRef& supplier : instance.import_suppliers) {
+        if (supplier.IsEnvironment()) {
+          continue;
+        }
+        if (group_of(supplier.instance) != group_of(static_cast<int>(i))) {
+          external_exports_.insert({supplier.instance, supplier.port});
+        }
+      }
+    }
+    for (const SupplierRef& supplier : config_.top_export_suppliers) {
+      if (!supplier.IsEnvironment()) {
+        external_exports_.insert({supplier.instance, supplier.port});
+      }
+    }
+  }
+
+  // ---- per-instance rename maps ----------------------------------------------
+
+  struct InstanceNames {
+    std::map<std::string, std::string> renames;  // C name -> link name
+    std::set<std::string> keep_global;           // link names that stay global
+  };
+
+  // Resolves the top-level-import environment name for a supplier reference.
+  std::string SupplierLinkName(const SupplierRef& supplier, const std::string& symbol) const {
+    if (supplier.IsEnvironment()) {
+      const PortDecl& port = config_.top->imports[supplier.port];
+      return EnvSymbol(port.local_name, symbol);
+    }
+    const Instance& producer = config_.instances[supplier.instance];
+    const PortDecl& port = producer.unit->exports[supplier.port];
+    return MangleExport(producer.path, port.local_name, symbol);
+  }
+
+  bool BuildInstanceNames(int instance_index, InstanceNames& out, Diagnostics& diags) const {
+    const Instance& instance = config_.instances[instance_index];
+    const UnitDecl& unit = *instance.unit;
+
+    auto add = [&](const std::string& c_name, const std::string& link_name,
+                   const SourceLoc& loc) {
+      auto [it, inserted] = out.renames.emplace(c_name, link_name);
+      if (!inserted && it->second != link_name) {
+        diags.Error(loc, "unit '" + unit.name + "' (instance " + instance.path +
+                             "): C identifier '" + c_name +
+                             "' is used for two different connections; add a rename "
+                             "declaration to disambiguate");
+        return false;
+      }
+      return true;
+    };
+
+    for (size_t e = 0; e < unit.exports.size(); ++e) {
+      const PortDecl& port = unit.exports[e];
+      const BundleTypeDecl* bundle = elaboration_.FindBundleType(port.bundle_type);
+      bool external = external_exports_.count({instance_index, static_cast<int>(e)}) > 0;
+      for (const std::string& symbol : bundle->symbols) {
+        std::string link = MangleExport(instance.path, port.local_name, symbol);
+        if (!add(CNameOf(unit, port.local_name, symbol), link, port.loc)) {
+          return false;
+        }
+        if (external) {
+          out.keep_global.insert(link);
+        }
+      }
+    }
+    for (size_t m = 0; m < unit.imports.size(); ++m) {
+      const PortDecl& port = unit.imports[m];
+      const BundleTypeDecl* bundle = elaboration_.FindBundleType(port.bundle_type);
+      const SupplierRef& supplier = instance.import_suppliers[m];
+      for (const std::string& symbol : bundle->symbols) {
+        if (!add(CNameOf(unit, port.local_name, symbol), SupplierLinkName(supplier, symbol),
+                 port.loc)) {
+          return false;
+        }
+      }
+    }
+    for (const std::vector<InitFiniDecl>* list : {&unit.initializers, &unit.finalizers}) {
+      for (const InitFiniDecl& decl : *list) {
+        auto existing = out.renames.find(decl.function);
+        if (existing != out.renames.end()) {
+          // Also an exported symbol; the generated init object calls it by its
+          // export link name, which therefore must stay global.
+          out.keep_global.insert(existing->second);
+          continue;
+        }
+        std::string link = MangleInitFini(instance.path, decl.function);
+        if (!add(decl.function, link, decl.loc)) {
+          return false;
+        }
+        out.keep_global.insert(link);
+      }
+    }
+    return true;
+  }
+
+  // Link name used to CALL an init/fini function of an instance.
+  std::string InitCallName(const InitCall& call) const {
+    const Instance& instance = config_.instances[call.instance];
+    // If the function doubles as an exported symbol, use the export link name.
+    for (size_t e = 0; e < instance.unit->exports.size(); ++e) {
+      const PortDecl& port = instance.unit->exports[e];
+      const BundleTypeDecl* bundle = elaboration_.FindBundleType(port.bundle_type);
+      for (const std::string& symbol : bundle->symbols) {
+        if (CNameOf(*instance.unit, port.local_name, symbol) == call.function) {
+          return MangleExport(instance.path, port.local_name, symbol);
+        }
+      }
+    }
+    return MangleInitFini(instance.path, call.function);
+  }
+
+  // ---- compilation -----------------------------------------------------------
+
+  CodegenOptions UnitCodegenOptions(const UnitDecl& unit) const {
+    std::vector<std::string> flags;
+    if (!unit.flags_name.empty()) {
+      const FlagsDecl* decl = elaboration_.FindFlags(unit.flags_name);
+      if (decl != nullptr) {
+        flags = decl->flags;
+      }
+    }
+    CodegenOptions options = CodegenOptions::FromFlags(flags);
+    if (!options_.optimize) {
+      options.optimize = false;
+    }
+    return options;
+  }
+
+  // Parses + checks a unit's translation unit against the caller-owned TypeTable.
+  // Verifies that the unit's files define every export and initializer/finalizer
+  // and do not define imports.
+  Result<TranslationUnit> FrontUnit(const UnitDecl& unit, TypeTable& types, SemaInfo* info_out,
+                                    Diagnostics& diags) const {
+    if (IsObjectUnit(unit)) {
+      diags.Error(unit.loc, "unit '" + unit.name + "' is object-backed and cannot be "
+                            "source-flattened");
+      return Result<TranslationUnit>::Failure();
+    }
+    Result<TranslationUnit> tu = ParseCFiles(sources_, unit.files, unit.name, types, diags);
+    if (!tu.ok()) {
+      return tu;
+    }
+    Result<SemaInfo> info = AnalyzeTranslationUnit(tu.value(), types, diags);
+    if (!info.ok()) {
+      return Result<TranslationUnit>::Failure();
+    }
+    bool ok = true;
+    for (const PortDecl& port : unit.exports) {
+      const BundleTypeDecl* bundle = elaboration_.FindBundleType(port.bundle_type);
+      for (const std::string& symbol : bundle->symbols) {
+        std::string c_name = CNameOf(unit, port.local_name, symbol);
+        if (info.value().defined_functions.count(c_name) == 0 &&
+            info.value().defined_globals.count(c_name) == 0) {
+          diags.Error(port.loc, "unit '" + unit.name + "': files do not define '" + c_name +
+                                    "' (the C name of export " + port.local_name + "." +
+                                    symbol + ")");
+          ok = false;
+        }
+      }
+    }
+    for (const PortDecl& port : unit.imports) {
+      const BundleTypeDecl* bundle = elaboration_.FindBundleType(port.bundle_type);
+      for (const std::string& symbol : bundle->symbols) {
+        std::string c_name = CNameOf(unit, port.local_name, symbol);
+        if (info.value().defined_functions.count(c_name) > 0 ||
+            info.value().defined_globals.count(c_name) > 0) {
+          diags.Error(port.loc, "unit '" + unit.name + "': files DEFINE '" + c_name +
+                                    "', which is the C name of import " + port.local_name +
+                                    "." + symbol + " (imports must only be declared)");
+          ok = false;
+        }
+      }
+    }
+    for (const std::vector<InitFiniDecl>* list : {&unit.initializers, &unit.finalizers}) {
+      for (const InitFiniDecl& decl : *list) {
+        if (info.value().defined_functions.count(decl.function) == 0) {
+          diags.Error(decl.loc, "unit '" + unit.name + "': files do not define "
+                                "initializer/finalizer '" +
+                                    decl.function + "'");
+          ok = false;
+        }
+      }
+    }
+    if (!ok) {
+      return Result<TranslationUnit>::Failure();
+    }
+    if (info_out != nullptr) {
+      *info_out = std::move(info.value());
+    }
+    return tu;
+  }
+
+  // ---- cache keys ------------------------------------------------------------
+
+  uint64_t UnitCacheKey(const UnitDecl& unit) const {
+    Fnv64 hasher;
+    hasher.Update("unit-object-v1");
+    HashUnitInterface(elaboration_, unit, hasher);
+    std::set<std::string> visited;
+    for (const std::string& file : unit.files) {
+      HashFileClosure(sources_, file, visited, hasher);
+    }
+    HashCodegenOptions(UnitCodegenOptions(unit), hasher);
+    return hasher.digest();
+  }
+
+  uint64_t GroupCacheKey(int group, const std::vector<int>& members,
+                         const std::vector<InstanceNames>& names) const {
+    Fnv64 hasher;
+    hasher.Update("flatten-group-v1");
+    hasher.Update("flatten" + std::to_string(group) + ".o");
+    hasher.Update(options_.sort_definitions);
+    hasher.Update(options_.callers_first_definitions);
+    hasher.Update(options_.optimize);
+    for (size_t m = 0; m < members.size(); ++m) {
+      const Instance& instance = config_.instances[members[m]];
+      hasher.Update(instance.path);
+      HashUnitInterface(elaboration_, *instance.unit, hasher);
+      std::set<std::string> visited;
+      for (const std::string& file : instance.unit->files) {
+        HashFileClosure(sources_, file, visited, hasher);
+      }
+      for (const auto& [c_name, link_name] : names[m].renames) {
+        hasher.Update(c_name);
+        hasher.Update(link_name);
+      }
+      for (const std::string& keep : names[m].keep_global) {
+        hasher.Update(keep);
+      }
+    }
+    return hasher.digest();
+  }
+
+  // ---- compile tasks (run on worker threads) ---------------------------------
+
+  // Compiles one unit to its base (pre-objcopy) object, through the cache.
+  void CompileUnitTask(const UnitDecl& unit, TaskResult& out) {
+    if (IsObjectUnit(unit)) {
+      out.cacheable = false;
+      auto prebuilt = options_.prebuilt_objects.find(unit.files[0]);
+      if (prebuilt == options_.prebuilt_objects.end()) {
+        out.diags.Error(unit.loc, "unit '" + unit.name + "': no prebuilt object '" +
+                                      unit.files[0] + "' was provided");
+        return;
+      }
+      // Verify the object defines every export (and initializer/finalizer) under
+      // the unit's C names; the usual source-level checks don't apply.
+      const ObjectFile& object = prebuilt->second;
+      bool ok = true;
+      for (const PortDecl& port : unit.exports) {
+        const BundleTypeDecl* bundle = elaboration_.FindBundleType(port.bundle_type);
+        for (const std::string& symbol : bundle->symbols) {
+          std::string c_name = CNameOf(unit, port.local_name, symbol);
+          int index = object.FindSymbol(c_name);
+          if (index < 0 || object.symbols[index].section == ObjSymbol::Section::kUndefined) {
+            out.diags.Error(port.loc, "unit '" + unit.name + "': prebuilt object does not "
+                                      "define '" +
+                                          c_name + "'");
+            ok = false;
+          }
+        }
+      }
+      if (ok) {
+        out.object = object;
+      }
+      return;
+    }
+
+    uint64_t key = UnitCacheKey(unit);
+    ObjectFile cached;
+    if (cache_.Lookup(key, &cached)) {
+      out.cache_hit = true;
+      out.object = std::move(cached);
+      return;
+    }
+    TypeTable types;
+    SemaInfo info;
+    Result<TranslationUnit> tu = FrontUnit(unit, types, &info, out.diags);
+    if (!tu.ok()) {
+      return;
+    }
+    Result<ObjectFile> object = CompileTranslationUnit(
+        tu.value(), info, types, UnitCodegenOptions(unit), unit.name + ".o", out.diags);
+    if (!object.ok()) {
+      return;
+    }
+    cache_.Store(key, object.value());
+    out.object = object.take();
+  }
+
+  // Merges one flatten group's member sources into a single TU and compiles it.
+  void CompileGroupTask(int group, TaskResult& out) {
+    std::vector<int> members;
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      if (groups_[i] == group) {
+        members.push_back(static_cast<int>(i));
+      }
+    }
+    if (members.empty()) {
+      out.cacheable = false;
+      out.object = ObjectFile();  // sentinel: skipped during the merge
+      return;
+    }
+
+    std::vector<InstanceNames> names(members.size());
+    for (size_t m = 0; m < members.size(); ++m) {
+      if (!BuildInstanceNames(members[m], names[m], out.diags)) {
+        return;
+      }
+    }
+
+    uint64_t key = GroupCacheKey(group, members, names);
+    ObjectFile cached;
+    if (cache_.Lookup(key, &cached)) {
+      out.cache_hit = true;
+      out.object = std::move(cached);
+      return;
+    }
+
+    TypeTable types;
+    std::vector<FlattenInput> inputs;
+    for (size_t m = 0; m < members.size(); ++m) {
+      const Instance& instance = config_.instances[members[m]];
+      Result<TranslationUnit> tu = FrontUnit(*instance.unit, types, nullptr, out.diags);
+      if (!tu.ok()) {
+        return;
+      }
+      FlattenInput input;
+      input.instance_path = instance.path;
+      input.unit = tu.take();
+      input.renames = std::move(names[m].renames);
+      input.keep_global.assign(names[m].keep_global.begin(), names[m].keep_global.end());
+      inputs.push_back(std::move(input));
+    }
+    FlattenOptions flatten_options;
+    flatten_options.sort_definitions = options_.sort_definitions;
+    flatten_options.callers_first = options_.callers_first_definitions;
+    Result<TranslationUnit> merged =
+        FlattenUnits(std::move(inputs), flatten_options, out.diags);
+    if (!merged.ok()) {
+      return;
+    }
+    Result<SemaInfo> info = AnalyzeTranslationUnit(merged.value(), types, out.diags);
+    if (!info.ok()) {
+      return;
+    }
+    CodegenOptions codegen_options;
+    codegen_options.optimize = options_.optimize;
+    Result<ObjectFile> object =
+        CompileTranslationUnit(merged.value(), info.value(), types, codegen_options,
+                               "flatten" + std::to_string(group) + ".o", out.diags);
+    if (!object.ok()) {
+      return;
+    }
+    cache_.Store(key, object.value());
+    out.object = object.take();
+  }
+
+  // ---- deterministic merge helpers (calling thread only) ---------------------
+
+  // Objcopy-duplicates the unit's base object for one standalone instance, applies
+  // the instance's renames, and localizes everything not meant to stay global.
+  bool InstantiateObject(int instance_index, const ObjectFile& base, CompiledUnits& compiled,
+                         Diagnostics& diags) {
+    const Instance& instance = config_.instances[instance_index];
+    InstanceNames names;
+    if (!BuildInstanceNames(instance_index, names, diags)) {
+      return false;
+    }
+    ObjectFile object = ObjcopyDuplicate(base, instance.path + ".o");
+    if (!ObjcopyRename(object, names.renames, diags).ok()) {
+      return false;
+    }
+    // Hide every defined global that is not an export/init symbol: Knit's
+    // "defined names that are not exported will be hidden from all other units".
+    for (const ObjSymbol& symbol : object.symbols) {
+      if (symbol.global && symbol.section != ObjSymbol::Section::kUndefined &&
+          names.keep_global.count(symbol.name) == 0) {
+        if (!ObjcopyLocalize(object, symbol.name, diags).ok()) {
+          return false;
+        }
+      }
+    }
+    // Verify init/fini symbols are global (a static initializer cannot be called
+    // from the generated init object).
+    for (const std::string& keep : names.keep_global) {
+      int index = object.FindSymbol(keep);
+      if (index < 0 || object.symbols[index].section == ObjSymbol::Section::kUndefined) {
+        diags.Error(instance.unit->loc,
+                    "instance " + instance.path + ": expected defined symbol '" + keep +
+                        "' after renaming (is an export or initializer declared static, "
+                        "or missing?)");
+        return false;
+      }
+    }
+    compiled.objects.push_back(std::move(object));
+    return true;
+  }
+
+  // ---- init/fini object ------------------------------------------------------
+
+  // True when the compiled function bound to `link_name` returns a value. Such an
+  // initializer is *failable*: the failsafe init runtime treats a nonzero return as
+  // "initialization failed" and rolls back.
+  bool ReturnsValue(const CompiledUnits& compiled, const std::string& link_name) const {
+    for (const ObjectFile& object : compiled.objects) {
+      int index = object.FindSymbol(link_name);
+      if (index < 0 || object.symbols[index].section != ObjSymbol::Section::kText) {
+        continue;
+      }
+      return object.functions[object.symbols[index].index].returns_value;
+    }
+    return false;
+  }
+
+  // The failure-aware init runtime (DESIGN.md "Initialization failure semantics").
+  // knit__status[i] counts instance i's completed initializer calls; knit__rollback
+  // finalizes exactly the fully-initialized instances (finalizer-schedule order,
+  // i.e. reverse dependency order) and resets progress; knit__init returns -1 on
+  // success or the failing instance index after a status failure (having already
+  // rolled back). A trapped knit__init leaves the status array intact so the host
+  // can invoke knit__rollback itself.
+  std::string GenerateFailsafeInitSource(CompiledUnits& compiled) const {
+    std::vector<int> counts = InitializerCounts(config_);
+    int instance_count = static_cast<int>(config_.instances.size());
+
+    compiled.rollback_function = "knit__rollback";
+    compiled.status_symbol = "knit__status";
+    compiled.failed_symbol = "knit__failed";
+
+    std::string source;
+    source += "int knit__status[" + std::to_string(std::max(1, instance_count)) + "];\n";
+    source += "int knit__failed;\n";
+
+    auto reset_progress = [&](std::string& out) {
+      for (int i = 0; i < instance_count; ++i) {
+        out += "  knit__status[" + std::to_string(i) + "] = 0;\n";
+      }
+      out += "  knit__failed = -1;\n";
+    };
+
+    source += "void knit__rollback(void) {\n";
+    for (const InitCall& call : schedule_.finalizers) {
+      if (counts[call.instance] == 0) {
+        continue;  // never had initializers: nothing to undo on rollback
+      }
+      source += "  if (knit__status[" + std::to_string(call.instance) +
+                "] == " + std::to_string(counts[call.instance]) + ") { " +
+                InitCallName(call) + "(); }\n";
+    }
+    reset_progress(source);
+    source += "}\n";
+
+    source += "int knit__init(void) {\n";
+    for (const InitCall& call : schedule_.initializers) {
+      std::string instance = std::to_string(call.instance);
+      std::string name = InitCallName(call);
+      source += "  knit__failed = " + instance + ";\n";
+      if (ReturnsValue(compiled, name)) {
+        source += "  if (" + name + "() != 0) { knit__rollback(); return " + instance +
+                  "; }\n";
+      } else {
+        source += "  " + name + "();\n";
+      }
+      source += "  knit__status[" + instance + "] = knit__status[" + instance + "] + 1;\n";
+    }
+    source += "  knit__failed = -1;\n";
+    source += "  return -1;\n";
+    source += "}\n";
+
+    source += "void knit__fini(void) {\n";
+    for (const InitCall& call : schedule_.finalizers) {
+      source += "  " + InitCallName(call) + "();\n";
+    }
+    reset_progress(source);
+    source += "}\n";
+    return source;
+  }
+
+  bool GenerateInitObject(CompiledUnits& compiled, Diagnostics& diags) const {
+    for (const Instance& instance : config_.instances) {
+      compiled.instance_paths.push_back(instance.path);
+    }
+    for (const std::vector<InitCall>* list : {&schedule_.initializers, &schedule_.finalizers}) {
+      for (const InitCall& call : *list) {
+        compiled.init_symbol_instances.emplace(InitCallName(call), call.instance);
+      }
+    }
+
+    std::string source;
+    std::set<std::string> declared;
+    auto declare = [&](const InitCall& call) {
+      std::string name = InitCallName(call);
+      if (declared.insert(name).second) {
+        bool failable = options_.failsafe_init && ReturnsValue(compiled, name);
+        source += std::string("extern ") + (failable ? "int " : "void ") + name + "(void);\n";
+      }
+    };
+    for (const InitCall& call : schedule_.initializers) {
+      declare(call);
+    }
+    for (const InitCall& call : schedule_.finalizers) {
+      declare(call);
+    }
+
+    if (!options_.failsafe_init) {
+      // The paper's monolithic call sequence: no progress tracking, no rollback.
+      source += "void knit__init(void) {\n";
+      for (const InitCall& call : schedule_.initializers) {
+        source += "  " + InitCallName(call) + "();\n";
+      }
+      source += "}\n";
+      source += "void knit__fini(void) {\n";
+      for (const InitCall& call : schedule_.finalizers) {
+        source += "  " + InitCallName(call) + "();\n";
+      }
+      source += "}\n";
+    } else {
+      source += GenerateFailsafeInitSource(compiled);
+    }
+
+    TypeTable types;
+    Result<TranslationUnit> tu = ParseCString(source, "<knit-init>", types, diags);
+    if (!tu.ok()) {
+      return false;
+    }
+    Result<SemaInfo> info = AnalyzeTranslationUnit(tu.value(), types, diags);
+    if (!info.ok()) {
+      return false;
+    }
+    CodegenOptions codegen_options;
+    codegen_options.optimize = false;  // nothing to optimize; keep call order obvious
+    Result<ObjectFile> object = CompileTranslationUnit(tu.value(), info.value(), types,
+                                                       codegen_options, "knit-init.o", diags);
+    if (!object.ok()) {
+      return false;
+    }
+    compiled.objects.push_back(object.take());
+    return true;
+  }
+
+  const KnitcOptions& options_;
+  const CheckedConfig& checked_;
+  const Configuration& config_;
+  const Elaboration& elaboration_;
+  const knit::Schedule& schedule_;
+  const SourceMap& sources_;
+  BuildCache& cache_;
+  PipelineMetrics& metrics_;
+
+  std::vector<int> groups_;  // group id per instance; -1 = standalone (objcopy path)
+  int group_count_ = 0;
+  std::set<std::pair<int, int>> external_exports_;  // (instance, export port)
+};
+
+}  // namespace
+
+Result<CompiledUnits> KnitPipeline::Compile(const CheckedConfig& checked,
+                                            const SourceMap& sources, Diagnostics& diags) {
+  CompileStage stage(options_, checked, sources, *cache_, metrics_);
+  return stage.Run(diags);
+}
+
+// ---- link stage --------------------------------------------------------------
+
+Result<LinkedImage> KnitPipeline::Link(const CompiledUnits& compiled, Diagnostics& diags) {
+  auto t0 = std::chrono::steady_clock::now();
+  StageMetrics& metrics = BeginStage("link");
+
+  const Configuration& config = *compiled.checked.scheduled.elaborated.config;
+  const Elaboration& elaboration = *compiled.checked.scheduled.elaborated.elaboration;
+
+  LinkOptions link_options;
+  link_options.natives = IntrinsicNatives();
+  for (const PortDecl& port : config.top->imports) {
+    const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+    for (const std::string& symbol : bundle->symbols) {
+      link_options.natives.push_back(EnvSymbol(port.local_name, symbol));
+    }
+  }
+  for (const std::string& native : options_.extra_natives) {
+    link_options.natives.push_back(native);
+  }
+
+  std::vector<LinkItem> items;
+  items.reserve(compiled.objects.size());
+  for (const ObjectFile& object : compiled.objects) {
+    items.emplace_back(object);  // copy: the artifact stays re-linkable
+  }
+  metrics.items = static_cast<int>(items.size());
+
+  Result<LinkResult> linked = knit::Link(std::move(items), link_options, diags);
+  metrics.seconds = Seconds(t0);
+  if (!linked.ok()) {
+    return Result<LinkedImage>::Failure();
+  }
+
+  LinkedImage image;
+  image.compiled = compiled;
+  image.image = std::move(linked.value().image);
+  image.placements = std::move(linked.value().placements);
+  image.natives = std::move(link_options.natives);
+
+  // (port, symbol) -> link name for every top-level export.
+  for (size_t e = 0; e < config.top->exports.size(); ++e) {
+    const PortDecl& port = config.top->exports[e];
+    const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+    const SupplierRef& supplier = config.top_export_suppliers[e];
+    for (const std::string& symbol : bundle->symbols) {
+      std::string link_name;
+      if (supplier.IsEnvironment()) {
+        const PortDecl& import_port = config.top->imports[supplier.port];
+        link_name = EnvSymbol(import_port.local_name, symbol);
+      } else {
+        const Instance& producer = config.instances[supplier.instance];
+        const PortDecl& producer_port = producer.unit->exports[supplier.port];
+        link_name = MangleExport(producer.path, producer_port.local_name, symbol);
+      }
+      image.export_names[{port.local_name, symbol}] = link_name;
+    }
+  }
+  return image;
+}
+
+Result<LinkedImage> KnitPipeline::Build(const std::string& knit_source, const SourceMap& sources,
+                                        const std::string& top_unit, Diagnostics& diags) {
+  Result<ParsedProgram> parsed = Parse(knit_source, diags);
+  if (!parsed.ok()) {
+    return Result<LinkedImage>::Failure();
+  }
+  Result<ElaboratedConfig> elaborated = Elaborate(parsed.value(), top_unit, diags);
+  if (!elaborated.ok()) {
+    return Result<LinkedImage>::Failure();
+  }
+  Result<ScheduledConfig> scheduled = Schedule(elaborated.value(), diags);
+  if (!scheduled.ok()) {
+    return Result<LinkedImage>::Failure();
+  }
+  Result<CheckedConfig> checked = Check(scheduled.value(), diags);
+  if (!checked.ok()) {
+    return Result<LinkedImage>::Failure();
+  }
+  Result<CompiledUnits> compiled = Compile(checked.value(), sources, diags);
+  if (!compiled.ok()) {
+    return Result<LinkedImage>::Failure();
+  }
+  return Link(compiled.value(), diags);
+}
+
+}  // namespace knit

@@ -1,0 +1,21 @@
+#include "src/support/hash.h"
+
+namespace knit {
+
+uint64_t HashBytes(const void* bytes, size_t size) {
+  Fnv64 hasher;
+  hasher.Update(bytes, size);
+  return hasher.digest();
+}
+
+std::string HexDigest(uint64_t digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace knit

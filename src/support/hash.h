@@ -1,0 +1,61 @@
+// Content hashing for the build cache (src/driver/build_cache.h): an incremental
+// FNV-1a 64-bit hasher. Not cryptographic — cache keys only need to make accidental
+// collisions between different (source text, option) combinations vanishingly
+// unlikely, and FNV is fully deterministic across platforms and runs, which is what
+// the pipeline's reproducibility guarantee needs.
+#ifndef SRC_SUPPORT_HASH_H_
+#define SRC_SUPPORT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace knit {
+
+class Fnv64 {
+ public:
+  static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kPrime = 0x100000001b3ULL;
+
+  Fnv64& Update(const void* bytes, size_t size) {
+    const auto* p = static_cast<const unsigned char*>(bytes);
+    for (size_t i = 0; i < size; ++i) {
+      state_ = (state_ ^ p[i]) * kPrime;
+    }
+    return *this;
+  }
+
+  // Length-prefixed, so Update("ab").Update("c") != Update("a").Update("bc").
+  Fnv64& Update(std::string_view text) {
+    Update(static_cast<uint64_t>(text.size()));
+    return Update(text.data(), text.size());
+  }
+  Fnv64& Update(const char* text) { return Update(std::string_view(text)); }
+  Fnv64& Update(const std::string& text) { return Update(std::string_view(text)); }
+
+  Fnv64& Update(uint64_t value) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    }
+    return Update(bytes, sizeof(bytes));
+  }
+  Fnv64& Update(int value) { return Update(static_cast<uint64_t>(static_cast<int64_t>(value))); }
+  Fnv64& Update(bool value) { return Update(static_cast<uint64_t>(value ? 1 : 0)); }
+
+  uint64_t digest() const { return state_; }
+
+ private:
+  uint64_t state_ = kOffsetBasis;
+};
+
+// One-shot convenience.
+uint64_t HashBytes(const void* bytes, size_t size);
+
+// 16 lowercase hex digits — stable file names for the on-disk cache.
+std::string HexDigest(uint64_t digest);
+
+}  // namespace knit
+
+#endif  // SRC_SUPPORT_HASH_H_

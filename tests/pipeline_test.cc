@@ -1,0 +1,336 @@
+// Staged-pipeline tests (src/driver/pipeline.h): the legacy/staged golden
+// equivalence, stage-prefix re-entry, --jobs determinism, warm-cache rebuilds,
+// and content-hash cache invalidation granularity.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/clack/corpus.h"
+#include "src/driver/knitc.h"
+
+namespace knit {
+namespace {
+
+// ---- golden: staged == legacy -----------------------------------------------
+
+TEST(Pipeline, StagedBuildMatchesLegacyKnitBuildBitForBit) {
+  Diagnostics legacy_diags;
+  Result<KnitBuildResult> legacy = KnitBuild(ClackKnit(), ClackSources(), "ClackRouter",
+                                             KnitcOptions(), legacy_diags);
+  ASSERT_TRUE(legacy.ok()) << legacy_diags.ToString();
+
+  Diagnostics staged_diags;
+  KnitPipeline pipeline;
+  Result<ParsedProgram> parsed = pipeline.Parse(ClackKnit(), staged_diags);
+  ASSERT_TRUE(parsed.ok()) << staged_diags.ToString();
+  Result<ElaboratedConfig> elaborated =
+      pipeline.Elaborate(parsed.value(), "ClackRouter", staged_diags);
+  ASSERT_TRUE(elaborated.ok()) << staged_diags.ToString();
+  Result<ScheduledConfig> scheduled = pipeline.Schedule(elaborated.value(), staged_diags);
+  ASSERT_TRUE(scheduled.ok()) << staged_diags.ToString();
+  Result<CheckedConfig> checked = pipeline.Check(scheduled.value(), staged_diags);
+  ASSERT_TRUE(checked.ok()) << staged_diags.ToString();
+  Result<CompiledUnits> compiled =
+      pipeline.Compile(checked.value(), ClackSources(), staged_diags);
+  ASSERT_TRUE(compiled.ok()) << staged_diags.ToString();
+  Result<LinkedImage> linked = pipeline.Link(compiled.value(), staged_diags);
+  ASSERT_TRUE(linked.ok()) << staged_diags.ToString();
+
+  EXPECT_EQ(FingerprintImage(legacy.value().image), FingerprintImage(linked.value().image));
+  EXPECT_EQ(legacy.value().image.text_bytes, linked.value().image.text_bytes);
+  EXPECT_EQ(legacy.value().image.data, linked.value().image.data);
+  EXPECT_EQ(legacy.value().image.function_symbols, linked.value().image.function_symbols);
+  EXPECT_EQ(legacy.value().natives, linked.value().natives);
+  EXPECT_EQ(legacy.value().ExportedSymbol("in0", "pkt_push"),
+            linked.value().export_names.at({"in0", "pkt_push"}));
+}
+
+// ---- stage-prefix re-entry ----------------------------------------------------
+
+// Every artifact is a value: a fresh pipeline (fresh cache, fresh metrics) must be
+// able to pick up the build from any stage prefix and produce the same image.
+TEST(Pipeline, ReenteringAnyStagePrefixYieldsTheSameImage) {
+  Diagnostics diags;
+  KnitPipeline first;
+  Result<ParsedProgram> parsed = first.Parse(ClackKnit(), diags);
+  ASSERT_TRUE(parsed.ok()) << diags.ToString();
+  Result<ElaboratedConfig> elaborated = first.Elaborate(parsed.value(), "ClackRouter", diags);
+  ASSERT_TRUE(elaborated.ok()) << diags.ToString();
+  Result<ScheduledConfig> scheduled = first.Schedule(elaborated.value(), diags);
+  ASSERT_TRUE(scheduled.ok()) << diags.ToString();
+  Result<CheckedConfig> checked = first.Check(scheduled.value(), diags);
+  ASSERT_TRUE(checked.ok()) << diags.ToString();
+  Result<CompiledUnits> compiled = first.Compile(checked.value(), ClackSources(), diags);
+  ASSERT_TRUE(compiled.ok()) << diags.ToString();
+  Result<LinkedImage> baseline = first.Link(compiled.value(), diags);
+  ASSERT_TRUE(baseline.ok()) << diags.ToString();
+  uint64_t want = FingerprintImage(baseline.value().image);
+
+  for (int prefix = 0; prefix <= 5; ++prefix) {
+    Diagnostics rediags;
+    KnitPipeline resumed;  // fresh pipeline: nothing carried over but the artifact
+    Result<ParsedProgram> p = prefix >= 1 ? parsed : resumed.Parse(ClackKnit(), rediags);
+    ASSERT_TRUE(p.ok()) << "prefix " << prefix << ": " << rediags.ToString();
+    Result<ElaboratedConfig> e = prefix >= 2
+                                     ? elaborated
+                                     : resumed.Elaborate(p.value(), "ClackRouter", rediags);
+    ASSERT_TRUE(e.ok()) << "prefix " << prefix << ": " << rediags.ToString();
+    Result<ScheduledConfig> s = prefix >= 3 ? scheduled : resumed.Schedule(e.value(), rediags);
+    ASSERT_TRUE(s.ok()) << "prefix " << prefix << ": " << rediags.ToString();
+    Result<CheckedConfig> c = prefix >= 4 ? checked : resumed.Check(s.value(), rediags);
+    ASSERT_TRUE(c.ok()) << "prefix " << prefix << ": " << rediags.ToString();
+    Result<CompiledUnits> u =
+        prefix >= 5 ? compiled : resumed.Compile(c.value(), ClackSources(), rediags);
+    ASSERT_TRUE(u.ok()) << "prefix " << prefix << ": " << rediags.ToString();
+    Result<LinkedImage> image = resumed.Link(u.value(), rediags);
+    ASSERT_TRUE(image.ok()) << "prefix " << prefix << ": " << rediags.ToString();
+    EXPECT_EQ(FingerprintImage(image.value().image), want) << "prefix " << prefix;
+  }
+}
+
+// ---- --jobs determinism -------------------------------------------------------
+
+uint64_t BuildFingerprint(const std::string& top, KnitcOptions options,
+                          PipelineMetrics* metrics_out = nullptr) {
+  Diagnostics diags;
+  KnitPipeline pipeline(std::move(options));
+  Result<LinkedImage> built = pipeline.Build(ClackKnit(), ClackSources(), top, diags);
+  EXPECT_TRUE(built.ok()) << diags.ToString();
+  if (!built.ok()) {
+    return 0;
+  }
+  if (metrics_out != nullptr) {
+    *metrics_out = pipeline.metrics();
+  }
+  return FingerprintImage(built.value().image);
+}
+
+TEST(Pipeline, ImagesAreBitIdenticalAcrossJobCounts) {
+  for (const char* top : {"ClackRouter", "ClackRouterFlat"}) {
+    KnitcOptions j1;
+    j1.jobs = 1;
+    uint64_t base = BuildFingerprint(top, j1);
+    ASSERT_NE(base, 0u);
+    for (int jobs : {2, 8}) {
+      KnitcOptions options;
+      options.jobs = jobs;
+      PipelineMetrics metrics;
+      EXPECT_EQ(BuildFingerprint(top, options, &metrics), base)
+          << top << " at jobs=" << jobs;
+      const StageMetrics* compile = metrics.Find("compile");
+      ASSERT_NE(compile, nullptr);
+      EXPECT_GE(compile->threads, 1);
+    }
+  }
+}
+
+TEST(Pipeline, DifferentConfigurationsHaveDifferentFingerprints) {
+  uint64_t modular = BuildFingerprint("ClackRouter", KnitcOptions());
+  uint64_t flat = BuildFingerprint("ClackRouterFlat", KnitcOptions());
+  EXPECT_NE(modular, flat);
+}
+
+// ---- artifact cache -----------------------------------------------------------
+
+TEST(Pipeline, WarmCacheRebuildRecompilesNothingAndIsBitIdentical) {
+  KnitcOptions options;
+  options.cache = std::make_shared<BuildCache>();
+
+  PipelineMetrics cold;
+  uint64_t first = BuildFingerprint("ClackRouter", options, &cold);
+  ASSERT_NE(first, 0u);
+  EXPECT_GT(cold.CacheMisses(), 0);
+  EXPECT_EQ(cold.CacheHits(), 0);
+
+  PipelineMetrics warm;
+  uint64_t second = BuildFingerprint("ClackRouter", options, &warm);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(warm.CacheMisses(), 0);
+  EXPECT_EQ(warm.CacheHits(), cold.CacheMisses());
+}
+
+// A: standalone, B+C: one flatten group, D: standalone.
+constexpr const char* kCacheKnit = R"(
+bundletype TA = { fa }
+bundletype TB = { fb }
+bundletype TC = { fc }
+bundletype TD = { fd }
+unit A = { imports []; exports [ oa : TA ]; files { "a.c" }; }
+unit B = { imports [ ic : TC ]; exports [ ob : TB ]; depends { ob needs ic; }; files { "b.c" }; }
+unit C = { imports []; exports [ oc : TC ]; files { "c.c" }; }
+unit D = { imports []; exports [ od : TD ]; files { "d.c" }; }
+unit Grouped = {
+  imports [];
+  exports [ ob : TB ];
+  flatten;
+  link { [c] <- C <- []; [ob] <- B <- [c]; };
+}
+unit Top = {
+  imports [];
+  exports [ oa : TA, ob : TB, od : TD ];
+  link { [oa] <- A <- []; [ob] <- Grouped <- []; [od] <- D <- []; };
+}
+)";
+
+SourceMap CacheSources() {
+  SourceMap sources;
+  sources["a.c"] = "int fa(void) { return 1; }\n";
+  sources["b.c"] = "extern int fc(void);\nint fb(void) { return fc() + 10; }\n";
+  sources["c.c"] = "int fc(void) { return 2; }\n";
+  sources["d.c"] = "int fd(void) { return 3; }\n";
+  return sources;
+}
+
+PipelineMetrics BuildCacheProgram(const SourceMap& sources,
+                                  const std::shared_ptr<BuildCache>& cache) {
+  KnitcOptions options;
+  options.cache = cache;
+  Diagnostics diags;
+  KnitPipeline pipeline(options);
+  Result<LinkedImage> built = pipeline.Build(kCacheKnit, sources, "Top", diags);
+  EXPECT_TRUE(built.ok()) << diags.ToString();
+  return pipeline.metrics();
+}
+
+TEST(Pipeline, EditingOneUnitRecompilesExactlyThatUnit) {
+  auto cache = std::make_shared<BuildCache>();
+  SourceMap sources = CacheSources();
+
+  // Cold: 2 standalone unit objects (A, D) + 1 flatten group = 3 compiles.
+  PipelineMetrics cold = BuildCacheProgram(sources, cache);
+  EXPECT_EQ(cold.CacheMisses(), 3);
+  EXPECT_EQ(cold.CacheHits(), 0);
+  EXPECT_EQ(cold.flatten_group_count, 1);
+
+  // Untouched rebuild: everything from cache.
+  PipelineMetrics warm = BuildCacheProgram(sources, cache);
+  EXPECT_EQ(warm.CacheMisses(), 0);
+  EXPECT_EQ(warm.CacheHits(), 3);
+
+  // Edit the standalone unit A: exactly its object recompiles.
+  sources["a.c"] = "int fa(void) { return 100; }\n";
+  PipelineMetrics after_a = BuildCacheProgram(sources, cache);
+  EXPECT_EQ(after_a.CacheMisses(), 1);
+  EXPECT_EQ(after_a.CacheHits(), 2);
+
+  // Edit unit B, a flatten-group member: exactly its group recompiles (the other
+  // standalone objects stay cached).
+  sources["b.c"] = "extern int fc(void);\nint fb(void) { return fc() + 20; }\n";
+  PipelineMetrics after_b = BuildCacheProgram(sources, cache);
+  EXPECT_EQ(after_b.CacheMisses(), 1);
+  EXPECT_EQ(after_b.CacheHits(), 2);
+
+  // Everything back in cache again.
+  PipelineMetrics warm2 = BuildCacheProgram(sources, cache);
+  EXPECT_EQ(warm2.CacheMisses(), 0);
+  EXPECT_EQ(warm2.CacheHits(), 3);
+}
+
+TEST(Pipeline, DiskCachePersistsAcrossPipelines) {
+  std::string dir = ::testing::TempDir() + "knit-cache-test";
+  std::filesystem::remove_all(dir);  // stale entries from a previous run = not cold
+  SourceMap sources = CacheSources();
+  {
+    KnitcOptions options;
+    options.cache_dir = dir;
+    Diagnostics diags;
+    KnitPipeline pipeline(options);
+    ASSERT_TRUE(pipeline.Build(kCacheKnit, sources, "Top", diags).ok()) << diags.ToString();
+    EXPECT_EQ(pipeline.metrics().CacheMisses(), 3);
+  }
+  {
+    KnitcOptions options;
+    options.cache_dir = dir;  // fresh pipeline + fresh in-memory cache, same dir
+    Diagnostics diags;
+    KnitPipeline pipeline(options);
+    ASSERT_TRUE(pipeline.Build(kCacheKnit, sources, "Top", diags).ok()) << diags.ToString();
+    EXPECT_EQ(pipeline.metrics().CacheMisses(), 0);
+    EXPECT_EQ(pipeline.metrics().CacheHits(), 3);
+  }
+}
+
+// ---- metrics ------------------------------------------------------------------
+
+TEST(Pipeline, MetricsRecordEveryStageAndSerializeAsJson) {
+  Diagnostics diags;
+  KnitPipeline pipeline;
+  Result<LinkedImage> built = pipeline.Build(ClackKnit(), ClackSources(), "ClackRouter", diags);
+  ASSERT_TRUE(built.ok()) << diags.ToString();
+  const PipelineMetrics& metrics = pipeline.metrics();
+  for (const char* stage :
+       {"parse", "elaborate", "schedule", "check", "compile", "objcopy", "init-object",
+        "link"}) {
+    EXPECT_NE(metrics.Find(stage), nullptr) << stage;
+  }
+  EXPECT_GT(metrics.instance_count, 0);
+  EXPECT_GT(metrics.object_count, 0);
+  EXPECT_GT(metrics.TotalSeconds(), 0.0);
+
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\": \"compile\""), std::string::npos);
+  EXPECT_NE(json.find("\"instances\": "), std::string::npos);
+  EXPECT_NE(json.find("\"cache_misses\": "), std::string::npos);
+}
+
+// The legacy wrapper surfaces the staged metrics under the old name.
+TEST(Pipeline, LegacyWrapperCarriesPipelineMetrics) {
+  Diagnostics diags;
+  Result<KnitBuildResult> build =
+      KnitBuild(ClackKnit(), ClackSources(), "ClackRouter", KnitcOptions(), diags);
+  ASSERT_TRUE(build.ok()) << diags.ToString();
+  const BuildStats& stats = build.value().stats;
+  EXPECT_GT(stats.instance_count, 0);
+  EXPECT_GT(stats.object_count, 0);
+  EXPECT_GT(stats.StageSeconds("compile"), 0.0);
+}
+
+// ---- object serialization round-trip ------------------------------------------
+
+TEST(Pipeline, ObjectFileSerializationRoundTrips) {
+  Diagnostics diags;
+  KnitPipeline pipeline;
+  Result<ParsedProgram> parsed = pipeline.Parse(kCacheKnit, diags);
+  ASSERT_TRUE(parsed.ok());
+  Result<ElaboratedConfig> elaborated = pipeline.Elaborate(parsed.value(), "Top", diags);
+  ASSERT_TRUE(elaborated.ok());
+  Result<ScheduledConfig> scheduled = pipeline.Schedule(elaborated.value(), diags);
+  ASSERT_TRUE(scheduled.ok());
+  Result<CheckedConfig> checked = pipeline.Check(scheduled.value(), diags);
+  ASSERT_TRUE(checked.ok());
+  Result<CompiledUnits> compiled = pipeline.Compile(checked.value(), CacheSources(), diags);
+  ASSERT_TRUE(compiled.ok()) << diags.ToString();
+  ASSERT_FALSE(compiled.value().objects.empty());
+
+  for (const ObjectFile& object : compiled.value().objects) {
+    std::string bytes = SerializeObjectFile(object);
+    ObjectFile back;
+    ASSERT_TRUE(DeserializeObjectFile(bytes, &back)) << object.name;
+    EXPECT_EQ(back.name, object.name);
+    ASSERT_EQ(back.symbols.size(), object.symbols.size());
+    for (size_t i = 0; i < object.symbols.size(); ++i) {
+      EXPECT_EQ(back.symbols[i].name, object.symbols[i].name);
+      EXPECT_EQ(back.symbols[i].section, object.symbols[i].section);
+      EXPECT_EQ(back.symbols[i].global, object.symbols[i].global);
+      EXPECT_EQ(back.symbols[i].index, object.symbols[i].index);
+    }
+    ASSERT_EQ(back.functions.size(), object.functions.size());
+    for (size_t i = 0; i < object.functions.size(); ++i) {
+      EXPECT_EQ(back.functions[i].name, object.functions[i].name);
+      EXPECT_EQ(back.functions[i].code, object.functions[i].code);
+      EXPECT_EQ(back.functions[i].returns_value, object.functions[i].returns_value);
+    }
+    EXPECT_EQ(back.data, object.data);
+    EXPECT_EQ(back.data_relocs.size(), object.data_relocs.size());
+  }
+
+  // Corrupt bytes read as a miss, never as a bogus object.
+  ObjectFile ignored;
+  EXPECT_FALSE(DeserializeObjectFile("garbage", &ignored));
+  std::string truncated = SerializeObjectFile(compiled.value().objects[0]);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DeserializeObjectFile(truncated, &ignored));
+}
+
+}  // namespace
+}  // namespace knit

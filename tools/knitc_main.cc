@@ -1,31 +1,11 @@
-// knitc: command-line front end to the Knit pipeline.
+// knitc: command-line front end to the staged Knit pipeline (src/driver/pipeline.h).
 //
 //   knitc --knit=app.knit --src=dir --top=App [options]
 //
 // Reads the Knit declarations and every *.c / *.h file under --src into the
-// virtual file system, builds the configuration, and optionally runs an exported
-// function on the VM.
-//
-// Options:
-//   --top=UNIT            top-level unit to instantiate (required)
-//   --src=DIR             directory of MiniC sources (default: the .knit file's dir)
-//   --no-optimize         disable the per-TU optimizer (-O0)
-//   --no-check            skip constraint checking
-//   --no-flatten          ignore `flatten` markers
-//   --flatten-all         merge the whole program into one translation unit
-//   --dump-units          print the parsed declarations back as canonical Knit
-//   --print-schedule      print the computed init/fini order
-//   --print-stats         print build statistics (phase times, text size)
-//   --list-exports        print the top-level export symbols
-//   --print-map           print the ld placement map (object -> text/data)
-//   --run=PORT.SYMBOL     after knit__init, call this export (args: --args=1,2,3)
-//   --args=N,N,...        integer arguments for --run
-//   --no-failsafe-init    generate the paper's monolithic knit__init (no rollback)
-//   --fuel=N              VM instruction budget; a runaway program traps cleanly
-//   --inject-fault=F[@N][=V]
-//                         force the Nth invocation (default 1st) of function or
-//                         native F to trap, or — with =V — to return V instead of
-//                         running (fault-injection testing)
+// virtual file system, runs the pipeline stage by stage (parse, elaborate,
+// schedule, check, compile, link), and optionally runs an exported function on
+// the VM. See --help for the option list.
 //
 // Environment imports of the top unit are auto-bound: natives whose name ends in
 // "putc" write to stdout; everything else logs its invocation.
@@ -55,12 +35,56 @@ struct CliOptions {
   bool print_stats = false;
   bool list_exports = false;
   bool print_map = false;
+  std::string stats_json;  // "" = off; "-" = stdout
   std::string run;
   std::vector<uint32_t> run_args;
   long long fuel = 0;  // 0: leave the CostModel default
   FaultPlan fault_plan;
   KnitcOptions build;
 };
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: knitc --knit=FILE --top=UNIT [--src=DIR] [options]\n"
+               "\n"
+               "Build options:\n"
+               "  --top=UNIT            top-level unit to instantiate (required)\n"
+               "  --src=DIR             directory of MiniC sources (default: the .knit "
+               "file's dir)\n"
+               "  --jobs=N              compile units on N threads (default 1); the image\n"
+               "                        is bit-identical for every N\n"
+               "  --cache-dir=PATH      persist compiled-object cache entries under PATH\n"
+               "                        (default: in-memory cache only)\n"
+               "  --no-optimize         disable the per-TU optimizer (-O0)\n"
+               "  --no-check            skip constraint checking\n"
+               "  --no-flatten          ignore `flatten` markers\n"
+               "  --flatten-all         merge the whole program into one translation unit\n"
+               "  --no-failsafe-init    generate the paper's monolithic knit__init (no "
+               "rollback)\n"
+               "\n"
+               "Reporting:\n"
+               "  --dump-units          print the parsed declarations back as canonical Knit\n"
+               "  --print-schedule      print the computed init/fini order\n"
+               "  --print-stats         print per-stage build metrics (time, items, cache)\n"
+               "  --stats-json=PATH     write the stage metrics as JSON to PATH ('-' = "
+               "stdout)\n"
+               "  --list-exports        print the top-level export symbols\n"
+               "  --print-map           print the ld placement map (object -> text/data)\n"
+               "\n"
+               "Execution:\n"
+               "  --run=PORT.SYMBOL     after knit__init, call this export (args: "
+               "--args=1,2,3)\n"
+               "  --args=N,N,...        integer arguments for --run\n"
+               "  --fuel=N              VM instruction budget; a runaway program traps "
+               "cleanly\n"
+               "  --inject-fault=F[@N][=V]\n"
+               "                        force the Nth invocation (default 1st) of function "
+               "or\n"
+               "                        native F to trap, or -- with =V -- to return V "
+               "instead\n"
+               "                        of running (fault-injection testing)\n"
+               "  --help                print this help\n");
+}
 
 // Parses --inject-fault=FUNC[@N][=V]: fault the Nth invocation of FUNC; with =V
 // return V instead of trapping.
@@ -86,18 +110,51 @@ bool ParseFaultSpec(const std::string& spec, FaultPlan& plan) {
   return true;
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions& options) {
+// Returns 0 to continue, otherwise the process exit code + 1 (so 1 means
+// "exit 0", e.g. after --help).
+int ParseArgs(int argc, char** argv, CliOptions& options) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value_of = [&](const char* prefix) -> std::string {
       return arg.substr(std::strlen(prefix));
     };
-    if (arg.rfind("--knit=", 0) == 0) {
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 1;
+    } else if (arg.rfind("--knit=", 0) == 0) {
       options.knit_file = value_of("--knit=");
     } else if (arg.rfind("--src=", 0) == 0) {
       options.src_dir = value_of("--src=");
     } else if (arg.rfind("--top=", 0) == 0) {
       options.top = value_of("--top=");
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      std::string value = value_of("--jobs=");
+      long long jobs = -1;
+      try {
+        jobs = std::stoll(value);
+      } catch (...) {
+        jobs = -1;
+      }
+      if (jobs < 1 || jobs > 1024) {
+        std::fprintf(stderr,
+                     "knitc: error: --jobs expects a thread count between 1 and 1024, "
+                     "got '%s'\n",
+                     value.c_str());
+        return 3;
+      }
+      options.build.jobs = static_cast<int>(jobs);
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      options.build.cache_dir = value_of("--cache-dir=");
+      if (options.build.cache_dir.empty()) {
+        std::fprintf(stderr, "knitc: error: --cache-dir expects a directory path\n");
+        return 3;
+      }
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      options.stats_json = value_of("--stats-json=");
+      if (options.stats_json.empty()) {
+        std::fprintf(stderr, "knitc: error: --stats-json expects a file path or '-'\n");
+        return 3;
+      }
     } else if (arg == "--no-optimize") {
       options.build.optimize = false;
     } else if (arg == "--no-check") {
@@ -128,22 +185,22 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       options.fuel = std::stoll(value_of("--fuel="));
       if (options.fuel < 1) {
         std::fprintf(stderr, "knitc: --fuel expects a positive instruction count\n");
-        return false;
+        return 3;
       }
     } else if (arg.rfind("--inject-fault=", 0) == 0) {
       if (!ParseFaultSpec(value_of("--inject-fault="), options.fault_plan)) {
         std::fprintf(stderr, "knitc: bad fault spec '%s' (want FUNC[@N][=V])\n",
                      arg.c_str());
-        return false;
+        return 3;
       }
     } else {
-      std::fprintf(stderr, "knitc: unknown option '%s'\n", arg.c_str());
-      return false;
+      std::fprintf(stderr, "knitc: unknown option '%s' (try --help)\n", arg.c_str());
+      return 3;
     }
   }
   if (options.knit_file.empty() || options.top.empty()) {
-    std::fprintf(stderr, "usage: knitc --knit=FILE --top=UNIT [--src=DIR] [options]\n");
-    return false;
+    PrintUsage(stderr);
+    return 3;
   }
   if (options.src_dir.empty()) {
     options.src_dir = std::filesystem::path(options.knit_file).parent_path().string();
@@ -151,7 +208,7 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       options.src_dir = ".";
     }
   }
-  return true;
+  return 0;
 }
 
 bool ReadFile(const std::string& path, std::string& out) {
@@ -215,10 +272,25 @@ void BindEnvironment(Machine& machine, const KnitBuildResult& build) {
   }
 }
 
+bool WriteStatsJson(const std::string& path, const PipelineMetrics& metrics) {
+  std::string json = metrics.ToJson();
+  if (path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "knitc: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << json;
+  return true;
+}
+
 int Main(int argc, char** argv) {
   CliOptions options;
-  if (!ParseArgs(argc, argv, options)) {
-    return 2;
+  if (int parse = ParseArgs(argc, argv, options); parse != 0) {
+    return parse - 1;
   }
 
   std::string knit_text;
@@ -241,14 +313,19 @@ int Main(int argc, char** argv) {
     std::printf("%s", PrintKnitProgram(program.value()).c_str());
   }
 
+  // Drive the pipeline stage by stage (the CLI is itself a staged-API host), then
+  // repackage the linked image in the classic result shape for reporting/running.
   Diagnostics diags;
-  Result<KnitBuildResult> build =
-      KnitBuild(knit_text, sources, options.top, options.build, diags);
+  KnitPipeline pipeline(options.build);
+  Result<LinkedImage> built = pipeline.Build(knit_text, sources, options.top, diags);
   std::fprintf(stderr, "%s", diags.ToString().c_str());
-  if (!build.ok()) {
+  if (!options.stats_json.empty() && !WriteStatsJson(options.stats_json, pipeline.metrics())) {
     return 1;
   }
-  KnitBuildResult& result = build.value();
+  if (!built.ok()) {
+    return 1;
+  }
+  KnitBuildResult result = KnitBuildResultFrom(built.take(), pipeline.metrics());
   std::printf("knitc: built '%s': %d instances, %d objects, %d flatten groups, %d bytes "
               "text\n",
               options.top.c_str(), result.stats.instance_count, result.stats.object_count,
@@ -267,13 +344,17 @@ int Main(int argc, char** argv) {
     }
   }
   if (options.print_stats) {
-    const BuildStats& stats = result.stats;
-    std::printf("phases (ms): frontend %.3f, schedule %.3f, constraints %.3f, compile %.3f, "
-                "objcopy %.3f, flatten %.3f, link %.3f\n",
-                stats.frontend_seconds * 1e3, stats.schedule_seconds * 1e3,
-                stats.constraint_seconds * 1e3, stats.compile_seconds * 1e3,
-                stats.objcopy_seconds * 1e3, stats.flatten_seconds * 1e3,
-                stats.link_seconds * 1e3);
+    const PipelineMetrics& metrics = result.stats;
+    std::printf("stages (ms):\n");
+    for (const StageMetrics& stage : metrics.stages) {
+      std::printf("  %-12s %9.3f  items %-4d threads %-2d", stage.stage.c_str(),
+                  stage.seconds * 1e3, stage.items, stage.threads);
+      if (stage.cache_hits + stage.cache_misses > 0) {
+        std::printf("  cache %d hit / %d miss", stage.cache_hits, stage.cache_misses);
+      }
+      std::printf("\n");
+    }
+    std::printf("  %-12s %9.3f\n", "total", metrics.TotalSeconds() * 1e3);
   }
   if (options.print_map) {
     std::printf("link map:\n");

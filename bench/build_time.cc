@@ -172,11 +172,12 @@ void PrintReport() {
                   "  \"compile_seconds_j1\": %.6f,\n"
                   "  \"compile_seconds_j4\": %.6f,\n"
                   "  \"compile_speedup_j4\": %.3f,\n"
-                  "  \"hardware_threads\": %d\n"
+                  "  \"hardware_threads\": %d,\n"
+                  "  \"parallel_limited_by_host\": %s\n"
                   "}\n",
                   knit_proper, compiler, first.TotalSeconds(), warm.TotalSeconds(),
                   warm.CacheHits(), warm.CacheMisses(), j1, j4, j4 > 0 ? j1 / j4 : 0.0,
-                  hw_threads);
+                  hw_threads, hw_threads < 4 ? "true" : "false");
     out << buffer;
     std::printf("\nwrote BENCH_build.json\n");
   }

@@ -103,6 +103,10 @@ Result<void> RouterProgram::Prepare(Diagnostics& diags) {
   return Result<void>::Success();
 }
 
+void RouterProgram::EnableProfiling(size_t max_events) {
+  machine_->EnableProfiling(max_events);
+}
+
 Result<RouterStats> RouterProgram::RunTrace(const std::vector<TracePacket>& trace,
                                             Diagnostics& diags) {
   *stats_ = RouterStats{};
@@ -110,6 +114,12 @@ Result<RouterStats> RouterProgram::RunTrace(const std::vector<TracePacket>& trac
 
   int in0_fn = machine_->image().FindFunction(entry_names_["in0"]);
   int in1_fn = machine_->image().FindFunction(entry_names_["in1"]);
+
+  // Attribute exactly the measured window: init already ran (Prepare), and the
+  // stats read-back below happens after the snapshot.
+  if (machine_->profiling()) {
+    machine_->ResetProfile();
+  }
 
   for (const TracePacket& packet : trace) {
     if (packet.frame.size() > kFrameCapacity) {
@@ -138,6 +148,10 @@ Result<RouterStats> RouterProgram::RunTrace(const std::vector<TracePacket>& trac
     stats_->cycles += machine_->cycles() - cycles_before;
     stats_->ifetch_stalls += machine_->ifetch_stalls() - stalls_before;
     ++stats_->packets;
+  }
+
+  if (machine_->profiling()) {
+    stats_->profile = machine_->Profile();
   }
 
   // Read back the counters.

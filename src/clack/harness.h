@@ -36,6 +36,13 @@ struct RouterStats {
   uint32_t tx_count = 0;
   uint64_t tx_hash = 0;  // FNV over (port, len, bytes) of every dev_tx
 
+  // Per-component attribution of the measured packet window (empty unless
+  // RouterProgram::EnableProfiling was called before RunTrace). Its totals equal
+  // the `cycles`/`ifetch_stalls` sums above exactly: the profile is reset when
+  // the packet loop starts and snapshotted before the stats counters are read
+  // back, so only packet processing is attributed.
+  ComponentProfile profile;
+
   double CyclesPerPacket() const { return packets == 0 ? 0 : double(cycles) / packets; }
   double StallsPerPacket() const {
     return packets == 0 ? 0 : double(ifetch_stalls) / packets;
@@ -70,6 +77,10 @@ class RouterProgram {
   // Runs the trace; each packet is written into VM memory and pushed through the
   // matching input port, with cycle/stall deltas accumulated per packet.
   Result<RouterStats> RunTrace(const std::vector<TracePacket>& trace, Diagnostics& diags);
+
+  // Turns on the machine's component profiler; subsequent RunTrace calls fill
+  // RouterStats::profile with the measured window's attribution.
+  void EnableProfiling(size_t max_events = 1 << 20);
 
   Machine& machine() { return *machine_; }
   const KnitBuildResult* build() const { return build_.get(); }

@@ -14,6 +14,7 @@
 #include "src/support/executor.h"
 #include "src/support/hash.h"
 #include "src/support/mangle.h"
+#include "src/support/trace_event.h"
 #include "src/vm/codegen.h"
 
 namespace knit {
@@ -208,6 +209,28 @@ std::string PipelineMetrics::ToJson() const {
   }
   json += "  ]\n}\n";
   return json;
+}
+
+std::string PipelineMetricsTraceJson(const PipelineMetrics& metrics) {
+  TraceEventLog log;
+  log.NameProcess(1, "knit pipeline");
+  log.NameThread(1, 1, "stages");
+  double offset_us = 0;
+  for (const StageMetrics& row : metrics.stages) {
+    TraceEvent event;
+    event.name = row.stage;
+    event.category = "pipeline";
+    event.phase = 'X';
+    event.timestamp_us = offset_us;
+    event.duration_us = row.seconds * 1e6;
+    event.args.emplace_back("items", std::to_string(row.items));
+    event.args.emplace_back("cache_hits", std::to_string(row.cache_hits));
+    event.args.emplace_back("cache_misses", std::to_string(row.cache_misses));
+    event.args.emplace_back("threads", std::to_string(row.threads));
+    log.Add(std::move(event));
+    offset_us += row.seconds * 1e6;
+  }
+  return log.ToJson();
 }
 
 // ---- image fingerprint -------------------------------------------------------
@@ -815,6 +838,40 @@ class CompileStage {
     out.object = object.take();
   }
 
+  // Stamps every function of a flatten-group object with the instance path of the
+  // member it came from. The flattener leaves two name shapes: renamed
+  // import/export/init symbols (exact link names from the member's rename map) and
+  // unit-local definitions carrying the member's sanitized path prefix. Longest
+  // prefix wins so nested paths cannot shadow each other. Runs after both the
+  // cache-hit and fresh-compile paths — attribution is derived, never serialized,
+  // so the on-disk object format (and the cache) is unchanged.
+  void AttributeGroupFunctions(ObjectFile& object, const std::vector<int>& members,
+                               const std::vector<InstanceNames>& names) const {
+    std::map<std::string, std::string> link_to_path;
+    std::vector<std::pair<std::string, std::string>> prefix_to_path;
+    for (size_t m = 0; m < members.size(); ++m) {
+      const std::string& path = config_.instances[members[m]].path;
+      for (const auto& [c_name, link_name] : names[m].renames) {
+        link_to_path.emplace(link_name, path);
+      }
+      prefix_to_path.emplace_back(SanitizedPrefix(path), path);
+    }
+    for (BytecodeFunction& function : object.functions) {
+      auto exact = link_to_path.find(function.name);
+      if (exact != link_to_path.end()) {
+        function.component = exact->second;
+        continue;
+      }
+      size_t best = 0;
+      for (const auto& [prefix, path] : prefix_to_path) {
+        if (prefix.size() > best && function.name.rfind(prefix, 0) == 0) {
+          function.component = path;
+          best = prefix.size();
+        }
+      }
+    }
+  }
+
   // Merges one flatten group's member sources into a single TU and compiles it.
   void CompileGroupTask(int group, TaskResult& out) {
     std::vector<int> members;
@@ -840,6 +897,7 @@ class CompileStage {
     ObjectFile cached;
     if (cache_.Lookup(key, &cached)) {
       out.cache_hit = true;
+      AttributeGroupFunctions(cached, members, names);
       out.object = std::move(cached);
       return;
     }
@@ -855,7 +913,7 @@ class CompileStage {
       FlattenInput input;
       input.instance_path = instance.path;
       input.unit = tu.take();
-      input.renames = std::move(names[m].renames);
+      input.renames = names[m].renames;  // copied: AttributeGroupFunctions reads it
       input.keep_global.assign(names[m].keep_global.begin(), names[m].keep_global.end());
       inputs.push_back(std::move(input));
     }
@@ -879,8 +937,12 @@ class CompileStage {
     if (!object.ok()) {
       return;
     }
+    // Store the unattributed object (component stamps are derived metadata, not
+    // part of the on-disk format), then attribute our own copy.
     cache_.Store(key, object.value());
-    out.object = object.take();
+    ObjectFile finished = object.take();
+    AttributeGroupFunctions(finished, members, names);
+    out.object = std::move(finished);
   }
 
   // ---- deterministic merge helpers (calling thread only) ---------------------
@@ -919,6 +981,10 @@ class CompileStage {
                         "or missing?)");
         return false;
       }
+    }
+    // Every function of a standalone instance object belongs to that instance.
+    for (BytecodeFunction& function : object.functions) {
+      function.component = instance.path;
     }
     compiled.objects.push_back(std::move(object));
     return true;
@@ -1062,7 +1128,13 @@ class CompileStage {
     if (!object.ok()) {
       return false;
     }
-    compiled.objects.push_back(object.take());
+    ObjectFile init_object = object.take();
+    // The generated init/fini driver is composition glue, not component code; the
+    // profiler reports it under this pseudo-component.
+    for (BytecodeFunction& function : init_object.functions) {
+      function.component = "<init>";
+    }
+    compiled.objects.push_back(std::move(init_object));
     return true;
   }
 

@@ -130,6 +130,13 @@ struct PipelineMetrics {
   std::string ToJson() const;
 };
 
+// Renders the stage timings as a Chrome trace-event JSON document (`knitc
+// --trace=FILE`): one "X" span per executed stage row, laid end to end in
+// execution order (stage rows record durations, not absolute start times; the
+// pipeline runs stages sequentially, so the reconstruction is faithful), with
+// items/cache-hits/misses/threads attached as args.
+std::string PipelineMetricsTraceJson(const PipelineMetrics& metrics);
+
 // ---- stage artifacts ---------------------------------------------------------
 
 // After Parse: the syntactic unit/bundletype/property declarations.

@@ -75,6 +75,15 @@ struct BytecodeFunction {
   bool returns_value = false;
   std::vector<Insn> code;
 
+  // Knit component attribution: the instance path ("Top/Log#2") of the component
+  // this function's code belongs to, "" when the function is not component code
+  // (e.g. hand-assembled test images). Assigned by the compile stage — the objcopy
+  // path stamps the owning instance, the flattener stamps each merged definition
+  // with its originating member — and carried through the linker into the Image,
+  // where the Machine's profiling mode (see ComponentProfile) reads it. Not part
+  // of the image fingerprint: attribution is metadata, not behavior.
+  std::string component;
+
   // Assigned at link time: byte offset of this function in the text space.
   int text_offset = -1;
 

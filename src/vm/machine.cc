@@ -1,5 +1,6 @@
 #include "src/vm/machine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -9,6 +10,42 @@ namespace {
 constexpr uint32_t kNullGuard = 0x1000;  // accesses below this address trap
 constexpr uint32_t kStackBytes = 1 << 20;
 }  // namespace
+
+std::string ComponentProfile::ToText(size_t max_edges) const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line), "  %-32s %12s %6s %10s %10s %9s %9s\n", "component",
+                "cycles", "cyc%", "stalls", "insns", "calls-in", "calls-out");
+  out += line;
+  for (const ComponentProfileEntry& entry : components) {
+    double share = total_cycles > 0 ? 100.0 * double(entry.cycles) / double(total_cycles) : 0;
+    std::snprintf(line, sizeof(line), "  %-32s %12lld %5.1f%% %10lld %10lld %9lld %9lld\n",
+                  entry.component.c_str(), entry.cycles, share, entry.ifetch_stalls,
+                  entry.insns, entry.calls_in, entry.calls_out);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-32s %12lld %5.1f%% %10lld %10lld\n", "total",
+                total_cycles, components.empty() ? 0.0 : 100.0, total_ifetch_stalls,
+                total_insns);
+  out += line;
+  std::snprintf(line, sizeof(line), "  boundary calls: %lld\n", boundary_calls);
+  out += line;
+  size_t shown = 0;
+  for (const BoundaryEdge& edge : edges) {
+    if (edge.caller == edge.callee) {
+      continue;  // intra-component rows are not boundaries
+    }
+    if (shown == max_edges) {
+      out += "  ... (more edges elided)\n";
+      break;
+    }
+    std::snprintf(line, sizeof(line), "    %-30s -> %-30s %10lld calls\n",
+                  edge.caller.c_str(), edge.callee.c_str(), edge.calls);
+    out += line;
+    ++shown;
+  }
+  return out;
+}
 
 Machine::Machine(const Image& image, CostModel cost, uint32_t memory_bytes)
     : image_(image), cost_(cost), memory_(memory_bytes, 0), max_insns_(cost.max_insns) {
@@ -65,6 +102,116 @@ void Machine::ResetCounters() {
   cycles_ = 0;
   ifetch_stalls_ = 0;
   insns_ = 0;
+}
+
+void Machine::EnableProfiling(size_t max_events) {
+  profiling_ = true;
+  max_profile_events_ = max_events;
+  profile_components_.clear();
+  function_component_.assign(image_.functions.size(), -1);
+  std::map<std::string, int> ids;
+  auto intern = [&](const std::string& name) {
+    auto [it, inserted] = ids.emplace(name, static_cast<int>(profile_components_.size()));
+    if (inserted) {
+      profile_components_.push_back(name);
+    }
+    return it->second;
+  };
+  for (size_t f = 0; f < image_.functions.size(); ++f) {
+    const std::string& component = image_.functions[f].component;
+    function_component_[f] = intern(component.empty() ? "<other>" : component);
+  }
+  env_component_ = intern("<env>");
+  ResetProfile();
+}
+
+void Machine::ResetProfile() {
+  profile_cycles_.assign(profile_components_.size(), 0);
+  profile_stalls_.assign(profile_components_.size(), 0);
+  profile_insns_.assign(profile_components_.size(), 0);
+  profile_edges_.clear();
+  profile_events_.clear();
+  profile_events_truncated_ = false;
+}
+
+void Machine::ProfileCall(int caller_component, int callee_component) {
+  if (caller_component < 0) {
+    return;  // host-initiated call: there is no caller bucket
+  }
+  ++profile_edges_[{caller_component, callee_component}];
+}
+
+void Machine::ProfileMark(int component, bool begin) {
+  if (profile_events_.size() >= max_profile_events_) {
+    profile_events_truncated_ = true;
+    return;
+  }
+  profile_events_.push_back(ProfileEvent{component, begin, cycles_});
+}
+
+ComponentProfile Machine::Profile(bool include_events) const {
+  ComponentProfile out;
+  size_t count = profile_components_.size();
+  if (count == 0) {
+    return out;  // profiling was never enabled
+  }
+  out.component_names = profile_components_;
+  std::vector<long long> calls_in(count, 0);
+  std::vector<long long> calls_out(count, 0);
+  for (const auto& [edge, calls] : profile_edges_) {
+    if (edge.first != edge.second) {
+      calls_out[edge.first] += calls;
+      calls_in[edge.second] += calls;
+      out.boundary_calls += calls;
+    }
+    out.edges.push_back(
+        BoundaryEdge{profile_components_[edge.first], profile_components_[edge.second], calls});
+  }
+  std::sort(out.edges.begin(), out.edges.end(), [](const BoundaryEdge& a, const BoundaryEdge& b) {
+    if (a.calls != b.calls) {
+      return a.calls > b.calls;
+    }
+    if (a.caller != b.caller) {
+      return a.caller < b.caller;
+    }
+    return a.callee < b.callee;
+  });
+  for (size_t c = 0; c < count; ++c) {
+    if (profile_cycles_[c] == 0 && profile_insns_[c] == 0 && profile_stalls_[c] == 0 &&
+        calls_in[c] == 0 && calls_out[c] == 0) {
+      continue;  // component never entered during the profiled window
+    }
+    ComponentProfileEntry entry;
+    entry.component = profile_components_[c];
+    entry.cycles = profile_cycles_[c];
+    entry.ifetch_stalls = profile_stalls_[c];
+    entry.insns = profile_insns_[c];
+    entry.calls_in = calls_in[c];
+    entry.calls_out = calls_out[c];
+    out.total_cycles += entry.cycles;
+    out.total_ifetch_stalls += entry.ifetch_stalls;
+    out.total_insns += entry.insns;
+    out.components.push_back(std::move(entry));
+  }
+  std::sort(out.components.begin(), out.components.end(),
+            [](const ComponentProfileEntry& a, const ComponentProfileEntry& b) {
+              if (a.cycles != b.cycles) {
+                return a.cycles > b.cycles;
+              }
+              return a.component < b.component;
+            });
+  out.events_truncated = profile_events_truncated_;
+  if (include_events) {
+    out.events = profile_events_;
+  }
+  return out;
+}
+
+RunResult Machine::FinishRun(RunResult result) {
+  if (profiling_) {
+    result.profile = Profile(false);
+  }
+  return result;
 }
 
 void Machine::Trap(const std::string& message) {
@@ -257,6 +404,15 @@ bool Machine::EnterFunction(int function_id, const uint32_t* args, int argc) {
   for (int i = 0; i < frame.vararg_count; ++i) {
     WriteWord(frame.vararg_base + static_cast<uint32_t>(i) * 4, args[fixed + i]);
   }
+  if (profiling_) {
+    // Entering a frame of a different component (the host counts as a different
+    // component) opens a span on the event timeline.
+    int callee = function_component_[function_id];
+    int parent = frames_.empty() ? -1 : function_component_[frames_.back().function];
+    if (callee != parent) {
+      ProfileMark(callee, true);
+    }
+  }
   frames_.push_back(frame);
   return true;
 }
@@ -281,15 +437,21 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
   uint32_t injected = 0;
   FaultAction action = CheckFault(image_.functions[function_id].name, &injected);
   if (action == FaultAction::kReturn) {
-    return RunResult{true, injected, "", {}};
+    return FinishRun(RunResult{true, injected, "", {}});
   }
   if (!EnterFunction(function_id, args.data(), static_cast<int>(args.size()))) {
-    return RunResult{false, 0, TrapError(), trap_backtrace_};
+    return FinishRun(RunResult{false, 0, TrapError(), trap_backtrace_});
   }
   if (action == FaultAction::kTrap) {
     // Trap inside the callee's frame so the backtrace names it.
     Trap("fault injected into '" + image_.functions[function_id].name + "'");
   }
+
+  // Set at kRet when the popped frame returns control to the host; the loop exits
+  // after the instruction's attribution is recorded.
+  bool host_return = false;
+  bool host_has_value = false;
+  uint32_t host_value = 0;
 
   while (frames_.size() > base_frames && !trapped_) {
     Frame& frame = frames_.back();
@@ -299,11 +461,28 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
       break;
     }
     const Insn insn = function.code[frame.pc];
+    // Profiling snapshot: everything this iteration adds to the counters —
+    // including the I-fetch below and any per-op costs inside the switch — is
+    // attributed to the component of the executing frame, so per-component sums
+    // equal the counter deltas exactly.
+    int profile_comp = -1;
+    long long profile_c0 = 0;
+    long long profile_s0 = 0;
+    if (profiling_) {
+      profile_comp = function_component_[frame.function];
+      profile_c0 = cycles_;
+      profile_s0 = ifetch_stalls_;
+    }
     ICacheAccess(static_cast<uint32_t>(function.text_offset + frame.pc * 4));
     ++frame.pc;
     ++insns_;
     cycles_ += cost_.base;
     if (insns_ > max_insns_) {
+      if (profiling_) {
+        profile_cycles_[profile_comp] += cycles_ - profile_c0;
+        profile_stalls_[profile_comp] += ifetch_stalls_ - profile_s0;
+        ++profile_insns_[profile_comp];
+      }
       Trap("fuel exhausted (instruction budget of " + std::to_string(max_insns_) +
            " insns exceeded)");
       break;
@@ -505,6 +684,9 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
           std::vector<uint32_t> native_args(args_begin, args_begin + argc);
           eval_.resize(eval_.size() - argc);
           cycles_ += cost_.native_cost;
+          if (profiling_) {
+            ProfileCall(profile_comp, env_component_);
+          }
           uint32_t result = it->second(*this, native_args);
           if (CallReturns(insn.b)) {
             eval_.push_back(result);
@@ -524,6 +706,9 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
         eval_.resize(eval_.size() - argc);
         if (!EnterFunction(callable, callee_args.data(), argc)) {
           break;
+        }
+        if (profiling_) {
+          ProfileCall(profile_comp, function_component_[callable]);
         }
         if (action == FaultAction::kTrap) {
           // Trap inside the callee's frame so the backtrace names it.
@@ -552,10 +737,20 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
         stack_pointer_ = frame.saved_sp;
         bool caller_exists = frames_.size() > base_frames + 1;
         int caller_index = static_cast<int>(frames_.size()) - 2;
+        if (profiling_) {
+          // Close the span if control moves to a different component (or the host).
+          int parent = caller_exists ? function_component_[frames_[caller_index].function] : -1;
+          if (profile_comp != parent) {
+            ProfileMark(profile_comp, false);
+          }
+        }
         frames_.pop_back();
         if (!caller_exists) {
-          // Returning to the host.
-          return RunResult{!trapped_, has_value ? value : 0, trap_message_, trap_backtrace_};
+          // Returning to the host: exit after this instruction's attribution below.
+          host_return = true;
+          host_has_value = has_value;
+          host_value = value;
+          break;
         }
         // The caller's kCall encoded whether it expects a value; we cannot see that
         // insn here cheaply, so push if the callee returns one — codegen keeps the
@@ -679,14 +874,33 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
         break;
       }
     }
+
+    if (profiling_) {
+      profile_cycles_[profile_comp] += cycles_ - profile_c0;
+      profile_stalls_[profile_comp] += ifetch_stalls_ - profile_s0;
+      ++profile_insns_[profile_comp];
+    }
+    if (host_return) {
+      return FinishRun(
+          RunResult{!trapped_, host_has_value ? host_value : 0, trap_message_, trap_backtrace_});
+    }
   }
 
   // Trapped (or ran out of frames unexpectedly): unwind.
   while (frames_.size() > base_frames) {
+    if (profiling_) {
+      int comp = function_component_[frames_.back().function];
+      int parent = frames_.size() > base_frames + 1
+                       ? function_component_[frames_[frames_.size() - 2].function]
+                       : -1;
+      if (comp != parent) {
+        ProfileMark(comp, false);
+      }
+    }
     stack_pointer_ = frames_.back().saved_sp;
     frames_.pop_back();
   }
-  return RunResult{false, 0, TrapError(), trap_backtrace_};
+  return FinishRun(RunResult{false, 0, TrapError(), trap_backtrace_});
 }
 
 }  // namespace knit

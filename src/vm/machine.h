@@ -81,6 +81,65 @@ struct FaultPlan {
   bool empty() const { return injections.empty(); }
 };
 
+// ---- component profiling -----------------------------------------------------
+//
+// When profiling is enabled (Machine::EnableProfiling), every modeled cycle,
+// I-cache stall, and instruction fetch is attributed to the Knit component whose
+// code was executing (BytecodeFunction::component, stamped by the compile stage),
+// and every call instruction whose caller and callee belong to different
+// components is counted as a boundary crossing. Profiling is an observer: cycle
+// counts, RunResults, and memory are bit-identical with profiling on or off, and
+// a profiling-off run pays nothing (one untaken branch per instruction).
+// Pseudo-components: "<env>" (native/environment calls), "<init>" (the generated
+// knit__init/knit__fini driver), "<other>" (functions without attribution, e.g.
+// hand-assembled images).
+
+// One component's share of a profiled run.
+struct ComponentProfileEntry {
+  std::string component;        // instance path or pseudo-component
+  long long cycles = 0;         // includes this component's I-cache stalls
+  long long ifetch_stalls = 0;
+  long long insns = 0;
+  long long calls_in = 0;   // calls entering from a different component
+  long long calls_out = 0;  // calls leaving to a different component (incl. <env>)
+};
+
+// Call counts at component granularity. Rows with caller == callee are
+// intra-component calls; rows with caller != callee are the boundary crossings
+// flattening exists to eliminate.
+struct BoundaryEdge {
+  std::string caller;
+  std::string callee;
+  long long calls = 0;
+};
+
+// One component-entry or -exit on the modeled cycle timeline; emitted whenever a
+// call/return moves execution into a frame of a different component (host entries
+// included). Events nest like frames do, so the sequence renders as a flame chart
+// (see ComponentProfileTrace / trace_event.h).
+struct ProfileEvent {
+  int component = 0;  // index into ComponentProfile::component_names
+  bool begin = false;
+  long long at_cycle = 0;
+};
+
+struct ComponentProfile {
+  std::vector<ComponentProfileEntry> components;  // cycles-descending, then name
+  std::vector<BoundaryEdge> edges;                // calls-descending, then names
+  std::vector<std::string> component_names;       // ProfileEvent::component table
+  std::vector<ProfileEvent> events;
+  bool events_truncated = false;  // hit the event cap; counters remain exact
+
+  long long total_cycles = 0;  // sums of the per-component rows; equal to the
+  long long total_ifetch_stalls = 0;  // Machine counter deltas over the profiled
+  long long total_insns = 0;          // window — attribution never loses a cycle
+  long long boundary_calls = 0;       // sum of edges with caller != callee
+
+  // Renders the per-component table and the top boundary edges as fixed-width
+  // text (benches and knitc share this format).
+  std::string ToText(size_t max_edges = 10) const;
+};
+
 struct RunResult {
   bool ok = false;
   uint32_t value = 0;
@@ -88,6 +147,10 @@ struct RunResult {
   // Call stack at the trap, innermost frame first, each entry "function (pc N)".
   // Empty on success.
   std::vector<std::string> backtrace;
+  // Snapshot of the machine's accumulated component attribution (counters and
+  // edges only — events stay on the Machine; see Machine::Profile). Empty unless
+  // profiling was enabled.
+  ComponentProfile profile;
 };
 
 class Machine {
@@ -108,6 +171,22 @@ class Machine {
   long long ifetch_stalls() const { return ifetch_stalls_; }
   long long insns() const { return insns_; }
   void ResetCounters();
+
+  // Component profiling (see ComponentProfile above). EnableProfiling builds the
+  // function-id -> component table from the image and zeroes the attribution;
+  // `max_events` caps the entry/exit event log (counters are exact regardless —
+  // when the cap is hit, events stop and Profile().events_truncated is set).
+  // Natives must not re-enter the Machine while profiling (none of the built-ins
+  // do): a nested Call would double-attribute the nested cycles.
+  void EnableProfiling(size_t max_events = 1 << 20);
+  void DisableProfiling() { profiling_ = false; }
+  bool profiling() const { return profiling_; }
+  // Zeroes the accumulated attribution and event log (e.g. after warmup/init, so
+  // a measured window sums exactly to the counter deltas over that window).
+  void ResetProfile();
+  // Snapshot of the accumulated attribution. `include_events` false skips copying
+  // the (possibly large) event log.
+  ComponentProfile Profile(bool include_events = true) const;
 
   // Fuel limit (defensive against runaway corpus code): exceeding it traps with
   // "fuel exhausted". Defaults to CostModel::max_insns.
@@ -166,6 +245,11 @@ class Machine {
   bool EnterFunction(int function_id, const uint32_t* args, int argc);
   void BindBuiltins();
 
+  // Profiling helpers (only called when profiling_).
+  void ProfileCall(int caller_component, int callee_component);
+  void ProfileMark(int component, bool begin);
+  RunResult FinishRun(RunResult result);  // attach the profile snapshot if enabled
+
   const Image& image_;
   CostModel cost_;
   std::vector<uint8_t> memory_;
@@ -189,6 +273,20 @@ class Machine {
 
   FaultPlan fault_plan_;
   std::map<std::string, long long> invocation_counts_;
+
+  // Profiling state. component id = index into profile_components_; natives all
+  // attribute to env_component_; the host side of a Call is id -1 (no bucket).
+  bool profiling_ = false;
+  size_t max_profile_events_ = 0;
+  std::vector<std::string> profile_components_;
+  std::vector<int> function_component_;  // function id -> component id
+  int env_component_ = -1;
+  std::vector<long long> profile_cycles_;
+  std::vector<long long> profile_stalls_;
+  std::vector<long long> profile_insns_;
+  std::map<std::pair<int, int>, long long> profile_edges_;  // (caller, callee) -> calls
+  std::vector<ProfileEvent> profile_events_;
+  bool profile_events_truncated_ = false;
 
   // I-cache state: per set, per way: tag (-1 empty) and LRU stamp.
   struct CacheWay {

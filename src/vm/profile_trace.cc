@@ -1,0 +1,64 @@
+#include "src/vm/profile_trace.h"
+
+#include <vector>
+
+namespace knit {
+
+void AppendComponentProfileTrace(const ComponentProfile& profile, const std::string& track_name,
+                                 TraceEventLog& log, int pid, int tid) {
+  // Timeline track: the component entry/exit events, nested like call frames.
+  log.NameThread(pid, tid, track_name + " (timeline)");
+  int depth = 0;
+  for (const ProfileEvent& event : profile.events) {
+    if (event.begin) {
+      const std::string& name = event.component >= 0 && static_cast<size_t>(event.component) <
+                                                            profile.component_names.size()
+                                    ? profile.component_names[event.component]
+                                    : "<?>";
+      log.AddBegin(name, "component", static_cast<double>(event.at_cycle), pid, tid);
+      ++depth;
+    } else if (depth > 0) {
+      log.AddEnd(static_cast<double>(event.at_cycle), pid, tid);
+      --depth;
+    }
+  }
+  // A truncated event log can leave spans open; close them at the last counted
+  // cycle so viewers do not extend them to infinity.
+  while (depth-- > 0) {
+    log.AddEnd(static_cast<double>(profile.total_cycles), pid, tid);
+  }
+
+  // Summary track: one proportional span per component (cycles-descending, laid
+  // end to end), carrying the aggregate counters as args. Present even when the
+  // event log is absent (RunResult::profile snapshots).
+  int summary_tid = tid + 1;
+  log.NameThread(pid, summary_tid, track_name + " (per-component totals)");
+  double offset = 0;
+  for (const ComponentProfileEntry& entry : profile.components) {
+    TraceEvent event;
+    event.name = entry.component;
+    event.category = "component-summary";
+    event.phase = 'X';
+    event.timestamp_us = offset;
+    event.duration_us = static_cast<double>(entry.cycles);
+    event.pid = pid;
+    event.tid = summary_tid;
+    event.args.emplace_back("cycles", std::to_string(entry.cycles));
+    event.args.emplace_back("ifetch_stalls", std::to_string(entry.ifetch_stalls));
+    event.args.emplace_back("insns", std::to_string(entry.insns));
+    event.args.emplace_back("calls_in", std::to_string(entry.calls_in));
+    event.args.emplace_back("calls_out", std::to_string(entry.calls_out));
+    log.Add(std::move(event));
+    offset += static_cast<double>(entry.cycles);
+  }
+}
+
+std::string ComponentProfileTraceJson(const ComponentProfile& profile,
+                                      const std::string& track_name) {
+  TraceEventLog log;
+  log.NameProcess(1, "knit vm");
+  AppendComponentProfileTrace(profile, track_name, log);
+  return log.ToJson();
+}
+
+}  // namespace knit

@@ -1,0 +1,28 @@
+// Converts a ComponentProfile into Chrome trace-event form (see
+// src/support/trace_event.h): the event log's component entries/exits become a
+// B/E flame chart on one thread track (1 modeled cycle = 1 µs in the viewer),
+// and each component's aggregate counters become "C"-free summary args on a
+// metadata-named counter track rendered as instant spans.
+#ifndef SRC_VM_PROFILE_TRACE_H_
+#define SRC_VM_PROFILE_TRACE_H_
+
+#include <string>
+
+#include "src/support/trace_event.h"
+#include "src/vm/machine.h"
+
+namespace knit {
+
+// Appends the profile to `log`. `track_name` labels the thread track (e.g. the
+// top-level configuration name); `pid`/`tid` select the track, so several runs
+// (modular vs flattened) can share one trace file side by side.
+void AppendComponentProfileTrace(const ComponentProfile& profile, const std::string& track_name,
+                                 TraceEventLog& log, int pid = 1, int tid = 1);
+
+// Convenience: a standalone single-run trace document.
+std::string ComponentProfileTraceJson(const ComponentProfile& profile,
+                                      const std::string& track_name);
+
+}  // namespace knit
+
+#endif  // SRC_VM_PROFILE_TRACE_H_

@@ -1,0 +1,21 @@
+# Compares `knitc --help` against the checked-in snapshot (tests/knitc_help.snapshot).
+# Run by the docs lint lane: the help text is documented API surface, so a flag
+# added or reworded without updating the snapshot (and the README) fails CI.
+#
+#   cmake -DKNITC=<path> -DSNAPSHOT=<path> -P check_help_snapshot.cmake
+#
+# To refresh after an intentional change:  knitc --help > tests/knitc_help.snapshot
+
+execute_process(COMMAND ${KNITC} --help OUTPUT_VARIABLE actual RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "knitc --help exited with ${code}")
+endif()
+
+file(READ ${SNAPSHOT} expected)
+if(NOT actual STREQUAL expected)
+  file(WRITE ${SNAPSHOT}.actual "${actual}")
+  message(FATAL_ERROR "knitc --help output differs from ${SNAPSHOT}\n"
+                      "actual output written to ${SNAPSHOT}.actual -- if the change is "
+                      "intentional, refresh the snapshot:\n"
+                      "  knitc --help > ${SNAPSHOT}")
+endif()

@@ -1,0 +1,115 @@
+// Docs lint lane (`ctest -L docs`): the user-facing markdown must not rot.
+// Checks every inline link in README.md / DESIGN.md / EXPERIMENTS.md whose
+// target is a repository path (http(s)/mailto/pure-anchor links are skipped)
+// and fails naming the file and target when the linked path does not exist.
+// KNIT_REPO_ROOT is injected by tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace knit {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kDocs[] = {"README.md", "DESIGN.md", "EXPERIMENTS.md"};
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Link {
+  std::string target;
+  int line = 0;
+};
+
+// Extracts inline markdown links [text](target), tolerating nested brackets in
+// the text and ignoring image links' leading '!' (they parse the same way).
+// Fenced code blocks are skipped: ``` snippets routinely contain [i](...)-like
+// indexing that is not a link.
+std::vector<Link> ExtractLinks(const std::string& markdown) {
+  std::vector<Link> links;
+  int line = 1;
+  bool in_fence = false;
+  for (size_t i = 0; i < markdown.size(); ++i) {
+    if (markdown[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (markdown.compare(i, 3, "```") == 0) {
+      in_fence = !in_fence;
+      i += 2;
+      continue;
+    }
+    if (in_fence || markdown[i] != '[') {
+      continue;
+    }
+    int depth = 1;
+    size_t j = i + 1;
+    while (j < markdown.size() && depth > 0) {
+      if (markdown[j] == '[') {
+        ++depth;
+      } else if (markdown[j] == ']') {
+        --depth;
+      }
+      ++j;
+    }
+    if (depth != 0 || j >= markdown.size() || markdown[j] != '(') {
+      continue;
+    }
+    size_t close = markdown.find(')', j + 1);
+    if (close == std::string::npos) {
+      continue;
+    }
+    links.push_back(Link{markdown.substr(j + 1, close - j - 1), line});
+    i = close;
+  }
+  return links;
+}
+
+bool IsExternal(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0 || (!target.empty() && target[0] == '#');
+}
+
+TEST(DocsLintTest, RepositoryLinksResolve) {
+  fs::path root = KNIT_REPO_ROOT;
+  ASSERT_TRUE(fs::exists(root)) << root;
+  for (const char* doc : kDocs) {
+    fs::path doc_path = root / doc;
+    ASSERT_TRUE(fs::exists(doc_path)) << doc_path;
+    std::string markdown = ReadFileOrDie(doc_path);
+    for (const Link& link : ExtractLinks(markdown)) {
+      if (IsExternal(link.target) || link.target.empty()) {
+        continue;
+      }
+      std::string path = link.target.substr(0, link.target.find('#'));
+      if (path.empty()) {
+        continue;
+      }
+      // Relative to the document's directory (all three live at the root).
+      EXPECT_TRUE(fs::exists(doc_path.parent_path() / path))
+          << doc << ":" << link.line << ": broken link target '" << link.target << "'";
+    }
+  }
+}
+
+TEST(DocsLintTest, DocsMentionEachOther) {
+  // The documentation set is a web: the README must point at the design notes
+  // and the experiment log, or readers cannot find them.
+  fs::path root = KNIT_REPO_ROOT;
+  std::string readme = ReadFileOrDie(root / "README.md");
+  EXPECT_NE(readme.find("DESIGN.md"), std::string::npos);
+  EXPECT_NE(readme.find("EXPERIMENTS.md"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace knit

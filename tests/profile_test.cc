@@ -1,0 +1,245 @@
+// Component profiling (DESIGN.md §9): attribution is exact (per-component sums
+// equal the machine counters), boundary-call accounting matches hand counts on a
+// two-unit fixture, flattening collapses intra-group edges, and profiling is a
+// pure observer — a profiling-off run (and the image itself) is bit-identical to
+// pre-profiler goldens, and turning profiling on changes no counter.
+#include <gtest/gtest.h>
+
+#include "src/driver/knitc.h"
+#include "src/driver/pipeline.h"
+#include "src/support/trace_event.h"
+#include "src/vm/machine.h"
+#include "src/vm/profile_trace.h"
+
+namespace knit {
+namespace {
+
+// Two-unit fixture: Wrap.wrap_f(n) calls Leaf.f(i) once per loop iteration, so
+// the Wrap -> Leaf boundary is crossed exactly n times. PairFlat is the same
+// configuration inside a `flatten;` group.
+constexpr const char* kKnit = R"(
+bundletype Sink = { f }
+unit Leaf = {
+  imports [];
+  exports [ out : Sink ];
+  files { "leaf.c" };
+}
+unit Wrap = {
+  imports [ in : Sink ];
+  exports [ out : Sink ];
+  files { "wrap.c" };
+  rename { out.f to wrap_f; };
+}
+unit Pair = {
+  imports [];
+  exports [ out : Sink ];
+  link {
+    [leaf] <- Leaf <- [];
+    [out] <- Wrap <- [leaf];
+  };
+}
+unit PairFlat = {
+  imports [];
+  exports [ out : Sink ];
+  flatten;
+  link {
+    [leaf] <- Leaf <- [];
+    [out] <- Wrap <- [leaf];
+  };
+}
+)";
+
+SourceMap Sources() {
+  SourceMap sources;
+  sources["leaf.c"] = "int f(int x) { return x + 1; }\n";
+  sources["wrap.c"] =
+      "extern int f(int n);\n"
+      "int wrap_f(int n) {\n"
+      "  int acc = 0;\n"
+      "  int i = 0;\n"
+      "  while (i < n) { acc = acc + f(i); i = i + 1; }\n"
+      "  return acc;\n"
+      "}\n";
+  return sources;
+}
+
+KnitBuildResult Build(const char* top) {
+  Diagnostics diags;
+  Result<KnitBuildResult> built = KnitBuild(kKnit, Sources(), top, KnitcOptions(), diags);
+  EXPECT_TRUE(built.ok()) << diags.ToString();
+  return built.take();
+}
+
+// Pre-profiler goldens, captured at the commit before BytecodeFunction::component
+// and the Machine profiling mode existed: knit__init, ResetCounters, then
+// out.f(7). Fingerprints prove the emitted images did not change; the counters
+// prove a profiling-off (and profiling-on) run executes identically.
+struct Golden {
+  const char* top;
+  uint64_t fingerprint;
+  uint32_t value;
+  long long cycles;
+  long long stalls;
+  long long insns;
+};
+constexpr Golden kGoldens[] = {
+    {"Pair", 0xfa764fc173c5fc28ull, 28, 262, 24, 136},
+    {"PairFlat", 0xdbe46ce60d8b351cull, 28, 143, 24, 115},
+};
+
+TEST(ProfileTest, ProfilingOffBitIdenticalToPreProfilerGoldens) {
+  for (const Golden& golden : kGoldens) {
+    KnitBuildResult result = Build(golden.top);
+    EXPECT_EQ(FingerprintImage(result.image), golden.fingerprint) << golden.top;
+    Machine machine(result.image);
+    ASSERT_TRUE(machine.Call(result.init_function).ok) << golden.top;
+    machine.ResetCounters();
+    RunResult run = machine.Call(result.ExportedSymbol("out", "f"), {7});
+    ASSERT_TRUE(run.ok) << golden.top;
+    EXPECT_EQ(run.value, golden.value) << golden.top;
+    EXPECT_EQ(machine.cycles(), golden.cycles) << golden.top;
+    EXPECT_EQ(machine.ifetch_stalls(), golden.stalls) << golden.top;
+    EXPECT_EQ(machine.insns(), golden.insns) << golden.top;
+    EXPECT_TRUE(run.profile.components.empty());  // profiling never enabled
+  }
+}
+
+TEST(ProfileTest, ProfilingOnChangesNoCounter) {
+  for (const Golden& golden : kGoldens) {
+    KnitBuildResult result = Build(golden.top);
+    Machine machine(result.image);
+    machine.EnableProfiling();
+    ASSERT_TRUE(machine.Call(result.init_function).ok) << golden.top;
+    machine.ResetCounters();
+    RunResult run = machine.Call(result.ExportedSymbol("out", "f"), {7});
+    ASSERT_TRUE(run.ok) << golden.top;
+    EXPECT_EQ(run.value, golden.value) << golden.top;
+    EXPECT_EQ(machine.cycles(), golden.cycles) << golden.top;
+    EXPECT_EQ(machine.ifetch_stalls(), golden.stalls) << golden.top;
+    EXPECT_EQ(machine.insns(), golden.insns) << golden.top;
+  }
+}
+
+TEST(ProfileTest, AttributionSumsEqualCountersExactly) {
+  KnitBuildResult result = Build("Pair");
+  Machine machine(result.image);
+  machine.EnableProfiling();
+  ASSERT_TRUE(machine.Call(result.init_function).ok);
+  machine.ResetCounters();
+  machine.ResetProfile();
+  ASSERT_TRUE(machine.Call(result.ExportedSymbol("out", "f"), {7}).ok);
+  ComponentProfile profile = machine.Profile();
+  EXPECT_EQ(profile.total_cycles, machine.cycles());
+  EXPECT_EQ(profile.total_ifetch_stalls, machine.ifetch_stalls());
+  EXPECT_EQ(profile.total_insns, machine.insns());
+  long long cycles = 0, stalls = 0, insns = 0;
+  for (const ComponentProfileEntry& entry : profile.components) {
+    cycles += entry.cycles;
+    stalls += entry.ifetch_stalls;
+    insns += entry.insns;
+  }
+  EXPECT_EQ(cycles, machine.cycles());
+  EXPECT_EQ(stalls, machine.ifetch_stalls());
+  EXPECT_EQ(insns, machine.insns());
+  // RunResult carries the same snapshot (without the event log).
+  RunResult again = machine.Call(result.ExportedSymbol("out", "f"), {7});
+  EXPECT_EQ(again.profile.total_cycles, machine.cycles());
+  EXPECT_TRUE(again.profile.events.empty());
+}
+
+TEST(ProfileTest, BoundaryCallsMatchHandCount) {
+  KnitBuildResult result = Build("Pair");
+  Machine machine(result.image);
+  machine.EnableProfiling();
+  ASSERT_TRUE(machine.Call(result.init_function).ok);
+  machine.ResetProfile();
+  ASSERT_TRUE(machine.Call(result.ExportedSymbol("out", "f"), {7}).ok);
+  ComponentProfile profile = machine.Profile();
+  // wrap_f(7) runs the loop body 7 times: exactly 7 Wrap -> Leaf crossings, and
+  // nothing else crosses a boundary.
+  ASSERT_EQ(profile.edges.size(), 1u);
+  EXPECT_EQ(profile.edges[0].caller, "Pair/Wrap");
+  EXPECT_EQ(profile.edges[0].callee, "Pair/Leaf");
+  EXPECT_EQ(profile.edges[0].calls, 7);
+  EXPECT_EQ(profile.boundary_calls, 7);
+  // Per-component call columns agree with the edge.
+  for (const ComponentProfileEntry& entry : profile.components) {
+    if (entry.component == "Pair/Wrap") {
+      EXPECT_EQ(entry.calls_out, 7);
+      EXPECT_EQ(entry.calls_in, 0);  // entered from the host, which has no bucket
+    } else if (entry.component == "Pair/Leaf") {
+      EXPECT_EQ(entry.calls_in, 7);
+      EXPECT_EQ(entry.calls_out, 0);
+    }
+  }
+}
+
+TEST(ProfileTest, FlattenCollapsesIntraGroupEdges) {
+  KnitBuildResult result = Build("PairFlat");
+  Machine machine(result.image);
+  machine.EnableProfiling();
+  ASSERT_TRUE(machine.Call(result.init_function).ok);
+  machine.ResetProfile();
+  ASSERT_TRUE(machine.Call(result.ExportedSymbol("out", "f"), {7}).ok);
+  ComponentProfile profile = machine.Profile();
+  // The flattener inlined Leaf.f into wrap_f: the 7 crossings the modular build
+  // pays (BoundaryCallsMatchHandCount) are gone entirely.
+  EXPECT_EQ(profile.boundary_calls, 0);
+  for (const BoundaryEdge& edge : profile.edges) {
+    EXPECT_EQ(edge.caller, edge.callee) << edge.caller << " -> " << edge.callee;
+  }
+}
+
+TEST(ProfileTest, EventsNestAndRenderAsTrace) {
+  KnitBuildResult result = Build("Pair");
+  Machine machine(result.image);
+  machine.EnableProfiling();
+  ASSERT_TRUE(machine.Call(result.init_function).ok);
+  machine.ResetCounters();
+  machine.ResetProfile();
+  ASSERT_TRUE(machine.Call(result.ExportedSymbol("out", "f"), {7}).ok);
+  ComponentProfile profile = machine.Profile();
+  // Host -> Wrap begin, 7 Leaf begin/end pairs, Wrap end: 16 events, balanced,
+  // cycle-ordered.
+  ASSERT_EQ(profile.events.size(), 16u);
+  int depth = 0;
+  long long last_cycle = -1;
+  for (const ProfileEvent& event : profile.events) {
+    depth += event.begin ? 1 : -1;
+    EXPECT_GE(depth, 0);
+    EXPECT_GE(event.at_cycle, last_cycle);
+    last_cycle = event.at_cycle;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(profile.events_truncated);
+
+  std::string json = ComponentProfileTraceJson(profile, "Pair");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("Pair/Leaf"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+}
+
+TEST(ProfileTest, EventCapSetsTruncatedFlagButCountersStayExact) {
+  KnitBuildResult result = Build("Pair");
+  Machine machine(result.image);
+  machine.EnableProfiling(/*max_events=*/4);
+  ASSERT_TRUE(machine.Call(result.init_function).ok);
+  machine.ResetCounters();
+  machine.ResetProfile();
+  ASSERT_TRUE(machine.Call(result.ExportedSymbol("out", "f"), {7}).ok);
+  ComponentProfile profile = machine.Profile();
+  EXPECT_TRUE(profile.events_truncated);
+  EXPECT_EQ(profile.events.size(), 4u);
+  EXPECT_EQ(profile.total_cycles, machine.cycles());
+}
+
+TEST(ProfileTest, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace knit

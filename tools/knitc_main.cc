@@ -22,6 +22,7 @@
 #include "src/knitlang/printer.h"
 #include "src/support/strings.h"
 #include "src/vm/machine.h"
+#include "src/vm/profile_trace.h"
 
 namespace knit {
 namespace {
@@ -35,7 +36,9 @@ struct CliOptions {
   bool print_stats = false;
   bool list_exports = false;
   bool print_map = false;
-  std::string stats_json;  // "" = off; "-" = stdout
+  std::string stats_json;    // "" = off; "-" = stdout
+  std::string trace_file;    // "" = off: pipeline stage timings as trace JSON
+  std::string profile_file;  // "" = off: per-component run profile as trace JSON
   std::string run;
   std::vector<uint32_t> run_args;
   long long fuel = 0;  // 0: leave the CostModel default
@@ -68,6 +71,8 @@ void PrintUsage(std::FILE* out) {
                "  --print-stats         print per-stage build metrics (time, items, cache)\n"
                "  --stats-json=PATH     write the stage metrics as JSON to PATH ('-' = "
                "stdout)\n"
+               "  --trace=PATH          write the stage timings as Chrome trace-event JSON\n"
+               "                        (open in Perfetto / chrome://tracing; '-' = stdout)\n"
                "  --list-exports        print the top-level export symbols\n"
                "  --print-map           print the ld placement map (object -> text/data)\n"
                "\n"
@@ -77,6 +82,11 @@ void PrintUsage(std::FILE* out) {
                "  --args=N,N,...        integer arguments for --run\n"
                "  --fuel=N              VM instruction budget; a runaway program traps "
                "cleanly\n"
+               "  --profile=PATH        (with --run) attribute cycles/stalls/calls to Knit\n"
+               "                        components; prints the per-component table and "
+               "writes\n"
+               "                        the timeline as Chrome trace-event JSON to PATH\n"
+               "                        ('-' = stdout)\n"
                "  --inject-fault=F[@N][=V]\n"
                "                        force the Nth invocation (default 1st) of function "
                "or\n"
@@ -155,6 +165,18 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
         std::fprintf(stderr, "knitc: error: --stats-json expects a file path or '-'\n");
         return 3;
       }
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.trace_file = value_of("--trace=");
+      if (options.trace_file.empty()) {
+        std::fprintf(stderr, "knitc: error: --trace expects a file path or '-'\n");
+        return 3;
+      }
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      options.profile_file = value_of("--profile=");
+      if (options.profile_file.empty()) {
+        std::fprintf(stderr, "knitc: error: --profile expects a file path or '-'\n");
+        return 3;
+      }
     } else if (arg == "--no-optimize") {
       options.build.optimize = false;
     } else if (arg == "--no-check") {
@@ -207,6 +229,11 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
     if (options.src_dir.empty()) {
       options.src_dir = ".";
     }
+  }
+  if (!options.profile_file.empty() && options.run.empty()) {
+    std::fprintf(stderr, "knitc: error: --profile requires --run (nothing executes "
+                         "otherwise)\n");
+    return 3;
   }
   return 0;
 }
@@ -272,10 +299,9 @@ void BindEnvironment(Machine& machine, const KnitBuildResult& build) {
   }
 }
 
-bool WriteStatsJson(const std::string& path, const PipelineMetrics& metrics) {
-  std::string json = metrics.ToJson();
+bool WriteTextOutput(const std::string& path, const std::string& content) {
   if (path == "-") {
-    std::fputs(json.c_str(), stdout);
+    std::fputs(content.c_str(), stdout);
     return true;
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -283,8 +309,12 @@ bool WriteStatsJson(const std::string& path, const PipelineMetrics& metrics) {
     std::fprintf(stderr, "knitc: cannot write %s\n", path.c_str());
     return false;
   }
-  out << json;
+  out << content;
   return true;
+}
+
+bool WriteStatsJson(const std::string& path, const PipelineMetrics& metrics) {
+  return WriteTextOutput(path, metrics.ToJson());
 }
 
 int Main(int argc, char** argv) {
@@ -320,6 +350,10 @@ int Main(int argc, char** argv) {
   Result<LinkedImage> built = pipeline.Build(knit_text, sources, options.top, diags);
   std::fprintf(stderr, "%s", diags.ToString().c_str());
   if (!options.stats_json.empty() && !WriteStatsJson(options.stats_json, pipeline.metrics())) {
+    return 1;
+  }
+  if (!options.trace_file.empty() &&
+      !WriteTextOutput(options.trace_file, PipelineMetricsTraceJson(pipeline.metrics()))) {
     return 1;
   }
   if (!built.ok()) {
@@ -391,6 +425,11 @@ int Main(int argc, char** argv) {
     if (!options.fault_plan.empty()) {
       machine.set_fault_plan(options.fault_plan);
     }
+    if (!options.profile_file.empty()) {
+      // Profile the whole execution: init, the exported call, and fini — the
+      // "<init>" pseudo-component makes startup cost visible alongside the run.
+      machine.EnableProfiling();
+    }
     RunResult init = machine.Call(result.init_function);
     if (!init.ok || result.FailingInstance(init) != -1) {
       // Report the failure in Knit component terms, then (after a trap) run the
@@ -423,6 +462,20 @@ int Main(int argc, char** argv) {
     if (!fini.ok) {
       std::fprintf(stderr, "knitc: knit__fini failed: %s\n", fini.error.c_str());
       return 1;
+    }
+    if (!options.profile_file.empty()) {
+      ComponentProfile profile = machine.Profile();
+      std::printf("component profile (%s):\n%s", options.top.c_str(),
+                  profile.ToText().c_str());
+      if (!WriteTextOutput(options.profile_file,
+                           ComponentProfileTraceJson(profile, options.top))) {
+        return 1;
+      }
+      if (options.profile_file != "-") {
+        std::printf("profile trace written to %s (open in Perfetto or "
+                    "chrome://tracing)\n",
+                    options.profile_file.c_str());
+      }
     }
   }
   return 0;

@@ -5,8 +5,12 @@
 //      already-seen definitions, so unsorted merging should lose most of the win;
 //   2. flattening granularity — per-unit objects vs the router subtree vs the
 //      whole program ("Knit can merge files at any unit boundary, as directed by
-//      the programmer via the unit specifications").
+//      the programmer via the unit specifications");
+//   3. link-time optimization — the -O2 image passes (cross-unit inlining over
+//      the resolved bindings + global DCE) as an alternative to source-level
+//      flattening, with measured boundary-call counts written to BENCH_lto.json.
 #include <cstdio>
+#include <fstream>
 
 #include "bench/bench_util.h"
 #include "src/clack/corpus.h"
@@ -15,7 +19,7 @@ namespace knit {
 namespace {
 
 bool Measure(const char* label, const char* top, KnitcOptions options,
-             const std::vector<TracePacket>& trace) {
+             const std::vector<TracePacket>& trace, RouterStats* out = nullptr) {
   Diagnostics diags;
   Result<RouterProgram> program =
       RouterProgram::FromClack(top, options, diags, RouterCostModel());
@@ -23,12 +27,18 @@ bool Measure(const char* label, const char* top, KnitcOptions options,
     std::fprintf(stderr, "build failed for %s:\n%s", label, diags.ToString().c_str());
     return false;
   }
+  if (out != nullptr) {
+    program.value().EnableProfiling();
+  }
   Result<RouterStats> stats = program.value().RunTrace(trace, diags);
   if (!stats.ok()) {
     std::fprintf(stderr, "run failed for %s:\n%s", label, diags.ToString().c_str());
     return false;
   }
   PrintRouterRow(label, stats.value());
+  if (out != nullptr) {
+    *out = stats.take();
+  }
   return true;
 }
 
@@ -69,9 +79,56 @@ int Run() {
               "text bytes");
   KnitcOptions o0;
   o0.optimize = false;
-  if (!Measure("modular -O2", "ClackRouter", KnitcOptions(), trace) ||
+  if (!Measure("modular -O1", "ClackRouter", KnitcOptions(), trace) ||
       !Measure("modular -O0", "ClackRouter", o0, trace)) {
     return 1;
+  }
+
+  // The lto arm: instead of rewriting sources (flattening), keep the modular
+  // sources and let the -O2 image passes inline across the resolved component
+  // bindings. Boundary calls come from the profiler, so the claim "the image
+  // passes remove the calls flattening removes" is measured, not asserted.
+  std::printf("\n=== Ablation: link-time optimization (lto) vs flattening ===\n");
+  std::printf("  %-28s %10s %14s %12s\n", "configuration", "cycles/pkt", "ifetch-stall",
+              "text bytes");
+  KnitcOptions lto;
+  lto.opt_level = 2;
+  RouterStats modular_stats;
+  RouterStats lto_stats;
+  RouterStats flat_stats;
+  if (!Measure("modular -O1", "ClackRouter", KnitcOptions(), trace, &modular_stats) ||
+      !Measure("modular -O2 (lto)", "ClackRouter", lto, trace, &lto_stats) ||
+      !Measure("flattened -O1", "ClackRouterFlat", KnitcOptions(), trace, &flat_stats)) {
+    return 1;
+  }
+  std::printf("  boundary calls: %lld modular -> %lld lto -> %lld flattened\n",
+              modular_stats.profile.boundary_calls, lto_stats.profile.boundary_calls,
+              flat_stats.profile.boundary_calls);
+
+  std::ofstream out("BENCH_lto.json", std::ios::trunc);
+  if (out) {
+    char buffer[1024];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\n"
+                  "  \"target\": \"ClackRouter\",\n"
+                  "  \"packets\": %d,\n"
+                  "  \"modular_boundary_calls\": %lld,\n"
+                  "  \"lto_boundary_calls\": %lld,\n"
+                  "  \"flattened_boundary_calls\": %lld,\n"
+                  "  \"modular_cycles_per_packet\": %.1f,\n"
+                  "  \"lto_cycles_per_packet\": %.1f,\n"
+                  "  \"flattened_cycles_per_packet\": %.1f,\n"
+                  "  \"modular_text_bytes\": %d,\n"
+                  "  \"lto_text_bytes\": %d,\n"
+                  "  \"flattened_text_bytes\": %d\n"
+                  "}\n",
+                  modular_stats.packets, modular_stats.profile.boundary_calls,
+                  lto_stats.profile.boundary_calls, flat_stats.profile.boundary_calls,
+                  modular_stats.CyclesPerPacket(), lto_stats.CyclesPerPacket(),
+                  flat_stats.CyclesPerPacket(), modular_stats.text_bytes,
+                  lto_stats.text_bytes, flat_stats.text_bytes);
+    out << buffer;
+    std::printf("  lto report written to BENCH_lto.json\n");
   }
   std::printf("\n");
   return 0;

@@ -101,6 +101,7 @@ void HashFileClosure(const SourceMap& sources, const std::string& file,
 
 void HashCodegenOptions(const CodegenOptions& options, Fnv64& hasher) {
   hasher.Update(options.optimize);
+  hasher.Update(options.opt_level);
   hasher.Update(options.inline_limit);
   hasher.Update(options.inline_single_call);
   hasher.Update(options.single_call_limit);
@@ -385,6 +386,9 @@ struct TaskResult {
   Result<ObjectFile> object = Result<ObjectFile>::Failure();
   bool cache_hit = false;
   bool cacheable = true;  // prebuilt objects are neither hits nor misses
+  // Per-pass optimizer stats from a fresh compile (empty on cache hits); merged
+  // into PipelineMetrics::pass_stats in task order.
+  std::vector<PassStats> pass_stats;
 };
 
 // The compile stage: groups instances, compiles every needed unit/flatten-group
@@ -449,6 +453,7 @@ class CompileStage {
       if (result.cacheable) {
         ++(result.cache_hit ? compile_metrics.cache_hits : compile_metrics.cache_misses);
       }
+      MergePassStats(metrics_.pass_stats, result.pass_stats);
     }
     compile_metrics.seconds = Seconds(t0);
     metrics_.stages.push_back(compile_metrics);
@@ -661,6 +666,20 @@ class CompileStage {
 
   // ---- compilation -----------------------------------------------------------
 
+  // The build-level codegen configuration (level + inline budgets), before any
+  // unit `flags` declaration overrides.
+  CodegenOptions BaseCodegenOptions() const {
+    CodegenOptions options;
+    options.opt_level = options_.opt_level;
+    options.inline_limit = options_.inline_limit;
+    options.caller_growth = options_.caller_growth;
+    if (!options_.optimize || options_.opt_level == 0) {
+      options.optimize = false;
+      options.opt_level = 0;
+    }
+    return options;
+  }
+
   CodegenOptions UnitCodegenOptions(const UnitDecl& unit) const {
     std::vector<std::string> flags;
     if (!unit.flags_name.empty()) {
@@ -669,9 +688,11 @@ class CompileStage {
         flags = decl->flags;
       }
     }
-    CodegenOptions options = CodegenOptions::FromFlags(flags);
-    if (!options_.optimize) {
+    CodegenOptions options = BaseCodegenOptions();
+    options.ApplyFlags(flags);
+    if (!options_.optimize || options_.opt_level == 0) {
       options.optimize = false;
+      options.opt_level = 0;
     }
     return options;
   }
@@ -744,7 +765,7 @@ class CompileStage {
 
   uint64_t UnitCacheKey(const UnitDecl& unit) const {
     Fnv64 hasher;
-    hasher.Update("unit-object-v1");
+    hasher.Update("unit-object-v2");
     HashUnitInterface(elaboration_, unit, hasher);
     std::set<std::string> visited;
     for (const std::string& file : unit.files) {
@@ -757,11 +778,11 @@ class CompileStage {
   uint64_t GroupCacheKey(int group, const std::vector<int>& members,
                          const std::vector<InstanceNames>& names) const {
     Fnv64 hasher;
-    hasher.Update("flatten-group-v1");
+    hasher.Update("flatten-group-v2");
     hasher.Update("flatten" + std::to_string(group) + ".o");
     hasher.Update(options_.sort_definitions);
     hasher.Update(options_.callers_first_definitions);
-    hasher.Update(options_.optimize);
+    HashCodegenOptions(BaseCodegenOptions(), hasher);
     for (size_t m = 0; m < members.size(); ++m) {
       const Instance& instance = config_.instances[members[m]];
       hasher.Update(instance.path);
@@ -829,8 +850,10 @@ class CompileStage {
     if (!tu.ok()) {
       return;
     }
+    CodegenOptions codegen_options = UnitCodegenOptions(unit);
+    codegen_options.pass_stats = &out.pass_stats;
     Result<ObjectFile> object = CompileTranslationUnit(
-        tu.value(), info, types, UnitCodegenOptions(unit), unit.name + ".o", out.diags);
+        tu.value(), info, types, codegen_options, unit.name + ".o", out.diags);
     if (!object.ok()) {
       return;
     }
@@ -929,8 +952,8 @@ class CompileStage {
     if (!info.ok()) {
       return;
     }
-    CodegenOptions codegen_options;
-    codegen_options.optimize = options_.optimize;
+    CodegenOptions codegen_options = BaseCodegenOptions();
+    codegen_options.pass_stats = &out.pass_stats;
     Result<ObjectFile> object =
         CompileTranslationUnit(merged.value(), info.value(), types, codegen_options,
                                "flatten" + std::to_string(group) + ".o", out.diags);
@@ -1221,6 +1244,37 @@ Result<LinkedImage> KnitPipeline::Link(const CompiledUnits& compiled, Diagnostic
   return image;
 }
 
+// ---- link-optimize stage -----------------------------------------------------
+
+Result<OptimizedImage> KnitPipeline::LinkOptimize(const LinkedImage& linked, Diagnostics& diags) {
+  (void)diags;  // the image passes cannot fail: they refuse rather than report
+  auto t0 = std::chrono::steady_clock::now();
+  StageMetrics& metrics = BeginStage("link-optimize");
+
+  OptimizedImage optimized;
+  optimized.linked = linked;
+  if (options_.optimize && options_.opt_level >= 2) {
+    ImagePassOptions image_options;
+    image_options.inline_limit = options_.inline_limit;
+    image_options.caller_growth = options_.caller_growth;
+    image_options.text_align = LinkOptions().text_align;  // match the link layout
+    image_options.entry_points.push_back(linked.compiled.init_function);
+    image_options.entry_points.push_back(linked.compiled.fini_function);
+    if (!linked.compiled.rollback_function.empty()) {
+      image_options.entry_points.push_back(linked.compiled.rollback_function);
+    }
+    for (const auto& [port_symbol, link_name] : linked.export_names) {
+      image_options.entry_points.push_back(link_name);
+    }
+    PassManager manager = MakeImagePassManager();
+    manager.RunOnImage(optimized.linked.image, image_options, &optimized.pass_stats);
+    metrics.items = static_cast<int>(optimized.linked.image.functions.size());
+    MergePassStats(metrics_.pass_stats, optimized.pass_stats);
+  }
+  metrics.seconds = Seconds(t0);
+  return optimized;
+}
+
 Result<LinkedImage> KnitPipeline::Build(const std::string& knit_source, const SourceMap& sources,
                                         const std::string& top_unit, Diagnostics& diags) {
   Result<ParsedProgram> parsed = Parse(knit_source, diags);
@@ -1243,7 +1297,15 @@ Result<LinkedImage> KnitPipeline::Build(const std::string& knit_source, const So
   if (!compiled.ok()) {
     return Result<LinkedImage>::Failure();
   }
-  return Link(compiled.value(), diags);
+  Result<LinkedImage> linked = Link(compiled.value(), diags);
+  if (!linked.ok()) {
+    return Result<LinkedImage>::Failure();
+  }
+  Result<OptimizedImage> optimized = LinkOptimize(linked.value(), diags);
+  if (!optimized.ok()) {
+    return Result<LinkedImage>::Failure();
+  }
+  return std::move(optimized.value().linked);
 }
 
 }  // namespace knit

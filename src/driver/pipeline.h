@@ -50,6 +50,7 @@
 #include "src/support/diagnostics.h"
 #include "src/support/result.h"
 #include "src/vm/image.h"
+#include "src/vm/passes.h"
 
 namespace knit {
 
@@ -57,6 +58,19 @@ namespace knit {
 
 struct KnitcOptions {
   bool optimize = true;            // per-TU optimizer (inline + LVN)
+
+  // Optimization level (knitc -O0/-O1/-O2): 0 disables all optimization (same
+  // as optimize=false), 1 runs the per-TU passes (the default — per-file gcc,
+  // as the paper's modular builds had), 2 additionally runs the whole-image
+  // link-time passes (cross-unit inlining, global DCE, devirtualization) in the
+  // LinkOptimize stage. Every level produces bit-identical program outputs;
+  // levels differ only in speed and text size.
+  int opt_level = 1;
+
+  // Inline budgets, threaded into both the per-TU optimizer and the image
+  // passes (and into the compile-stage cache keys).
+  int inline_limit = 48;
+  int caller_growth = 32768;
   bool check_constraints = true;   // run the §4 constraint checker
   bool flatten = true;             // honor `flatten` markers in compound units
   bool flatten_everything = false; // merge the whole program into one TU (ablation)
@@ -102,7 +116,8 @@ struct KnitcOptions {
 // One record per executed stage (stages re-entered or repeated append new rows).
 struct StageMetrics {
   std::string stage;   // "parse", "elaborate", "schedule", "check", "compile",
-                       // "objcopy", "flatten", "init-object", "link"
+                       // "objcopy", "flatten", "init-object", "link",
+                       // "link-optimize"
   double seconds = 0;  // wall time
   int items = 0;       // units parsed / instances / compile tasks / objects linked
   int cache_hits = 0;
@@ -112,6 +127,12 @@ struct StageMetrics {
 
 struct PipelineMetrics {
   std::vector<StageMetrics> stages;
+
+  // Per-pass optimizer statistics (knitc --print-passes): object-scope rows
+  // merged from every fresh compile task in deterministic task order, then the
+  // image-scope rows from LinkOptimize. Cache hits contribute nothing — the
+  // rows describe work this build actually did.
+  std::vector<PassStats> pass_stats;
 
   int instance_count = 0;
   int object_count = 0;
@@ -191,6 +212,15 @@ struct LinkedImage {
   std::map<std::pair<std::string, std::string>, std::string> export_names;
 };
 
+// After LinkOptimize: the image with the whole-image -O2 passes applied (the
+// identity at -O0/-O1). Wraps a LinkedImage so every downstream consumer —
+// Machine construction, KnitBuildResultFrom, the benches — is unchanged; the
+// stage is re-enterable and replay-bit-identical like the other six.
+struct OptimizedImage {
+  LinkedImage linked;
+  std::vector<PassStats> pass_stats;  // image-scope rows from this run
+};
+
 // ---- the pipeline ------------------------------------------------------------
 
 class KnitPipeline {
@@ -207,8 +237,10 @@ class KnitPipeline {
   Result<CompiledUnits> Compile(const CheckedConfig& checked, const SourceMap& sources,
                                 Diagnostics& diags);
   Result<LinkedImage> Link(const CompiledUnits& compiled, Diagnostics& diags);
+  Result<OptimizedImage> LinkOptimize(const LinkedImage& linked, Diagnostics& diags);
 
-  // Convenience: all six stages.
+  // Convenience: all seven stages (LinkOptimize's result is folded into the
+  // returned LinkedImage, so callers see optimized code transparently).
   Result<LinkedImage> Build(const std::string& knit_source, const SourceMap& sources,
                             const std::string& top_unit, Diagnostics& diags);
 

@@ -274,9 +274,15 @@ class Linker {
         for (int i = 0; i < 4; ++i) {
           addend |= static_cast<uint32_t>(image.data[at + i]) << (8 * i);
         }
-        uint32_t value = ValueOf(table[reloc.symbol]) + addend;
+        const Resolved& resolved = table[reloc.symbol];
+        uint32_t value = ValueOf(resolved) + addend;
         for (int i = 0; i < 4; ++i) {
           image.data[at + i] = static_cast<uint8_t>((value >> (8 * i)) & 0xFF);
+        }
+        if (resolved.kind != Resolved::Kind::kData) {
+          // A function ref now lives in data; record where, so the image
+          // optimizer keeps its target alive (see Image::func_ref_data).
+          image.func_ref_data.push_back(options_.data_base + static_cast<uint32_t>(at));
         }
       }
     }

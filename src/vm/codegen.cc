@@ -7,20 +7,29 @@
 
 namespace knit {
 
-CodegenOptions CodegenOptions::FromFlags(const std::vector<std::string>& flags) {
-  CodegenOptions options;
+void CodegenOptions::ApplyFlags(const std::vector<std::string>& flags) {
   for (const std::string& flag : flags) {
     if (flag == "-O0") {
-      options.optimize = false;
-    } else if (flag == "-O" || flag == "-O1" || flag == "-O2") {
-      options.optimize = true;
+      optimize = false;
+      opt_level = 0;
+    } else if (flag == "-O" || flag == "-O1") {
+      optimize = true;
+      opt_level = 1;
+    } else if (flag == "-O2") {
+      optimize = true;
+      opt_level = 2;
     } else if (flag == "-fno-inline") {
-      options.inline_limit = 0;
+      inline_limit = 0;
     } else if (flag.rfind("-finline-limit=", 0) == 0) {
-      options.inline_limit = std::stoi(flag.substr(std::string("-finline-limit=").size()));
+      inline_limit = std::stoi(flag.substr(std::string("-finline-limit=").size()));
     }
     // Unknown flags (e.g. -I paths, kept for paper fidelity) are ignored.
   }
+}
+
+CodegenOptions CodegenOptions::FromFlags(const std::vector<std::string>& flags) {
+  CodegenOptions options;
+  options.ApplyFlags(flags);
   return options;
 }
 
@@ -1072,7 +1081,7 @@ Result<ObjectFile> CompileTranslationUnit(const TranslationUnit& unit, const Sem
   if (!object.ok()) {
     return object;
   }
-  if (options.optimize) {
+  if (options.optimize && options.opt_level >= 1) {
     OptimizeObject(object.value(), options);
   }
   return object;

@@ -16,8 +16,14 @@
 
 namespace knit {
 
+struct PassStats;
+
 struct CodegenOptions {
   bool optimize = true;      // run the per-TU optimizer (inline + LVN + peephole)
+  // Optimization level: 0 = none (same as optimize=false), 1 = per-TU passes
+  // (the historical default), 2 = additionally enables the link-time image
+  // passes (a pipeline-level decision; codegen itself treats 2 like 1).
+  int opt_level = 1;
   int inline_limit = 48;     // max size for inlining a multiply-called function
   bool inline_single_call = true;  // inline a local function called exactly once
                                    // (the body is removed afterwards, so text never
@@ -27,8 +33,15 @@ struct CodegenOptions {
                                    // rarely-taken bodies out of the hot path
   int caller_growth = 32768; // stop inlining when a function reaches this many insns
 
-  // Parses gcc-style flag spellings used in Knit `flags` declarations:
-  //   -O0 / -O (disable/enable optimization), -finline-limit=N, -fno-inline.
+  // When set, the optimizer's pass manager appends per-pass statistics here
+  // (not part of the cache key: stats are observation, not configuration).
+  std::vector<PassStats>* pass_stats = nullptr;
+
+  // Applies gcc-style flag spellings used in Knit `flags` declarations on top of
+  // the current values: -O0/-O/-O1/-O2, -finline-limit=N, -fno-inline.
+  void ApplyFlags(const std::vector<std::string>& flags);
+
+  // Defaults + ApplyFlags.
   static CodegenOptions FromFlags(const std::vector<std::string>& flags);
 };
 

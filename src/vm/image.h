@@ -26,6 +26,13 @@ struct Image {
 
   int text_bytes = 0;  // total placed text (the paper's "text size" column)
 
+  // Absolute addresses of data words the linker patched with a function ref
+  // (address-of-function initializers). The image optimizer treats the referenced
+  // functions as reachability roots, so indirect calls through stored pointers
+  // can never reach an eliminated body. Derived metadata: not part of the image
+  // fingerprint.
+  std::vector<uint32_t> func_ref_data;
+
   int FindFunction(const std::string& name) const {
     auto it = function_symbols.find(name);
     return it == function_symbols.end() ? -1 : it->second;

@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "src/vm/passes.h"
+
 namespace knit {
 namespace {
 
@@ -1235,13 +1237,20 @@ void RemoveUnreachable(BytecodeFunction& function) {
 
 }  // namespace
 
-void OptimizeFunction(BytecodeFunction& function) {
+void SimplifyControlFlow(BytecodeFunction& function) {
   RemoveUnreachable(function);
   CompactNops(function);
-  LvnPass(function).Run();
+}
+
+void LocalValueNumber(BytecodeFunction& function) { LvnPass(function).Run(); }
+
+void ThreadJumpChains(BytecodeFunction& function) {
   ThreadJumps(function);
   RemoveUnreachable(function);
   CompactNops(function);
+}
+
+void PeepholeOptimize(BytecodeFunction& function) {
   StoreLoadPeephole(function);
   // Dead stores and the values feeding them cancel iteratively.
   for (int round = 0; round < 8; ++round) {
@@ -1251,6 +1260,13 @@ void OptimizeFunction(BytecodeFunction& function) {
     }
     StoreLoadPeephole(function);
   }
+}
+
+void OptimizeFunction(BytecodeFunction& function) {
+  SimplifyControlFlow(function);
+  LocalValueNumber(function);
+  ThreadJumpChains(function);
+  PeepholeOptimize(function);
 }
 
 namespace {
@@ -1435,11 +1451,8 @@ void RemoveDeadLocalFunctions(ObjectFile& object) {
 }
 
 void OptimizeObject(ObjectFile& object, const CodegenOptions& options) {
-  for (size_t f = 0; f < object.functions.size(); ++f) {
-    InlineCalls(object, static_cast<int>(f), options);
-    OptimizeFunction(object.functions[f]);
-  }
-  RemoveDeadLocalFunctions(object);
+  PassManager manager = MakeObjectPassManager();
+  manager.RunOnObject(object, options, options.pass_stats);
 }
 
 }  // namespace knit

@@ -6,12 +6,16 @@
 //  * Inlining of direct calls whose callee is defined EARLIER in the same object —
 //    the same restriction that makes the flattener's defs-before-uses sorting
 //    matter, and that confines inlining to a translation unit (so componentized
-//    builds cannot inline across units; flattened builds can).
+//    builds cannot inline across units; flattened builds can — and -O2's image
+//    passes in src/vm/passes.h recover the same wins after linking).
 //  * Local value numbering per basic block: constant folding, algebraic identities,
 //    redundant-load elimination with store-to-load forwarding, dead pure code.
 //  * Jump threading, unreachable-code removal, scratch store/load peepholes.
 //  * Dead local-function elimination (inlined-away statics shrink the text, which
 //    is why Table 1's flattened router is *smaller* than the modular one).
+//
+// The transforms are exposed as named building blocks; the pass manager
+// (src/vm/passes.h) composes them into the standard pipeline.
 #ifndef SRC_VM_OPTIMIZE_H_
 #define SRC_VM_OPTIMIZE_H_
 
@@ -23,12 +27,30 @@ namespace knit {
 struct CodegenOptions;
 
 // Optimizes every function in the object in definition order, then removes dead
-// local functions.
+// local functions. Delegates to MakeObjectPassManager(); kept as the single-call
+// entry point for codegen and targeted tests.
 void OptimizeObject(ObjectFile& object, const CodegenOptions& options);
 
-// Exposed for targeted tests.
+// The full per-function sequence: SimplifyControlFlow, LocalValueNumber,
+// ThreadJumpChains, PeepholeOptimize.
 void OptimizeFunction(BytecodeFunction& function);
+
+// ---- building-block transforms (the pass manager's function passes) ----------
+
+// Unreachable-code removal + nop compaction.
+void SimplifyControlFlow(BytecodeFunction& function);
+// Local value numbering over extended basic blocks.
+void LocalValueNumber(BytecodeFunction& function);
+// Jump-to-jump threading, then re-simplification.
+void ThreadJumpChains(BytecodeFunction& function);
+// Scratch store/load peephole plus the dead-store / pop-cancellation fixpoint.
+void PeepholeOptimize(BytecodeFunction& function);
+
+// Inlines direct calls to earlier-defined callees into `function_index`, within
+// the options' budgets. Returns the number of call sites inlined.
 int InlineCalls(ObjectFile& object, int function_index, const CodegenOptions& options);
+
+// Removes local functions unreachable from any global text symbol or data reloc.
 void RemoveDeadLocalFunctions(ObjectFile& object);
 
 }  // namespace knit

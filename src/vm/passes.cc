@@ -1,0 +1,518 @@
+#include "src/vm/passes.h"
+
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "src/vm/optimize.h"
+
+namespace knit {
+namespace {
+
+constexpr int kWordSize = 4;
+
+int RoundUp(int value, int align) { return (value + align - 1) / align * align; }
+
+bool IsJumpOp(Op op) { return op == Op::kJmp || op == Op::kJz || op == Op::kJnz; }
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+long long ObjectInsnCount(const ObjectFile& object) {
+  long long total = 0;
+  for (const BytecodeFunction& function : object.functions) {
+    total += static_cast<long long>(function.code.size());
+  }
+  return total;
+}
+
+// ---- object-scope passes -----------------------------------------------------
+
+class InlineFunctionPass : public FunctionPass {
+ public:
+  const char* name() const override { return "inline"; }
+  void Run(ObjectFile& object, int function_index, const CodegenOptions& options) override {
+    InlineCalls(object, function_index, options);
+  }
+};
+
+class SimplifyFunctionPass : public FunctionPass {
+ public:
+  const char* name() const override { return "simplify"; }
+  void Run(ObjectFile& object, int function_index, const CodegenOptions&) override {
+    SimplifyControlFlow(object.functions[function_index]);
+  }
+};
+
+class LvnFunctionPass : public FunctionPass {
+ public:
+  const char* name() const override { return "lvn"; }
+  void Run(ObjectFile& object, int function_index, const CodegenOptions&) override {
+    LocalValueNumber(object.functions[function_index]);
+  }
+};
+
+class JumpThreadFunctionPass : public FunctionPass {
+ public:
+  const char* name() const override { return "jump-thread"; }
+  void Run(ObjectFile& object, int function_index, const CodegenOptions&) override {
+    ThreadJumpChains(object.functions[function_index]);
+  }
+};
+
+class PeepholeFunctionPass : public FunctionPass {
+ public:
+  const char* name() const override { return "peephole"; }
+  void Run(ObjectFile& object, int function_index, const CodegenOptions&) override {
+    PeepholeOptimize(object.functions[function_index]);
+  }
+};
+
+class DceLocalPass : public ObjectPass {
+ public:
+  const char* name() const override { return "dce-local"; }
+  void Run(ObjectFile& object, const CodegenOptions&) override {
+    RemoveDeadLocalFunctions(object);
+  }
+};
+
+// ---- image-scope helpers -----------------------------------------------------
+
+// Reads the little-endian word at an absolute data address (0 when out of range).
+uint32_t ReadDataWord(const Image& image, uint32_t address) {
+  if (address < image.data_base) {
+    return 0;
+  }
+  size_t at = address - image.data_base;
+  if (at + 4 > image.data.size()) {
+    return 0;
+  }
+  uint32_t word = 0;
+  for (int i = 0; i < 4; ++i) {
+    word |= static_cast<uint32_t>(image.data[at + i]) << (8 * i);
+  }
+  return word;
+}
+
+// Decodes an operand that may hold a function ref; returns the function id, or
+// -1 when the value is not a ref to a VM function (natives included: they have
+// no body to inline or eliminate).
+int FuncRefTarget(const Image& image, uint32_t value) {
+  if (!IsFuncRef(value)) {
+    return -1;
+  }
+  int id = static_cast<int>(DecodeFuncRef(value));
+  return id >= 0 && id < static_cast<int>(image.functions.size()) ? id : -1;
+}
+
+// References per function across the whole image. Direct calls weigh 1; function
+// refs materialized as constants or stored in data weigh 2, so address-taken
+// functions are never "single-call" (their body must survive, mirroring the
+// per-TU CountCallSites rule).
+std::vector<int> CountImageRefs(const Image& image) {
+  std::vector<int> counts(image.functions.size(), 0);
+  for (const BytecodeFunction& function : image.functions) {
+    for (const Insn& insn : function.code) {
+      if (insn.op == Op::kCall) {
+        if (insn.a >= 0 && insn.a < static_cast<int>(counts.size())) {
+          ++counts[insn.a];
+        }
+      } else if (insn.op == Op::kConstInt) {
+        int target = FuncRefTarget(image, static_cast<uint32_t>(insn.a));
+        if (target >= 0) {
+          counts[target] += 2;
+        }
+      }
+    }
+  }
+  for (uint32_t address : image.func_ref_data) {
+    int target = FuncRefTarget(image, ReadDataWord(image, address));
+    if (target >= 0) {
+      counts[target] += 2;
+    }
+  }
+  return counts;
+}
+
+// Function ids of the named entry points (exports, knit__init/fini/rollback).
+std::set<int> EntryRoots(const Image& image, const ImagePassOptions& options) {
+  std::set<int> roots;
+  for (const std::string& name : options.entry_points) {
+    int id = image.FindFunction(name);
+    if (id >= 0 && !image.IsNativeId(id)) {
+      roots.insert(id);
+    }
+  }
+  return roots;
+}
+
+// ---- image-scope passes ------------------------------------------------------
+
+// Rewrites `kConstInt(funcref); kCallIndirect` pairs into a direct kCall: the
+// target is known at link time, so the call needs neither the BTB nor the
+// indirect-call penalty, and downstream passes can inline it. The call insn must
+// not be a jump target (a jump landing there would take its target from the
+// stack, not from our constant).
+class DevirtualizePass : public ImagePass {
+ public:
+  const char* name() const override { return "devirt"; }
+  void Run(Image& image, const ImagePassOptions&) override {
+    int total_callables =
+        static_cast<int>(image.functions.size() + image.natives.size());
+    for (BytecodeFunction& function : image.functions) {
+      if (function.code.empty()) {
+        continue;
+      }
+      std::set<int> leaders;
+      for (const Insn& insn : function.code) {
+        if (IsJumpOp(insn.op)) {
+          leaders.insert(insn.a);
+        }
+      }
+      for (size_t i = 0; i + 1 < function.code.size(); ++i) {
+        const Insn& cst = function.code[i];
+        const Insn& call = function.code[i + 1];
+        if (cst.op != Op::kConstInt || call.op != Op::kCallIndirect ||
+            leaders.count(static_cast<int>(i + 1)) > 0) {
+          continue;
+        }
+        uint32_t value = static_cast<uint32_t>(cst.a);
+        if (!IsFuncRef(value)) {
+          continue;
+        }
+        int callable = static_cast<int>(DecodeFuncRef(value));
+        if (callable < 0 || callable >= total_callables) {
+          continue;
+        }
+        function.code[i] = Insn{Op::kNop, 0, 0};
+        function.code[i + 1] = Insn{Op::kCall, callable, call.b};
+      }
+    }
+  }
+};
+
+// Cross-object inlining through resolved bindings: after ld, every direct call
+// names its callee by image id, so the per-TU defs-before-uses restriction
+// disappears and calls across former unit boundaries inline like local ones.
+// Inlined code keeps executing inside the caller's frame, so the profiler
+// attributes it to the caller's component — exactly how flatten groups already
+// collapse, and why the boundary-call counter sees these edges vanish.
+class CrossInlinePass : public ImagePass {
+ public:
+  const char* name() const override { return "cross-inline"; }
+
+  void Run(Image& image, const ImagePassOptions& options) override {
+    std::set<int> roots = EntryRoots(image, options);
+    for (size_t f = 0; f < image.functions.size(); ++f) {
+      InlineInto(image, static_cast<int>(f), options, roots);
+    }
+  }
+
+ private:
+  static void InlineInto(Image& image, int function_index, const ImagePassOptions& options,
+                         const std::set<int>& roots) {
+    bool progress = true;
+    while (progress && static_cast<int>(image.functions[function_index].code.size()) <
+                           options.caller_growth) {
+      progress = false;
+      std::vector<int> refs = CountImageRefs(image);
+      BytecodeFunction& caller = image.functions[function_index];
+      for (size_t p = 0; p < caller.code.size(); ++p) {
+        const Insn call = caller.code[p];
+        if (call.op != Op::kCall) {
+          continue;
+        }
+        int callee_id = call.a;
+        if (callee_id < 0 || callee_id >= static_cast<int>(image.functions.size()) ||
+            callee_id == function_index) {
+          continue;  // native, unresolved, or self-recursive
+        }
+        const BytecodeFunction& callee = image.functions[callee_id];
+        if (callee.variadic || callee.code.empty()) {
+          continue;
+        }
+        bool small = options.inline_limit > 0 &&
+                     static_cast<int>(callee.code.size()) <= options.inline_limit;
+        // A function called exactly once anywhere in the image inlines whole —
+        // unless it is an entry point (the host calls it by name, so the body
+        // must survive) or its address escapes (refs weighting).
+        bool single = options.inline_single_call && refs[callee_id] == 1 &&
+                      roots.count(callee_id) == 0 &&
+                      static_cast<int>(callee.code.size()) <= options.single_call_limit;
+        if (!small && !single) {
+          continue;
+        }
+        if (callee.returns_value != CallReturns(call.b) ||
+            callee.param_count != CallArgc(call.b)) {
+          continue;
+        }
+
+        int base = RoundUp(caller.frame_size, kWordSize);
+        caller.frame_size = base + callee.frame_size;
+        std::vector<Insn> splice;
+        for (int i = callee.param_count - 1; i >= 0; --i) {
+          splice.push_back(Insn{Op::kStoreLocal, base + i * kWordSize, kWordSize});
+        }
+        int body_start = static_cast<int>(splice.size());
+        int end_index = body_start + static_cast<int>(callee.code.size());
+        for (const Insn& insn : callee.code) {
+          Insn copy = insn;
+          switch (copy.op) {
+            case Op::kLoadLocal:
+            case Op::kStoreLocal:
+            case Op::kAddrLocal:
+              copy.a += base;
+              break;
+            case Op::kJmp:
+            case Op::kJz:
+            case Op::kJnz:
+              copy.a += body_start;
+              break;
+            case Op::kRet:
+              copy.op = Op::kJmp;
+              copy.a = end_index;
+              break;
+            default:
+              break;
+          }
+          splice.push_back(copy);
+        }
+
+        int grow = static_cast<int>(splice.size()) - 1;
+        std::vector<Insn> out;
+        out.reserve(caller.code.size() + splice.size());
+        for (size_t i = 0; i < p; ++i) {
+          Insn insn = caller.code[i];
+          if (IsJumpOp(insn.op) && insn.a > static_cast<int>(p)) {
+            insn.a += grow;
+          }
+          out.push_back(insn);
+        }
+        for (Insn insn : splice) {
+          if (IsJumpOp(insn.op)) {
+            insn.a += static_cast<int>(p);
+          }
+          out.push_back(insn);
+        }
+        for (size_t i = p + 1; i < caller.code.size(); ++i) {
+          Insn insn = caller.code[i];
+          if (IsJumpOp(insn.op) && insn.a > static_cast<int>(p)) {
+            insn.a += grow;
+          }
+          out.push_back(insn);
+        }
+        caller.code = std::move(out);
+        progress = true;
+        break;  // indices changed; rescan
+      }
+    }
+  }
+};
+
+// Global dead-function / dead-export elimination. Liveness is reachability from
+// the entry points plus every function whose ref is stored in data (the linker
+// records those addresses in Image::func_ref_data) or materialized as a constant
+// in reachable code (conservative: any kConstInt decoding to a valid id keeps
+// the target alive, so indirect calls can never reach a stubbed body). Dead
+// functions are stubbed — code cleared, id and name kept — so no call target or
+// stored ref ever needs remapping; their global symbols leave the symbol table,
+// which is the dead-*export* half.
+class ImageDcePass : public ImagePass {
+ public:
+  const char* name() const override { return "dce-image"; }
+
+  void Run(Image& image, const ImagePassOptions& options) override {
+    size_t count = image.functions.size();
+    std::vector<char> live(count, 0);
+    std::vector<int> work;
+    auto mark = [&](int id) {
+      if (id >= 0 && id < static_cast<int>(count) && !live[id]) {
+        live[id] = 1;
+        work.push_back(id);
+      }
+    };
+    for (int id : EntryRoots(image, options)) {
+      mark(id);
+    }
+    for (uint32_t address : image.func_ref_data) {
+      mark(FuncRefTarget(image, ReadDataWord(image, address)));
+    }
+    while (!work.empty()) {
+      int f = work.back();
+      work.pop_back();
+      for (const Insn& insn : image.functions[f].code) {
+        if (insn.op == Op::kCall) {
+          mark(insn.a);
+        } else if (insn.op == Op::kConstInt) {
+          mark(FuncRefTarget(image, static_cast<uint32_t>(insn.a)));
+        }
+      }
+    }
+    for (size_t f = 0; f < count; ++f) {
+      if (!live[f]) {
+        image.functions[f].code.clear();
+        image.functions[f].frame_size = 0;
+      }
+    }
+    for (auto it = image.function_symbols.begin(); it != image.function_symbols.end();) {
+      bool dead = it->second >= 0 && it->second < static_cast<int>(count) && !live[it->second];
+      it = dead ? image.function_symbols.erase(it) : std::next(it);
+    }
+  }
+};
+
+// Re-runs the per-function optimizer over every live function: cross-inlining
+// exposes the same store/load and value-numbering slack that per-TU inlining
+// does, and devirtualized constants fold away.
+class ImageSimplifyPass : public ImagePass {
+ public:
+  const char* name() const override { return "simplify"; }
+  void Run(Image& image, const ImagePassOptions&) override {
+    for (BytecodeFunction& function : image.functions) {
+      if (!function.code.empty()) {
+        OptimizeFunction(function);
+      }
+    }
+  }
+};
+
+// Re-places the text segment after code shrank: same formula as the linker's
+// Layout phase, so images remain deterministic and the I-cache simulator sees
+// the denser footprint (the paper's flattened-is-smaller effect).
+class ImageLayoutPass : public ImagePass {
+ public:
+  const char* name() const override { return "layout"; }
+  void Run(Image& image, const ImagePassOptions& options) override {
+    int text_cursor = 0;
+    for (BytecodeFunction& function : image.functions) {
+      function.text_offset = text_cursor;
+      text_cursor += RoundUp(function.TextBytes(), options.text_align);
+    }
+    image.text_bytes = text_cursor;
+  }
+};
+
+}  // namespace
+
+// ---- PassManager -------------------------------------------------------------
+
+void MergePassStats(std::vector<PassStats>& into, const std::vector<PassStats>& from) {
+  for (const PassStats& row : from) {
+    PassStats* found = nullptr;
+    for (PassStats& existing : into) {
+      if (existing.pass == row.pass && existing.scope == row.scope) {
+        found = &existing;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      into.push_back(row);
+      continue;
+    }
+    found->runs += row.runs;
+    found->insns_before += row.insns_before;
+    found->insns_after += row.insns_after;
+    found->seconds += row.seconds;
+  }
+}
+
+long long ImageInsnCount(const Image& image) {
+  long long total = 0;
+  for (const BytecodeFunction& function : image.functions) {
+    total += static_cast<long long>(function.code.size());
+  }
+  return total;
+}
+
+void PassManager::AddFunctionPass(std::unique_ptr<FunctionPass> pass) {
+  function_passes_.push_back(std::move(pass));
+}
+
+void PassManager::AddObjectPass(std::unique_ptr<ObjectPass> pass) {
+  object_passes_.push_back(std::move(pass));
+}
+
+void PassManager::AddImagePass(std::unique_ptr<ImagePass> pass) {
+  image_passes_.push_back(std::move(pass));
+}
+
+void PassManager::RunOnObject(ObjectFile& object, const CodegenOptions& options,
+                              std::vector<PassStats>* stats) {
+  std::vector<PassStats> rows;
+  rows.reserve(function_passes_.size() + object_passes_.size());
+  for (const auto& pass : function_passes_) {
+    rows.push_back(PassStats{pass->name(), "object"});
+  }
+  for (const auto& pass : object_passes_) {
+    rows.push_back(PassStats{pass->name(), "object"});
+  }
+  // Functions are the OUTER loop: every pass finishes function f before any
+  // pass touches f+1, so callees are fully optimized before later callers
+  // consider them for inlining (the per-TU defs-before-uses contract).
+  for (size_t f = 0; f < object.functions.size(); ++f) {
+    for (size_t p = 0; p < function_passes_.size(); ++p) {
+      PassStats& row = rows[p];
+      auto t0 = std::chrono::steady_clock::now();
+      row.insns_before += static_cast<long long>(object.functions[f].code.size());
+      function_passes_[p]->Run(object, static_cast<int>(f), options);
+      row.insns_after += static_cast<long long>(object.functions[f].code.size());
+      row.seconds += SecondsSince(t0);
+      ++row.runs;
+    }
+  }
+  for (size_t p = 0; p < object_passes_.size(); ++p) {
+    PassStats& row = rows[function_passes_.size() + p];
+    auto t0 = std::chrono::steady_clock::now();
+    row.insns_before += ObjectInsnCount(object);
+    object_passes_[p]->Run(object, options);
+    row.insns_after += ObjectInsnCount(object);
+    row.seconds += SecondsSince(t0);
+    ++row.runs;
+  }
+  if (stats != nullptr) {
+    MergePassStats(*stats, rows);
+  }
+}
+
+void PassManager::RunOnImage(Image& image, const ImagePassOptions& options,
+                             std::vector<PassStats>* stats) {
+  std::vector<PassStats> rows;
+  rows.reserve(image_passes_.size());
+  for (const auto& pass : image_passes_) {
+    PassStats row{pass->name(), "image"};
+    auto t0 = std::chrono::steady_clock::now();
+    row.insns_before = ImageInsnCount(image);
+    pass->Run(image, options);
+    row.insns_after = ImageInsnCount(image);
+    row.seconds = SecondsSince(t0);
+    row.runs = 1;
+    rows.push_back(std::move(row));
+  }
+  if (stats != nullptr) {
+    MergePassStats(*stats, rows);
+  }
+}
+
+PassManager MakeObjectPassManager() {
+  PassManager manager;
+  manager.AddFunctionPass(std::make_unique<InlineFunctionPass>());
+  manager.AddFunctionPass(std::make_unique<SimplifyFunctionPass>());
+  manager.AddFunctionPass(std::make_unique<LvnFunctionPass>());
+  manager.AddFunctionPass(std::make_unique<JumpThreadFunctionPass>());
+  manager.AddFunctionPass(std::make_unique<PeepholeFunctionPass>());
+  manager.AddObjectPass(std::make_unique<DceLocalPass>());
+  return manager;
+}
+
+PassManager MakeImagePassManager() {
+  PassManager manager;
+  manager.AddImagePass(std::make_unique<DevirtualizePass>());
+  manager.AddImagePass(std::make_unique<CrossInlinePass>());
+  manager.AddImagePass(std::make_unique<ImageDcePass>());
+  manager.AddImagePass(std::make_unique<ImageSimplifyPass>());
+  manager.AddImagePass(std::make_unique<ImageLayoutPass>());
+  return manager;
+}
+
+}  // namespace knit

@@ -11,9 +11,14 @@
 namespace knit {
 namespace {
 
-RouterStats RunConfig(const std::string& top_unit, const std::vector<TracePacket>& trace) {
+RouterStats RunConfig(const std::string& top_unit, const std::vector<TracePacket>& trace,
+                      int opt_level = 1) {
   Diagnostics diags;
   KnitcOptions options;
+  options.opt_level = opt_level;
+  if (opt_level == 0) {
+    options.optimize = false;
+  }
   Result<RouterProgram> program = RouterProgram::FromClack(top_unit, options, diags);
   EXPECT_TRUE(program.ok()) << diags.ToString();
   if (!program.ok()) {
@@ -61,6 +66,25 @@ TEST(Clack, AllConfigurationsTransmitIdenticalBytes) {
   EXPECT_EQ(modular.tx_hash, flat.tx_hash);
   EXPECT_EQ(modular.tx_hash, hand.tx_hash);
   EXPECT_EQ(modular.tx_hash, hand_flat.tx_hash);
+}
+
+// The -O2 image passes must not change what any configuration transmits: every
+// top at every opt level produces the same bytes as the modular -O0 build.
+TEST(Clack, OptLevelsTransmitIdenticalBytes) {
+  TraceOptions trace_options;
+  trace_options.count = 250;
+  trace_options.seed = 99;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+
+  RouterStats baseline = RunConfig("ClackRouter", trace, /*opt_level=*/0);
+  ASSERT_GT(baseline.tx_count, 0u);
+  for (const char* top : {"ClackRouter", "ClackRouterFlat", "HandRouter", "HandRouterFlat"}) {
+    for (int opt_level : {0, 1, 2}) {
+      RouterStats stats = RunConfig(top, trace, opt_level);
+      EXPECT_EQ(baseline.tx_hash, stats.tx_hash) << top << " at -O" << opt_level;
+      EXPECT_EQ(baseline.tx_count, stats.tx_count) << top << " at -O" << opt_level;
+    }
+  }
 }
 
 TEST(Clack, PerformanceOrderingMatchesPaper) {

@@ -3,11 +3,18 @@
 // deterministic MiniC programs — arithmetic, globals, arrays, branches, bounded
 // loops, and calls into earlier functions (inliner food) — and compare O0 vs O2
 // results over several inputs.
+//
+// A second section checks the image-scope (-O2 link-time) passes over random
+// multi-unit Knit configurations: behaviour bit-identical to -O0, dead-export
+// elimination never strips a reachable symbol, and the optimized image is
+// bit-identical across --jobs values.
 #include <gtest/gtest.h>
 
 #include <random>
 #include <string>
 
+#include "src/driver/knitc.h"
+#include "src/vm/machine.h"
 #include "tests/testutil.h"
 
 namespace knit {
@@ -170,6 +177,214 @@ TEST_P(OptimizerEquivalenceTest, O0AndO2Agree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerEquivalenceTest, testing::Range(1, 41));
+
+// ---- image scope --------------------------------------------------------------
+// The -O2 passes run after ld/link on the whole image: cross-unit inlining
+// through resolved bindings, devirtualization, and global dead-function
+// elimination from the image entry points. The properties below are the
+// acceptance bar for them being semantics-preserving.
+
+struct GeneratedKnit {
+  std::string knit;
+  SourceMap sources;
+};
+
+// A random unit chain: node i imports 1-2 Work bundles from earlier nodes; Top
+// instantiates every node and exports the tail plus one mid node (so DCE has
+// both live roots and — in the stubbed units — genuinely dead functions).
+GeneratedKnit GenerateKnit(unsigned seed) {
+  std::mt19937 rng(seed);
+  auto rand = [&](int n) { return static_cast<int>(rng() % static_cast<unsigned>(n)); };
+
+  GeneratedKnit out;
+  out.knit = "bundletype Work = { work }\n";
+  int nodes = 3 + rand(4);
+
+  std::vector<std::vector<int>> inputs(static_cast<size_t>(nodes));
+  for (int i = 1; i < nodes; ++i) {
+    int count = 1 + rand(2);
+    for (int k = 0; k < count; ++k) {
+      inputs[static_cast<size_t>(i)].push_back(rand(i));
+    }
+  }
+
+  for (int i = 0; i < nodes; ++i) {
+    int arity = static_cast<int>(inputs[static_cast<size_t>(i)].size());
+    std::string unit = "unit N" + std::to_string(i) + " = {\n  imports [";
+    for (int k = 0; k < arity; ++k) {
+      unit += std::string(k > 0 ? ", " : "") + "in" + std::to_string(k) + " : Work";
+    }
+    unit += "];\n  exports [ out : Work ];\n";
+    if (arity > 0) {
+      unit += "  depends { out needs (";
+      for (int k = 0; k < arity; ++k) {
+        unit += std::string(k > 0 ? " + " : "") + "in" + std::to_string(k);
+      }
+      unit += "); };\n";
+    }
+    unit += "  files { \"n" + std::to_string(i) + ".c\" };\n  rename {\n";
+    for (int k = 0; k < arity; ++k) {
+      unit += "    in" + std::to_string(k) + ".work to work_in" + std::to_string(k) + ";\n";
+    }
+    unit += "  };\n}\n";
+    out.knit += unit;
+
+    std::string source;
+    for (int k = 0; k < arity; ++k) {
+      source += "extern int work_in" + std::to_string(k) + "(int x);\n";
+    }
+    source += "static int g_state = " + std::to_string(rand(50)) + ";\n";
+    // A helper the exported function may or may not call: when it doesn't, the
+    // helper is inliner food per-TU and DCE food at image scope.
+    source += "static int helper(int x) { return x * " + std::to_string(3 + rand(9)) +
+              " + " + std::to_string(rand(100)) + "; }\n";
+    source += "int work(int x) {\n  g_state = g_state * 5 + 3;\n  int acc = x + g_state;\n";
+    if (rand(2) == 0) {
+      source += "  acc = acc ^ helper(acc & 0xFF);\n";
+    }
+    for (int k = 0; k < arity; ++k) {
+      switch (rand(3)) {
+        case 0:
+          source += "  acc = acc * 31 + work_in" + std::to_string(k) + "(acc & 0xFFFF);\n";
+          break;
+        case 1:
+          source += "  if (acc & 1) acc = acc ^ work_in" + std::to_string(k) + "(x + " +
+                    std::to_string(k) + ");\n";
+          break;
+        default:
+          source += "  for (int i = 0; i < (acc & 3); i++) acc += work_in" +
+                    std::to_string(k) + "(i);\n";
+          break;
+      }
+    }
+    source += "  return acc;\n}\n";
+    out.sources["n" + std::to_string(i) + ".c"] = source;
+  }
+
+  out.knit += "unit Top = {\n  imports [];\n  exports [ out : Work, mid : Work ];\n  link {\n";
+  for (int i = 0; i < nodes; ++i) {
+    out.knit += "    [w" + std::to_string(i) + "] <- N" + std::to_string(i) + " <- [";
+    const std::vector<int>& ins = inputs[static_cast<size_t>(i)];
+    for (size_t k = 0; k < ins.size(); ++k) {
+      out.knit += std::string(k > 0 ? ", " : "") + "w" + std::to_string(ins[k]);
+    }
+    out.knit += "];\n";
+  }
+  int mid = rand(nodes);
+  out.knit += "    [mid] <- N" + std::to_string(mid) + " as midnode <- [";
+  const std::vector<int>& mid_ins = inputs[static_cast<size_t>(mid)];
+  for (size_t k = 0; k < mid_ins.size(); ++k) {
+    out.knit += std::string(k > 0 ? ", " : "") + "w" + std::to_string(mid_ins[k]);
+  }
+  out.knit += "];\n";
+  out.knit += "    [out] <- N" + std::to_string(nodes - 1) + " as tail <- [";
+  const std::vector<int>& tail_ins = inputs[static_cast<size_t>(nodes - 1)];
+  for (size_t k = 0; k < tail_ins.size(); ++k) {
+    out.knit += std::string(k > 0 ? ", " : "") + "w" + std::to_string(tail_ins[k]);
+  }
+  out.knit += "];\n  };\n}\n";
+  return out;
+}
+
+// Runs both exports over the input set and records every raw RunResult value —
+// the comparison across opt levels is bit-identical, not hashed.
+bool RunExports(const GeneratedKnit& config, const KnitcOptions& options,
+                std::vector<uint32_t>* values, std::string* error) {
+  Diagnostics diags;
+  Result<KnitBuildResult> build = KnitBuild(config.knit, config.sources, "Top", options, diags);
+  if (!build.ok()) {
+    *error = diags.ToString() + "\n" + config.knit;
+    return false;
+  }
+  Machine machine(build.value().image);
+  RunResult init = machine.Call(build.value().init_function);
+  if (!init.ok) {
+    *error = init.error;
+    return false;
+  }
+  for (uint32_t input : {0u, 3u, 17u, 100u}) {
+    for (const char* port : {"out", "mid"}) {
+      RunResult run = machine.Call(build.value().ExportedSymbol(port, "work"), {input});
+      if (!run.ok) {
+        *error = std::string(port) + ": " + run.error;
+        return false;
+      }
+      values->push_back(run.value);
+    }
+  }
+  return true;
+}
+
+class ImagePassPropertyTest : public testing::TestWithParam<int> {};
+
+TEST_P(ImagePassPropertyTest, O0AndO2RunResultsBitIdentical) {
+  GeneratedKnit config = GenerateKnit(static_cast<unsigned>(GetParam()) * 2246822519u + 3);
+
+  KnitcOptions o0;
+  o0.optimize = false;
+  o0.opt_level = 0;
+  KnitcOptions o2;
+  o2.opt_level = 2;
+
+  std::vector<uint32_t> plain;
+  std::vector<uint32_t> optimized;
+  std::string error;
+  ASSERT_TRUE(RunExports(config, o0, &plain, &error)) << error;
+  ASSERT_TRUE(RunExports(config, o2, &optimized, &error)) << error;
+  ASSERT_EQ(plain.size(), optimized.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], optimized[i]) << "result " << i << " diverged at -O2\n" << config.knit;
+  }
+}
+
+TEST_P(ImagePassPropertyTest, DeadExportEliminationKeepsReachableSymbols) {
+  GeneratedKnit config = GenerateKnit(static_cast<unsigned>(GetParam()) * 2246822519u + 3);
+
+  KnitcOptions o2;
+  o2.opt_level = 2;
+  Diagnostics diags;
+  Result<KnitBuildResult> build = KnitBuild(config.knit, config.sources, "Top", o2, diags);
+  ASSERT_TRUE(build.ok()) << diags.ToString() << "\n" << config.knit;
+
+  // Every top-level export and the init/fini entry points must survive image DCE
+  // with a non-stubbed body.
+  std::vector<std::string> roots = {build.value().init_function, build.value().fini_function};
+  for (const char* port : {"out", "mid"}) {
+    roots.push_back(build.value().ExportedSymbol(port, "work"));
+  }
+  for (const std::string& name : roots) {
+    int id = build.value().image.FindFunction(name);
+    ASSERT_GE(id, 0) << name << " eliminated from the image\n" << config.knit;
+    EXPECT_FALSE(build.value().image.functions[static_cast<size_t>(id)].code.empty())
+        << name << " stubbed by image DCE\n"
+        << config.knit;
+  }
+}
+
+TEST_P(ImagePassPropertyTest, OptimizedImageIdenticalAcrossJobs) {
+  GeneratedKnit config = GenerateKnit(static_cast<unsigned>(GetParam()) * 2246822519u + 3);
+
+  uint64_t baseline = 0;
+  for (int jobs : {1, 2, 8}) {
+    KnitcOptions options;
+    options.opt_level = 2;
+    options.jobs = jobs;
+    Diagnostics diags;
+    KnitPipeline pipeline(options);
+    Result<LinkedImage> built = pipeline.Build(config.knit, config.sources, "Top", diags);
+    ASSERT_TRUE(built.ok()) << diags.ToString() << "\n" << config.knit;
+    uint64_t fingerprint = FingerprintImage(built.value().image);
+    if (jobs == 1) {
+      baseline = fingerprint;
+    } else {
+      EXPECT_EQ(baseline, fingerprint)
+          << "-O2 image differs at --jobs=" << jobs << "\n"
+          << config.knit;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImagePassPropertyTest, testing::Range(1, 13));
 
 }  // namespace
 }  // namespace knit

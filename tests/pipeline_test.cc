@@ -182,8 +182,8 @@ SourceMap CacheSources() {
 }
 
 PipelineMetrics BuildCacheProgram(const SourceMap& sources,
-                                  const std::shared_ptr<BuildCache>& cache) {
-  KnitcOptions options;
+                                  const std::shared_ptr<BuildCache>& cache,
+                                  KnitcOptions options = KnitcOptions()) {
   options.cache = cache;
   Diagnostics diags;
   KnitPipeline pipeline(options);
@@ -224,6 +224,55 @@ TEST(Pipeline, EditingOneUnitRecompilesExactlyThatUnit) {
   PipelineMetrics warm2 = BuildCacheProgram(sources, cache);
   EXPECT_EQ(warm2.CacheMisses(), 0);
   EXPECT_EQ(warm2.CacheHits(), 3);
+}
+
+// Optimization configuration is part of the compile-stage cache key: changing
+// the level or an inline budget must recompile, and a warm rebuild at the same
+// configuration must not.
+TEST(Pipeline, ChangingOptimizationConfigRecompiles) {
+  auto cache = std::make_shared<BuildCache>();
+  SourceMap sources = CacheSources();
+
+  PipelineMetrics cold = BuildCacheProgram(sources, cache);  // default: -O1
+  EXPECT_EQ(cold.CacheMisses(), 3);
+
+  // Same sources at -O2: every object recompiles (the key changed, the text
+  // didn't), and the -O1 entries stay in the cache untouched.
+  KnitcOptions o2;
+  o2.opt_level = 2;
+  PipelineMetrics cold_o2 = BuildCacheProgram(sources, cache, o2);
+  EXPECT_EQ(cold_o2.CacheMisses(), 3);
+  EXPECT_EQ(cold_o2.CacheHits(), 0);
+
+  // Warm rebuild at -O2: zero compiles.
+  PipelineMetrics warm_o2 = BuildCacheProgram(sources, cache, o2);
+  EXPECT_EQ(warm_o2.CacheMisses(), 0);
+  EXPECT_EQ(warm_o2.CacheHits(), 3);
+
+  // And the original -O1 entries are still warm too.
+  PipelineMetrics warm_o1 = BuildCacheProgram(sources, cache);
+  EXPECT_EQ(warm_o1.CacheMisses(), 0);
+  EXPECT_EQ(warm_o1.CacheHits(), 3);
+
+  // A different inline budget is a different key as well.
+  KnitcOptions budget;
+  budget.inline_limit = 4;
+  PipelineMetrics cold_budget = BuildCacheProgram(sources, cache, budget);
+  EXPECT_EQ(cold_budget.CacheMisses(), 3);
+
+  KnitcOptions growth;
+  growth.caller_growth = 1024;
+  PipelineMetrics cold_growth = BuildCacheProgram(sources, cache, growth);
+  EXPECT_EQ(cold_growth.CacheMisses(), 3);
+
+  // -O0 (optimizer off) is yet another key.
+  KnitcOptions o0;
+  o0.optimize = false;
+  PipelineMetrics cold_o0 = BuildCacheProgram(sources, cache, o0);
+  EXPECT_EQ(cold_o0.CacheMisses(), 3);
+  PipelineMetrics warm_o0 = BuildCacheProgram(sources, cache, o0);
+  EXPECT_EQ(warm_o0.CacheMisses(), 0);
+  EXPECT_EQ(warm_o0.CacheHits(), 3);
 }
 
 TEST(Pipeline, DiskCachePersistsAcrossPipelines) {

@@ -34,6 +34,7 @@ struct CliOptions {
   bool dump_units = false;
   bool print_schedule = false;
   bool print_stats = false;
+  bool print_passes = false;
   bool list_exports = false;
   bool print_map = false;
   std::string stats_json;    // "" = off; "-" = stdout
@@ -58,7 +59,11 @@ void PrintUsage(std::FILE* out) {
                "                        is bit-identical for every N\n"
                "  --cache-dir=PATH      persist compiled-object cache entries under PATH\n"
                "                        (default: in-memory cache only)\n"
-               "  --no-optimize         disable the per-TU optimizer (-O0)\n"
+               "  -O0 / -O1 / -O2       optimization level: 0 = none, 1 = per-unit passes\n"
+               "                        (default), 2 = per-unit plus whole-image link-time\n"
+               "                        passes (cross-unit inlining, global dead-code\n"
+               "                        elimination); outputs are identical at every level\n"
+               "  --no-optimize         disable the per-TU optimizer (alias for -O0)\n"
                "  --no-check            skip constraint checking\n"
                "  --no-flatten          ignore `flatten` markers\n"
                "  --flatten-all         merge the whole program into one translation unit\n"
@@ -69,6 +74,8 @@ void PrintUsage(std::FILE* out) {
                "  --dump-units          print the parsed declarations back as canonical Knit\n"
                "  --print-schedule      print the computed init/fini order\n"
                "  --print-stats         print per-stage build metrics (time, items, cache)\n"
+               "  --print-passes        print per-pass optimizer stats (insns before/after,\n"
+               "                        time) for the object and image scopes\n"
                "  --stats-json=PATH     write the stage metrics as JSON to PATH ('-' = "
                "stdout)\n"
                "  --trace=PATH          write the stage timings as Chrome trace-event JSON\n"
@@ -179,6 +186,25 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
       }
     } else if (arg == "--no-optimize") {
       options.build.optimize = false;
+      options.build.opt_level = 0;
+    } else if (arg.rfind("-O", 0) == 0) {
+      std::string level = arg.substr(2);
+      if (level == "0") {
+        options.build.opt_level = 0;
+        options.build.optimize = false;
+      } else if (level.empty() || level == "1") {
+        options.build.opt_level = 1;
+        options.build.optimize = true;
+      } else if (level == "2") {
+        options.build.opt_level = 2;
+        options.build.optimize = true;
+      } else {
+        std::fprintf(stderr,
+                     "knitc: error: unknown optimization level '%s' (use -O0, -O1, or "
+                     "-O2)\n",
+                     arg.c_str());
+        return 3;
+      }
     } else if (arg == "--no-check") {
       options.build.check_constraints = false;
     } else if (arg == "--no-flatten") {
@@ -191,6 +217,8 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
       options.print_schedule = true;
     } else if (arg == "--print-stats") {
       options.print_stats = true;
+    } else if (arg == "--print-passes") {
+      options.print_passes = true;
     } else if (arg == "--list-exports") {
       options.list_exports = true;
     } else if (arg == "--print-map") {
@@ -389,6 +417,21 @@ int Main(int argc, char** argv) {
       std::printf("\n");
     }
     std::printf("  %-12s %9.3f\n", "total", metrics.TotalSeconds() * 1e3);
+  }
+  if (options.print_passes) {
+    std::printf("optimizer passes:\n");
+    if (result.stats.pass_stats.empty()) {
+      std::printf("  (none ran: optimization disabled or every object came from "
+                  "the cache)\n");
+    } else {
+      std::printf("  %-14s %-7s %8s %14s %14s %10s\n", "pass", "scope", "runs",
+                  "insns-before", "insns-after", "ms");
+      for (const PassStats& row : result.stats.pass_stats) {
+        std::printf("  %-14s %-7s %8lld %14lld %14lld %10.3f\n", row.pass.c_str(),
+                    row.scope.c_str(), row.runs, row.insns_before, row.insns_after,
+                    row.seconds * 1e3);
+      }
+    }
   }
   if (options.print_map) {
     std::printf("link map:\n");

@@ -107,21 +107,27 @@ void RouterProgram::EnableProfiling(size_t max_events) {
   machine_->EnableProfiling(max_events);
 }
 
+void RouterProgram::ResetStats() { *stats_ = RouterStats{}; }
+
 Result<RouterStats> RouterProgram::RunTrace(const std::vector<TracePacket>& trace,
                                             Diagnostics& diags) {
-  *stats_ = RouterStats{};
-  stats_->text_bytes = machine_->image().text_bytes;
-
-  int in0_fn = machine_->image().FindFunction(entry_names_["in0"]);
-  int in1_fn = machine_->image().FindFunction(entry_names_["in1"]);
+  ResetStats();
 
   // Attribute exactly the measured window: init already ran (Prepare), and the
   // stats read-back below happens after the snapshot.
   if (machine_->profiling()) {
     machine_->ResetProfile();
   }
+  return RunTraceRange(trace, 0, trace.size(), diags);
+}
 
-  for (const TracePacket& packet : trace) {
+Result<RouterStats> RouterProgram::RunTraceRange(const std::vector<TracePacket>& trace,
+                                                 size_t begin, size_t end,
+                                                 Diagnostics& diags) {
+  stats_->text_bytes = machine_->image().text_bytes;
+
+  for (size_t p = begin; p < end && p < trace.size(); ++p) {
+    const TracePacket& packet = trace[p];
     if (packet.frame.size() > kFrameCapacity) {
       diags.Error(SourceLoc::Unknown(), "trace frame exceeds buffer capacity");
       return Result<RouterStats>::Failure();
@@ -135,10 +141,13 @@ Result<RouterStats> RouterProgram::RunTrace(const std::vector<TracePacket>& trac
     machine_->WriteWord(pkt_struct_addr_ + 8, 0);
     machine_->WriteWord(pkt_struct_addr_ + 12, 0);
 
+    // Re-resolved every packet: a hot swap of the source element repoints the
+    // unversioned entry symbol to the replacement generation.
+    int entry = machine_->image().FindFunction(
+        entry_names_[packet.in_port == 0 ? "in0" : "in1"]);
     long long cycles_before = machine_->cycles();
     long long stalls_before = machine_->ifetch_stalls();
-    RunResult result =
-        machine_->CallId(packet.in_port == 0 ? in0_fn : in1_fn, {pkt_struct_addr_});
+    RunResult result = machine_->CallId(entry, {pkt_struct_addr_});
     if (!result.ok) {
       diags.Error(SourceLoc::Unknown(), "router trapped on packet " +
                                             std::to_string(stats_->packets) + ": " +
@@ -148,6 +157,9 @@ Result<RouterStats> RouterProgram::RunTrace(const std::vector<TracePacket>& trac
     stats_->cycles += machine_->cycles() - cycles_before;
     stats_->ifetch_stalls += machine_->ifetch_stalls() - stalls_before;
     ++stats_->packets;
+    if (packet_hook_) {
+      packet_hook_(static_cast<int>(p));
+    }
   }
 
   if (machine_->profiling()) {

@@ -6,6 +6,7 @@
 #ifndef SRC_CLACK_HARNESS_H_
 #define SRC_CLACK_HARNESS_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -76,7 +77,23 @@ class RouterProgram {
 
   // Runs the trace; each packet is written into VM memory and pushed through the
   // matching input port, with cycle/stall deltas accumulated per packet.
+  // Equivalent to ResetStats() followed by RunTraceRange over the whole trace.
   Result<RouterStats> RunTrace(const std::vector<TracePacket>& trace, Diagnostics& diags);
+
+  // Runs packets [begin, end) of the trace WITHOUT resetting the accumulated
+  // stats, and re-resolves the input entry points per packet — so traffic keeps
+  // flowing (and keeps being counted) across a live reconfiguration that
+  // repoints those symbols mid-run. The packet hook (if set) fires after each
+  // packet completes, at a quiescent point: no router frame is live.
+  Result<RouterStats> RunTraceRange(const std::vector<TracePacket>& trace, size_t begin,
+                                    size_t end, Diagnostics& diags);
+
+  // Zeroes the accumulated RouterStats (packets, cycles, counters, tx log).
+  void ResetStats();
+
+  // Host callback invoked after packet index N of a RunTrace/RunTraceRange loop.
+  // The reconfig tests use it to Pump() a ReconfigEngine between packets.
+  void SetPacketHook(std::function<void(int)> hook) { packet_hook_ = std::move(hook); }
 
   // Turns on the machine's component profiler; subsequent RunTrace calls fill
   // RouterStats::profile with the measured window's attribution.
@@ -84,6 +101,9 @@ class RouterProgram {
 
   Machine& machine() { return *machine_; }
   const KnitBuildResult* build() const { return build_.get(); }
+  // Mutable access for the reconfig engine, which rewrites the build's image
+  // (binding slots, appended functions) while the machine runs it.
+  KnitBuildResult* mutable_build() { return build_.get(); }
 
  private:
   RouterProgram() = default;
@@ -98,6 +118,7 @@ class RouterProgram {
 
   uint32_t pkt_struct_addr_ = 0;
   uint32_t frame_addr_ = 0;
+  std::function<void(int)> packet_hook_;
   // Heap-allocated so the dev_tx native (which captures it) survives moves of the
   // RouterProgram object.
   std::shared_ptr<RouterStats> stats_ = std::make_shared<RouterStats>();

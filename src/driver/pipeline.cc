@@ -137,6 +137,29 @@ void HashUnitInterface(const Elaboration& elaboration, const UnitDecl& unit, Fnv
   }
 }
 
+// Expands KnitcOptions::swappable ("*" = every instance) against the
+// configuration's instance paths; unknown paths are errors.
+bool ExpandSwappable(const std::vector<std::string>& swappable, const Configuration& config,
+                     std::set<std::string>& out, Diagnostics& diags) {
+  bool ok = true;
+  for (const std::string& entry : swappable) {
+    if (entry == "*") {
+      for (const Instance& instance : config.instances) {
+        out.insert(instance.path);
+      }
+      continue;
+    }
+    if (config.FindInstance(entry) < 0) {
+      diags.Error(SourceLoc::Unknown(),
+                  "swappable instance '" + entry + "' does not exist in this configuration");
+      ok = false;
+      continue;
+    }
+    out.insert(entry);
+  }
+  return ok;
+}
+
 }  // namespace
 
 // ---- metrics -----------------------------------------------------------------
@@ -268,6 +291,12 @@ uint64_t FingerprintImage(const Image& image) {
   for (const auto& [name, address] : image.data_symbols) {
     hasher.Update(name);
     hasher.Update(static_cast<uint64_t>(address));
+  }
+  hasher.Update(static_cast<uint64_t>(image.bindings.size()));
+  for (const BindingSlot& slot : image.bindings) {
+    hasher.Update(slot.symbol);
+    hasher.Update(slot.component);
+    hasher.Update(slot.target);
   }
   hasher.Update(image.text_bytes);
   return hasher.digest();
@@ -414,6 +443,18 @@ class CompileStage {
     compile_metrics.stage = "compile";
 
     AssignGroups();
+    if (!ExpandSwappable(options_.swappable, config_, swappable_, diags)) {
+      return Result<CompiledUnits>::Failure();
+    }
+    // A swappable instance must keep its boundary as call sites: pull it out of
+    // any flatten group (like object-backed units) so it compiles standalone and
+    // its consumed exports stay external — which is what gives them binding
+    // slots at link time.
+    for (size_t i = 0; i < config_.instances.size(); ++i) {
+      if (swappable_.count(config_.instances[i].path) > 0) {
+        groups_[i] = -1;
+      }
+    }
     ComputeExternalExports();
     metrics_.instance_count = static_cast<int>(config_.instances.size());
 
@@ -765,7 +806,7 @@ class CompileStage {
 
   uint64_t UnitCacheKey(const UnitDecl& unit) const {
     Fnv64 hasher;
-    hasher.Update("unit-object-v2");
+    hasher.Update("unit-object-v3");  // v3: Op enum gained kCallBound
     HashUnitInterface(elaboration_, unit, hasher);
     std::set<std::string> visited;
     for (const std::string& file : unit.files) {
@@ -778,7 +819,7 @@ class CompileStage {
   uint64_t GroupCacheKey(int group, const std::vector<int>& members,
                          const std::vector<InstanceNames>& names) const {
     Fnv64 hasher;
-    hasher.Update("flatten-group-v2");
+    hasher.Update("flatten-group-v3");  // v3: Op enum gained kCallBound
     hasher.Update("flatten" + std::to_string(group) + ".o");
     hasher.Update(options_.sort_definitions);
     hasher.Update(options_.callers_first_definitions);
@@ -1173,6 +1214,7 @@ class CompileStage {
   std::vector<int> groups_;  // group id per instance; -1 = standalone (objcopy path)
   int group_count_ = 0;
   std::set<std::pair<int, int>> external_exports_;  // (instance, export port)
+  std::set<std::string> swappable_;                 // expanded KnitcOptions::swappable
 };
 
 }  // namespace
@@ -1202,6 +1244,10 @@ Result<LinkedImage> KnitPipeline::Link(const CompiledUnits& compiled, Diagnostic
   }
   for (const std::string& native : options_.extra_natives) {
     link_options.natives.push_back(native);
+  }
+  if (!ExpandSwappable(options_.swappable, config, link_options.swappable_components, diags)) {
+    metrics.seconds = Seconds(t0);
+    return Result<LinkedImage>::Failure();
   }
 
   std::vector<LinkItem> items;
@@ -1247,7 +1293,6 @@ Result<LinkedImage> KnitPipeline::Link(const CompiledUnits& compiled, Diagnostic
 // ---- link-optimize stage -----------------------------------------------------
 
 Result<OptimizedImage> KnitPipeline::LinkOptimize(const LinkedImage& linked, Diagnostics& diags) {
-  (void)diags;  // the image passes cannot fail: they refuse rather than report
   auto t0 = std::chrono::steady_clock::now();
   StageMetrics& metrics = BeginStage("link-optimize");
 
@@ -1265,6 +1310,11 @@ Result<OptimizedImage> KnitPipeline::LinkOptimize(const LinkedImage& linked, Dia
     }
     for (const auto& [port_symbol, link_name] : linked.export_names) {
       image_options.entry_points.push_back(link_name);
+    }
+    const Configuration& config = *linked.compiled.checked.scheduled.elaborated.config;
+    if (!ExpandSwappable(options_.swappable, config, image_options.swappable_components, diags)) {
+      metrics.seconds = Seconds(t0);
+      return Result<OptimizedImage>::Failure();
     }
     PassManager manager = MakeImagePassManager();
     manager.RunOnImage(optimized.linked.image, image_options, &optimized.pass_stats);
@@ -1306,6 +1356,189 @@ Result<LinkedImage> KnitPipeline::Build(const std::string& knit_source, const So
     return Result<LinkedImage>::Failure();
   }
   return std::move(optimized.value().linked);
+}
+
+// ---- instance replacement ----------------------------------------------------
+
+Result<ReplacementObject> CompileInstanceReplacement(
+    const Elaboration& elaboration, const Configuration& config,
+    const std::string& instance_path, const std::string& source,
+    const std::string& source_name, const SourceMap& sources,
+    const std::string& version_suffix, Diagnostics& diags) {
+  int instance_index = config.FindInstance(instance_path);
+  if (instance_index < 0) {
+    diags.Error(SourceLoc::Unknown(),
+                "replacement target '" + instance_path + "' does not exist in this configuration");
+    return Result<ReplacementObject>::Failure();
+  }
+  const Instance& instance = config.instances[instance_index];
+  const UnitDecl& unit = *instance.unit;
+  if (IsObjectUnit(unit)) {
+    diags.Error(unit.loc, "instance " + instance_path + ": unit '" + unit.name +
+                              "' is object-backed and cannot be replaced from source");
+    return Result<ReplacementObject>::Failure();
+  }
+
+  // Parse + check the replacement source against the SAME interface contract the
+  // compile stage enforces for the original unit files.
+  SourceMap replacement_sources = sources;  // copied so #include resolution works
+  replacement_sources[source_name] = source;
+  TypeTable types;
+  Result<TranslationUnit> tu =
+      ParseCFiles(replacement_sources, {source_name}, unit.name, types, diags);
+  if (!tu.ok()) {
+    return Result<ReplacementObject>::Failure();
+  }
+  Result<SemaInfo> info = AnalyzeTranslationUnit(tu.value(), types, diags);
+  if (!info.ok()) {
+    return Result<ReplacementObject>::Failure();
+  }
+  bool ok = true;
+  for (const PortDecl& port : unit.exports) {
+    const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+    for (const std::string& symbol : bundle->symbols) {
+      std::string c_name = CNameOf(unit, port.local_name, symbol);
+      if (info.value().defined_functions.count(c_name) == 0 &&
+          info.value().defined_globals.count(c_name) == 0) {
+        diags.Error(port.loc, "replacement for " + instance_path + ": source does not define '" +
+                                  c_name + "' (the C name of export " + port.local_name + "." +
+                                  symbol + ")");
+        ok = false;
+      }
+    }
+  }
+  for (const PortDecl& port : unit.imports) {
+    const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+    for (const std::string& symbol : bundle->symbols) {
+      std::string c_name = CNameOf(unit, port.local_name, symbol);
+      if (info.value().defined_functions.count(c_name) > 0 ||
+          info.value().defined_globals.count(c_name) > 0) {
+        diags.Error(port.loc, "replacement for " + instance_path + ": source DEFINES '" + c_name +
+                                  "', which is the C name of import " + port.local_name + "." +
+                                  symbol + " (imports must only be declared)");
+        ok = false;
+      }
+    }
+  }
+  for (const std::vector<InitFiniDecl>* list : {&unit.initializers, &unit.finalizers}) {
+    for (const InitFiniDecl& decl : *list) {
+      if (info.value().defined_functions.count(decl.function) == 0) {
+        diags.Error(decl.loc, "replacement for " + instance_path +
+                                  ": source does not define initializer/finalizer '" +
+                                  decl.function + "'");
+        ok = false;
+      }
+    }
+  }
+  if (!ok) {
+    return Result<ReplacementObject>::Failure();
+  }
+
+  CodegenOptions codegen_options;
+  if (!unit.flags_name.empty()) {
+    const FlagsDecl* flags = elaboration.FindFlags(unit.flags_name);
+    if (flags != nullptr) {
+      codegen_options.ApplyFlags(flags->flags);
+    }
+  }
+  Result<ObjectFile> object =
+      CompileTranslationUnit(tu.value(), info.value(), types, codegen_options,
+                             instance_path + version_suffix + ".o", diags);
+  if (!object.ok()) {
+    return Result<ReplacementObject>::Failure();
+  }
+  ReplacementObject out;
+  out.object = object.take();
+
+  // Rename map: exports and init/fini entry points get their instance link names
+  // plus the version suffix (so the replacement's globals coexist with the
+  // retired generation's in one image); imports resolve to the running
+  // configuration's unversioned supplier link names.
+  std::map<std::string, std::string> renames;
+  std::set<std::string> keep_global;
+  auto add = [&](const std::string& c_name, const std::string& link_name, const SourceLoc& loc) {
+    auto [it, inserted] = renames.emplace(c_name, link_name);
+    if (!inserted && it->second != link_name) {
+      diags.Error(loc, "replacement for " + instance_path + ": C identifier '" + c_name +
+                           "' is used for two different connections");
+      return false;
+    }
+    return true;
+  };
+  for (const PortDecl& port : unit.exports) {
+    const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+    for (const std::string& symbol : bundle->symbols) {
+      std::string link = MangleExport(instance_path, port.local_name, symbol);
+      std::string versioned = link + version_suffix;
+      if (!add(CNameOf(unit, port.local_name, symbol), versioned, port.loc)) {
+        return Result<ReplacementObject>::Failure();
+      }
+      keep_global.insert(versioned);
+      out.export_links[link] = versioned;
+    }
+  }
+  for (size_t m = 0; m < unit.imports.size(); ++m) {
+    const PortDecl& port = unit.imports[m];
+    const BundleTypeDecl* bundle = elaboration.FindBundleType(port.bundle_type);
+    const SupplierRef& supplier = instance.import_suppliers[m];
+    for (const std::string& symbol : bundle->symbols) {
+      std::string link;
+      if (supplier.IsEnvironment()) {
+        link = EnvSymbol(config.top->imports[supplier.port].local_name, symbol);
+      } else {
+        const Instance& producer = config.instances[supplier.instance];
+        link = MangleExport(producer.path, producer.unit->exports[supplier.port].local_name,
+                            symbol);
+      }
+      if (!add(CNameOf(unit, port.local_name, symbol), link, port.loc)) {
+        return Result<ReplacementObject>::Failure();
+      }
+    }
+  }
+  auto init_link = [&](const InitFiniDecl& decl, std::vector<std::string>& list) {
+    auto existing = renames.find(decl.function);
+    if (existing != renames.end()) {
+      // Also an exported symbol: the versioned export link name is the entry.
+      keep_global.insert(existing->second);
+      list.push_back(existing->second);
+      return true;
+    }
+    std::string versioned = MangleInitFini(instance_path, decl.function) + version_suffix;
+    if (!add(decl.function, versioned, decl.loc)) {
+      return false;
+    }
+    keep_global.insert(versioned);
+    list.push_back(versioned);
+    return true;
+  };
+  for (const InitFiniDecl& decl : unit.initializers) {
+    if (!init_link(decl, out.initializers)) {
+      return Result<ReplacementObject>::Failure();
+    }
+  }
+  for (const InitFiniDecl& decl : unit.finalizers) {
+    if (!init_link(decl, out.finalizers)) {
+      return Result<ReplacementObject>::Failure();
+    }
+  }
+  if (!ObjcopyRename(out.object, renames, diags).ok()) {
+    return Result<ReplacementObject>::Failure();
+  }
+  // Hide every other defined global, as the compile stage does: replacement-local
+  // names must not collide with (or capture references meant for) the rest of the
+  // running image.
+  for (const ObjSymbol& symbol : out.object.symbols) {
+    if (symbol.global && symbol.section != ObjSymbol::Section::kUndefined &&
+        keep_global.count(symbol.name) == 0) {
+      if (!ObjcopyLocalize(out.object, symbol.name, diags).ok()) {
+        return Result<ReplacementObject>::Failure();
+      }
+    }
+  }
+  for (BytecodeFunction& function : out.object.functions) {
+    function.component = instance_path;
+  }
+  return out;
 }
 
 }  // namespace knit

@@ -109,6 +109,15 @@ struct KnitcOptions {
   // source-flattened (they are pulled out of any flatten group). Prebuilt objects
   // are never cached: the caller already owns the artifact.
   std::map<std::string, ObjectFile> prebuilt_objects;
+
+  // Instance paths whose component boundary stays rebindable at run time (the
+  // live-reconfiguration subsystem, src/reconfig/). "*" marks every instance.
+  // A swappable instance is pulled out of any flatten group (its boundary must
+  // survive as call sites), its global text symbols get binding slots at link
+  // time (Image::bindings; cross-component callers compile to kCallBound), and
+  // the -O2 image passes neither devirtualize into it nor eliminate the slot
+  // targets — the deopt that keeps hot-swap sound under whole-image optimization.
+  std::vector<std::string> swappable;
 };
 
 // ---- metrics -----------------------------------------------------------------
@@ -220,6 +229,30 @@ struct OptimizedImage {
   LinkedImage linked;
   std::vector<PassStats> pass_stats;  // image-scope rows from this run
 };
+
+// A compiled replacement for one instance, ready for the reconfig engine
+// (src/reconfig/) to patch-link into a running image. Instance-owned globals
+// carry a version suffix so the replacement coexists with the retired code.
+struct ReplacementObject {
+  ObjectFile object;
+  std::vector<std::string> initializers;  // versioned link names, declaration order
+  std::vector<std::string> finalizers;    // versioned link names, declaration order
+  // Unversioned export link name (== BindingSlot::symbol) -> versioned name.
+  std::map<std::string, std::string> export_links;
+};
+
+// Compiles `source` as a replacement for the instance at `instance_path`,
+// enforcing the same interface contract the compile stage enforces for the
+// original unit files (exports/initializers defined, imports only declared).
+// Exports and init/fini entry points are renamed to their instance link names
+// plus `version_suffix`; imports resolve to the running configuration's
+// (unversioned) supplier link names; everything else is localized. `sources`
+// provides #include resolution; `source_name` labels diagnostics.
+Result<ReplacementObject> CompileInstanceReplacement(
+    const Elaboration& elaboration, const Configuration& config,
+    const std::string& instance_path, const std::string& source,
+    const std::string& source_name, const SourceMap& sources,
+    const std::string& version_suffix, Diagnostics& diags);
 
 // ---- the pipeline ------------------------------------------------------------
 

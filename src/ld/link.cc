@@ -25,6 +25,7 @@ class Linker {
     if (!Resolve()) {
       return Result<LinkResult>::Failure();
     }
+    CreateBindings();
     Patch();
     return std::move(result_);
   }
@@ -231,6 +232,30 @@ class Linker {
     return true;
   }
 
+  // Phase 3.5: binding slots for swappable components. Every global text symbol
+  // defined by a swappable instance gets a slot; iteration over the sorted
+  // global_defs_ map makes slot indices deterministic for identical links.
+  void CreateBindings() {
+    if (options_.swappable_components.empty()) {
+      return;
+    }
+    Image& image = result_.image;
+    for (const auto& [name, def] : global_defs_) {
+      const ObjectFile* object = def.first;
+      const ObjSymbol& symbol = object->symbols[def.second];
+      if (symbol.section != ObjSymbol::Section::kText) {
+        continue;
+      }
+      int target = function_base_[object] + symbol.index;
+      const std::string& component = image.functions[target].component;
+      if (options_.swappable_components.count(component) == 0) {
+        continue;
+      }
+      slot_of_callable_[target] = static_cast<int>(image.bindings.size());
+      image.bindings.push_back(BindingSlot{name, component, target});
+    }
+  }
+
   uint32_t ValueOf(const Resolved& resolved) const {
     switch (resolved.kind) {
       case Resolved::Kind::kFunction:
@@ -261,7 +286,17 @@ class Linker {
               // loaded word? In C this is a type error; treat as callable 0 trap.
               insn.a = -1;
             } else {
-              insn.a = resolved.callable;
+              auto slot = slot_of_callable_.find(resolved.callable);
+              if (slot != slot_of_callable_.end() &&
+                  function.component != image.bindings[slot->second].component) {
+                // Cross-component edge into a swappable instance: call through
+                // the binding slot so a swap retargets this site. Intra-instance
+                // calls stay direct — they are replaced wholesale with the code.
+                insn.op = Op::kCallBound;
+                insn.a = slot->second;
+              } else {
+                insn.a = resolved.callable;
+              }
             }
           }
         }
@@ -298,6 +333,7 @@ class Linker {
   std::map<const ObjectFile*, int> data_offsets_;
   std::map<const ObjectFile*, int> function_base_;
   std::map<const ObjectFile*, std::vector<Resolved>> resolution_;
+  std::map<int, int> slot_of_callable_;  // function id -> binding slot index
 };
 
 }  // namespace

@@ -16,6 +16,7 @@
 #define SRC_LD_LINK_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <variant>
 #include <vector>
@@ -39,6 +40,12 @@ struct LinkOptions {
 
   // Function placement alignment in text (affects I-cache behaviour).
   int text_align = 16;
+
+  // Instance paths (BytecodeFunction::component) whose global text symbols get
+  // binding slots (Image::bindings): cross-component calls into them are emitted
+  // as kCallBound through the slot instead of a baked-in function id, making the
+  // instance hot-swappable at the cost of one indirection per boundary call.
+  std::set<std::string> swappable_components;
 };
 
 // Link-map entry for reporting/tests.

@@ -1,0 +1,506 @@
+#include "src/reconfig/reconfig.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace knit {
+namespace {
+
+int RoundUp(int value, int align) { return (value + align - 1) / align * align; }
+
+// Joins the error entries of a scratch Diagnostics into one report string.
+std::string RenderErrors(const Diagnostics& diags, const std::string& fallback) {
+  std::string out;
+  for (const Diagnostic& diagnostic : diags.entries()) {
+    if (diagnostic.severity != Severity::kError) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += diagnostic.message;
+  }
+  return out.empty() ? fallback : out;
+}
+
+// How one replacement-object symbol resolves against the running image.
+struct Resolved {
+  enum class Kind { kUnresolved, kFunction, kNative, kData, kBound };
+  Kind kind = Kind::kUnresolved;
+  int callable = -1;     // kFunction/kNative: callable id; kBound: slot index
+  uint32_t address = 0;  // kData
+};
+
+}  // namespace
+
+ReconfigEngine::ReconfigEngine(KnitBuildResult& build, Machine& machine, SourceMap sources)
+    : build_(build), machine_(machine), sources_(std::move(sources)) {}
+
+SwapReport ReconfigEngine::Request(const SwapSpec& spec) {
+  if (!machine_.ComponentQuiescent(spec.instance)) {
+    // A frame is live inside the target: never tear a call mid-flight. Queue the
+    // request; Pump() retries at the next quiescent point.
+    pending_.push_back(Pending{spec, 0});
+    SwapReport report;
+    report.deferred = true;
+    return report;
+  }
+  SwapReport report = Execute(spec, 0);
+  reports_.push_back(report);
+  return report;
+}
+
+int ReconfigEngine::Pump() {
+  int finished = 0;
+  std::vector<Pending> still_waiting;
+  for (Pending& pending : pending_) {
+    ++pending.deferred_packets;
+    if (!machine_.ComponentQuiescent(pending.spec.instance)) {
+      still_waiting.push_back(std::move(pending));
+      continue;
+    }
+    reports_.push_back(Execute(pending.spec, pending.deferred_packets));
+    ++finished;
+  }
+  pending_ = std::move(still_waiting);
+  return finished;
+}
+
+SwapReport ReconfigEngine::Execute(const SwapSpec& spec, int deferred_packets) {
+  SwapReport report;
+  report.deferred_packets = deferred_packets;
+  report.version = ++generation_;
+  const std::string suffix = "__v" + std::to_string(report.version);
+  Image& image = build_.image;
+  const long long cycles_before = machine_.cycles();
+  auto finish = [&](SwapReport& r) -> SwapReport& {
+    r.pause_cycles = machine_.cycles() - cycles_before;
+    return r;
+  };
+
+  // ---- validate the target ---------------------------------------------------
+  if (build_.config.FindInstance(spec.instance) < 0) {
+    report.error = "unknown instance '" + spec.instance + "'";
+    return finish(report);
+  }
+  bool has_slots = false;
+  for (const BindingSlot& slot : image.bindings) {
+    if (slot.component == spec.instance) {
+      has_slots = true;
+      break;
+    }
+  }
+  if (!has_slots) {
+    report.error = "instance '" + spec.instance +
+                   "' was not built swappable (no binding slots; build with --swappable)";
+    return finish(report);
+  }
+  if (!machine_.ComponentQuiescent(spec.instance)) {
+    report.error = "instance '" + spec.instance + "' is not quiescent";  // defensive
+    return finish(report);
+  }
+
+  // ---- injection point: link failure ------------------------------------------
+  if (machine_.fault_plan().HasSwapPoint("swap-link")) {
+    report.error = "injected link failure at swap point 'swap-link'";
+    return finish(report);
+  }
+
+  // ---- compile the replacement -------------------------------------------------
+  Diagnostics diags;
+  Result<ReplacementObject> compiled = CompileInstanceReplacement(
+      *build_.elaboration, build_.config, spec.instance, spec.source, spec.source_name,
+      sources_, suffix, diags);
+  if (!compiled.ok()) {
+    report.error = RenderErrors(diags, "replacement failed to compile");
+    return finish(report);
+  }
+  ReplacementObject replacement = compiled.take();
+  const ObjectFile& object = replacement.object;
+
+  // Unversioned link name -> versioned, for every entry point the running image
+  // may need to retarget (exports and init/fini symbols; every versioned name
+  // carries `suffix`, so stripping recovers the unversioned form).
+  std::map<std::string, std::string> versioned_of = replacement.export_links;
+  auto strip = [&](const std::string& name) {
+    return name.substr(0, name.size() - suffix.size());
+  };
+  for (const std::vector<std::string>* list :
+       {&replacement.initializers, &replacement.finalizers}) {
+    for (const std::string& name : *list) {
+      versioned_of.emplace(strip(name), name);
+    }
+  }
+  // Every binding slot of the instance must have a replacement FUNCTION: slots
+  // are call targets, so an export that became a data global cannot serve one.
+  for (const BindingSlot& slot : image.bindings) {
+    if (slot.component != spec.instance) {
+      continue;
+    }
+    auto versioned = versioned_of.find(slot.symbol);
+    int symbol_index =
+        versioned == versioned_of.end() ? -1 : object.FindSymbol(versioned->second);
+    if (symbol_index < 0 ||
+        object.symbols[symbol_index].section != ObjSymbol::Section::kText) {
+      report.error = "replacement does not define '" + slot.symbol +
+                     "' as a function, but the running image calls it through a "
+                     "binding slot";
+      return finish(report);
+    }
+    // The call sites behind the slot were compiled against the OLD signature; a
+    // replacement that changes arity or drops the return value would corrupt
+    // every caller's evaluation stack on the first post-swap call.
+    const BytecodeFunction& incoming =
+        object.functions[object.symbols[symbol_index].index];
+    if (slot.target >= 0 && slot.target < static_cast<int>(image.functions.size())) {
+      const BytecodeFunction& current = image.functions[slot.target];
+      if (incoming.param_count != current.param_count ||
+          incoming.returns_value != current.returns_value ||
+          incoming.variadic != current.variadic) {
+        auto describe = [](const BytecodeFunction& f) {
+          return std::to_string(f.param_count) + (f.variadic ? "+ params, " : " params, ") +
+                 (f.returns_value ? "returns a value" : "returns void");
+        };
+        report.error = "replacement changes the signature of '" + slot.symbol + "' (" +
+                       describe(current) + " -> " + describe(incoming) +
+                       "); the running callers were compiled against the old one";
+        return finish(report);
+      }
+    }
+  }
+
+  // ---- grow the image ----------------------------------------------------------
+  // From here on the image's function table grows; every mutation below keeps the
+  // RUNNING code correct even if the swap later aborts (the new generation is
+  // simply never made reachable).
+  const int old_count = static_cast<int>(image.functions.size());
+  const int appended = static_cast<int>(object.functions.size());
+
+  // Replacement data lives on the VM heap (the Machine copied image.data into its
+  // memory at construction; appending to image.data would not load it).
+  uint32_t data_base = 0;
+  if (!object.data.empty()) {
+    data_base = machine_.Sbrk(static_cast<uint32_t>(object.data.size()));
+    if (data_base == 0) {
+      machine_.RecoverNestedTrap(machine_.EvalDepth());  // clear the sbrk trap
+      report.error = "heap exhausted placing replacement data";
+      return finish(report);
+    }
+    for (size_t i = 0; i < object.data.size(); ++i) {
+      machine_.WriteByte(data_base + static_cast<uint32_t>(i), object.data[i]);
+    }
+  }
+
+  int text_cursor = image.text_bytes;
+  for (const BytecodeFunction& function : object.functions) {
+    BytecodeFunction placed = function;
+    placed.text_offset = text_cursor;
+    text_cursor += RoundUp(placed.TextBytes(), 16);  // the linker's text_align
+    image.functions.push_back(std::move(placed));
+  }
+  image.text_bytes = text_cursor;
+
+  // Appending functions shifts native callable ids (natives live at
+  // [functions.size(), ...)). Patch every stored native reference in old code and
+  // data by the same delta, so the shift is unobservable: direct calls, funcref
+  // constants, and linker-recorded funcref data words.
+  for (int f = 0; f < old_count; ++f) {
+    for (Insn& insn : image.functions[f].code) {
+      if (insn.op == Op::kCall && insn.a >= old_count) {
+        insn.a += appended;
+      } else if (insn.op == Op::kConstInt) {
+        uint32_t value = static_cast<uint32_t>(insn.a);
+        if (IsFuncRef(value) && DecodeFuncRef(value) >= old_count) {
+          insn.a = static_cast<int32_t>(EncodeFuncRef(DecodeFuncRef(value) + appended));
+        }
+      }
+    }
+  }
+  auto patch_data_word = [&](uint32_t address, uint32_t value) {
+    machine_.WriteWord(address, value);
+    // Mirror into image.data when the word lives in the linked data image, so a
+    // later inspection of the image sees what the machine sees.
+    uint64_t offset = static_cast<uint64_t>(address) - image.data_base;
+    if (address >= image.data_base && offset + 4 <= image.data.size()) {
+      for (int i = 0; i < 4; ++i) {
+        image.data[offset + i] = static_cast<uint8_t>((value >> (8 * i)) & 0xFF);
+      }
+    }
+  };
+  for (uint32_t address : image.func_ref_data) {
+    uint32_t value = machine_.ReadWord(address);
+    if (IsFuncRef(value) && DecodeFuncRef(value) >= old_count) {
+      patch_data_word(address, EncodeFuncRef(DecodeFuncRef(value) + appended));
+    }
+  }
+
+  // Resolve the replacement's symbols against the running image. Binding slots
+  // win over direct function ids so imports from OTHER swappable instances stay
+  // retargetable by their own future swaps.
+  std::vector<Resolved> table(object.symbols.size());
+  for (size_t s = 0; s < object.symbols.size(); ++s) {
+    const ObjSymbol& symbol = object.symbols[s];
+    Resolved& resolved = table[s];
+    if (symbol.section == ObjSymbol::Section::kText) {
+      resolved.kind = Resolved::Kind::kFunction;
+      resolved.callable = old_count + symbol.index;
+      continue;
+    }
+    if (symbol.section == ObjSymbol::Section::kData) {
+      resolved.kind = Resolved::Kind::kData;
+      resolved.address = data_base + static_cast<uint32_t>(symbol.index);
+      continue;
+    }
+    if (!symbol.global) {
+      continue;  // dead local reference; nothing can use it
+    }
+    int slot = image.FindBinding(symbol.name);
+    if (slot >= 0) {
+      resolved.kind = Resolved::Kind::kBound;
+      resolved.callable = slot;
+      continue;
+    }
+    auto function = image.function_symbols.find(symbol.name);
+    if (function != image.function_symbols.end()) {
+      resolved.kind = Resolved::Kind::kFunction;
+      resolved.callable = function->second;
+      continue;
+    }
+    auto data = image.data_symbols.find(symbol.name);
+    if (data != image.data_symbols.end()) {
+      resolved.kind = Resolved::Kind::kData;
+      resolved.address = data->second;
+      continue;
+    }
+    bool is_native = false;
+    for (size_t n = 0; n < image.natives.size(); ++n) {
+      if (image.natives[n] == symbol.name) {
+        resolved.kind = Resolved::Kind::kNative;
+        resolved.callable = static_cast<int>(image.functions.size()) + static_cast<int>(n);
+        is_native = true;
+        break;
+      }
+    }
+    if (!is_native) {
+      report.error = "replacement has an undefined reference to '" + symbol.name + "'";
+      machine_.RefreshAfterImageGrowth();
+      return finish(report);
+    }
+  }
+  auto funcref_of = [&](const Resolved& resolved) -> uint32_t {
+    switch (resolved.kind) {
+      case Resolved::Kind::kFunction:
+      case Resolved::Kind::kNative:
+        return EncodeFuncRef(resolved.callable);
+      case Resolved::Kind::kBound:
+        // Address-of a slot-bound symbol bakes the CURRENT target; the commit
+        // step below repoints stored refs when the slot retargets.
+        return EncodeFuncRef(image.bindings[resolved.callable].target);
+      case Resolved::Kind::kData:
+        return resolved.address;
+      case Resolved::Kind::kUnresolved:
+        break;
+    }
+    return 0;
+  };
+
+  // Patch the appended code, exactly as the linker's Patch phase does.
+  for (int f = old_count; f < static_cast<int>(image.functions.size()); ++f) {
+    for (Insn& insn : image.functions[f].code) {
+      if (insn.op == Op::kConstSym) {
+        insn.op = Op::kConstInt;
+        insn.a = static_cast<int32_t>(funcref_of(table[insn.a]));
+      } else if (insn.op == Op::kCall) {
+        const Resolved& resolved = table[insn.a];
+        if (resolved.kind == Resolved::Kind::kBound) {
+          insn.op = Op::kCallBound;
+          insn.a = resolved.callable;
+        } else if (resolved.kind == Resolved::Kind::kFunction ||
+                   resolved.kind == Resolved::Kind::kNative) {
+          insn.a = resolved.callable;
+        } else {
+          insn.a = -1;  // call of a data symbol: trap, as the linker degrades it
+        }
+      }
+    }
+  }
+  // Replacement data relocations, against the heap placement.
+  for (const DataReloc& reloc : object.data_relocs) {
+    uint32_t at = data_base + static_cast<uint32_t>(reloc.data_offset);
+    uint32_t addend = machine_.ReadWord(at);
+    const Resolved& resolved = table[reloc.symbol];
+    machine_.WriteWord(at, funcref_of(resolved) + addend);
+    if (resolved.kind != Resolved::Kind::kData &&
+        resolved.kind != Resolved::Kind::kUnresolved) {
+      image.func_ref_data.push_back(at);
+    }
+  }
+
+  // Register the versioned globals, remembering them for abandon-cleanup.
+  std::vector<std::string> added_functions;
+  std::vector<std::string> added_data;
+  for (const ObjSymbol& symbol : object.symbols) {
+    if (!symbol.global || symbol.section == ObjSymbol::Section::kUndefined) {
+      continue;
+    }
+    if (symbol.section == ObjSymbol::Section::kText) {
+      image.function_symbols[symbol.name] = old_count + symbol.index;
+      added_functions.push_back(symbol.name);
+    } else {
+      image.data_symbols[symbol.name] = data_base + static_cast<uint32_t>(symbol.index);
+      added_data.push_back(symbol.name);
+    }
+  }
+  // New function ids exist now: extend the machine's profiling attribution and
+  // drop branch predictions that captured pre-growth native ids.
+  machine_.RefreshAfterImageGrowth();
+  report.new_functions = appended;
+
+  auto abandon = [&](const std::string& error) -> SwapReport& {
+    // Exact rollback: the binding slots were never touched, so the old
+    // generation keeps serving. The appended text is unreachable and leaked by
+    // design (no caller enumeration, ever); the versioned symbols are removed.
+    for (const std::string& name : added_functions) {
+      image.function_symbols.erase(name);
+    }
+    for (const std::string& name : added_data) {
+      image.data_symbols.erase(name);
+    }
+    report.error = error;
+    return finish(report);
+  };
+
+  // ---- run the replacement's initializers --------------------------------------
+  // Failure semantics mirror failsafe init: a nonzero status or a trap abandons
+  // the instance without running ANY of its finalizers (it never finished
+  // initializing), and the old generation stays bound.
+  if (machine_.fault_plan().HasSwapPoint("swap-init")) {
+    return abandon("injected initializer failure at swap point 'swap-init'");
+  }
+  const bool inject_init_trap = machine_.fault_plan().HasSwapPoint("swap-init-trap");
+  if (inject_init_trap && replacement.initializers.empty()) {
+    return abandon("injected initializer trap at swap point 'swap-init-trap'");
+  }
+  const size_t eval_depth = machine_.EvalDepth();
+  for (const std::string& name : replacement.initializers) {
+    int id = image.FindFunction(name);
+    if (inject_init_trap) {
+      // Route through the machine's own fault machinery so the trap unwinds the
+      // initializer's real frame (and backtrace) rather than being simulated.
+      FaultPlan plan = machine_.fault_plan();
+      plan.injections.push_back(FaultInjection{name, 1, true, 1});
+      machine_.set_fault_plan(plan);
+    }
+    RunResult result = machine_.CallId(id);
+    if (inject_init_trap) {
+      FaultPlan plan = machine_.fault_plan();
+      plan.injections.pop_back();
+      machine_.set_fault_plan(plan);
+    }
+    if (!result.ok) {
+      machine_.RecoverNestedTrap(eval_depth);
+      return abandon("initializer '" + name + "' trapped: " + result.error);
+    }
+    if (image.functions[id].returns_value && result.value != 0) {
+      return abandon("initializer '" + name + "' returned status " +
+                     std::to_string(result.value));
+    }
+  }
+
+  // ---- injection point: abort after quiesce, before rebind ---------------------
+  if (machine_.fault_plan().HasSwapPoint("swap-quiesce")) {
+    // The new generation fully initialized but never goes live; unwind it with
+    // its own finalizers (best effort) before abandoning.
+    for (const std::string& name : replacement.finalizers) {
+      RunResult result = machine_.CallId(image.FindFunction(name));
+      if (!result.ok) {
+        machine_.RecoverNestedTrap(eval_depth);
+        report.warnings.push_back("finalizer '" + name +
+                                  "' trapped while unwinding an aborted swap: " +
+                                  result.error);
+      }
+    }
+    return abandon("injected abort at swap point 'swap-quiesce' (before rebind)");
+  }
+
+  // ---- commit ------------------------------------------------------------------
+  // Capture the OLD generation's finalizer ids before any symbol is repointed.
+  std::vector<std::pair<std::string, int>> old_finalizers;
+  for (const std::string& name : replacement.finalizers) {
+    std::string unversioned = strip(name);
+    int id = image.FindFunction(unversioned);
+    if (id >= 0 && id < old_count) {
+      old_finalizers.emplace_back(unversioned, id);
+    }
+  }
+
+  // Retarget the binding slots: this is the instant the swap happens — every
+  // kCallBound site in the image now reaches the new generation.
+  std::map<int, int> retargeted;  // old function id -> new function id
+  for (BindingSlot& slot : image.bindings) {
+    if (slot.component != spec.instance) {
+      continue;
+    }
+    int new_id = image.FindFunction(versioned_of.at(slot.symbol));
+    retargeted[slot.target] = new_id;
+    slot.target = new_id;
+    ++report.rebound_slots;
+  }
+  // Repoint the unversioned link names so host-side Call(name) and future swaps
+  // resolve to the live generation.
+  for (const auto& [unversioned, versioned] : versioned_of) {
+    auto function = image.function_symbols.find(versioned);
+    if (function != image.function_symbols.end()) {
+      image.function_symbols[unversioned] = function->second;
+      continue;
+    }
+    auto data = image.data_symbols.find(versioned);
+    if (data != image.data_symbols.end()) {
+      image.data_symbols[unversioned] = data->second;
+    }
+  }
+  // Stored function refs (address-of an export, dispatch tables in data) still
+  // encode old-generation ids; repoint every one the image knows about.
+  for (BytecodeFunction& function : image.functions) {
+    for (Insn& insn : function.code) {
+      if (insn.op != Op::kConstInt) {
+        continue;
+      }
+      uint32_t value = static_cast<uint32_t>(insn.a);
+      if (IsFuncRef(value)) {
+        auto it = retargeted.find(DecodeFuncRef(value));
+        if (it != retargeted.end()) {
+          insn.a = static_cast<int32_t>(EncodeFuncRef(it->second));
+        }
+      }
+    }
+  }
+  for (uint32_t address : image.func_ref_data) {
+    uint32_t value = machine_.ReadWord(address);
+    if (IsFuncRef(value)) {
+      auto it = retargeted.find(DecodeFuncRef(value));
+      if (it != retargeted.end()) {
+        patch_data_word(address, EncodeFuncRef(it->second));
+      }
+    }
+  }
+
+  // Retire the old generation: run its finalizers (trap-guarded — a misbehaving
+  // finalizer downgrades to a warning, never to a dead router).
+  for (const auto& [unversioned, id] : old_finalizers) {
+    RunResult result = machine_.CallId(id);
+    if (!result.ok) {
+      machine_.RecoverNestedTrap(eval_depth);
+      report.warnings.push_back("old finalizer '" + unversioned +
+                                "' trapped during retirement: " + result.error);
+    }
+  }
+  // Drop branch-target predictions that captured old slot targets.
+  machine_.RefreshAfterImageGrowth();
+
+  report.ok = true;
+  return finish(report);
+}
+
+}  // namespace knit

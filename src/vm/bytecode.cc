@@ -91,6 +91,8 @@ const char* OpName(Op op) {
       return "call";
     case Op::kCallIndirect:
       return "calli";
+    case Op::kCallBound:
+      return "callb";
     case Op::kRet:
       return "ret";
     case Op::kNop:
@@ -128,6 +130,10 @@ std::string DisassembleInsn(const Insn& insn) {
       break;
     case Op::kCallIndirect:
       out << " argc" << CallArgc(insn.b) << (CallReturns(insn.b) ? " ->v" : "");
+      break;
+    case Op::kCallBound:
+      out << " slot" << insn.a << " argc" << CallArgc(insn.b)
+          << (CallReturns(insn.b) ? " ->v" : "");
       break;
     case Op::kRet:
       out << (insn.a != 0 ? " v" : "");

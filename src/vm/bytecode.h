@@ -53,6 +53,10 @@ enum class Op : uint8_t {
   kCall,          // a = symbol #(object form) / resolved callee (linked form:
                   //   >= 0 is a VM function id, < 0 is native id -(a+1)); b = argc
   kCallIndirect,  // pop function reference, then pop b args
+  kCallBound,     // linked form only: call through binding slot #a of the image
+                  //   (Image::bindings[a].target), b = argc/returns as kCall. The
+                  //   extra indirection is what makes an instance hot-swappable:
+                  //   rebinding the slot retargets every caller at once.
   kRet,           // a = 1 if a return value is on the stack
 
   kNop,  // emitted by the optimizer; removed by ResolveJumps/compaction

@@ -12,6 +12,17 @@
 
 namespace knit {
 
+// One rebindable call target. Slots exist for the global text symbols of
+// components the link marked swappable (LinkOptions::swappable_components):
+// cross-component calls into such a symbol compile to kCallBound on the slot
+// instead of a baked-in function id, so live reconfiguration can retarget every
+// caller by rewriting `target` — no code patching, no caller enumeration.
+struct BindingSlot {
+  std::string symbol;     // global link name the slot stands for
+  std::string component;  // instance path that owns the definition
+  int target = -1;        // current callee: VM function id (>= 0) or native (< 0)
+};
+
 struct Image {
   // Callable space: ids [0, functions.size()) are VM functions; ids
   // [functions.size(), functions.size() + natives.size()) are natives.
@@ -33,9 +44,24 @@ struct Image {
   // fingerprint.
   std::vector<uint32_t> func_ref_data;
 
+  // Binding-slot table for swappable components; kCallBound indexes into it.
+  // Order is deterministic (sorted by symbol name at link time) so slot indices
+  // are stable across identical links and safe to fingerprint.
+  std::vector<BindingSlot> bindings;
+
   int FindFunction(const std::string& name) const {
     auto it = function_symbols.find(name);
     return it == function_symbols.end() ? -1 : it->second;
+  }
+
+  // Binding-slot index for `symbol`, or -1.
+  int FindBinding(const std::string& symbol) const {
+    for (size_t i = 0; i < bindings.size(); ++i) {
+      if (bindings[i].symbol == symbol) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
   }
 
   bool IsNativeId(int callable) const {

@@ -347,6 +347,56 @@ uint32_t Machine::CurrentVararg(int index) {
   return ReadWord(frame.vararg_base + static_cast<uint32_t>(index) * 4);
 }
 
+bool Machine::ComponentQuiescent(const std::string& component) const {
+  for (const Frame& frame : frames_) {
+    if (image_.functions[frame.function].component == component) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Machine::RecoverNestedTrap(size_t eval_depth) {
+  trapped_ = false;
+  trap_message_.clear();
+  trap_backtrace_.clear();
+  // The trap unwind restored stack_pointer_ per popped frame but leaves whatever
+  // the dead frames pushed on the evaluation stack; drop it so the interrupted
+  // outer frame resumes with exactly the stack it had.
+  if (eval_.size() > eval_depth) {
+    eval_.resize(eval_depth);
+  }
+}
+
+void Machine::RefreshAfterImageGrowth() {
+  // A swap retargets call sites; retire the indirect-branch predictions so the
+  // first post-swap call at each site pays the miss, as real hardware would.
+  btb_.clear();
+  if (!profiling_) {
+    return;
+  }
+  // Extend (never reset) the attribution tables: new functions get component ids,
+  // new components get zeroed buckets, accumulated attribution is preserved.
+  std::map<std::string, int> ids;
+  for (size_t c = 0; c < profile_components_.size(); ++c) {
+    ids.emplace(profile_components_[c], static_cast<int>(c));
+  }
+  auto intern = [&](const std::string& name) {
+    auto [it, inserted] = ids.emplace(name, static_cast<int>(profile_components_.size()));
+    if (inserted) {
+      profile_components_.push_back(name);
+      profile_cycles_.push_back(0);
+      profile_stalls_.push_back(0);
+      profile_insns_.push_back(0);
+    }
+    return it->second;
+  };
+  for (size_t f = function_component_.size(); f < image_.functions.size(); ++f) {
+    const std::string& component = image_.functions[f].component;
+    function_component_.push_back(intern(component.empty() ? "<other>" : component));
+  }
+}
+
 void Machine::ICacheAccess(uint32_t text_address) {
   int64_t line = text_address / static_cast<uint32_t>(cost_.icache_line);
   int set = static_cast<int>(line % icache_sets_);
@@ -624,11 +674,30 @@ RunResult Machine::CallId(int function_id, std::vector<uint32_t> args) {
         break;
       }
       case Op::kCall:
-      case Op::kCallIndirect: {
+      case Op::kCallIndirect:
+      case Op::kCallBound: {
         int callable;
         if (insn.op == Op::kCall) {
           callable = insn.a;
           cycles_ += cost_.call_overhead;
+        } else if (insn.op == Op::kCallBound) {
+          if (insn.a < 0 || static_cast<size_t>(insn.a) >= image_.bindings.size()) {
+            Trap("bound call through invalid binding slot " + std::to_string(insn.a));
+            break;
+          }
+          callable = image_.bindings[insn.a].target;
+          // A bound call pays the direct-call overhead plus one memory access to
+          // load the slot, and resolves like an indirect branch: the BTB predicts
+          // the slot's last target, so the steady-state cost of swappability is
+          // call_overhead + mem_access + indirect_predicted per boundary call.
+          cycles_ += cost_.call_overhead + cost_.mem_access;
+          auto [btb_it, btb_new] = btb_.try_emplace({frame.function, frame.pc - 1}, callable);
+          if (!btb_new && btb_it->second == callable) {
+            cycles_ += cost_.indirect_predicted;
+          } else {
+            btb_it->second = callable;
+            cycles_ += cost_.indirect_call_overhead;
+          }
         } else {
           if (eval_.size() <= frame.eval_base) {
             Trap("evaluation stack underflow");

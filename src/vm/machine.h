@@ -78,7 +78,22 @@ struct FaultInjection {
 struct FaultPlan {
   std::vector<FaultInjection> injections;
 
-  bool empty() const { return injections.empty(); }
+  // Named swap-path injection points, consumed by the ReconfigEngine (not the
+  // Machine): "swap-link" fails the replacement link, "swap-init" forces a
+  // nonzero initializer status, "swap-init-trap" traps inside the initializer,
+  // "swap-quiesce" aborts after quiescence is confirmed but before rebinding.
+  std::vector<std::string> swap_points;
+
+  bool empty() const { return injections.empty() && swap_points.empty(); }
+
+  bool HasSwapPoint(const std::string& name) const {
+    for (const std::string& point : swap_points) {
+      if (point == name) {
+        return true;
+      }
+    }
+    return false;
+  }
 };
 
 // ---- component profiling -----------------------------------------------------
@@ -221,6 +236,31 @@ class Machine {
   // frame's variadic arguments.
   int CurrentVarargCount() const;
   uint32_t CurrentVararg(int index);
+
+  // ---- live reconfiguration support (see src/reconfig/) ----
+
+  // True when no live frame belongs to `component` (BytecodeFunction::component of
+  // the frame's function). A swap of that instance is safe exactly then: no call
+  // into the old code is mid-flight, so rebinding can never tear a frame.
+  bool ComponentQuiescent(const std::string& component) const;
+
+  // Number of live frames (0 when the machine is idle between Calls).
+  size_t FrameDepth() const { return frames_.size(); }
+
+  // Nested-execution guard for natives that re-enter Call/CallId (the reconfig
+  // engine's initializer runs do this): capture EvalDepth() before the nested
+  // call; if it trapped, RecoverNestedTrap restores the evaluation stack and
+  // clears the trap state so the outer execution can continue. The outer frames
+  // themselves are untouched — CallId only unwinds frames it pushed.
+  size_t EvalDepth() const { return eval_.size(); }
+  void RecoverNestedTrap(size_t eval_depth);
+
+  // Re-syncs machine state after the reconfig engine grew image().functions /
+  // bindings in place: extends the profiling attribution table for the new
+  // function ids (interning new component names) WITHOUT zeroing accumulated
+  // attribution, and drops BTB entries so stale indirect-call predictions can't
+  // reference retired targets. No-op for the non-profiling, empty-BTB case.
+  void RefreshAfterImageGrowth();
 
   const Image& image() const { return image_; }
 

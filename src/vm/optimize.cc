@@ -184,6 +184,7 @@ std::vector<int> ComputeDepths(const BytecodeFunction& function) {
         after = d - 2;
         break;
       case Op::kCall:
+      case Op::kCallBound:
         after = d - CallArgc(insn.b) + (CallReturns(insn.b) ? 1 : 0);
         break;
       case Op::kCallIndirect:
@@ -1035,7 +1036,8 @@ class LvnPass {
         return;
       }
       case Op::kCall:
-      case Op::kCallIndirect: {
+      case Op::kCallIndirect:
+      case Op::kCallBound: {
         int operands = CallArgc(insn.b) + (insn.op == Op::kCallIndirect ? 1 : 0);
         ForceStale(stack, /*invalidate_mem=*/true, -1, /*consumed_top=*/operands);
         MaterializeAll(stack);

@@ -118,6 +118,15 @@ std::vector<int> CountImageRefs(const Image& image) {
         if (insn.a >= 0 && insn.a < static_cast<int>(counts.size())) {
           ++counts[insn.a];
         }
+      } else if (insn.op == Op::kCallBound) {
+        // A bound call's target can be retargeted at any time; weight it like an
+        // escaped ref so the current target is never treated as single-call.
+        if (insn.a >= 0 && insn.a < static_cast<int>(image.bindings.size())) {
+          int target = image.bindings[insn.a].target;
+          if (target >= 0 && target < static_cast<int>(counts.size())) {
+            counts[target] += 2;
+          }
+        }
       } else if (insn.op == Op::kConstInt) {
         int target = FuncRefTarget(image, static_cast<uint32_t>(insn.a));
         if (target >= 0) {
@@ -157,7 +166,7 @@ std::set<int> EntryRoots(const Image& image, const ImagePassOptions& options) {
 class DevirtualizePass : public ImagePass {
  public:
   const char* name() const override { return "devirt"; }
-  void Run(Image& image, const ImagePassOptions&) override {
+  void Run(Image& image, const ImagePassOptions& options) override {
     int total_callables =
         static_cast<int>(image.functions.size() + image.natives.size());
     for (BytecodeFunction& function : image.functions) {
@@ -183,6 +192,13 @@ class DevirtualizePass : public ImagePass {
         }
         int callable = static_cast<int>(DecodeFuncRef(value));
         if (callable < 0 || callable >= total_callables) {
+          continue;
+        }
+        if (callable < static_cast<int>(image.functions.size()) &&
+            options.swappable_components.count(image.functions[callable].component) > 0) {
+          // The target belongs to a hot-swappable instance: baking a direct
+          // call would survive a swap and keep invoking the retired code. The
+          // indirect form re-reads the (rewritten) function ref every call.
           continue;
         }
         function.code[i] = Insn{Op::kNop, 0, 0};
@@ -338,12 +354,21 @@ class ImageDcePass : public ImagePass {
     for (uint32_t address : image.func_ref_data) {
       mark(FuncRefTarget(image, ReadDataWord(image, address)));
     }
+    // Binding-slot targets are rebindable entry points: the reconfig engine may
+    // point a slot back at them at any time, so they are roots unconditionally.
+    for (const BindingSlot& slot : image.bindings) {
+      mark(slot.target);
+    }
     while (!work.empty()) {
       int f = work.back();
       work.pop_back();
       for (const Insn& insn : image.functions[f].code) {
         if (insn.op == Op::kCall) {
           mark(insn.a);
+        } else if (insn.op == Op::kCallBound) {
+          if (insn.a >= 0 && insn.a < static_cast<int>(image.bindings.size())) {
+            mark(image.bindings[insn.a].target);
+          }
         } else if (insn.op == Op::kConstInt) {
           mark(FuncRefTarget(image, static_cast<uint32_t>(insn.a)));
         }

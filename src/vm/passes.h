@@ -25,6 +25,7 @@
 #define SRC_VM_PASSES_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,10 @@ struct ImagePassOptions {
   // Link names that stay callable from the host (exports, knit__init/fini/
   // rollback). Everything unreachable from these is dead.
   std::vector<std::string> entry_points;
+  // Instance paths that must stay hot-swappable (LinkOptions::swappable_
+  // components of the producing link): devirtualization must not bake a direct
+  // call to their code, and DCE must keep every binding-slot target alive.
+  std::set<std::string> swappable_components;
 };
 
 class Pass {

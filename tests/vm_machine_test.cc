@@ -2,6 +2,8 @@
 // traps, determinism, and the memory interface.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "tests/testutil.h"
 
 namespace knit {
@@ -279,6 +281,144 @@ TEST(Machine, FuelRemainingTracksExecution) {
   // ResetCounters refills the budget.
   program.machine->ResetCounters();
   EXPECT_EQ(program.machine->fuel_remaining(), 10'000);
+}
+
+// ---- live-reconfiguration quiescence (DESIGN.md §11) -------------------------
+// ComponentQuiescent(c) must be false exactly while SOME live frame belongs to
+// component c — the reconfig engine defers a hot swap on that predicate so it
+// never tears a call mid-flight. The probes run inside a native, the only point
+// where the host can observe the machine with frames live.
+
+// Stamps a function's owning component on the image (the linker does this for
+// real builds); the machine reads the image by reference, so stamping after
+// construction is visible to ComponentQuiescent.
+void StampComponent(TestProgram& program, const std::string& function,
+                    const std::string& component) {
+  int id = program.image->FindFunction(function);
+  ASSERT_GE(id, 0) << function;
+  program.image->functions[id].component = component;
+}
+
+struct QuiescenceProbe {
+  bool a_quiescent = true;
+  bool b_quiescent = true;
+  size_t frame_depth = 0;
+  int hits = 0;
+};
+
+void BindProbe(TestProgram& program, QuiescenceProbe& probe) {
+  QuiescenceProbe* raw = &probe;
+  program.machine->BindNative(
+      "probe", [raw](Machine& machine, const std::vector<uint32_t>&) {
+        raw->a_quiescent = machine.ComponentQuiescent("A");
+        raw->b_quiescent = machine.ComponentQuiescent("B");
+        raw->frame_depth = machine.FrameDepth();
+        ++raw->hits;
+        return 0u;
+      });
+}
+
+TEST(Machine, ComponentQuiescentTracksWhichComponentHasALiveFrame) {
+  TestProgram program = BuildProgram(
+      "extern int probe(void);\n"
+      "int leaf(int x) { return probe() + x; }\n"
+      "int f(int x) { return leaf(x); }\n",
+      false, {"probe"});
+  ASSERT_TRUE(program.ok()) << program.error;
+  StampComponent(program, "f", "A");
+  StampComponent(program, "leaf", "B");
+  QuiescenceProbe probe;
+  BindProbe(program, probe);
+
+  // Idle machine: everything is quiescent and there are no frames.
+  EXPECT_TRUE(program.machine->ComponentQuiescent("A"));
+  EXPECT_TRUE(program.machine->ComponentQuiescent("B"));
+  EXPECT_EQ(program.machine->FrameDepth(), 0u);
+
+  program.Run("f", {5});
+  EXPECT_EQ(probe.hits, 1);
+  // Observed from inside leaf: both the target and its caller are live.
+  EXPECT_FALSE(probe.a_quiescent);
+  EXPECT_FALSE(probe.b_quiescent);
+  EXPECT_EQ(probe.frame_depth, 2u);
+
+  // Back at the call boundary: quiescent again.
+  EXPECT_TRUE(program.machine->ComponentQuiescent("A"));
+  EXPECT_TRUE(program.machine->ComponentQuiescent("B"));
+  EXPECT_EQ(program.machine->FrameDepth(), 0u);
+}
+
+TEST(Machine, ComponentQuiescentSeesCallerFramesAfterCalleeReturns) {
+  // probe fires twice: once inside B's leaf, once from A's mid AFTER the leaf
+  // returned — B must be quiescent again at the second probe even though the
+  // run is still in flight.
+  TestProgram program = BuildProgram(
+      "extern int probe(void);\n"
+      "int leaf(int x) { return probe() + x; }\n"
+      "int mid(int x) { int y = leaf(x); return y + probe(); }\n"
+      "int f(int x) { return mid(x); }\n",
+      false, {"probe"});
+  ASSERT_TRUE(program.ok()) << program.error;
+  StampComponent(program, "f", "A");
+  StampComponent(program, "mid", "A");
+  StampComponent(program, "leaf", "B");
+
+  std::vector<std::pair<bool, bool>> observations;  // (A quiescent, B quiescent)
+  program.machine->BindNative(
+      "probe", [&observations](Machine& machine, const std::vector<uint32_t>&) {
+        observations.emplace_back(machine.ComponentQuiescent("A"),
+                                  machine.ComponentQuiescent("B"));
+        return 0u;
+      });
+  program.Run("f", {5});
+  ASSERT_EQ(observations.size(), 2u);
+  EXPECT_EQ(observations[0], std::make_pair(false, false)) << "inside leaf";
+  EXPECT_EQ(observations[1], std::make_pair(false, true)) << "after leaf returned";
+}
+
+TEST(Machine, ComponentQuiescentHandlesRecursiveChains) {
+  TestProgram program = BuildProgram(
+      "extern int probe(void);\n"
+      "int r(int n) { if (n == 0) { return probe(); } return r(n - 1) + 1; }\n"
+      "int f(int n) { return r(n); }\n",
+      false, {"probe"});
+  ASSERT_TRUE(program.ok()) << program.error;
+  StampComponent(program, "f", "A");
+  StampComponent(program, "r", "B");
+  QuiescenceProbe probe;
+  BindProbe(program, probe);
+
+  program.Run("f", {3});
+  EXPECT_EQ(probe.hits, 1);
+  EXPECT_FALSE(probe.b_quiescent) << "every recursive frame pins the component";
+  // f plus r(3)..r(0): the whole chain is live at the innermost probe.
+  EXPECT_EQ(probe.frame_depth, 5u);
+  EXPECT_TRUE(program.machine->ComponentQuiescent("B")) << "after the chain unwinds";
+}
+
+TEST(Machine, ComponentQuiescentHandlesCrossComponentReentry) {
+  // A -> B -> A: the target component has frames both above and below a foreign
+  // frame; quiescence requires the ENTIRE stack to be free of it.
+  TestProgram program = BuildProgram(
+      "extern int probe(void);\n"
+      "int a_leaf(int x) { return probe() + x; }\n"
+      "int b_mid(int x) { return a_leaf(x); }\n"
+      "int a_top(int x) { return b_mid(x); }\n",
+      false, {"probe"});
+  ASSERT_TRUE(program.ok()) << program.error;
+  StampComponent(program, "a_top", "A");
+  StampComponent(program, "a_leaf", "A");
+  StampComponent(program, "b_mid", "B");
+  QuiescenceProbe probe;
+  BindProbe(program, probe);
+
+  program.Run("a_top", {1});
+  EXPECT_EQ(probe.hits, 1);
+  EXPECT_FALSE(probe.a_quiescent);
+  EXPECT_FALSE(probe.b_quiescent);
+  EXPECT_EQ(probe.frame_depth, 3u);
+  EXPECT_TRUE(program.machine->ComponentQuiescent("A"));
+  EXPECT_TRUE(program.machine->ComponentQuiescent("B"));
 }
 
 TEST(Machine, ConsoleCapture) {

@@ -20,6 +20,7 @@
 #include "src/driver/knitc.h"
 #include "src/knitlang/parser.h"
 #include "src/knitlang/printer.h"
+#include "src/reconfig/reconfig.h"
 #include "src/support/strings.h"
 #include "src/vm/machine.h"
 #include "src/vm/profile_trace.h"
@@ -44,6 +45,8 @@ struct CliOptions {
   std::vector<uint32_t> run_args;
   long long fuel = 0;  // 0: leave the CostModel default
   FaultPlan fault_plan;
+  // --swap=INSTANCE:FILE requests, applied in order after knit__init.
+  std::vector<std::pair<std::string, std::string>> swaps;
   KnitcOptions build;
 };
 
@@ -69,6 +72,10 @@ void PrintUsage(std::FILE* out) {
                "  --flatten-all         merge the whole program into one translation unit\n"
                "  --no-failsafe-init    generate the paper's monolithic knit__init (no "
                "rollback)\n"
+               "  --swappable=INSTANCE  make INSTANCE hot-swappable: its cross-component\n"
+               "                        calls go through binding slots the reconfig engine\n"
+               "                        can retarget at run time ('*' = every instance;\n"
+               "                        repeatable; comma-separated lists accepted)\n"
                "\n"
                "Reporting:\n"
                "  --dump-units          print the parsed declarations back as canonical Knit\n"
@@ -94,18 +101,33 @@ void PrintUsage(std::FILE* out) {
                "writes\n"
                "                        the timeline as Chrome trace-event JSON to PATH\n"
                "                        ('-' = stdout)\n"
+               "  --swap=INSTANCE:FILE  after knit__init, hot-swap INSTANCE with the unit\n"
+               "                        source in FILE (requires --run and --swappable); a\n"
+               "                        failed swap rolls back and keeps running the old\n"
+               "                        instance (repeatable)\n"
                "  --inject-fault=F[@N][=V]\n"
                "                        force the Nth invocation (default 1st) of function "
                "or\n"
                "                        native F to trap, or -- with =V -- to return V "
                "instead\n"
-               "                        of running (fault-injection testing)\n"
+               "                        of running (fault-injection testing); the names\n"
+               "                        swap-link, swap-init, swap-init-trap, swap-quiesce\n"
+               "                        inject failures into the --swap path instead\n"
                "  --help                print this help\n");
 }
 
 // Parses --inject-fault=FUNC[@N][=V]: fault the Nth invocation of FUNC; with =V
-// return V instead of trapping.
+// return V instead of trapping. Names starting with "swap-" select swap-path
+// injection points (link names never contain '-', so the prefix is unambiguous)
+// and accept no @N/=V modifiers.
 bool ParseFaultSpec(const std::string& spec, FaultPlan& plan) {
+  if (spec.rfind("swap-", 0) == 0) {
+    if (spec.find('@') != std::string::npos || spec.find('=') != std::string::npos) {
+      return false;
+    }
+    plan.swap_points.push_back(spec);
+    return true;
+  }
   FaultInjection injection;
   std::string name = spec;
   size_t eq = name.find('=');
@@ -124,6 +146,17 @@ bool ParseFaultSpec(const std::string& spec, FaultPlan& plan) {
   }
   injection.function = name;
   plan.injections.push_back(std::move(injection));
+  return true;
+}
+
+// Parses --swap=INSTANCE:FILE; both halves must be non-empty.
+bool ParseSwapSpec(const std::string& spec,
+                   std::vector<std::pair<std::string, std::string>>& swaps) {
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return false;
+  }
+  swaps.emplace_back(spec.substr(0, colon), spec.substr(colon + 1));
   return true;
 }
 
@@ -231,6 +264,24 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
       }
     } else if (arg == "--no-failsafe-init") {
       options.build.failsafe_init = false;
+    } else if (arg.rfind("--swappable=", 0) == 0) {
+      std::string value = value_of("--swappable=");
+      if (value.empty()) {
+        std::fprintf(stderr,
+                     "knitc: error: --swappable expects an instance path or '*'\n");
+        return 3;
+      }
+      for (const std::string& piece : Split(value, ',')) {
+        if (!piece.empty()) {
+          options.build.swappable.push_back(piece);
+        }
+      }
+    } else if (arg.rfind("--swap=", 0) == 0) {
+      if (!ParseSwapSpec(value_of("--swap="), options.swaps)) {
+        std::fprintf(stderr, "knitc: bad swap spec '%s' (want INSTANCE:FILE)\n",
+                     arg.c_str());
+        return 3;
+      }
     } else if (arg.rfind("--fuel=", 0) == 0) {
       options.fuel = std::stoll(value_of("--fuel="));
       if (options.fuel < 1) {
@@ -260,6 +311,11 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
   }
   if (!options.profile_file.empty() && options.run.empty()) {
     std::fprintf(stderr, "knitc: error: --profile requires --run (nothing executes "
+                         "otherwise)\n");
+    return 3;
+  }
+  if (!options.swaps.empty() && options.run.empty()) {
+    std::fprintf(stderr, "knitc: error: --swap requires --run (nothing executes "
                          "otherwise)\n");
     return 3;
   }
@@ -492,6 +548,33 @@ int Main(int argc, char** argv) {
         }
       }
       return 1;
+    }
+    if (!options.swaps.empty()) {
+      // Hot-swap before the exported call runs. A failed swap rolls back and the
+      // old instance keeps serving — degraded but running, never a dead program.
+      ReconfigEngine engine(result, machine, sources);
+      for (const auto& [instance, file] : options.swaps) {
+        std::string replacement;
+        if (!ReadFile(file, replacement)) {
+          std::fprintf(stderr, "knitc: cannot read %s\n", file.c_str());
+          return 1;
+        }
+        SwapReport report = engine.Request(SwapSpec{instance, replacement, file});
+        for (const std::string& warning : report.warnings) {
+          std::fprintf(stderr, "knitc: swap warning: %s\n", warning.c_str());
+        }
+        if (report.ok) {
+          std::printf("knitc: swapped %s (generation %d: %d slots rebound, %d functions "
+                      "added, %lld pause cycles)\n",
+                      instance.c_str(), report.version, report.rebound_slots,
+                      report.new_functions, report.pause_cycles);
+        } else {
+          std::fprintf(stderr,
+                       "knitc: swap of %s failed: %s (continuing with the old "
+                       "instance)\n",
+                       instance.c_str(), report.error.c_str());
+        }
+      }
     }
     RunResult run = machine.Call(symbol, options.run_args);
     if (!run.ok) {

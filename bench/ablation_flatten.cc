@@ -21,8 +21,9 @@ namespace {
 bool Measure(const char* label, const char* top, KnitcOptions options,
              const std::vector<TracePacket>& trace, RouterStats* out = nullptr) {
   Diagnostics diags;
+  KnitPipeline pipeline(options);
   Result<RouterProgram> program =
-      RouterProgram::FromClack(top, options, diags, RouterCostModel());
+      RouterProgram::FromClack(pipeline, top, diags, RouterCostModel());
   if (!program.ok()) {
     std::fprintf(stderr, "build failed for %s:\n%s", label, diags.ToString().c_str());
     return false;

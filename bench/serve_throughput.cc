@@ -1,0 +1,253 @@
+// Fleet-scale serving throughput (DESIGN.md §13): steady-state packets/sec of
+// the sharded router fleet at one million packets, per-packet latency under the
+// cycle model (p50/p99), the scaling curve over shard counts {1, 2, 4, 8}, and
+// a sweep of the dispatch batch size K.
+//
+// Before measuring anything the bench re-verifies the serving layer's defining
+// property on a trace prefix: the N-shard aggregate transmission hash is
+// byte-identical to a single machine running the same trace, at -O1 and -O2.
+//
+// Results go to stdout and to BENCH_serve.json.
+//
+// Usage: serve_throughput [packets] [batch]   (defaults: 1000000, 32)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/clack/corpus.h"
+#include "src/serve/serve.h"
+#include "src/support/mangle.h"
+
+namespace knit {
+namespace {
+
+std::shared_ptr<const KnitBuildResult> BuildRouter(int opt_level) {
+  Diagnostics diags;
+  KnitcOptions options;
+  options.opt_level = opt_level;
+  KnitPipeline pipeline(options);
+  Result<LinkedImage> built = pipeline.Build(ClackKnit(), ClackSources(), "ClackRouter", diags);
+  if (!built.ok()) {
+    std::fprintf(stderr, "-O%d build failed:\n%s\n", opt_level, diags.ToString().c_str());
+    return nullptr;
+  }
+  return std::make_shared<const KnitBuildResult>(
+      KnitBuildResultFrom(built.take(), pipeline.metrics()));
+}
+
+ServeOptions FleetOptions(int shards, int batch) {
+  ServeOptions options;
+  options.shards = shards;
+  options.batch = batch;
+  options.cost = RouterCostModel();
+  // A million small packets on one shard needs more fuel than the default.
+  options.fuel = 8'000'000'000ll;
+  return options;
+}
+
+bool RunFleet(const std::shared_ptr<const KnitBuildResult>& build,
+              const std::vector<TracePacket>& trace, const ServeOptions& options,
+              ServeReport* report) {
+  Diagnostics diags;
+  Result<std::unique_ptr<RouterFleet>> fleet =
+      RouterFleet::FromBuild(build, RouterProgram::ClackEntryNames(*build),
+                             EnvSymbol("dev", "dev_tx"), options, diags);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "fleet setup failed:\n%s\n", diags.ToString().c_str());
+    return false;
+  }
+  Result<ServeReport> result = fleet.value()->Serve(trace, diags);
+  if (!result.ok()) {
+    std::fprintf(stderr, "serve failed:\n%s\n", diags.ToString().c_str());
+    return false;
+  }
+  *report = result.take();
+  return true;
+}
+
+// Single-machine reference hash over the same session API.
+bool SingleMachineHash(const std::shared_ptr<const KnitBuildResult>& build,
+                       const std::vector<TracePacket>& trace, uint64_t* hash) {
+  Diagnostics diags;
+  Machine machine(build->image, RouterCostModel());
+  machine.set_max_insns(8'000'000'000ll);
+  Result<std::unique_ptr<RouterSession>> session = RouterSession::Open(
+      machine, RouterProgram::ClackEntryNames(*build), EnvSymbol("dev", "dev_tx"), diags);
+  if (!session.ok() || !machine.Call(build->init_function).ok) {
+    std::fprintf(stderr, "single-machine setup failed:\n%s\n", diags.ToString().c_str());
+    return false;
+  }
+  if (!session.value()->FeedRange(trace, 0, trace.size(), diags).ok()) {
+    std::fprintf(stderr, "single-machine run failed:\n%s\n", diags.ToString().c_str());
+    return false;
+  }
+  Result<RouterStats> stats = session.value()->Close(diags);
+  if (!stats.ok()) {
+    return false;
+  }
+  *hash = stats.value().tx_hash;
+  return true;
+}
+
+// The acceptance check: N-shard aggregate hash == single-machine hash, -O1 and
+// -O2, on a prefix of the serving trace.
+bool VerifyHashEquivalence(const std::vector<TracePacket>& trace) {
+  std::vector<TracePacket> prefix(trace.begin(),
+                                  trace.begin() + std::min<size_t>(trace.size(), 20000));
+  for (int opt_level : {1, 2}) {
+    std::shared_ptr<const KnitBuildResult> build = BuildRouter(opt_level);
+    if (!build) {
+      return false;
+    }
+    uint64_t single = 0;
+    if (!SingleMachineHash(build, prefix, &single)) {
+      return false;
+    }
+    for (int shards : {2, 4}) {
+      ServeReport report;
+      if (!RunFleet(build, prefix, FleetOptions(shards, 32), &report)) {
+        return false;
+      }
+      if (report.total.tx_hash != single) {
+        std::fprintf(stderr,
+                     "-O%d %d-shard aggregate hash %016llx != single-machine %016llx\n",
+                     opt_level, shards,
+                     static_cast<unsigned long long>(report.total.tx_hash),
+                     static_cast<unsigned long long>(single));
+        return false;
+      }
+    }
+    std::printf("  -O%d: %zu-packet aggregate hash identical to single machine (2 and 4 shards)\n",
+                opt_level, prefix.size());
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const long long packets = argc > 1 ? std::atoll(argv[1]) : 1'000'000;
+  const int batch = argc > 2 ? std::atoi(argv[2]) : 32;
+  if (packets <= 0 || batch <= 0) {
+    std::fprintf(stderr, "usage: serve_throughput [packets] [batch]\n");
+    return 1;
+  }
+
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::printf("Fleet serving throughput (ClackRouter -O2, %lld packets, batch %d, "
+              "%u host cores)\n\n",
+              packets, batch, host_cores);
+  if (host_cores < 8) {
+    std::printf("note: only %u host core(s) — the shard-scaling curve is bounded by the "
+                "host, not the fleet\n", host_cores);
+  }
+
+  TraceOptions trace_options;
+  trace_options.count = static_cast<int>(packets);
+  std::printf("generating %lld-packet trace...\n", packets);
+  const std::vector<TracePacket> trace = GenerateTrace(trace_options);
+
+  std::printf("verifying shard-count hash equivalence...\n");
+  if (!VerifyHashEquivalence(trace)) {
+    return 1;
+  }
+
+  std::shared_ptr<const KnitBuildResult> build = BuildRouter(2);
+  if (!build) {
+    return 1;
+  }
+
+  // Scaling curve over shard counts.
+  std::printf("\n  %-8s %14s %10s %10s %10s %12s %8s\n", "shards", "packets/sec",
+              "p50 cyc", "p99 cyc", "mean cyc", "wall sec", "threads");
+  struct ScalingRow {
+    int shards;
+    ServeReport report;
+  };
+  std::vector<ScalingRow> scaling;
+  for (int shards : {1, 2, 4, 8}) {
+    ServeReport report;
+    if (!RunFleet(build, trace, FleetOptions(shards, batch), &report)) {
+      return 1;
+    }
+    std::printf("  %-8d %14.0f %10lld %10lld %10.1f %12.2f %8d\n", shards,
+                report.packets_per_second, report.p50_cycles, report.p99_cycles,
+                report.latency.Mean(), report.wall_seconds, report.threads);
+    scaling.push_back(ScalingRow{shards, std::move(report)});
+  }
+
+  // K sweep: how much the per-batch amortization (one lock hand-off, one entry
+  // resolution per K packets) buys, at a fixed shard count.
+  const long long sweep_packets = std::min<long long>(packets, 250'000);
+  std::vector<TracePacket> sweep_trace(trace.begin(), trace.begin() + sweep_packets);
+  std::printf("\n  K sweep (4 shards, %lld packets)\n", sweep_packets);
+  std::printf("  %-8s %14s %12s\n", "K", "packets/sec", "batches");
+  struct SweepRow {
+    int batch;
+    double pps;
+    long long batches;
+  };
+  std::vector<SweepRow> sweep;
+  for (int k : {1, 4, 16, 64, 256}) {
+    ServeReport report;
+    if (!RunFleet(build, sweep_trace, FleetOptions(4, k), &report)) {
+      return 1;
+    }
+    long long batches = 0;
+    for (const ShardReport& shard : report.shards) {
+      batches += shard.batches;
+    }
+    std::printf("  %-8d %14.0f %12lld\n", k, report.packets_per_second, batches);
+    sweep.push_back(SweepRow{k, report.packets_per_second, batches});
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"target\": \"ClackRouter\",\n"
+       << "  \"opt_level\": 2,\n"
+       << "  \"packets\": " << packets << ",\n"
+       << "  \"batch\": " << batch << ",\n"
+       << "  \"host_cores\": " << host_cores << ",\n"
+       << "  \"hash_equivalence\": \"verified at -O1 and -O2, 2 and 4 shards\",\n"
+       << "  \"scaling\": [\n";
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ServeReport& r = scaling[i].report;
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"shards\": %d, \"packets_per_second\": %.0f, "
+                  "\"p50_cycles\": %lld, \"p99_cycles\": %lld, \"mean_cycles\": %.1f, "
+                  "\"cycles_per_packet\": %.1f, \"wall_seconds\": %.3f, \"threads\": %d}%s\n",
+                  scaling[i].shards, r.packets_per_second, r.p50_cycles, r.p99_cycles,
+                  r.latency.Mean(), r.total.CyclesPerPacket(), r.wall_seconds, r.threads,
+                  i + 1 < scaling.size() ? "," : "");
+    json << row;
+  }
+  json << "  ],\n"
+       << "  \"k_sweep_packets\": " << sweep_packets << ",\n"
+       << "  \"k_sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"batch\": %d, \"packets_per_second\": %.0f, \"batches\": %lld}%s\n",
+                  sweep[i].batch, sweep[i].pps, sweep[i].batches,
+                  i + 1 < sweep.size() ? "," : "");
+    json << row;
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out("BENCH_serve.json", std::ios::trunc);
+  if (out) {
+    out << json.str();
+    std::printf("\nwrote BENCH_serve.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace knit
+
+int main(int argc, char** argv) { return knit::Main(argc, argv); }

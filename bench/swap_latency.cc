@@ -45,8 +45,9 @@ bool MeasureOpt(int opt_level, const std::vector<TracePacket>& trace,
   Diagnostics diags;
   KnitcOptions plain_options;
   plain_options.opt_level = opt_level;
+  KnitPipeline plain_pipeline(plain_options);
   Result<RouterProgram> plain =
-      RouterProgram::FromClack("ClackRouter", plain_options, diags, RouterCostModel());
+      RouterProgram::FromClack(plain_pipeline, "ClackRouter", diags, RouterCostModel());
   if (!plain.ok()) {
     std::fprintf(stderr, "plain -O%d build failed:\n%s\n", opt_level,
                  diags.ToString().c_str());
@@ -61,8 +62,9 @@ bool MeasureOpt(int opt_level, const std::vector<TracePacket>& trace,
 
   KnitcOptions swappable_options = plain_options;
   swappable_options.swappable = {"*"};
-  Result<RouterProgram> swappable =
-      RouterProgram::FromClack("ClackRouter", swappable_options, diags, RouterCostModel());
+  KnitPipeline swappable_pipeline(swappable_options);
+  Result<RouterProgram> swappable = RouterProgram::FromClack(swappable_pipeline, "ClackRouter",
+                                                             diags, RouterCostModel());
   if (!swappable.ok()) {
     std::fprintf(stderr, "swappable -O%d build failed:\n%s\n", opt_level,
                  diags.ToString().c_str());

@@ -82,9 +82,9 @@ int Run() {
 
   // The in-text Clack comparison.
   Diagnostics diags;
-  KnitcOptions options;
+  KnitPipeline pipeline(KnitcOptions{});
   Result<RouterProgram> clack =
-      RouterProgram::FromClack("ClackRouter", options, diags, RouterCostModel());
+      RouterProgram::FromClack(pipeline, "ClackRouter", diags, RouterCostModel());
   if (!clack.ok()) {
     return 1;
   }

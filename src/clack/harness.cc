@@ -5,19 +5,23 @@
 
 namespace knit {
 
-namespace {
-constexpr uint32_t kFrameCapacity = 2048;
-
-uint64_t FnvMix(uint64_t hash, uint8_t byte) {
-  return (hash ^ byte) * 0x100000001B3ull;
-}
-}  // namespace
-
 Result<RouterProgram> RouterProgram::FromClack(const std::string& top_unit,
                                                const KnitcOptions& options, Diagnostics& diags,
                                                const CostModel& cost) {
   KnitPipeline pipeline(options);
   return FromClack(pipeline, top_unit, diags, cost);
+}
+
+std::map<std::string, std::string> RouterProgram::ClackEntryNames(
+    const KnitBuildResult& build) {
+  std::map<std::string, std::string> names;
+  for (const char* port : {"in0", "in1"}) {
+    names[port] = build.ExportedSymbol(port, "pkt_push");
+  }
+  for (const char* stats : {"statsIn0", "statsIn1", "statsIp", "statsOut", "statsDrop"}) {
+    names[stats] = build.ExportedSymbol(stats, "counter_value");
+  }
+  return names;
 }
 
 Result<RouterProgram> RouterProgram::FromClack(KnitPipeline& pipeline,
@@ -30,17 +34,13 @@ Result<RouterProgram> RouterProgram::FromClack(KnitPipeline& pipeline,
   }
   program.build_ = std::make_unique<KnitBuildResult>(
       KnitBuildResultFrom(built.take(), pipeline.metrics()));
-  for (const char* port : {"in0", "in1"}) {
-    program.entry_names_[port] = program.build_->ExportedSymbol(port, "pkt_push");
-  }
-  for (const char* stats : {"statsIn0", "statsIn1", "statsIp", "statsOut", "statsDrop"}) {
-    program.entry_names_[stats] = program.build_->ExportedSymbol(stats, "counter_value");
-  }
   program.machine_ = std::make_unique<Machine>(program.build_->image, cost);
-  program.BindDevice(EnvSymbol("dev", "dev_tx"));
-  if (!program.Prepare(diags).ok()) {
+  Result<std::unique_ptr<RouterSession>> session = RouterSession::Open(
+      *program.machine_, ClackEntryNames(*program.build_), EnvSymbol("dev", "dev_tx"), diags);
+  if (!session.ok()) {
     return Result<RouterProgram>::Failure();
   }
+  program.session_ = session.take();
   // Run the generated initializers (Clack has none today, but configurations may
   // grow them).
   RunResult init = program.machine_->Call(program.build_->init_function);
@@ -57,64 +57,26 @@ Result<RouterProgram> RouterProgram::FromImage(std::unique_ptr<Image> image,
                                                Diagnostics& diags, const CostModel& cost) {
   RouterProgram program;
   program.image_ = std::move(image);
-  program.entry_names_ = std::move(entry_names);
   program.machine_ = std::make_unique<Machine>(*program.image_, cost);
-  program.BindDevice(dev_native);
-  if (!program.Prepare(diags).ok()) {
+  Result<std::unique_ptr<RouterSession>> session =
+      RouterSession::Open(*program.machine_, std::move(entry_names), dev_native, diags);
+  if (!session.ok()) {
     return Result<RouterProgram>::Failure();
   }
+  program.session_ = session.take();
   return program;
-}
-
-void RouterProgram::BindDevice(const std::string& native_name) {
-  std::shared_ptr<RouterStats> stats = stats_;
-  machine_->BindNative(native_name, [stats](Machine& m, const std::vector<uint32_t>& args) {
-    if (args.size() < 3) {
-      return 0u;
-    }
-    uint32_t data = args[0];
-    uint32_t len = args[1];
-    uint32_t port = args[2];
-    ++stats->tx_count;
-    uint64_t hash = stats->tx_hash;
-    hash = FnvMix(hash, static_cast<uint8_t>(port));
-    hash = FnvMix(hash, static_cast<uint8_t>(len & 0xFF));
-    hash = FnvMix(hash, static_cast<uint8_t>((len >> 8) & 0xFF));
-    for (uint32_t i = 0; i < len && i < kFrameCapacity; ++i) {
-      hash = FnvMix(hash, m.ReadByte(data + i));
-    }
-    stats->tx_hash = hash;
-    return 0u;
-  });
-}
-
-Result<void> RouterProgram::Prepare(Diagnostics& diags) {
-  for (const char* required : {"in0", "in1"}) {
-    auto it = entry_names_.find(required);
-    if (it == entry_names_.end() || it->second.empty() ||
-        machine_->image().FindFunction(it->second) < 0) {
-      diags.Error(SourceLoc::Unknown(),
-                  std::string("router image is missing entry point '") + required + "'");
-      return Result<void>::Failure();
-    }
-  }
-  pkt_struct_addr_ = machine_->Sbrk(32);
-  frame_addr_ = machine_->Sbrk(kFrameCapacity);
-  return Result<void>::Success();
 }
 
 void RouterProgram::EnableProfiling(size_t max_events) {
   machine_->EnableProfiling(max_events);
 }
 
-void RouterProgram::ResetStats() { *stats_ = RouterStats{}; }
-
 Result<RouterStats> RouterProgram::RunTrace(const std::vector<TracePacket>& trace,
                                             Diagnostics& diags) {
-  ResetStats();
+  session_->ResetStats();
 
-  // Attribute exactly the measured window: init already ran (Prepare), and the
-  // stats read-back below happens after the snapshot.
+  // Attribute exactly the measured window: init already ran (FromClack), and
+  // the counter read-back happens after the profile snapshot (see Snapshot).
   if (machine_->profiling()) {
     machine_->ResetProfile();
   }
@@ -124,65 +86,10 @@ Result<RouterStats> RouterProgram::RunTrace(const std::vector<TracePacket>& trac
 Result<RouterStats> RouterProgram::RunTraceRange(const std::vector<TracePacket>& trace,
                                                  size_t begin, size_t end,
                                                  Diagnostics& diags) {
-  stats_->text_bytes = machine_->image().text_bytes;
-
-  for (size_t p = begin; p < end && p < trace.size(); ++p) {
-    const TracePacket& packet = trace[p];
-    if (packet.frame.size() > kFrameCapacity) {
-      diags.Error(SourceLoc::Unknown(), "trace frame exceeds buffer capacity");
-      return Result<RouterStats>::Failure();
-    }
-    for (size_t i = 0; i < packet.frame.size(); ++i) {
-      machine_->WriteByte(frame_addr_ + static_cast<uint32_t>(i), packet.frame[i]);
-    }
-    // struct pkt { char *data; int len; int port; unsigned nexthop; }
-    machine_->WriteWord(pkt_struct_addr_ + 0, frame_addr_);
-    machine_->WriteWord(pkt_struct_addr_ + 4, static_cast<uint32_t>(packet.frame.size()));
-    machine_->WriteWord(pkt_struct_addr_ + 8, 0);
-    machine_->WriteWord(pkt_struct_addr_ + 12, 0);
-
-    // Re-resolved every packet: a hot swap of the source element repoints the
-    // unversioned entry symbol to the replacement generation.
-    int entry = machine_->image().FindFunction(
-        entry_names_[packet.in_port == 0 ? "in0" : "in1"]);
-    long long cycles_before = machine_->cycles();
-    long long stalls_before = machine_->ifetch_stalls();
-    RunResult result = machine_->CallId(entry, {pkt_struct_addr_});
-    if (!result.ok) {
-      diags.Error(SourceLoc::Unknown(), "router trapped on packet " +
-                                            std::to_string(stats_->packets) + ": " +
-                                            result.error);
-      return Result<RouterStats>::Failure();
-    }
-    stats_->cycles += machine_->cycles() - cycles_before;
-    stats_->ifetch_stalls += machine_->ifetch_stalls() - stalls_before;
-    ++stats_->packets;
-    if (packet_hook_) {
-      packet_hook_(static_cast<int>(p));
-    }
+  if (!session_->FeedRange(trace, begin, end, diags).ok()) {
+    return Result<RouterStats>::Failure();
   }
-
-  if (machine_->profiling()) {
-    stats_->profile = machine_->Profile();
-  }
-
-  // Read back the counters.
-  auto read_counter = [&](const char* name, uint32_t& out) {
-    auto it = entry_names_.find(name);
-    if (it == entry_names_.end() || it->second.empty()) {
-      return;
-    }
-    RunResult result = machine_->Call(it->second);
-    if (result.ok) {
-      out = result.value;
-    }
-  };
-  read_counter("statsIn0", stats_->in0);
-  read_counter("statsIn1", stats_->in1);
-  read_counter("statsIp", stats_->ip);
-  read_counter("statsOut", stats_->out);
-  read_counter("statsDrop", stats_->drop);
-  return *stats_;
+  return session_->Snapshot(diags);
 }
 
 }  // namespace knit

@@ -3,6 +3,13 @@
 // binds the device environment, and measures a packet trace exactly the way the
 // paper does: "measured in number of cycles from the moment a packet enters the
 // router graph to the moment it leaves".
+//
+// The packet path itself lives in RouterSession (src/clack/session.h): a
+// program owns one machine and one session over it, and the legacy
+// RunTrace/RunTraceRange/ResetStats/SetPacketHook cluster forwards there. Hosts
+// that want the session lifecycle explicitly (open -> feed batches -> snapshot
+// -> close), or that shard one image across many machines, use RouterSession /
+// src/serve directly.
 #ifndef SRC_CLACK_HARNESS_H_
 #define SRC_CLACK_HARNESS_H_
 
@@ -12,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/clack/session.h"
 #include "src/clack/trace.h"
 #include "src/driver/knitc.h"
 #include "src/support/diagnostics.h"
@@ -20,51 +28,23 @@
 
 namespace knit {
 
-struct RouterStats {
-  int packets = 0;
-  long long cycles = 0;         // sum over per-packet deltas
-  long long ifetch_stalls = 0;  // sum over per-packet deltas
-  int text_bytes = 0;
-
-  // Counters read back from the router's Stats exports.
-  uint32_t in0 = 0;
-  uint32_t in1 = 0;
-  uint32_t ip = 0;
-  uint32_t out = 0;
-  uint32_t drop = 0;
-
-  // Transmission log for equivalence checking across configurations.
-  uint32_t tx_count = 0;
-  uint64_t tx_hash = 0;  // FNV over (port, len, bytes) of every dev_tx
-
-  // Per-component attribution of the measured packet window (empty unless
-  // RouterProgram::EnableProfiling was called before RunTrace). Its totals equal
-  // the `cycles`/`ifetch_stalls` sums above exactly: the profile is reset when
-  // the packet loop starts and snapshotted before the stats counters are read
-  // back, so only packet processing is attributed.
-  ComponentProfile profile;
-
-  double CyclesPerPacket() const { return packets == 0 ? 0 : double(cycles) / packets; }
-  double StallsPerPacket() const {
-    return packets == 0 ? 0 : double(ifetch_stalls) / packets;
-  }
-};
-
 class RouterProgram {
  public:
-  // Builds a Clack router (top unit from ClackKnit()) through the knitc pipeline.
-  // `cost` lets experiments scale the simulated machine (e.g. the L1I size, to
-  // preserve the paper's text:cache ratio).
-  static Result<RouterProgram> FromClack(const std::string& top_unit,
-                                         const KnitcOptions& options, Diagnostics& diags,
-                                         const CostModel& cost = CostModel());
-
-  // Same, but on a caller-owned staged pipeline: the caller's KnitcOptions (jobs,
-  // cache) apply, the artifact cache persists across calls (building four router
-  // variants shares every unchanged unit object), and the caller can read
-  // pipeline.metrics() afterwards.
+  // THE factory: builds a Clack router (a top unit from ClackKnit()) on a
+  // caller-owned staged pipeline. The caller's KnitcOptions (jobs, cache, opt
+  // level) apply, the artifact cache persists across calls (building four
+  // router variants shares every unchanged unit object), and the caller can
+  // read pipeline.metrics() afterwards. `cost` lets experiments scale the
+  // simulated machine (e.g. the L1I size, to preserve the paper's text:cache
+  // ratio).
   static Result<RouterProgram> FromClack(KnitPipeline& pipeline, const std::string& top_unit,
                                          Diagnostics& diags,
+                                         const CostModel& cost = CostModel());
+
+  // Legacy convenience: constructs a throwaway pipeline over `options` and
+  // forwards to the pipeline-taking factory above.
+  static Result<RouterProgram> FromClack(const std::string& top_unit,
+                                         const KnitcOptions& options, Diagnostics& diags,
                                          const CostModel& cost = CostModel());
 
   // Wraps an already-linked image. `entry_names` maps the harness's logical names
@@ -74,6 +54,11 @@ class RouterProgram {
                                          std::map<std::string, std::string> entry_names,
                                          const std::string& dev_native, Diagnostics& diags,
                                          const CostModel& cost = CostModel());
+
+  // The harness's logical-entry map for a Knit-built Clack router — shared
+  // with the serving layer, which opens sessions on shard machines over the
+  // same build.
+  static std::map<std::string, std::string> ClackEntryNames(const KnitBuildResult& build);
 
   // Runs the trace; each packet is written into VM memory and pushed through the
   // matching input port, with cycle/stall deltas accumulated per packet.
@@ -89,15 +74,21 @@ class RouterProgram {
                                     size_t end, Diagnostics& diags);
 
   // Zeroes the accumulated RouterStats (packets, cycles, counters, tx log).
-  void ResetStats();
+  void ResetStats() { session_->ResetStats(); }
 
   // Host callback invoked after packet index N of a RunTrace/RunTraceRange loop.
   // The reconfig tests use it to Pump() a ReconfigEngine between packets.
-  void SetPacketHook(std::function<void(int)> hook) { packet_hook_ = std::move(hook); }
+  void SetPacketHook(std::function<void(int)> hook) {
+    session_->SetPacketHook(std::move(hook));
+  }
 
   // Turns on the machine's component profiler; subsequent RunTrace calls fill
   // RouterStats::profile with the measured window's attribution.
   void EnableProfiling(size_t max_events = 1 << 20);
+
+  // The session-style run API over this program's machine (open already
+  // happened; the program closes it on destruction).
+  RouterSession& session() { return *session_; }
 
   Machine& machine() { return *machine_; }
   const KnitBuildResult* build() const { return build_.get(); }
@@ -108,20 +99,10 @@ class RouterProgram {
  private:
   RouterProgram() = default;
 
-  void BindDevice(const std::string& native_name);
-  Result<void> Prepare(Diagnostics& diags);
-
   std::unique_ptr<KnitBuildResult> build_;  // null for FromImage
   std::unique_ptr<Image> image_;            // null for FromClack (owned by build_)
   std::unique_ptr<Machine> machine_;
-  std::map<std::string, std::string> entry_names_;
-
-  uint32_t pkt_struct_addr_ = 0;
-  uint32_t frame_addr_ = 0;
-  std::function<void(int)> packet_hook_;
-  // Heap-allocated so the dev_tx native (which captures it) survives moves of the
-  // RouterProgram object.
-  std::shared_ptr<RouterStats> stats_ = std::make_shared<RouterStats>();
+  std::unique_ptr<RouterSession> session_;
 };
 
 }  // namespace knit

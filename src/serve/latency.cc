@@ -1,0 +1,97 @@
+#include "src/serve/latency.h"
+
+#include <bit>
+#include <cstddef>
+
+namespace knit {
+
+LatencyHistogram::LatencyHistogram() : buckets_(size_t(kOctaves) * kSub, 0) {}
+
+int LatencyHistogram::BucketIndex(long long value) {
+  if (value < 0) {
+    value = 0;
+  }
+  if (value < kSub) {
+    return static_cast<int>(value);  // exact low buckets
+  }
+  // Highest set bit h >= kSubBits: octave (h - kSubBits + 1), sub-bucket = the
+  // kSubBits bits below the leading bit.
+  int high = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  int octave = high - kSubBits + 1;
+  if (octave >= kOctaves) {
+    octave = kOctaves - 1;
+    high = octave + kSubBits - 1;
+  }
+  int sub = static_cast<int>((value >> (high - kSubBits)) & (kSub - 1));
+  return octave * kSub + sub;
+}
+
+long long LatencyHistogram::BucketUpperEdge(int index) {
+  int octave = index / kSub;
+  int sub = index % kSub;
+  if (octave == 0) {
+    return sub;  // exact
+  }
+  int high = octave + kSubBits - 1;
+  long long base = 1ll << high;
+  long long width = 1ll << (high - kSubBits);
+  return base + (sub + 1) * width - 1;
+}
+
+void LatencyHistogram::Record(long long value) {
+  if (value < 0) {
+    value = 0;
+  }
+  buckets_[static_cast<size_t>(BucketIndex(value))]++;
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+long long LatencyHistogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 1) {
+    q = 1;
+  }
+  long long rank = static_cast<long long>(q * double(count_) + 0.5);
+  if (rank < 1) {
+    rank = 1;
+  }
+  long long seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      long long edge = BucketUpperEdge(static_cast<int>(i));
+      return edge > max_ ? max_ : edge;
+    }
+  }
+  return max_;
+}
+
+}  // namespace knit

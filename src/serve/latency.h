@@ -1,0 +1,47 @@
+// HDR-style latency histogram for per-packet cycle counts: 32 exact buckets
+// below 32, then 32 logarithmic sub-buckets per octave — constant memory for a
+// million-packet run, ≤ ~3% value error at the top of each octave, and exact
+// counts (percentile ranks are never approximated, only the reported value is
+// quantized to its bucket's upper edge). Mergeable across shards by addition.
+#ifndef SRC_SERVE_LATENCY_H_
+#define SRC_SERVE_LATENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace knit {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(long long value);
+  void Merge(const LatencyHistogram& other);
+
+  long long count() const { return count_; }
+  long long min() const { return count_ == 0 ? 0 : min_; }
+  long long max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0 : double(sum_) / double(count_); }
+
+  // Value at quantile q in [0, 1]: the upper edge of the bucket holding the
+  // ceil(q * count)-th smallest sample (clamped to the observed max).
+  long long Percentile(double q) const;
+
+ private:
+  static constexpr int kSubBits = 5;                  // 32 sub-buckets per octave
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kOctaves = 42;                 // values up to ~2^46
+
+  static int BucketIndex(long long value);
+  static long long BucketUpperEdge(int index);
+
+  std::vector<long long> buckets_;
+  long long count_ = 0;
+  long long sum_ = 0;
+  long long min_ = 0;
+  long long max_ = 0;
+};
+
+}  // namespace knit
+
+#endif  // SRC_SERVE_LATENCY_H_

@@ -427,16 +427,18 @@ TEST(ReconfigClack, SwappableBuildForwardsIdenticallyToPlainBuild) {
   Diagnostics diags;
   KnitcOptions plain_options;
   plain_options.opt_level = 2;
+  KnitPipeline plain_pipeline(plain_options);
   Result<RouterProgram> plain =
-      RouterProgram::FromClack("ClackRouter", plain_options, diags);
+      RouterProgram::FromClack(plain_pipeline, "ClackRouter", diags);
   ASSERT_TRUE(plain.ok()) << diags.ToString();
   Result<RouterStats> plain_stats = plain.value().RunTrace(trace, diags);
   ASSERT_TRUE(plain_stats.ok()) << diags.ToString();
 
   KnitcOptions swappable_options = plain_options;
   swappable_options.swappable = {"*"};
+  KnitPipeline swappable_pipeline(swappable_options);
   Result<RouterProgram> swappable =
-      RouterProgram::FromClack("ClackRouter", swappable_options, diags);
+      RouterProgram::FromClack(swappable_pipeline, "ClackRouter", diags);
   ASSERT_TRUE(swappable.ok()) << diags.ToString();
   EXPECT_FALSE(swappable.value().build()->image.bindings.empty())
       << "--swappable=* must create binding slots";
@@ -462,18 +464,25 @@ TEST(ReconfigClack, SwapEveryElementUnderTrafficWithZeroDroppedPackets) {
     options.opt_level = opt_level;
     options.swappable = {"*"};
     Diagnostics diags;
+    // One pipeline for both builds: the second is pure artifact-cache hits.
+    KnitPipeline pipeline(options);
 
     // The no-swap reference run of the SAME build configuration.
-    Result<RouterProgram> baseline = RouterProgram::FromClack("ClackRouter", options, diags);
+    Result<RouterProgram> baseline = RouterProgram::FromClack(pipeline, "ClackRouter", diags);
     ASSERT_TRUE(baseline.ok()) << diags.ToString();
     Result<RouterStats> base = baseline.value().RunTrace(trace, diags);
     ASSERT_TRUE(base.ok()) << diags.ToString();
     ASSERT_EQ(base.value().tx_count, expect.tx);
 
-    Result<RouterProgram> built = RouterProgram::FromClack("ClackRouter", options, diags);
+    Result<RouterProgram> built = RouterProgram::FromClack(pipeline, "ClackRouter", diags);
     ASSERT_TRUE(built.ok()) << diags.ToString();
     RouterProgram& program = built.value();
     ReconfigEngine engine(*program.mutable_build(), program.machine(), ClackSources());
+
+    // The swap run drives the program's RouterSession directly — the scenario
+    // exercises the session-style lifecycle (feed range -> mid-stream snapshot
+    // -> close) under live reconfiguration, not just the RunTrace wrapper.
+    RouterSession& session = program.session();
 
     // Hot-swap every instance with a freshly compiled copy of its own source,
     // one instance every 8 packets, while the trace keeps flowing.
@@ -482,7 +491,7 @@ TEST(ReconfigClack, SwapEveryElementUnderTrafficWithZeroDroppedPackets) {
     ASSERT_LT(4 + 8 * (instances.size() - 1), static_cast<size_t>(trace_options.count))
         << "trace too short to cover every instance";
     size_t next = 0;
-    program.SetPacketHook([&](int packet) {
+    session.SetPacketHook([&](int packet) {
       engine.Pump();
       if (packet % 8 == 4 && next < instances.size()) {
         const auto& instance = instances[next++];
@@ -496,9 +505,21 @@ TEST(ReconfigClack, SwapEveryElementUnderTrafficWithZeroDroppedPackets) {
       }
     });
 
-    program.ResetStats();
-    Result<RouterStats> run = program.RunTraceRange(trace, 0, trace.size(), diags);
+    session.ResetStats();
+    const size_t half = trace.size() / 2;
+    ASSERT_TRUE(session.FeedRange(trace, 0, half, diags).ok()) << diags.ToString();
+
+    // A mid-stream snapshot must see exactly the packets fed so far, and must
+    // not disturb the stream: feeding continues afterwards.
+    Result<RouterStats> mid = session.Snapshot(diags);
+    ASSERT_TRUE(mid.ok()) << diags.ToString();
+    EXPECT_EQ(mid.value().packets, static_cast<int>(half));
+
+    ASSERT_TRUE(session.FeedRange(trace, half, trace.size(), diags).ok())
+        << diags.ToString();
+    Result<RouterStats> run = session.Close(diags);
     ASSERT_TRUE(run.ok()) << diags.ToString();
+    EXPECT_TRUE(session.closed());
     EXPECT_EQ(next, instances.size()) << "every element must be swapped";
     EXPECT_FALSE(engine.HasPending());
     ASSERT_EQ(engine.reports().size(), instances.size());

@@ -1,0 +1,303 @@
+// Serving-layer tests: an N-shard fleet must be *indistinguishable* from one
+// machine running the whole trace — same transmitted bytes (aggregate tx_hash
+// byte-identical to the single-machine fold), same counters (exact sums), same
+// component attribution (exact per-component sums) — for every shard count,
+// batch size, opt level, and thread budget, including more shards than threads.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/clack/corpus.h"
+#include "src/clack/harness.h"
+#include "src/clack/trace.h"
+#include "src/serve/serve.h"
+#include "src/support/mangle.h"
+
+namespace knit {
+namespace {
+
+// One build per opt level, shared by every fleet and single-machine baseline in
+// the process — the fleet's whole premise is machines sharing an image.
+std::shared_ptr<const KnitBuildResult> RouterBuild(int opt_level) {
+  static std::map<int, std::shared_ptr<const KnitBuildResult>> cache;
+  auto it = cache.find(opt_level);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  Diagnostics diags;
+  KnitcOptions options;
+  options.opt_level = opt_level;
+  if (opt_level == 0) {
+    options.optimize = false;
+  }
+  KnitPipeline pipeline(options);
+  Result<LinkedImage> built = pipeline.Build(ClackKnit(), ClackSources(), "ClackRouter", diags);
+  EXPECT_TRUE(built.ok()) << diags.ToString();
+  if (!built.ok()) {
+    return nullptr;
+  }
+  auto build = std::make_shared<const KnitBuildResult>(
+      KnitBuildResultFrom(built.take(), pipeline.metrics()));
+  cache[opt_level] = build;
+  return build;
+}
+
+// Single-machine reference, driven through the same RouterSession API the fleet
+// uses (open -> feed -> close), over the same shared build.
+RouterStats RunSingle(const std::shared_ptr<const KnitBuildResult>& build,
+                      const std::vector<TracePacket>& trace) {
+  Diagnostics diags;
+  Machine machine(build->image);
+  Result<std::unique_ptr<RouterSession>> session = RouterSession::Open(
+      machine, RouterProgram::ClackEntryNames(*build), EnvSymbol("dev", "dev_tx"), diags);
+  EXPECT_TRUE(session.ok()) << diags.ToString();
+  if (!session.ok()) {
+    return RouterStats{};
+  }
+  EXPECT_TRUE(machine.Call(build->init_function).ok);
+  EXPECT_TRUE(session.value()->FeedRange(trace, 0, trace.size(), diags).ok())
+      << diags.ToString();
+  Result<RouterStats> stats = session.value()->Close(diags);
+  EXPECT_TRUE(stats.ok()) << diags.ToString();
+  return stats.ok() ? stats.value() : RouterStats{};
+}
+
+ServeReport RunFleet(const std::shared_ptr<const KnitBuildResult>& build,
+                     const std::vector<TracePacket>& trace, const ServeOptions& options) {
+  Diagnostics diags;
+  Result<std::unique_ptr<RouterFleet>> fleet =
+      RouterFleet::FromBuild(build, RouterProgram::ClackEntryNames(*build),
+                             EnvSymbol("dev", "dev_tx"), options, diags);
+  EXPECT_TRUE(fleet.ok()) << diags.ToString();
+  if (!fleet.ok()) {
+    return ServeReport{};
+  }
+  Result<ServeReport> report = fleet.value()->Serve(trace, diags);
+  EXPECT_TRUE(report.ok()) << diags.ToString();
+  return report.ok() ? report.take() : ServeReport{};
+}
+
+std::vector<TracePacket> TestTrace(int count, uint32_t seed = 0x5e12e) {
+  TraceOptions options;
+  options.count = count;
+  options.seed = seed;
+  return GenerateTrace(options);
+}
+
+// The acceptance criterion: aggregate hash and counters are byte-identical to
+// the single machine for shard counts {1, 2, 4, 8} at -O1 and -O2.
+class FleetEquivalenceTest : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FleetEquivalenceTest, AggregateMatchesSingleMachine) {
+  const int opt_level = std::get<0>(GetParam());
+  const int shards = std::get<1>(GetParam());
+  std::shared_ptr<const KnitBuildResult> build = RouterBuild(opt_level);
+  ASSERT_NE(build, nullptr);
+  std::vector<TracePacket> trace = TestTrace(600);
+  RouterStats single = RunSingle(build, trace);
+  ASSERT_GT(single.tx_count, 0u);
+
+  ServeOptions options;
+  options.shards = shards;
+  ServeReport report = RunFleet(build, trace, options);
+
+  EXPECT_EQ(report.total.tx_hash, single.tx_hash);
+  EXPECT_EQ(report.total.tx_count, single.tx_count);
+  EXPECT_EQ(report.total.packets, single.packets);
+  if (shards == 1) {
+    // One shard IS the single machine — cycle-exact.
+    EXPECT_EQ(report.total.cycles, single.cycles);
+    EXPECT_EQ(report.total.ifetch_stalls, single.ifetch_stalls);
+  } else {
+    // N machines each warm their own I-cache/BTB, so aggregate cycles differ
+    // from the single machine's (whose warmup is shared across the whole
+    // trace); the *behaviour* — counters and transmitted bytes — may not.
+    EXPECT_GT(report.total.cycles, 0);
+  }
+  EXPECT_EQ(report.total.in0, single.in0);
+  EXPECT_EQ(report.total.in1, single.in1);
+  EXPECT_EQ(report.total.ip, single.ip);
+  EXPECT_EQ(report.total.out, single.out);
+  EXPECT_EQ(report.total.drop, single.drop);
+  EXPECT_EQ(report.latency.count(), static_cast<long long>(trace.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(OptLevelsAndShardCounts, FleetEquivalenceTest,
+                         testing::Combine(testing::Values(1, 2),
+                                          testing::Values(1, 2, 4, 8)));
+
+TEST(Serve, TotalsAreExactSumsOfShardReports) {
+  std::shared_ptr<const KnitBuildResult> build = RouterBuild(1);
+  ASSERT_NE(build, nullptr);
+  std::vector<TracePacket> trace = TestTrace(500);
+  ServeOptions options;
+  options.shards = 4;
+  ServeReport report = RunFleet(build, trace, options);
+
+  ASSERT_EQ(report.shards.size(), 4u);
+  int packets = 0;
+  long long cycles = 0, stalls = 0;
+  uint32_t tx = 0, in0 = 0, in1 = 0, out = 0, drop = 0;
+  for (const ShardReport& shard : report.shards) {
+    packets += shard.stats.packets;
+    cycles += shard.stats.cycles;
+    stalls += shard.stats.ifetch_stalls;
+    tx += shard.stats.tx_count;
+    in0 += shard.stats.in0;
+    in1 += shard.stats.in1;
+    out += shard.stats.out;
+    drop += shard.stats.drop;
+  }
+  EXPECT_EQ(report.total.packets, packets);
+  EXPECT_EQ(report.total.cycles, cycles);
+  EXPECT_EQ(report.total.ifetch_stalls, stalls);
+  EXPECT_EQ(report.total.tx_count, tx);
+  EXPECT_EQ(report.total.in0, in0);
+  EXPECT_EQ(report.total.in1, in1);
+  EXPECT_EQ(report.total.out, out);
+  EXPECT_EQ(report.total.drop, drop);
+  // Every packet of the trace was drained to exactly one shard.
+  EXPECT_EQ(packets, static_cast<int>(trace.size()));
+}
+
+TEST(Serve, BatchSizeDoesNotChangeResults) {
+  std::shared_ptr<const KnitBuildResult> build = RouterBuild(1);
+  ASSERT_NE(build, nullptr);
+  std::vector<TracePacket> trace = TestTrace(400);
+
+  ServeReport baseline;
+  for (int batch : {1, 7, 64}) {
+    ServeOptions options;
+    options.shards = 2;
+    options.batch = batch;
+    ServeReport report = RunFleet(build, trace, options);
+    if (batch == 1) {
+      baseline = report;
+      ASSERT_GT(baseline.total.tx_count, 0u);
+      continue;
+    }
+    // The VM is deterministic, so not just the bytes — the modeled cycles are
+    // batch-size invariant too.
+    EXPECT_EQ(report.total.tx_hash, baseline.total.tx_hash) << "batch=" << batch;
+    EXPECT_EQ(report.total.cycles, baseline.total.cycles) << "batch=" << batch;
+    EXPECT_EQ(report.total.packets, baseline.total.packets) << "batch=" << batch;
+  }
+}
+
+TEST(Serve, MoreShardsThanThreadsDegradesToPreFeed) {
+  std::shared_ptr<const KnitBuildResult> build = RouterBuild(1);
+  ASSERT_NE(build, nullptr);
+  std::vector<TracePacket> trace = TestTrace(400);
+  RouterStats single = RunSingle(build, trace);
+
+  ServeOptions options;
+  options.shards = 8;
+  options.executor_jobs = 2;  // fewer threads than queues: must not deadlock
+  ServeReport report = RunFleet(build, trace, options);
+
+  EXPECT_FALSE(report.streamed);
+  EXPECT_EQ(report.threads, 2);
+  EXPECT_EQ(report.total.tx_hash, single.tx_hash);
+  EXPECT_EQ(report.total.packets, single.packets);
+}
+
+TEST(Serve, ProfileAggregationIsExact) {
+  std::shared_ptr<const KnitBuildResult> build = RouterBuild(1);
+  ASSERT_NE(build, nullptr);
+  std::vector<TracePacket> trace = TestTrace(300);
+  ServeOptions options;
+  options.shards = 2;
+  options.profile = true;
+  ServeReport report = RunFleet(build, trace, options);
+
+  // Attribution never loses a cycle: fleet-wide, the profile totals equal the
+  // summed per-shard totals equal the summed counter deltas.
+  ASSERT_EQ(report.shards.size(), 2u);
+  long long shard_profile_cycles = 0;
+  for (const ShardReport& shard : report.shards) {
+    EXPECT_EQ(shard.stats.profile.total_cycles, shard.stats.cycles) << "shard " << shard.shard;
+    shard_profile_cycles += shard.stats.profile.total_cycles;
+  }
+  EXPECT_EQ(report.total.profile.total_cycles, shard_profile_cycles);
+  EXPECT_EQ(report.total.profile.total_cycles, report.total.cycles);
+  EXPECT_EQ(report.total.profile.total_ifetch_stalls, report.total.ifetch_stalls);
+  EXPECT_FALSE(report.total.profile.components.empty());
+
+  // Each merged component row is the exact sum of that component's shard rows.
+  for (const ComponentProfileEntry& merged : report.total.profile.components) {
+    long long cycles = 0;
+    for (const ShardReport& shard : report.shards) {
+      for (const ComponentProfileEntry& entry : shard.stats.profile.components) {
+        if (entry.component == merged.component) {
+          cycles += entry.cycles;
+        }
+      }
+    }
+    EXPECT_EQ(merged.cycles, cycles) << merged.component;
+  }
+}
+
+TEST(Serve, FlowsStayOnTheirShard) {
+  std::shared_ptr<const KnitBuildResult> build = RouterBuild(1);
+  ASSERT_NE(build, nullptr);
+  std::vector<TracePacket> trace = TestTrace(200);
+  Diagnostics diags;
+  ServeOptions options;
+  options.shards = 4;
+  Result<std::unique_ptr<RouterFleet>> fleet =
+      RouterFleet::FromBuild(build, RouterProgram::ClackEntryNames(*build),
+                             EnvSymbol("dev", "dev_tx"), options, diags);
+  ASSERT_TRUE(fleet.ok()) << diags.ToString();
+  for (const TracePacket& packet : trace) {
+    int shard = fleet.value()->ShardOf(packet);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    EXPECT_EQ(shard, fleet.value()->ShardOf(packet));  // deterministic
+  }
+}
+
+TEST(Serve, ServeIsOneShot) {
+  std::shared_ptr<const KnitBuildResult> build = RouterBuild(1);
+  ASSERT_NE(build, nullptr);
+  std::vector<TracePacket> trace = TestTrace(50);
+  Diagnostics diags;
+  ServeOptions options;
+  Result<std::unique_ptr<RouterFleet>> fleet =
+      RouterFleet::FromBuild(build, RouterProgram::ClackEntryNames(*build),
+                             EnvSymbol("dev", "dev_tx"), options, diags);
+  ASSERT_TRUE(fleet.ok()) << diags.ToString();
+  ASSERT_TRUE(fleet.value()->Serve(trace, diags).ok()) << diags.ToString();
+  EXPECT_FALSE(fleet.value()->Serve(trace, diags).ok());
+  EXPECT_NE(diags.ToString().find("already served"), std::string::npos);
+}
+
+TEST(Serve, SessionRefusesPacketsAfterClose) {
+  std::shared_ptr<const KnitBuildResult> build = RouterBuild(1);
+  ASSERT_NE(build, nullptr);
+  std::vector<TracePacket> trace = TestTrace(10);
+  Diagnostics diags;
+  Machine machine(build->image);
+  Result<std::unique_ptr<RouterSession>> session = RouterSession::Open(
+      machine, RouterProgram::ClackEntryNames(*build), EnvSymbol("dev", "dev_tx"), diags);
+  ASSERT_TRUE(session.ok()) << diags.ToString();
+  ASSERT_TRUE(machine.Call(build->init_function).ok);
+  ASSERT_TRUE(session.value()->FeedRange(trace, 0, trace.size(), diags).ok());
+  ASSERT_TRUE(session.value()->Close(diags).ok());
+  EXPECT_TRUE(session.value()->closed());
+  EXPECT_FALSE(session.value()->Feed(trace[0], 0, diags).ok());
+  EXPECT_NE(diags.ToString().find("fed after Close"), std::string::npos);
+}
+
+TEST(Serve, EmptyTraceDrainsCleanly) {
+  std::shared_ptr<const KnitBuildResult> build = RouterBuild(1);
+  ASSERT_NE(build, nullptr);
+  ServeOptions options;
+  options.shards = 2;
+  ServeReport report = RunFleet(build, std::vector<TracePacket>{}, options);
+  EXPECT_EQ(report.total.packets, 0);
+  EXPECT_EQ(report.total.tx_hash, 0u);
+  EXPECT_EQ(report.latency.count(), 0);
+}
+
+}  // namespace
+}  // namespace knit

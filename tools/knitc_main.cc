@@ -1,11 +1,16 @@
 // knitc: command-line front end to the staged Knit pipeline (src/driver/pipeline.h).
 //
-//   knitc --knit=app.knit --src=dir --top=App [options]
+//   knitc build --knit=app.knit --src=dir --top=App [options]
+//   knitc run   --knit=app.knit --top=App --run=PORT.SYMBOL
+//   knitc swap  --knit=app.knit --top=App --run=PORT.SYMBOL --swap=INSTANCE:FILE
+//   knitc serve --clack [--shards=N --batch=K --packets=N]
 //
 // Reads the Knit declarations and every *.c / *.h file under --src into the
 // virtual file system, runs the pipeline stage by stage (parse, elaborate,
 // schedule, check, compile, link), and optionally runs an exported function on
-// the VM. See --help for the option list.
+// the VM or serves a packet trace on a sharded router fleet. The historical
+// command-less spelling (`knitc --knit=... [--run=...]`) keeps working as a
+// deprecated alias and picks build/run/swap from the flags given.
 //
 // Environment imports of the top unit are auto-bound: natives whose name ends in
 // "putc" write to stdout; everything else logs its invocation.
@@ -17,10 +22,14 @@
 #include <string>
 #include <vector>
 
+#include "src/clack/corpus.h"
+#include "src/clack/trace.h"
 #include "src/driver/knitc.h"
 #include "src/knitlang/parser.h"
 #include "src/knitlang/printer.h"
 #include "src/reconfig/reconfig.h"
+#include "src/serve/serve.h"
+#include "src/support/mangle.h"
 #include "src/support/strings.h"
 #include "src/vm/machine.h"
 #include "src/vm/profile_trace.h"
@@ -29,6 +38,7 @@ namespace knit {
 namespace {
 
 struct CliOptions {
+  std::string command;  // "build", "run", "swap", "serve", or "" (deprecated alias)
   std::string knit_file;
   std::string src_dir;
   std::string top;
@@ -47,12 +57,35 @@ struct CliOptions {
   FaultPlan fault_plan;
   // --swap=INSTANCE:FILE requests, applied in order after knit__init.
   std::vector<std::pair<std::string, std::string>> swaps;
+  // `knitc serve` options.
+  bool serve_clack = false;   // serve the built-in Clack corpus (no --knit needed)
+  int serve_shards = 2;
+  int serve_batch = 32;
+  long long serve_packets = 10000;
+  uint32_t serve_seed = 0x12345u;
+  std::string serve_json;     // "" = off; "-" = stdout
   KnitcOptions build;
 };
 
 void PrintUsage(std::FILE* out) {
   std::fprintf(out,
-               "usage: knitc --knit=FILE --top=UNIT [--src=DIR] [options]\n"
+               "usage: knitc <command> [options]\n"
+               "\n"
+               "Commands:\n"
+               "  build                 build an image from --knit/--top (reporting "
+               "options\n"
+               "                        apply; --run/--swap belong to run/swap)\n"
+               "  run                   build, then execute --run=PORT.SYMBOL on the VM\n"
+               "  swap                  build, run, and hot-swap --swap=INSTANCE:FILE\n"
+               "                        instances after knit__init\n"
+               "  serve                 serve a synthetic packet trace on a sharded "
+               "router\n"
+               "                        fleet (see Serving below)\n"
+               "\n"
+               "The command-less spelling `knitc --knit=... [--run=...] [--swap=...]` "
+               "is a\n"
+               "deprecated alias: it behaves as build, run, or swap depending on the "
+               "flags.\n"
                "\n"
                "Build options:\n"
                "  --top=UNIT            top-level unit to instantiate (required)\n"
@@ -113,6 +146,23 @@ void PrintUsage(std::FILE* out) {
                "                        of running (fault-injection testing); the names\n"
                "                        swap-link, swap-init, swap-init-trap, swap-quiesce\n"
                "                        inject failures into the --swap path instead\n"
+               "\n"
+               "Serving (knitc serve):\n"
+               "  --clack               serve the built-in Clack router corpus; --top "
+               "picks\n"
+               "                        the configuration (default ClackRouter) and no\n"
+               "                        --knit/--src is needed. Without --clack, serve "
+               "builds\n"
+               "                        --knit/--top, which must export the Clack entry\n"
+               "                        contract (in0/in1 pkt_push, stats counters)\n"
+               "  --shards=N            router shards, one cloned machine each (default "
+               "2)\n"
+               "  --batch=K             packets a shard worker drains per wake-up "
+               "(default 32)\n"
+               "  --packets=N           synthetic trace length (default 10000)\n"
+               "  --seed=N              trace generator seed\n"
+               "  --json=PATH           write the serve report as JSON ('-' = stdout)\n"
+               "\n"
                "  --help                print this help\n");
 }
 
@@ -163,7 +213,21 @@ bool ParseSwapSpec(const std::string& spec,
 // Returns 0 to continue, otherwise the process exit code + 1 (so 1 means
 // "exit 0", e.g. after --help).
 int ParseArgs(int argc, char** argv, CliOptions& options) {
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    std::string command = argv[1];
+    if (command == "build" || command == "run" || command == "swap" ||
+        command == "serve") {
+      options.command = command;
+      first = 2;
+    } else {
+      std::fprintf(stderr,
+                   "knitc: unknown command '%s' (commands: build, run, swap, serve)\n",
+                   command.c_str());
+      return 3;
+    }
+  }
+  for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     auto value_of = [&](const char* prefix) -> std::string {
       return arg.substr(std::strlen(prefix));
@@ -288,6 +352,34 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
         std::fprintf(stderr, "knitc: --fuel expects a positive instruction count\n");
         return 3;
       }
+    } else if (arg == "--clack") {
+      options.serve_clack = true;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options.serve_shards = std::atoi(value_of("--shards=").c_str());
+      if (options.serve_shards < 1 || options.serve_shards > 256) {
+        std::fprintf(stderr, "knitc: error: --shards expects a count between 1 and 256\n");
+        return 3;
+      }
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      options.serve_batch = std::atoi(value_of("--batch=").c_str());
+      if (options.serve_batch < 1) {
+        std::fprintf(stderr, "knitc: error: --batch expects a positive packet count\n");
+        return 3;
+      }
+    } else if (arg.rfind("--packets=", 0) == 0) {
+      options.serve_packets = std::atoll(value_of("--packets=").c_str());
+      if (options.serve_packets < 1) {
+        std::fprintf(stderr, "knitc: error: --packets expects a positive trace length\n");
+        return 3;
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.serve_seed = static_cast<uint32_t>(std::stoll(value_of("--seed=")));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.serve_json = value_of("--json=");
+      if (options.serve_json.empty()) {
+        std::fprintf(stderr, "knitc: error: --json expects a file path or '-'\n");
+        return 3;
+      }
     } else if (arg.rfind("--inject-fault=", 0) == 0) {
       if (!ParseFaultSpec(value_of("--inject-fault="), options.fault_plan)) {
         std::fprintf(stderr, "knitc: bad fault spec '%s' (want FUNC[@N][=V])\n",
@@ -299,6 +391,37 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
       return 3;
     }
   }
+  // Per-command contracts. The deprecated command-less spelling keeps the
+  // historical behaviour: flags decide what happens.
+  if (options.command == "serve") {
+    if (!options.run.empty() || !options.swaps.empty()) {
+      std::fprintf(stderr, "knitc: error: serve takes no --run/--swap (see knitc run, "
+                           "knitc swap)\n");
+      return 3;
+    }
+    if (options.serve_clack) {
+      if (options.top.empty()) {
+        options.top = "ClackRouter";
+      }
+      return 0;  // built-in corpus: no files to locate
+    }
+  } else if (options.serve_clack || !options.serve_json.empty()) {
+    std::fprintf(stderr, "knitc: error: --clack/--json belong to the serve command\n");
+    return 3;
+  }
+  if (options.command == "build" && (!options.run.empty() || !options.swaps.empty())) {
+    std::fprintf(stderr, "knitc: error: build takes no --run/--swap (use knitc run or "
+                         "knitc swap)\n");
+    return 3;
+  }
+  if (options.command == "run" && options.run.empty()) {
+    std::fprintf(stderr, "knitc: error: run requires --run=PORT.SYMBOL\n");
+    return 3;
+  }
+  if (options.command == "swap" && options.swaps.empty()) {
+    std::fprintf(stderr, "knitc: error: swap requires --swap=INSTANCE:FILE\n");
+    return 3;
+  }
   if (options.knit_file.empty() || options.top.empty()) {
     PrintUsage(stderr);
     return 3;
@@ -309,7 +432,7 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
       options.src_dir = ".";
     }
   }
-  if (!options.profile_file.empty() && options.run.empty()) {
+  if (!options.profile_file.empty() && options.run.empty() && options.command != "serve") {
     std::fprintf(stderr, "knitc: error: --profile requires --run (nothing executes "
                          "otherwise)\n");
     return 3;
@@ -401,10 +524,119 @@ bool WriteStatsJson(const std::string& path, const PipelineMetrics& metrics) {
   return WriteTextOutput(path, metrics.ToJson());
 }
 
+// `knitc serve`: build the router image once, clone it across a shard fleet,
+// and serve a synthetic two-port trace through it (src/serve/serve.h).
+int ServeMain(const CliOptions& options) {
+  std::string knit_text;
+  SourceMap sources;
+  if (options.serve_clack) {
+    knit_text = ClackKnit();
+    sources = ClackSources();
+  } else {
+    if (!ReadFile(options.knit_file, knit_text)) {
+      std::fprintf(stderr, "knitc: cannot read %s\n", options.knit_file.c_str());
+      return 1;
+    }
+    if (!LoadSources(options.src_dir, sources)) {
+      return 1;
+    }
+  }
+
+  Diagnostics diags;
+  KnitPipeline pipeline(options.build);
+  Result<LinkedImage> built = pipeline.Build(knit_text, sources, options.top, diags);
+  std::fprintf(stderr, "%s", diags.ToString().c_str());
+  if (!built.ok()) {
+    return 1;
+  }
+  auto build = std::make_shared<const KnitBuildResult>(
+      KnitBuildResultFrom(built.take(), pipeline.metrics()));
+  std::printf("knitc: built '%s': %d instances, %d bytes text\n", options.top.c_str(),
+              build->stats.instance_count, build->image.text_bytes);
+
+  TraceOptions trace_options;
+  trace_options.count = static_cast<int>(options.serve_packets);
+  trace_options.seed = options.serve_seed;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+
+  ServeOptions serve;
+  serve.shards = options.serve_shards;
+  serve.batch = options.serve_batch;
+  serve.profile = !options.profile_file.empty();
+  serve.fuel = options.fuel;
+  if (serve.fuel == 0 && options.serve_packets > 100'000) {
+    serve.fuel = 8'000'000'000ll;  // long runs outgrow the default budget
+  }
+
+  Result<std::unique_ptr<RouterFleet>> fleet =
+      RouterFleet::FromBuild(build, RouterProgram::ClackEntryNames(*build),
+                             EnvSymbol("dev", "dev_tx"), serve, diags);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "%s", diags.ToString().c_str());
+    return 1;
+  }
+  Result<ServeReport> served = fleet.value()->Serve(trace, diags);
+  if (!served.ok()) {
+    std::fprintf(stderr, "%s", diags.ToString().c_str());
+    return 1;
+  }
+  const ServeReport& report = served.value();
+  std::printf("knitc: served %d packets on %d shard(s), batch %d: %.0f packets/sec\n",
+              report.total.packets, options.serve_shards, options.serve_batch,
+              report.packets_per_second);
+  std::printf("  latency p50 %lld  p99 %lld  mean %.1f cycles; %.1f cycles/packet\n",
+              report.p50_cycles, report.p99_cycles, report.latency.Mean(),
+              report.total.CyclesPerPacket());
+  std::printf("  tx %u packets, aggregate hash %016llx; %s mode, %d threads\n",
+              report.total.tx_count,
+              static_cast<unsigned long long>(report.total.tx_hash),
+              report.streamed ? "streaming" : "pre-feed", report.threads);
+  if (serve.profile) {
+    std::printf("fleet component profile (exact sums over %d shards):\n%s",
+                options.serve_shards, report.total.profile.ToText().c_str());
+    if (options.profile_file != "-" &&
+        !WriteTextOutput(options.profile_file, report.total.profile.ToText())) {
+      return 1;
+    }
+  }
+  if (!options.serve_json.empty()) {
+    char buffer[1024];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\n"
+                  "  \"top\": \"%s\",\n"
+                  "  \"packets\": %d,\n"
+                  "  \"shards\": %d,\n"
+                  "  \"batch\": %d,\n"
+                  "  \"packets_per_second\": %.0f,\n"
+                  "  \"p50_cycles\": %lld,\n"
+                  "  \"p99_cycles\": %lld,\n"
+                  "  \"mean_cycles\": %.1f,\n"
+                  "  \"cycles_per_packet\": %.1f,\n"
+                  "  \"tx_count\": %u,\n"
+                  "  \"tx_hash\": \"%016llx\",\n"
+                  "  \"streamed\": %s,\n"
+                  "  \"threads\": %d\n"
+                  "}\n",
+                  options.top.c_str(), report.total.packets, options.serve_shards,
+                  options.serve_batch, report.packets_per_second, report.p50_cycles,
+                  report.p99_cycles, report.latency.Mean(), report.total.CyclesPerPacket(),
+                  report.total.tx_count,
+                  static_cast<unsigned long long>(report.total.tx_hash),
+                  report.streamed ? "true" : "false", report.threads);
+    if (!WriteTextOutput(options.serve_json, buffer)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   CliOptions options;
   if (int parse = ParseArgs(argc, argv, options); parse != 0) {
     return parse - 1;
+  }
+  if (options.command == "serve") {
+    return ServeMain(options);
   }
 
   std::string knit_text;

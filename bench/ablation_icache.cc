@@ -2,31 +2,93 @@
 // inlining "would increase the size of the router code, leading to poor I-cache
 // performance" and found the opposite. This sweep shows where each configuration's
 // stall behaviour sits as the simulated L1I shrinks from "everything fits" to the
-// paper's text:cache regime.
+// paper's text:cache regime. The last two columns compare the link-time answer
+// (-O2 image passes) with its profile-guided form (--profile-use): same image
+// contents, but text laid out by recorded hot-path affinity with never-executed
+// functions outlined — the layout should matter more the smaller the cache gets.
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/clack/corpus.h"
+#include "src/vm/profile_trace.h"
 
 namespace knit {
 namespace {
 
 int Run() {
   std::vector<TracePacket> trace = RouterTrace(600);
+
+  // Record the profile that steers the PGO column: one modular -O2 run at the
+  // Table-1 cache size, pushed through the on-disk document round trip exactly
+  // like a `--profile` / `--profile-use` pair.
+  auto cache = std::make_shared<BuildCache>();
+  std::shared_ptr<const LoadedProfile> profile;
+  {
+    Diagnostics diags;
+    KnitcOptions o2;
+    o2.opt_level = 2;
+    o2.cache = cache;
+    KnitPipeline pipeline(o2);
+    Result<RouterProgram> program =
+        RouterProgram::FromClack(pipeline, "ClackRouter", diags, RouterCostModel());
+    if (!program.ok()) {
+      std::fprintf(stderr, "profiling build failed:\n%s", diags.ToString().c_str());
+      return 1;
+    }
+    program.value().EnableProfiling();
+    Result<RouterStats> stats = program.value().RunTrace(trace, diags);
+    if (!stats.ok()) {
+      return 1;
+    }
+    Result<ParsedProgram> parsed = pipeline.Parse(ClackKnit(), diags);
+    Result<ElaboratedConfig> elaborated =
+        parsed.ok() ? pipeline.Elaborate(parsed.value(), "ClackRouter", diags)
+                    : Result<ElaboratedConfig>::Failure();
+    if (!elaborated.ok()) {
+      std::fprintf(stderr, "elaboration failed:\n%s", diags.ToString().c_str());
+      return 1;
+    }
+    std::string document = SerializeComponentProfile(
+        stats.value().profile, MakeProfileMeta(elaborated.value(), 2), "ClackRouter");
+    Result<LoadedProfile> loaded = ParseComponentProfile(document, diags);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "profile round-trip failed:\n%s", diags.ToString().c_str());
+      return 1;
+    }
+    profile = std::make_shared<const LoadedProfile>(loaded.take());
+  }
+
   std::printf("=== Ablation: I-cache size sweep (stall cycles per packet) ===\n");
-  std::printf("  %-10s %16s %16s %16s %16s\n", "L1I bytes", "modular", "hand-opt",
-              "flattened", "hand+flat");
-  const char* tops[] = {"ClackRouter", "HandRouter", "ClackRouterFlat", "HandRouterFlat"};
-  // One pipeline for the whole sweep: only the simulated cache changes, so every
-  // build after the first four is pure artifact-cache hits.
-  KnitPipeline pipeline(KnitcOptions{});
+  std::printf("  %-10s %16s %16s %16s %16s %16s %16s\n", "L1I bytes", "modular",
+              "hand-opt", "flattened", "hand+flat", "mod -O2", "-O2 + PGO");
+  struct Column {
+    const char* top;
+    int opt_level;
+    bool use_profile;
+  };
+  const Column columns[] = {
+      {"ClackRouter", 1, false},     {"HandRouter", 1, false},
+      {"ClackRouterFlat", 1, false}, {"HandRouterFlat", 1, false},
+      {"ClackRouter", 2, false},     {"ClackRouter", 2, true},
+  };
+  // One artifact cache for the whole sweep: only the simulated cache changes,
+  // so every build after the first row is pure artifact-cache hits.
   for (int icache : {8192, 4096, 2048, 1024, 512}) {
     std::printf("  %-10d", icache);
-    for (const char* top : tops) {
+    for (const Column& column : columns) {
       Diagnostics diags;
       CostModel cost;
       cost.icache_bytes = icache;
-      Result<RouterProgram> program = RouterProgram::FromClack(pipeline, top, diags, cost);
+      KnitcOptions options;
+      options.opt_level = column.opt_level;
+      options.cache = cache;
+      if (column.use_profile) {
+        options.profile = profile;
+      }
+      KnitPipeline pipeline(options);
+      Result<RouterProgram> program =
+          RouterProgram::FromClack(pipeline, column.top, diags, cost);
       if (!program.ok()) {
         std::fprintf(stderr, "build failed:\n%s", diags.ToString().c_str());
         return 1;

@@ -19,7 +19,7 @@
 // transmissions, the fold is shard-count invariant: N shards can process
 // disjoint packets concurrently and fold the recorded digests in trace order
 // afterwards, reproducing the single-machine hash byte for byte (the serving
-// layer's equivalence guarantee; see DESIGN.md §13).
+// layer's equivalence guarantee; see DESIGN.md §12).
 #ifndef SRC_CLACK_SESSION_H_
 #define SRC_CLACK_SESSION_H_
 

@@ -106,6 +106,7 @@ void HashCodegenOptions(const CodegenOptions& options, Fnv64& hasher) {
   hasher.Update(options.inline_single_call);
   hasher.Update(options.single_call_limit);
   hasher.Update(options.caller_growth);
+  hasher.Update(options.profile_digest);
 }
 
 // The unit's component interface, as compilation sees it: C names checked by
@@ -300,6 +301,25 @@ uint64_t FingerprintImage(const Image& image) {
   }
   hasher.Update(image.text_bytes);
   return hasher.digest();
+}
+
+// ---- profile recording context -----------------------------------------------
+
+ProfileMeta MakeProfileMeta(const ElaboratedConfig& config, int opt_level) {
+  ProfileMeta meta;
+  meta.top = config.top_unit;
+  meta.opt_level = opt_level;
+  Fnv64 hasher;
+  hasher.Update("profile-config-v1");
+  hasher.Update(config.top_unit);
+  hasher.Update(static_cast<uint64_t>(config.config->instances.size()));
+  for (const Instance& instance : config.config->instances) {
+    hasher.Update(instance.path);
+    hasher.Update(instance.unit != nullptr ? instance.unit->name : "<null>");
+    hasher.Update(instance.flatten_group);
+  }
+  meta.config_digest = hasher.digest();
+  return meta;
 }
 
 const std::vector<std::string>& IntrinsicNatives() {
@@ -714,6 +734,9 @@ class CompileStage {
     options.opt_level = options_.opt_level;
     options.inline_limit = options_.inline_limit;
     options.caller_growth = options_.caller_growth;
+    if (options_.profile != nullptr) {
+      options.profile_digest = ProfileDigest(*options_.profile);
+    }
     if (!options_.optimize || options_.opt_level == 0) {
       options.optimize = false;
       options.opt_level = 0;
@@ -806,7 +829,7 @@ class CompileStage {
 
   uint64_t UnitCacheKey(const UnitDecl& unit) const {
     Fnv64 hasher;
-    hasher.Update("unit-object-v3");  // v3: Op enum gained kCallBound
+    hasher.Update("unit-object-v4");  // v4: profile digest joined the key
     HashUnitInterface(elaboration_, unit, hasher);
     std::set<std::string> visited;
     for (const std::string& file : unit.files) {
@@ -819,7 +842,7 @@ class CompileStage {
   uint64_t GroupCacheKey(int group, const std::vector<int>& members,
                          const std::vector<InstanceNames>& names) const {
     Fnv64 hasher;
-    hasher.Update("flatten-group-v3");  // v3: Op enum gained kCallBound
+    hasher.Update("flatten-group-v4");  // v4: profile digest joined the key
     hasher.Update("flatten" + std::to_string(group) + ".o");
     hasher.Update(options_.sort_definitions);
     hasher.Update(options_.callers_first_definitions);
@@ -1316,7 +1339,34 @@ Result<OptimizedImage> KnitPipeline::LinkOptimize(const LinkedImage& linked, Dia
       metrics.seconds = Seconds(t0);
       return Result<OptimizedImage>::Failure();
     }
-    PassManager manager = MakeImagePassManager();
+    // Profile-guided mode: a loaded profile whose recording context matches this
+    // build switches the pass list to the PGO pipeline (hottest-first inlining,
+    // affinity layout, cold outlining). A mismatched profile is dropped with a
+    // warning — the build falls back to plain -O2, it never optimizes against
+    // measurements taken from a different program.
+    bool profile_guided = false;
+    if (options_.profile != nullptr && options_.opt_level >= 2) {
+      ProfileMeta expected =
+          MakeProfileMeta(linked.compiled.checked.scheduled.elaborated, options_.opt_level);
+      const ProfileMeta& recorded = options_.profile->meta;
+      if (recorded.top != expected.top || recorded.config_digest != expected.config_digest) {
+        diags.Warning(SourceLoc::Unknown(),
+                      "profile was recorded for configuration '" + recorded.top +
+                          "' (digest " + HexDigest(recorded.config_digest) +
+                          "), not this build of '" + expected.top + "' (digest " +
+                          HexDigest(expected.config_digest) +
+                          "); ignoring it and running plain -O2");
+      } else if (recorded.opt_level != expected.opt_level) {
+        diags.Warning(SourceLoc::Unknown(),
+                      "profile was recorded at -O" + std::to_string(recorded.opt_level) +
+                          ", this build is -O" + std::to_string(expected.opt_level) +
+                          "; ignoring it and running plain -O2");
+      } else {
+        profile_guided = true;
+        image_options.profile = &options_.profile->profile;
+      }
+    }
+    PassManager manager = MakeImagePassManager(profile_guided);
     manager.RunOnImage(optimized.linked.image, image_options, &optimized.pass_stats);
     metrics.items = static_cast<int>(optimized.linked.image.functions.size());
     MergePassStats(metrics_.pass_stats, optimized.pass_stats);

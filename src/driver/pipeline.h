@@ -51,6 +51,7 @@
 #include "src/support/result.h"
 #include "src/vm/image.h"
 #include "src/vm/passes.h"
+#include "src/vm/profile_trace.h"
 
 namespace knit {
 
@@ -109,6 +110,17 @@ struct KnitcOptions {
   // source-flattened (they are pulled out of any flatten group). Prebuilt objects
   // are never cached: the caller already owns the artifact.
   std::map<std::string, ObjectFile> prebuilt_objects;
+
+  // Profile-guided optimization (`knitc --profile-use=FILE`): a profile
+  // previously recorded with --profile (or snapshotted from RunResult::profile)
+  // and loaded via ParseComponentProfile. Null = no PGO; with a profile and
+  // opt_level >= 2, LinkOptimize ranks cross-inline candidates hottest-first
+  // and runs the layout-pgo / outline-cold passes. A profile whose recording
+  // context does not match this build (different top unit, configuration, or
+  // -O level) is ignored with a warning — stale profiles can cost speed, never
+  // correctness. The profile digest is part of the compile-stage cache keys:
+  // same sources + different profile ⇒ recompile and relink.
+  std::shared_ptr<const LoadedProfile> profile;
 
   // Instance paths whose component boundary stays rebindable at run time (the
   // live-reconfiguration subsystem, src/reconfig/). "*" marks every instance.
@@ -289,6 +301,13 @@ class KnitPipeline {
   std::shared_ptr<BuildCache> cache_;
   PipelineMetrics metrics_;
 };
+
+// The ProfileMeta a profile recorded from a build of `config` at `opt_level`
+// carries (see profile_trace.h): the top unit name plus a digest over the
+// elaborated instance paths and their unit names. The CLI stamps this into
+// --profile documents; LinkOptimize compares it against --profile-use input and
+// falls back to plain -O2 (with a warning) on any mismatch.
+ProfileMeta MakeProfileMeta(const ElaboratedConfig& config, int opt_level);
 
 // Stable 64-bit digest of everything a Machine observes in an image: functions
 // (name, layout, code), natives, data bytes, and symbol tables. Two images with

@@ -33,6 +33,12 @@ struct CodegenOptions {
                                    // rarely-taken bodies out of the hot path
   int caller_growth = 32768; // stop inlining when a function reaches this many insns
 
+  // Digest of the recorded profile steering this build (0 = no profile). Codegen
+  // itself ignores it — the PGO passes run at image scope — but it IS part of the
+  // cache key: the same sources built against a different profile must relink,
+  // never reuse a PGO'd artifact (see HashCodegenOptions in src/driver).
+  uint64_t profile_digest = 0;
+
   // When set, the optimizer's pass manager appends per-pass statistics here
   // (not part of the cache key: stats are observation, not configuration).
   std::vector<PassStats>* pass_stats = nullptr;

@@ -129,6 +129,7 @@ void Machine::ResetProfile() {
   profile_cycles_.assign(profile_components_.size(), 0);
   profile_stalls_.assign(profile_components_.size(), 0);
   profile_insns_.assign(profile_components_.size(), 0);
+  profile_fn_calls_.assign(image_.functions.size(), 0);
   profile_edges_.clear();
   profile_events_.clear();
   profile_events_truncated_ = false;
@@ -199,6 +200,19 @@ ComponentProfile Machine::Profile(bool include_events) const {
                 return a.cycles > b.cycles;
               }
               return a.component < b.component;
+            });
+  for (size_t f = 0; f < profile_fn_calls_.size() && f < image_.functions.size(); ++f) {
+    if (profile_fn_calls_[f] > 0 && !image_.functions[f].name.empty()) {
+      out.function_calls.push_back(FunctionCallCount{image_.functions[f].name,
+                                                     profile_fn_calls_[f]});
+    }
+  }
+  std::sort(out.function_calls.begin(), out.function_calls.end(),
+            [](const FunctionCallCount& a, const FunctionCallCount& b) {
+              if (a.calls != b.calls) {
+                return a.calls > b.calls;
+              }
+              return a.function < b.function;
             });
   out.events_truncated = profile_events_truncated_;
   if (include_events) {
@@ -395,6 +409,7 @@ void Machine::RefreshAfterImageGrowth() {
     const std::string& component = image_.functions[f].component;
     function_component_.push_back(intern(component.empty() ? "<other>" : component));
   }
+  profile_fn_calls_.resize(image_.functions.size(), 0);
 }
 
 void Machine::ICacheAccess(uint32_t text_address) {
@@ -455,6 +470,7 @@ bool Machine::EnterFunction(int function_id, const uint32_t* args, int argc) {
     WriteWord(frame.vararg_base + static_cast<uint32_t>(i) * 4, args[fixed + i]);
   }
   if (profiling_) {
+    ++profile_fn_calls_[function_id];
     // Entering a frame of a different component (the host counts as a different
     // component) opens a span on the event timeline.
     int callee = function_component_[function_id];

@@ -138,9 +138,18 @@ struct ProfileEvent {
   long long at_cycle = 0;
 };
 
+// Per-function entry counts from a profiled window, keyed by function name (the
+// stable identity across rebuilds of the same configuration). Functions never
+// entered are omitted — their absence is what the outline-cold PGO pass keys on.
+struct FunctionCallCount {
+  std::string function;
+  long long calls = 0;
+};
+
 struct ComponentProfile {
   std::vector<ComponentProfileEntry> components;  // cycles-descending, then name
   std::vector<BoundaryEdge> edges;                // calls-descending, then names
+  std::vector<FunctionCallCount> function_calls;  // calls-descending, then name
   std::vector<std::string> component_names;       // ProfileEvent::component table
   std::vector<ProfileEvent> events;
   bool events_truncated = false;  // hit the event cap; counters remain exact
@@ -325,6 +334,7 @@ class Machine {
   std::vector<long long> profile_stalls_;
   std::vector<long long> profile_insns_;
   std::map<std::pair<int, int>, long long> profile_edges_;  // (caller, callee) -> calls
+  std::vector<long long> profile_fn_calls_;                 // function id -> entries
   std::vector<ProfileEvent> profile_events_;
   bool profile_events_truncated_ = false;
 

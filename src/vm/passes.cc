@@ -1,6 +1,8 @@
 #include "src/vm/passes.h"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
 #include <set>
 #include <utility>
 
@@ -156,6 +158,64 @@ std::set<int> EntryRoots(const Image& image, const ImagePassOptions& options) {
   return roots;
 }
 
+// ---- profile indexing (PGO) ---------------------------------------------------
+
+// The Machine buckets unattributed functions under "<other>"; the image side
+// must normalize the same way or profile lookups miss exactly those functions.
+const std::string& NormalizeComponent(const std::string& component) {
+  static const std::string kOther = "<other>";
+  return component.empty() ? kOther : component;
+}
+
+// The recorded measurements, indexed for the lookups the PGO passes make.
+struct ProfileIndex {
+  std::map<std::string, long long> component_cycles;
+  std::map<std::pair<std::string, std::string>, long long> edge_calls;
+  std::map<std::string, long long> function_calls;  // recorded entries per name
+  std::set<std::string> executed_functions;         // recorded entry count > 0
+  bool have_function_calls = false;                 // functions table was present
+};
+
+ProfileIndex BuildProfileIndex(const ComponentProfile& profile) {
+  ProfileIndex index;
+  for (const ComponentProfileEntry& entry : profile.components) {
+    index.component_cycles[entry.component] += entry.cycles;
+  }
+  for (const BoundaryEdge& edge : profile.edges) {
+    index.edge_calls[{edge.caller, edge.callee}] += edge.calls;
+  }
+  index.have_function_calls = !profile.function_calls.empty();
+  for (const FunctionCallCount& fn : profile.function_calls) {
+    index.function_calls[fn.function] += fn.calls;
+    if (fn.calls > 0) {
+      index.executed_functions.insert(fn.function);
+    }
+  }
+  return index;
+}
+
+long long FunctionCallsOf(const ProfileIndex& index, const std::string& name) {
+  auto it = index.function_calls.find(name);
+  return it == index.function_calls.end() ? 0 : it->second;
+}
+
+long long ComponentCyclesOf(const ProfileIndex& index, const std::string& component) {
+  auto it = index.component_cycles.find(NormalizeComponent(component));
+  return it == index.component_cycles.end() ? 0 : it->second;
+}
+
+// The hotness of one call site: recorded boundary-edge traffic times how
+// expensive the callee's component measured (so a 1000-call edge into a heavy
+// component outranks a 1000-call edge into a trivial one).
+long long CallSiteScore(const ProfileIndex& index, const std::string& caller_component,
+                        const std::string& callee_component) {
+  auto it = index.edge_calls.find(
+      {NormalizeComponent(caller_component), NormalizeComponent(callee_component)});
+  long long calls = it == index.edge_calls.end() ? 0 : it->second;
+  long long callee_cycles = ComponentCyclesOf(index, callee_component);
+  return calls * std::max<long long>(1, callee_cycles);
+}
+
 // ---- image-scope passes ------------------------------------------------------
 
 // Rewrites `kConstInt(funcref); kCallIndirect` pairs into a direct kCall: the
@@ -220,108 +280,166 @@ class CrossInlinePass : public ImagePass {
 
   void Run(Image& image, const ImagePassOptions& options) override {
     std::set<int> roots = EntryRoots(image, options);
+    ProfileIndex index;
+    const ProfileIndex* hot = nullptr;
+    if (options.profile != nullptr) {
+      index = BuildProfileIndex(*options.profile);
+      hot = &index;
+    }
+    // Without a profile, callers are processed in symbol (id) order. With one,
+    // Callers are walked in symbol order either way — processing a callee
+    // before its callers lets it absorb its own callees first, so a later
+    // inline of it carries the whole subtree. The profile changes which SITE
+    // each rescan round picks (hottest recorded edge instead of first-found)
+    // and how much budget a hot site may spend; see EligibleCallee/InlineInto.
     for (size_t f = 0; f < image.functions.size(); ++f) {
-      InlineInto(image, static_cast<int>(f), options, roots);
+      InlineInto(image, static_cast<int>(f), options, roots, hot);
     }
   }
 
  private:
+  // The eligible callee at call site `call` of `function_index`, or -1. With a
+  // profile, sites on recorded-hot boundary edges earn twice the size budget:
+  // the recording proves the call executes per packet, so trading text for a
+  // removed boundary call is the bet PGO exists to make.
+  static int EligibleCallee(const Image& image, int function_index, const Insn& call,
+                            const std::vector<int>& refs, const std::set<int>& roots,
+                            const ImagePassOptions& options, const ProfileIndex* hot) {
+    if (call.op != Op::kCall) {
+      return -1;
+    }
+    int callee_id = call.a;
+    if (callee_id < 0 || callee_id >= static_cast<int>(image.functions.size()) ||
+        callee_id == function_index) {
+      return -1;  // native, unresolved, or self-recursive
+    }
+    const BytecodeFunction& callee = image.functions[callee_id];
+    if (callee.variadic || callee.code.empty()) {
+      return -1;
+    }
+    int inline_limit = options.inline_limit;
+    if (hot != nullptr &&
+        CallSiteScore(*hot, image.functions[function_index].component, callee.component) > 0) {
+      inline_limit *= 2;
+    }
+    bool small = inline_limit > 0 && static_cast<int>(callee.code.size()) <= inline_limit;
+    // A function called exactly once anywhere in the image inlines whole —
+    // unless it is an entry point (the host calls it by name, so the body
+    // must survive) or its address escapes (refs weighting).
+    bool single = options.inline_single_call && refs[callee_id] == 1 &&
+                  roots.count(callee_id) == 0 &&
+                  static_cast<int>(callee.code.size()) <= options.single_call_limit;
+    if (!small && !single) {
+      return -1;
+    }
+    if (callee.returns_value != CallReturns(call.b) || callee.param_count != CallArgc(call.b)) {
+      return -1;
+    }
+    return callee_id;
+  }
+
+  // Splices callee `callee_id` into `function_index` at call site `p`.
+  static void SpliceAt(Image& image, int function_index, size_t p, int callee_id) {
+    BytecodeFunction& caller = image.functions[function_index];
+    const BytecodeFunction& callee = image.functions[callee_id];
+
+    int base = RoundUp(caller.frame_size, kWordSize);
+    caller.frame_size = base + callee.frame_size;
+    std::vector<Insn> splice;
+    for (int i = callee.param_count - 1; i >= 0; --i) {
+      splice.push_back(Insn{Op::kStoreLocal, base + i * kWordSize, kWordSize});
+    }
+    int body_start = static_cast<int>(splice.size());
+    int end_index = body_start + static_cast<int>(callee.code.size());
+    for (const Insn& insn : callee.code) {
+      Insn copy = insn;
+      switch (copy.op) {
+        case Op::kLoadLocal:
+        case Op::kStoreLocal:
+        case Op::kAddrLocal:
+          copy.a += base;
+          break;
+        case Op::kJmp:
+        case Op::kJz:
+        case Op::kJnz:
+          copy.a += body_start;
+          break;
+        case Op::kRet:
+          copy.op = Op::kJmp;
+          copy.a = end_index;
+          break;
+        default:
+          break;
+      }
+      splice.push_back(copy);
+    }
+
+    int grow = static_cast<int>(splice.size()) - 1;
+    std::vector<Insn> out;
+    out.reserve(caller.code.size() + splice.size());
+    for (size_t i = 0; i < p; ++i) {
+      Insn insn = caller.code[i];
+      if (IsJumpOp(insn.op) && insn.a > static_cast<int>(p)) {
+        insn.a += grow;
+      }
+      out.push_back(insn);
+    }
+    for (Insn insn : splice) {
+      if (IsJumpOp(insn.op)) {
+        insn.a += static_cast<int>(p);
+      }
+      out.push_back(insn);
+    }
+    for (size_t i = p + 1; i < caller.code.size(); ++i) {
+      Insn insn = caller.code[i];
+      if (IsJumpOp(insn.op) && insn.a > static_cast<int>(p)) {
+        insn.a += grow;
+      }
+      out.push_back(insn);
+    }
+    caller.code = std::move(out);
+  }
+
   static void InlineInto(Image& image, int function_index, const ImagePassOptions& options,
-                         const std::set<int>& roots) {
+                         const std::set<int>& roots, const ProfileIndex* hot) {
     bool progress = true;
     while (progress && static_cast<int>(image.functions[function_index].code.size()) <
                            options.caller_growth) {
       progress = false;
       std::vector<int> refs = CountImageRefs(image);
       BytecodeFunction& caller = image.functions[function_index];
+      // Pick the call site to inline this round: without a profile, the first
+      // eligible one (symbol order — the historical behavior, bit for bit);
+      // with one, the hottest eligible one (recorded edge calls × callee
+      // component cycles; ties fall back to the lowest pc, keeping the choice
+      // deterministic for any profile).
+      size_t best_site = caller.code.size();
+      int best_callee = -1;
+      long long best_score = -1;
       for (size_t p = 0; p < caller.code.size(); ++p) {
-        const Insn call = caller.code[p];
-        if (call.op != Op::kCall) {
+        int callee_id =
+            EligibleCallee(image, function_index, caller.code[p], refs, roots, options, hot);
+        if (callee_id < 0) {
           continue;
         }
-        int callee_id = call.a;
-        if (callee_id < 0 || callee_id >= static_cast<int>(image.functions.size()) ||
-            callee_id == function_index) {
-          continue;  // native, unresolved, or self-recursive
+        if (hot == nullptr) {
+          best_site = p;
+          best_callee = callee_id;
+          break;
         }
-        const BytecodeFunction& callee = image.functions[callee_id];
-        if (callee.variadic || callee.code.empty()) {
-          continue;
+        long long score =
+            CallSiteScore(*hot, caller.component, image.functions[callee_id].component);
+        if (score > best_score) {
+          best_score = score;
+          best_site = p;
+          best_callee = callee_id;
         }
-        bool small = options.inline_limit > 0 &&
-                     static_cast<int>(callee.code.size()) <= options.inline_limit;
-        // A function called exactly once anywhere in the image inlines whole —
-        // unless it is an entry point (the host calls it by name, so the body
-        // must survive) or its address escapes (refs weighting).
-        bool single = options.inline_single_call && refs[callee_id] == 1 &&
-                      roots.count(callee_id) == 0 &&
-                      static_cast<int>(callee.code.size()) <= options.single_call_limit;
-        if (!small && !single) {
-          continue;
-        }
-        if (callee.returns_value != CallReturns(call.b) ||
-            callee.param_count != CallArgc(call.b)) {
-          continue;
-        }
-
-        int base = RoundUp(caller.frame_size, kWordSize);
-        caller.frame_size = base + callee.frame_size;
-        std::vector<Insn> splice;
-        for (int i = callee.param_count - 1; i >= 0; --i) {
-          splice.push_back(Insn{Op::kStoreLocal, base + i * kWordSize, kWordSize});
-        }
-        int body_start = static_cast<int>(splice.size());
-        int end_index = body_start + static_cast<int>(callee.code.size());
-        for (const Insn& insn : callee.code) {
-          Insn copy = insn;
-          switch (copy.op) {
-            case Op::kLoadLocal:
-            case Op::kStoreLocal:
-            case Op::kAddrLocal:
-              copy.a += base;
-              break;
-            case Op::kJmp:
-            case Op::kJz:
-            case Op::kJnz:
-              copy.a += body_start;
-              break;
-            case Op::kRet:
-              copy.op = Op::kJmp;
-              copy.a = end_index;
-              break;
-            default:
-              break;
-          }
-          splice.push_back(copy);
-        }
-
-        int grow = static_cast<int>(splice.size()) - 1;
-        std::vector<Insn> out;
-        out.reserve(caller.code.size() + splice.size());
-        for (size_t i = 0; i < p; ++i) {
-          Insn insn = caller.code[i];
-          if (IsJumpOp(insn.op) && insn.a > static_cast<int>(p)) {
-            insn.a += grow;
-          }
-          out.push_back(insn);
-        }
-        for (Insn insn : splice) {
-          if (IsJumpOp(insn.op)) {
-            insn.a += static_cast<int>(p);
-          }
-          out.push_back(insn);
-        }
-        for (size_t i = p + 1; i < caller.code.size(); ++i) {
-          Insn insn = caller.code[i];
-          if (IsJumpOp(insn.op) && insn.a > static_cast<int>(p)) {
-            insn.a += grow;
-          }
-          out.push_back(insn);
-        }
-        caller.code = std::move(out);
-        progress = true;
-        break;  // indices changed; rescan
       }
+      if (best_callee < 0) {
+        break;  // nothing left to inline into this caller
+      }
+      SpliceAt(image, function_index, best_site, best_callee);
+      progress = true;  // indices changed; rescan
     }
   }
 };
@@ -413,6 +531,195 @@ class ImageLayoutPass : public ImagePass {
     for (BytecodeFunction& function : image.functions) {
       function.text_offset = text_cursor;
       text_cursor += RoundUp(function.TextBytes(), options.text_align);
+    }
+    image.text_bytes = text_cursor;
+  }
+};
+
+// Profile-guided text placement: component groups are ordered by hot-path
+// affinity instead of symbol order, so functions that call each other on the
+// recorded hot path share I-cache sets. Greedy Pettis–Hansen-style clustering:
+// walk boundary edges heaviest-first, concatenating component chains; emit
+// chains hottest-first; components the profile never saw go last. Only
+// text_offset/text_bytes change — the machine addresses the I-cache by
+// text_offset, so RunResult values are untouched by construction.
+class PgoLayoutPass : public ImagePass {
+ public:
+  const char* name() const override { return "layout-pgo"; }
+
+  void Run(Image& image, const ImagePassOptions& options) override {
+    if (options.profile == nullptr) {
+      // No profile — identical placement to the plain layout pass.
+      ImageLayoutPass().Run(image, options);
+      return;
+    }
+    ProfileIndex index = BuildProfileIndex(*options.profile);
+
+    // Component -> member function ids, id order within each component. Track
+    // first-seen (minimum) id per component for the cold-tail ordering.
+    std::map<std::string, std::vector<int>> members;
+    std::vector<std::string> discovery;  // components by minimum function id
+    for (size_t f = 0; f < image.functions.size(); ++f) {
+      const std::string& comp = NormalizeComponent(image.functions[f].component);
+      auto [it, inserted] = members.emplace(comp, std::vector<int>{});
+      if (inserted) {
+        discovery.push_back(comp);
+      }
+      it->second.push_back(static_cast<int>(f));
+    }
+
+    // Chains over the hot components (recorded cycles > 0). Each starts alone;
+    // edges merge them heaviest-first.
+    std::map<std::string, int> chain_of;  // hot component -> chain index
+    std::vector<std::vector<std::string>> chains;
+    for (const std::string& comp : discovery) {
+      if (ComponentCyclesOf(index, comp) > 0 && members.count(comp) != 0) {
+        chain_of[comp] = static_cast<int>(chains.size());
+        chains.push_back({comp});
+      }
+    }
+    struct Edge {
+      std::string caller;
+      std::string callee;
+      long long calls;
+    };
+    std::vector<Edge> edges;
+    for (const auto& [pair, calls] : index.edge_calls) {
+      if (calls > 0 && chain_of.count(pair.first) != 0 && chain_of.count(pair.second) != 0) {
+        edges.push_back(Edge{pair.first, pair.second, calls});
+      }
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.calls != b.calls) {
+        return a.calls > b.calls;
+      }
+      if (a.caller != b.caller) {
+        return a.caller < b.caller;
+      }
+      return a.callee < b.callee;
+    });
+    for (const Edge& edge : edges) {
+      int a = chain_of[edge.caller];
+      int b = chain_of[edge.callee];
+      if (a == b) {
+        continue;
+      }
+      // Join so the edge's endpoints actually touch: the caller wants to be the
+      // tail of its chain and the callee the head of its — a chain whose hot
+      // member sits at the wrong end is reversed (the classic Pettis–Hansen
+      // move). Endpoints buried mid-chain were already placed by a hotter edge
+      // and stay put.
+      if (chains[a].front() == edge.caller && chains[a].size() > 1) {
+        std::reverse(chains[a].begin(), chains[a].end());
+      }
+      if (chains[b].back() == edge.callee && chains[b].size() > 1) {
+        std::reverse(chains[b].begin(), chains[b].end());
+      }
+      for (const std::string& comp : chains[b]) {
+        chain_of[comp] = a;
+      }
+      chains[a].insert(chains[a].end(), chains[b].begin(), chains[b].end());
+      chains[b].clear();
+    }
+
+    // Hottest chain first; within a chain the merge order already strings hot
+    // callers next to their callees.
+    std::vector<int> live_chains;
+    for (size_t c = 0; c < chains.size(); ++c) {
+      if (!chains[c].empty()) {
+        live_chains.push_back(static_cast<int>(c));
+      }
+    }
+    std::stable_sort(live_chains.begin(), live_chains.end(), [&](int a, int b) {
+      long long ca = 0;
+      long long cb = 0;
+      for (const std::string& comp : chains[a]) {
+        ca += ComponentCyclesOf(index, comp);
+      }
+      for (const std::string& comp : chains[b]) {
+        cb += ComponentCyclesOf(index, comp);
+      }
+      if (ca != cb) {
+        return ca > cb;
+      }
+      return chains[a].front() < chains[b].front();
+    });
+
+    std::vector<std::string> order;
+    order.reserve(members.size());
+    for (int c : live_chains) {
+      for (const std::string& comp : chains[c]) {
+        order.push_back(comp);
+      }
+    }
+    for (const std::string& comp : discovery) {  // cold tail, min-function-id order
+      if (chain_of.count(comp) == 0) {
+        order.push_back(comp);
+      }
+    }
+
+    // Within a component, most-entered functions first (recorded entry counts;
+    // ties and unprofiled functions keep id order), so a component's own hot
+    // entry shares cache lines with the neighbours the chain put next to it.
+    int text_cursor = 0;
+    for (const std::string& comp : order) {
+      std::vector<int>& group = members[comp];
+      std::stable_sort(group.begin(), group.end(), [&](int a, int b) {
+        return FunctionCallsOf(index, image.functions[a].name) >
+               FunctionCallsOf(index, image.functions[b].name);
+      });
+      for (int f : group) {
+        image.functions[f].text_offset = text_cursor;
+        text_cursor += RoundUp(image.functions[f].TextBytes(), options.text_align);
+      }
+    }
+    image.text_bytes = text_cursor;
+  }
+};
+
+// Moves functions the recorded workload never entered (error paths, rollback
+// handlers, unused exports that DCE must keep for the host) behind the hot
+// text, preserving their relative order. Runs after layout-pgo, so "behind"
+// means behind the affinity-clustered hot region. A profile with no per-
+// function table (an old recording) disables the pass rather than outlining
+// everything.
+class OutlineColdPass : public ImagePass {
+ public:
+  const char* name() const override { return "outline-cold"; }
+
+  void Run(Image& image, const ImagePassOptions& options) override {
+    if (options.profile == nullptr) {
+      return;
+    }
+    ProfileIndex index = BuildProfileIndex(*options.profile);
+    if (!index.have_function_calls) {
+      return;
+    }
+    std::vector<int> placed(image.functions.size());
+    for (size_t f = 0; f < placed.size(); ++f) {
+      placed[f] = static_cast<int>(f);
+    }
+    std::stable_sort(placed.begin(), placed.end(), [&](int a, int b) {
+      return image.functions[a].text_offset < image.functions[b].text_offset;
+    });
+    std::vector<int> hot;
+    std::vector<int> cold;
+    for (int f : placed) {
+      const BytecodeFunction& function = image.functions[f];
+      // Anonymous functions cannot appear in the profile's name-keyed table, so
+      // treat them as hot rather than outline them blind.
+      bool executed =
+          function.name.empty() || index.executed_functions.count(function.name) != 0;
+      (executed ? hot : cold).push_back(f);
+    }
+    int text_cursor = 0;
+    for (int f : hot) {
+      image.functions[f].text_offset = text_cursor;
+      text_cursor += RoundUp(image.functions[f].TextBytes(), options.text_align);
+    }
+    for (int f : cold) {
+      image.functions[f].text_offset = text_cursor;
+      text_cursor += RoundUp(image.functions[f].TextBytes(), options.text_align);
     }
     image.text_bytes = text_cursor;
   }
@@ -530,13 +837,18 @@ PassManager MakeObjectPassManager() {
   return manager;
 }
 
-PassManager MakeImagePassManager() {
+PassManager MakeImagePassManager(bool profile_guided) {
   PassManager manager;
   manager.AddImagePass(std::make_unique<DevirtualizePass>());
   manager.AddImagePass(std::make_unique<CrossInlinePass>());
   manager.AddImagePass(std::make_unique<ImageDcePass>());
   manager.AddImagePass(std::make_unique<ImageSimplifyPass>());
-  manager.AddImagePass(std::make_unique<ImageLayoutPass>());
+  if (profile_guided) {
+    manager.AddImagePass(std::make_unique<PgoLayoutPass>());
+    manager.AddImagePass(std::make_unique<OutlineColdPass>());
+  } else {
+    manager.AddImagePass(std::make_unique<ImageLayoutPass>());
+  }
   return manager;
 }
 

@@ -32,6 +32,7 @@
 #include "src/obj/object.h"
 #include "src/vm/codegen.h"
 #include "src/vm/image.h"
+#include "src/vm/machine.h"
 
 namespace knit {
 
@@ -69,6 +70,13 @@ struct ImagePassOptions {
   // components of the producing link): devirtualization must not bake a direct
   // call to their code, and DCE must keep every binding-slot target alive.
   std::set<std::string> swappable_components;
+  // Recorded workload measurements steering the PGO passes (null = no profile).
+  // cross-inline ranks callers and call sites hottest-first by component cycles
+  // and boundary-edge weight; layout-pgo clusters component text by edge
+  // affinity; outline-cold moves functions the profile never saw executed to
+  // the text tail. The pointer must outlive RunOnImage. With profile == nullptr
+  // every pass behaves exactly as before this field existed.
+  const ComponentProfile* profile = nullptr;
 };
 
 class Pass {
@@ -124,7 +132,11 @@ class PassManager {
 PassManager MakeObjectPassManager();
 
 // The -O2 image pipeline: devirt, cross-inline, dce-image, simplify, layout.
-PassManager MakeImagePassManager();
+// With `profile_guided`, the final layout pass is replaced by the PGO pair —
+// layout-pgo (hot-path affinity ordering) then outline-cold (never-executed
+// functions to the text tail); the earlier passes are the same objects, which
+// consult ImagePassOptions::profile when it is set.
+PassManager MakeImagePassManager(bool profile_guided = false);
 
 // Total instructions across an image's (live) functions; exposed for stats and
 // tests.

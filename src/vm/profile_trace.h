@@ -3,11 +3,20 @@
 // B/E flame chart on one thread track (1 modeled cycle = 1 µs in the viewer),
 // and each component's aggregate counters become "C"-free summary args on a
 // metadata-named counter track rendered as instant spans.
+//
+// This header also owns the on-disk ComponentProfile format (DESIGN.md §13): a
+// profile document is one JSON object that is BOTH a loadable Chrome trace (the
+// "traceEvents" key; viewers ignore unknown top-level keys) AND the
+// machine-readable input of `knitc --profile-use` (the "knit_profile" key).
 #ifndef SRC_VM_PROFILE_TRACE_H_
 #define SRC_VM_PROFILE_TRACE_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
+#include "src/support/diagnostics.h"
+#include "src/support/result.h"
 #include "src/support/trace_event.h"
 #include "src/vm/machine.h"
 
@@ -19,9 +28,50 @@ namespace knit {
 void AppendComponentProfileTrace(const ComponentProfile& profile, const std::string& track_name,
                                  TraceEventLog& log, int pid = 1, int tid = 1);
 
-// Convenience: a standalone single-run trace document.
+// Convenience: a standalone single-run trace document (no "knit_profile" block).
 std::string ComponentProfileTraceJson(const ComponentProfile& profile,
                                       const std::string& track_name);
+
+// ---- on-disk profile documents (--profile / --profile-use) -------------------
+
+// The current "knit_profile" schema version. Parsers accept any document whose
+// version is <= this one and skip fields they do not know (additive evolution);
+// a version from the future is rejected rather than half-understood.
+inline constexpr int kProfileFormatVersion = 1;
+
+// The recording context serialized next to the counters, so a later
+// `--profile-use` can tell whether the profile matches the build it is asked to
+// steer: same top-level unit, same elaborated configuration, same -O level.
+struct ProfileMeta {
+  int version = kProfileFormatVersion;
+  std::string top;             // top-level unit of the profiled build
+  uint64_t config_digest = 0;  // digest over the elaborated instance paths (see
+                               // KnitPipeline) — catches renamed/re-wired configs
+  int opt_level = 0;           // optimization level the profiled image ran at
+};
+
+struct LoadedProfile {
+  ProfileMeta meta;
+  ComponentProfile profile;  // counters, edges, function calls — never events
+};
+
+// Renders `profile` + `meta` as one JSON document: the "knit_profile" block
+// (schema in DESIGN.md §13) followed by the Perfetto-loadable "traceEvents"
+// timeline for `track_name`.
+std::string SerializeComponentProfile(const ComponentProfile& profile, const ProfileMeta& meta,
+                                      const std::string& track_name);
+
+// Deterministic digest over a loaded profile's contents (meta, totals, edges,
+// function calls). The driver folds it into the compile-stage cache keys so a
+// build steered by a different profile never reuses a PGO'd artifact.
+uint64_t ProfileDigest(const LoadedProfile& profile);
+
+// Parses a document written by SerializeComponentProfile (or any JSON object
+// with a compatible "knit_profile" member). Unknown fields at every level are
+// skipped, so documents from newer same-version writers still load. Malformed
+// JSON, a missing "knit_profile" block, or a future version report into `diags`
+// and fail.
+Result<LoadedProfile> ParseComponentProfile(std::string_view json, Diagnostics& diags);
 
 }  // namespace knit
 

@@ -5,10 +5,13 @@
 // KNIT_REPO_ROOT is injected by tests/CMakeLists.txt.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace knit {
@@ -98,6 +101,89 @@ TEST(DocsLintTest, RepositoryLinksResolve) {
       // Relative to the document's directory (all three live at the root).
       EXPECT_TRUE(fs::exists(doc_path.parent_path() / path))
           << doc << ":" << link.line << ": broken link target '" << link.target << "'";
+    }
+  }
+}
+
+// Collects the numbers of a document's `## N. Title` top-level sections.
+std::vector<int> SectionNumbers(const std::string& markdown) {
+  std::vector<int> sections;
+  size_t pos = 0;
+  while (pos < markdown.size()) {
+    size_t end = markdown.find('\n', pos);
+    if (end == std::string::npos) {
+      end = markdown.size();
+    }
+    if (markdown.compare(pos, 3, "## ") == 0) {
+      size_t p = pos + 3;
+      int number = 0;
+      bool any = false;
+      while (p < end && markdown[p] >= '0' && markdown[p] <= '9') {
+        number = number * 10 + (markdown[p] - '0');
+        ++p;
+        any = true;
+      }
+      if (any && p < end && markdown[p] == '.') {
+        sections.push_back(number);
+      }
+    }
+    pos = end + 1;
+  }
+  return sections;
+}
+
+// Doc-qualified section references ("DESIGN.md §13", "DESIGN §9") must point at
+// a section that exists in the referenced document — renumbering a section
+// without sweeping the cross-references is exactly the rot this lane exists to
+// catch. Bare "§N" mentions are citations of the source paper, not intra-repo
+// references, and are deliberately not linted.
+TEST(DocsLintTest, SectionReferencesResolve) {
+  fs::path root = KNIT_REPO_ROOT;
+
+  std::map<std::string, std::vector<int>> sections;
+  for (const char* doc : kDocs) {
+    sections[doc] = SectionNumbers(ReadFileOrDie(root / doc));
+  }
+
+  // The qualifier spellings in use: the full filename and the bare doc name.
+  const std::pair<std::string, std::string> kQualifiers[] = {
+      {"README.md", "README.md"},   {"DESIGN.md", "DESIGN.md"},
+      {"EXPERIMENTS.md", "EXPERIMENTS.md"}, {"DESIGN", "DESIGN.md"},
+  };
+
+  for (const char* doc : kDocs) {
+    std::string markdown = ReadFileOrDie(root / doc);
+    size_t pos = 0;
+    while ((pos = markdown.find("\xC2\xA7", pos)) != std::string::npos) {  // '§'
+      size_t digits = pos + 2;
+      int number = 0;
+      bool any = false;
+      while (digits < markdown.size() && markdown[digits] >= '0' && markdown[digits] <= '9') {
+        number = number * 10 + (markdown[digits] - '0');
+        ++digits;
+        any = true;
+      }
+      // Which document does the text just before the '§' qualify it with?
+      std::string target;
+      size_t best = 0;
+      for (const auto& [spelling, target_doc] : kQualifiers) {
+        std::string prefix = spelling + " ";
+        if (pos >= prefix.size() && spelling.size() + 1 > best &&
+            markdown.compare(pos - prefix.size(), prefix.size(), prefix) == 0) {
+          target = target_doc;
+          best = spelling.size() + 1;
+        }
+      }
+      if (any && !target.empty()) {
+        const std::vector<int>& known = sections[target];
+        int at_line =
+            1 + static_cast<int>(std::count(markdown.begin(),
+                                            markdown.begin() + static_cast<long>(pos), '\n'));
+        EXPECT_NE(std::find(known.begin(), known.end(), number), known.end())
+            << doc << ":" << at_line << ": reference to " << target << " \xC2\xA7" << number
+            << " but that document has no '## " << number << ".' section";
+      }
+      pos = digits;
     }
   }
 }

@@ -386,5 +386,147 @@ TEST_P(ImagePassPropertyTest, OptimizedImageIdenticalAcrossJobs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ImagePassPropertyTest, testing::Range(1, 13));
 
+// ---- profile-guided (-O2 --profile-use) ----------------------------------------
+// The PGO passes re-rank inlining and re-place text from recorded measurements;
+// none of that may change a single RunResult value, and a profile that does not
+// match the build must be ignored (plain -O2), never half-applied.
+
+// Records a profile for `config` the way `knitc run --profile` does: build at
+// -O2, execute the same export/input matrix RunExports uses, snapshot.
+std::shared_ptr<const LoadedProfile> RecordProfile(const GeneratedKnit& config,
+                                                   std::string* error) {
+  KnitcOptions o2;
+  o2.opt_level = 2;
+  Diagnostics diags;
+  Result<KnitBuildResult> build = KnitBuild(config.knit, config.sources, "Top", o2, diags);
+  if (!build.ok()) {
+    *error = diags.ToString();
+    return nullptr;
+  }
+  Machine machine(build.value().image);
+  machine.EnableProfiling();
+  if (!machine.Call(build.value().init_function).ok) {
+    *error = "init failed";
+    return nullptr;
+  }
+  machine.ResetProfile();
+  for (uint32_t input : {0u, 3u, 17u, 100u}) {
+    for (const char* port : {"out", "mid"}) {
+      if (!machine.Call(build.value().ExportedSymbol(port, "work"), {input}).ok) {
+        *error = "export run failed";
+        return nullptr;
+      }
+    }
+  }
+  KnitPipeline pipeline(o2);
+  Result<ParsedProgram> parsed = pipeline.Parse(config.knit, diags);
+  Result<ElaboratedConfig> elaborated =
+      parsed.ok() ? pipeline.Elaborate(parsed.value(), "Top", diags)
+                  : Result<ElaboratedConfig>::Failure();
+  if (!elaborated.ok()) {
+    *error = diags.ToString();
+    return nullptr;
+  }
+  auto loaded = std::make_shared<LoadedProfile>();
+  loaded->meta = MakeProfileMeta(elaborated.value(), 2);
+  loaded->profile = machine.Profile();
+  return loaded;
+}
+
+TEST_P(ImagePassPropertyTest, PgoRunResultsBitIdenticalToPlainO2) {
+  GeneratedKnit config = GenerateKnit(static_cast<unsigned>(GetParam()) * 2246822519u + 3);
+
+  std::string error;
+  std::shared_ptr<const LoadedProfile> profile = RecordProfile(config, &error);
+  ASSERT_NE(profile, nullptr) << error << "\n" << config.knit;
+
+  KnitcOptions o2;
+  o2.opt_level = 2;
+  KnitcOptions pgo = o2;
+  pgo.profile = profile;
+
+  std::vector<uint32_t> plain;
+  std::vector<uint32_t> guided;
+  ASSERT_TRUE(RunExports(config, o2, &plain, &error)) << error;
+  ASSERT_TRUE(RunExports(config, pgo, &guided, &error)) << error;
+  ASSERT_EQ(plain.size(), guided.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], guided[i]) << "result " << i << " diverged under PGO\n" << config.knit;
+  }
+}
+
+TEST_P(ImagePassPropertyTest, MismatchedProfileWarnsAndBuildsPlainO2) {
+  GeneratedKnit config = GenerateKnit(static_cast<unsigned>(GetParam()) * 2246822519u + 3);
+
+  std::string error;
+  std::shared_ptr<const LoadedProfile> recorded = RecordProfile(config, &error);
+  ASSERT_NE(recorded, nullptr) << error << "\n" << config.knit;
+
+  KnitcOptions o2;
+  o2.opt_level = 2;
+  Diagnostics plain_diags;
+  KnitPipeline plain_pipeline(o2);
+  Result<LinkedImage> plain =
+      plain_pipeline.Build(config.knit, config.sources, "Top", plain_diags);
+  ASSERT_TRUE(plain.ok()) << plain_diags.ToString();
+
+  // A profile recorded for a different configuration (stale digest): warn,
+  // ignore, and emit the EXACT image plain -O2 emits (never a half-guided one).
+  auto wrong_config = std::make_shared<LoadedProfile>(*recorded);
+  wrong_config->meta.config_digest ^= 1;
+  KnitcOptions mismatched = o2;
+  mismatched.profile = wrong_config;
+  Diagnostics diags;
+  KnitPipeline pipeline(mismatched);
+  Result<LinkedImage> built = pipeline.Build(config.knit, config.sources, "Top", diags);
+  ASSERT_TRUE(built.ok()) << diags.ToString();
+  EXPECT_NE(diags.ToString().find("ignoring it"), std::string::npos) << diags.ToString();
+  EXPECT_EQ(FingerprintImage(built.value().image), FingerprintImage(plain.value().image))
+      << "mismatched profile changed the image\n"
+      << config.knit;
+
+  // Same configuration but recorded at a different -O level: same fallback.
+  auto wrong_level = std::make_shared<LoadedProfile>(*recorded);
+  wrong_level->meta.opt_level = 1;
+  KnitcOptions leveled = o2;
+  leveled.profile = wrong_level;
+  Diagnostics level_diags;
+  KnitPipeline level_pipeline(leveled);
+  Result<LinkedImage> level_built =
+      level_pipeline.Build(config.knit, config.sources, "Top", level_diags);
+  ASSERT_TRUE(level_built.ok()) << level_diags.ToString();
+  EXPECT_NE(level_diags.ToString().find("ignoring it"), std::string::npos);
+  EXPECT_EQ(FingerprintImage(level_built.value().image),
+            FingerprintImage(plain.value().image));
+}
+
+TEST_P(ImagePassPropertyTest, PgoImageIdenticalAcrossJobs) {
+  GeneratedKnit config = GenerateKnit(static_cast<unsigned>(GetParam()) * 2246822519u + 3);
+
+  std::string error;
+  std::shared_ptr<const LoadedProfile> profile = RecordProfile(config, &error);
+  ASSERT_NE(profile, nullptr) << error;
+
+  uint64_t baseline = 0;
+  for (int jobs : {1, 2, 8}) {
+    KnitcOptions options;
+    options.opt_level = 2;
+    options.jobs = jobs;
+    options.profile = profile;
+    Diagnostics diags;
+    KnitPipeline pipeline(options);
+    Result<LinkedImage> built = pipeline.Build(config.knit, config.sources, "Top", diags);
+    ASSERT_TRUE(built.ok()) << diags.ToString() << "\n" << config.knit;
+    uint64_t fingerprint = FingerprintImage(built.value().image);
+    if (jobs == 1) {
+      baseline = fingerprint;
+    } else {
+      EXPECT_EQ(baseline, fingerprint)
+          << "PGO image differs at --jobs=" << jobs << "\n"
+          << config.knit;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace knit

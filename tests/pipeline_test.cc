@@ -275,6 +275,45 @@ TEST(Pipeline, ChangingOptimizationConfigRecompiles) {
   EXPECT_EQ(warm_o0.CacheHits(), 3);
 }
 
+// The loaded profile's digest is part of the compile-stage cache key: switching
+// profiles (or dropping the profile) must recompile rather than reuse objects
+// built under different guidance, and a warm rebuild with the same profile must
+// hit on everything.
+TEST(Pipeline, ChangingProfileRecompiles) {
+  auto cache = std::make_shared<BuildCache>();
+  SourceMap sources = CacheSources();
+
+  PipelineMetrics plain = BuildCacheProgram(sources, cache);  // no profile
+  EXPECT_EQ(plain.CacheMisses(), 3);
+
+  auto profile_a = std::make_shared<LoadedProfile>();
+  profile_a->meta.top = "Top";
+  profile_a->profile.total_cycles = 1000;
+
+  KnitcOptions with_a;
+  with_a.profile = profile_a;
+  PipelineMetrics cold_a = BuildCacheProgram(sources, cache, with_a);
+  EXPECT_EQ(cold_a.CacheMisses(), 3);
+  EXPECT_EQ(cold_a.CacheHits(), 0);
+
+  PipelineMetrics warm_a = BuildCacheProgram(sources, cache, with_a);
+  EXPECT_EQ(warm_a.CacheMisses(), 0);
+  EXPECT_EQ(warm_a.CacheHits(), 3);
+
+  // A re-recorded profile with different measurements is a different key.
+  auto profile_b = std::make_shared<LoadedProfile>(*profile_a);
+  profile_b->profile.total_cycles = 2000;
+  KnitcOptions with_b;
+  with_b.profile = profile_b;
+  PipelineMetrics cold_b = BuildCacheProgram(sources, cache, with_b);
+  EXPECT_EQ(cold_b.CacheMisses(), 3);
+
+  // The profile-free entries were never evicted.
+  PipelineMetrics warm_plain = BuildCacheProgram(sources, cache);
+  EXPECT_EQ(warm_plain.CacheMisses(), 0);
+  EXPECT_EQ(warm_plain.CacheHits(), 3);
+}
+
 TEST(Pipeline, DiskCachePersistsAcrossPipelines) {
   std::string dir = ::testing::TempDir() + "knit-cache-test";
   std::filesystem::remove_all(dir);  // stale entries from a previous run = not cold

@@ -237,6 +237,140 @@ TEST(ProfileTest, EventCapSetsTruncatedFlagButCountersStayExact) {
   EXPECT_EQ(profile.total_cycles, machine.cycles());
 }
 
+TEST(ProfileTest, FunctionCallCountsRecorded) {
+  KnitBuildResult result = Build("Pair");
+  Machine machine(result.image);
+  machine.EnableProfiling();
+  ASSERT_TRUE(machine.Call(result.init_function).ok);
+  machine.ResetProfile();
+  ASSERT_TRUE(machine.Call(result.ExportedSymbol("out", "f"), {7}).ok);
+  ComponentProfile profile = machine.Profile();
+  // wrap_f entered once, Leaf's f entered 7 times; rows are calls-descending.
+  ASSERT_GE(profile.function_calls.size(), 2u);
+  EXPECT_EQ(profile.function_calls[0].calls, 7);
+  long long last = profile.function_calls[0].calls;
+  bool saw_single = false;
+  for (const FunctionCallCount& fn : profile.function_calls) {
+    EXPECT_LE(fn.calls, last);
+    EXPECT_GT(fn.calls, 0);  // never-entered functions have no row
+    EXPECT_FALSE(fn.function.empty());
+    last = fn.calls;
+    saw_single = saw_single || fn.calls == 1;
+  }
+  EXPECT_TRUE(saw_single);  // wrap_f
+}
+
+TEST(ProfileTest, ProfileDocumentRoundTripsExactly) {
+  KnitBuildResult result = Build("Pair");
+  Machine machine(result.image);
+  machine.EnableProfiling();
+  ASSERT_TRUE(machine.Call(result.init_function).ok);
+  machine.ResetProfile();
+  ASSERT_TRUE(machine.Call(result.ExportedSymbol("out", "f"), {7}).ok);
+  ComponentProfile profile = machine.Profile();
+
+  ProfileMeta meta;
+  meta.top = "Pair";
+  meta.config_digest = 0x0123456789abcdefull;
+  meta.opt_level = 2;
+  std::string document = SerializeComponentProfile(profile, meta, "Pair");
+  // One document, both halves: the loadable trace and the machine-readable block.
+  EXPECT_NE(document.find("\"knit_profile\""), std::string::npos);
+  EXPECT_NE(document.find("\"traceEvents\""), std::string::npos);
+
+  Diagnostics diags;
+  Result<LoadedProfile> loaded = ParseComponentProfile(document, diags);
+  ASSERT_TRUE(loaded.ok()) << diags.ToString();
+  const LoadedProfile& round = loaded.value();
+  EXPECT_EQ(round.meta.version, kProfileFormatVersion);
+  EXPECT_EQ(round.meta.top, "Pair");
+  EXPECT_EQ(round.meta.config_digest, meta.config_digest);
+  EXPECT_EQ(round.meta.opt_level, 2);
+  EXPECT_EQ(round.profile.total_cycles, profile.total_cycles);
+  EXPECT_EQ(round.profile.boundary_calls, profile.boundary_calls);
+  ASSERT_EQ(round.profile.components.size(), profile.components.size());
+  for (size_t i = 0; i < profile.components.size(); ++i) {
+    EXPECT_EQ(round.profile.components[i].component, profile.components[i].component);
+    EXPECT_EQ(round.profile.components[i].cycles, profile.components[i].cycles);
+  }
+  ASSERT_EQ(round.profile.edges.size(), profile.edges.size());
+  ASSERT_EQ(round.profile.function_calls.size(), profile.function_calls.size());
+
+  // The digest is computed from parsed content, so serialize -> parse ->
+  // serialize is a fixpoint as far as the cache key is concerned.
+  LoadedProfile original{meta, profile};
+  EXPECT_EQ(ProfileDigest(round), ProfileDigest(original));
+  Diagnostics diags2;
+  Result<LoadedProfile> twice =
+      ParseComponentProfile(SerializeComponentProfile(round.profile, round.meta, "Pair"), diags2);
+  ASSERT_TRUE(twice.ok()) << diags2.ToString();
+  EXPECT_EQ(ProfileDigest(twice.value()), ProfileDigest(original));
+}
+
+TEST(ProfileTest, ParserSkipsUnknownFieldsEverywhere) {
+  // A document from a hypothetical newer same-version writer: extra fields at
+  // the top level, inside knit_profile, and inside every array element. The
+  // additive-evolution rule says all of them load cleanly.
+  const char* document = R"({
+    "generator": "knitc-next",
+    "knit_profile": {
+      "version": 1,
+      "top": "Pair",
+      "config_digest": "00000000000000ff",
+      "opt_level": 2,
+      "recorded_at": {"unix": 1754700000, "tz": "UTC"},
+      "total_cycles": 262,
+      "total_ifetch_stalls": 24,
+      "total_insns": 136,
+      "boundary_calls": 7,
+      "components": [
+        {"component": "Pair/Leaf", "cycles": 100, "self_rank": 1, "insns": 70},
+        {"component": "Pair/Wrap", "cycles": 162, "flags": ["hot", "entry"]}
+      ],
+      "edges": [
+        {"caller": "Pair/Wrap", "callee": "Pair/Leaf", "calls": 7, "latency_p99": 12.5}
+      ],
+      "functions": [
+        {"function": "leaf__f", "calls": 7, "inlined": false}
+      ],
+      "future_table": [[1, 2], [3, 4]]
+    },
+    "traceEvents": [],
+    "displayTimeUnit": "ms"
+  })";
+  Diagnostics diags;
+  Result<LoadedProfile> loaded = ParseComponentProfile(document, diags);
+  ASSERT_TRUE(loaded.ok()) << diags.ToString();
+  EXPECT_EQ(loaded.value().meta.config_digest, 0xffull);
+  EXPECT_EQ(loaded.value().profile.total_cycles, 262);
+  ASSERT_EQ(loaded.value().profile.components.size(), 2u);
+  EXPECT_EQ(loaded.value().profile.components[0].insns, 70);
+  ASSERT_EQ(loaded.value().profile.edges.size(), 1u);
+  EXPECT_EQ(loaded.value().profile.edges[0].calls, 7);
+  ASSERT_EQ(loaded.value().profile.function_calls.size(), 1u);
+  EXPECT_EQ(loaded.value().profile.function_calls[0].function, "leaf__f");
+}
+
+TEST(ProfileTest, ParserRejectsFutureVersionsAndPlainTraces) {
+  Diagnostics future;
+  EXPECT_FALSE(
+      ParseComponentProfile(R"({"knit_profile": {"version": 99, "top": "X"}})", future).ok());
+  EXPECT_NE(future.ToString().find("version 99"), std::string::npos);
+
+  // A plain trace file (what --profile wrote before the format existed) is a
+  // named failure, not a crash or a silently empty profile.
+  Diagnostics trace_only;
+  EXPECT_FALSE(ParseComponentProfile(R"({"traceEvents": []})", trace_only).ok());
+  EXPECT_NE(trace_only.ToString().find("knit_profile"), std::string::npos);
+
+  Diagnostics malformed;
+  EXPECT_FALSE(ParseComponentProfile("{\"knit_profile\": {\"version\": 1", malformed).ok());
+  EXPECT_NE(malformed.ToString().find("bad profile document"), std::string::npos);
+
+  Diagnostics versionless;
+  EXPECT_FALSE(ParseComponentProfile(R"({"knit_profile": {"top": "X"}})", versionless).ok());
+}
+
 TEST(ProfileTest, JsonEscapeHandlesControlCharacters) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +52,7 @@ struct CliOptions {
   std::string stats_json;    // "" = off; "-" = stdout
   std::string trace_file;    // "" = off: pipeline stage timings as trace JSON
   std::string profile_file;  // "" = off: per-component run profile as trace JSON
+  std::string profile_use_file;  // "" = off: recorded profile steering -O2 (PGO)
   std::string run;
   std::vector<uint32_t> run_args;
   long long fuel = 0;  // 0: leave the CostModel default
@@ -105,6 +107,14 @@ void PrintUsage(std::FILE* out) {
                "  --flatten-all         merge the whole program into one translation unit\n"
                "  --no-failsafe-init    generate the paper's monolithic knit__init (no "
                "rollback)\n"
+               "  --profile-use=PATH    steer the -O2 image passes with a profile "
+               "recorded by\n"
+               "                        --profile: inline budget is spent hottest-first, "
+               "text is\n"
+               "                        laid out by hot-path affinity, and never-executed\n"
+               "                        functions move behind the hot code; a profile "
+               "from a\n"
+               "                        different configuration is ignored with a warning\n"
                "  --swappable=INSTANCE  make INSTANCE hot-swappable: its cross-component\n"
                "                        calls go through binding slots the reconfig engine\n"
                "                        can retarget at run time ('*' = every instance;\n"
@@ -132,8 +142,11 @@ void PrintUsage(std::FILE* out) {
                "  --profile=PATH        (with --run) attribute cycles/stalls/calls to Knit\n"
                "                        components; prints the per-component table and "
                "writes\n"
-               "                        the timeline as Chrome trace-event JSON to PATH\n"
-               "                        ('-' = stdout)\n"
+               "                        a profile document to PATH ('-' = stdout): a "
+               "Chrome\n"
+               "                        trace-event timeline plus the knit_profile block "
+               "that\n"
+               "                        --profile-use reads back (DESIGN.md format)\n"
                "  --swap=INSTANCE:FILE  after knit__init, hot-swap INSTANCE with the unit\n"
                "                        source in FILE (requires --run and --swappable); a\n"
                "                        failed swap rolls back and keeps running the old\n"
@@ -279,6 +292,12 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
       options.profile_file = value_of("--profile=");
       if (options.profile_file.empty()) {
         std::fprintf(stderr, "knitc: error: --profile expects a file path or '-'\n");
+        return 3;
+      }
+    } else if (arg.rfind("--profile-use=", 0) == 0) {
+      options.profile_use_file = value_of("--profile-use=");
+      if (options.profile_use_file.empty()) {
+        std::fprintf(stderr, "knitc: error: --profile-use expects a profile file path\n");
         return 3;
       }
     } else if (arg == "--no-optimize") {
@@ -635,6 +654,25 @@ int Main(int argc, char** argv) {
   if (int parse = ParseArgs(argc, argv, options); parse != 0) {
     return parse - 1;
   }
+  if (!options.profile_use_file.empty()) {
+    // An unreadable or unparseable profile is a hard CLI error; a *mismatched*
+    // one (recorded for another configuration) is detected later by the
+    // pipeline, which warns and builds plain -O2 instead.
+    std::string text;
+    if (!ReadFile(options.profile_use_file, text)) {
+      std::fprintf(stderr, "knitc: cannot read %s\n", options.profile_use_file.c_str());
+      return 1;
+    }
+    Diagnostics profile_diags;
+    Result<LoadedProfile> loaded = ParseComponentProfile(text, profile_diags);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s", profile_diags.ToString().c_str());
+      std::fprintf(stderr, "knitc: cannot use profile %s\n",
+                   options.profile_use_file.c_str());
+      return 1;
+    }
+    options.build.profile = std::make_shared<const LoadedProfile>(loaded.take());
+  }
   if (options.command == "serve") {
     return ServeMain(options);
   }
@@ -675,6 +713,9 @@ int Main(int argc, char** argv) {
   if (!built.ok()) {
     return 1;
   }
+  // Kept for --profile: the recorded document embeds the elaborated
+  // configuration's digest (shared_ptr copies — the artifacts outlive take()).
+  ElaboratedConfig built_elaborated = built.value().compiled.checked.scheduled.elaborated;
   KnitBuildResult result = KnitBuildResultFrom(built.take(), pipeline.metrics());
   std::printf("knitc: built '%s': %d instances, %d objects, %d flatten groups, %d bytes "
               "text\n",
@@ -825,13 +866,18 @@ int Main(int argc, char** argv) {
       ComponentProfile profile = machine.Profile();
       std::printf("component profile (%s):\n%s", options.top.c_str(),
                   profile.ToText().c_str());
+      // The document carries the recording context (top unit, configuration
+      // digest, -O level) so `--profile-use` can check it matches the build it
+      // is asked to steer. It still loads in Perfetto: trace viewers ignore
+      // the extra "knit_profile" key.
+      ProfileMeta meta = MakeProfileMeta(built_elaborated, options.build.opt_level);
       if (!WriteTextOutput(options.profile_file,
-                           ComponentProfileTraceJson(profile, options.top))) {
+                           SerializeComponentProfile(profile, meta, options.top))) {
         return 1;
       }
       if (options.profile_file != "-") {
-        std::printf("profile trace written to %s (open in Perfetto or "
-                    "chrome://tracing)\n",
+        std::printf("profile written to %s (open in Perfetto or chrome://tracing; "
+                    "feed back with --profile-use)\n",
                     options.profile_file.c_str());
       }
     }

@@ -1,5 +1,7 @@
 #include "src/clack/corpus.h"
 
+#include "src/oskit/alloc_corpus.h"
+
 namespace knit {
 
 namespace {
@@ -522,6 +524,46 @@ void hand_tx_raw(struct pkt *p) {
 }
 )";
 
+  // Allocation-heavy element: copies the payload into scratch storage, digests
+  // the copy, releases it, and forwards the ORIGINAL packet unchanged. When
+  // malloc fails it digests in place — so the tx stream (and its hash) is
+  // byte-identical whichever allocator serves the heap import, and across
+  // exhaustion. malloc/free are the implicit MiniC builtins: no declarations,
+  // the linker resolves them against the unit's Alloc import.
+  sources["payload_scratch.c"] = R"(
+#include "pkt.h"
+extern void out_push(struct pkt *p);
+static unsigned g_count = 0;
+static unsigned g_digest = 0;
+void pkt_push(struct pkt *p) {
+  unsigned sum = 0;
+  char *scratch = (char *)malloc((unsigned)p->len);
+  if (scratch) {
+    for (int i = 0; i < p->len; i++) {
+      scratch[i] = p->data[i];
+    }
+    for (int i = 0; i < p->len; i++) {
+      sum = sum + (unsigned)(scratch[i] & 0xFF);
+    }
+    free((void *)scratch);
+  } else {
+    for (int i = 0; i < p->len; i++) {
+      sum = sum + (unsigned)(p->data[i] & 0xFF);
+    }
+  }
+  g_digest = g_digest * 31u + sum;
+  g_count++;
+  out_push(p);
+}
+unsigned counter_value(void) { return g_count; }
+)";
+
+  // The allocator-family sources ride along so any Clack top unit can link an
+  // Alloc provider.
+  for (const auto& [name, text] : AllocSources()) {
+    sources[name] = text;
+  }
+
   return sources;
 }
 
@@ -871,6 +913,58 @@ unit HandRouterFlat = {
   link {
     [ipout, rawout, statsOut] <- HandOut <- [dev];
     [in0, in1, statsIn0, statsIn1, statsIp, statsDrop] <- HandIn <- [ipout, rawout];
+  };
+}
+)KNIT" + AllocKnit() +
+         R"KNIT(
+// Scratch-copying element over the Alloc import (payload_scratch.c): forwards
+// packets unchanged, so the configuration's tx hash is allocator-invariant.
+unit PayloadScratch = {
+  imports [ out : PktSink, heap : Alloc ];
+  exports [ push : PktSink, stats : Stats ];
+  depends { push needs (out + heap); stats needs (); };
+  files { "payload_scratch.c" } with flags ClackFlags;
+  rename { out.pkt_push to out_push; };
+  constraints { pkttype(push) = pkttype(out); };
+}
+
+// ClackRouter with a heap on the IP path: PayloadScratch sits between counterIp
+// and Strip, and the allocator instance is exported (port `alloc`) so hosts can
+// call alloc_reset between batches and --alloc / RewriteAllocProvider can swap
+// the provider as a one-line change.
+unit ClackAllocRouter = {
+  imports [ dev : DevTx ];
+  exports [ in0 : PktSink, in1 : PktSink,
+            statsIn0 : Stats, statsIn1 : Stats, statsIp : Stats,
+            statsOut : Stats, statsDrop : Stats, statsScratch : Stats,
+            alloc : Alloc ];
+  link {
+    [alloc] <- AllocFreelist <- [];
+    [cfg0] <- PortCfg0 <- [];
+    [cfg1] <- PortCfg1 <- [];
+    [drop, statsDrop] <- Discard <- [];
+    [tod0] <- ToDevice as todevice0 <- [dev];
+    [tod1] <- ToDevice as todevice1 <- [dev];
+    [q0] <- Queue as queue0 <- [tod0];
+    [q1] <- Queue as queue1 <- [tod1];
+    [psw] <- PortSwitch <- [q0, q1];
+    [cout, statsOut] <- Counter as counterOut <- [psw];
+    [enc] <- EtherEncap <- [cout];
+    [fix] <- FixIPChecksum <- [enc];
+    [ttl] <- DecIPTTL <- [fix, drop];
+    [rt] <- RouteLookup <- [ttl, drop];
+    [chk] <- CheckIPHeader <- [rt, drop];
+    [scr, statsScratch] <- PayloadScratch <- [chk, alloc];
+    [strip] <- Strip <- [scr];
+    [cip, statsIp] <- Counter as counterIp <- [strip];
+    [arp0] <- ARPResponder as arp0u <- [q0];
+    [arp1] <- ARPResponder as arp1u <- [q1];
+    [cls0] <- Classifier as cls0u <- [cip, arp0, drop];
+    [cls1] <- Classifier as cls1u <- [cip, arp1, drop];
+    [cin0, statsIn0] <- Counter as counterIn0 <- [cls0];
+    [cin1, statsIn1] <- Counter as counterIn1 <- [cls1];
+    [in0] <- FromDevice as from0 <- [cin0, cfg0];
+    [in1] <- FromDevice as from1 <- [cin1, cfg1];
   };
 }
 )KNIT";

@@ -21,14 +21,32 @@ std::map<std::string, std::string> RouterProgram::ClackEntryNames(
   for (const char* stats : {"statsIn0", "statsIn1", "statsIp", "statsOut", "statsDrop"}) {
     names[stats] = build.ExportedSymbol(stats, "counter_value");
   }
+  // Configurations with a heap (e.g. ClackAllocRouter) export their allocator;
+  // the serving layer calls this entry between batches to recycle shard arenas.
+  std::string alloc_reset = build.ExportedSymbol("alloc", "alloc_reset");
+  if (!alloc_reset.empty()) {
+    names["allocReset"] = alloc_reset;
+  }
+  std::string scratch = build.ExportedSymbol("statsScratch", "counter_value");
+  if (!scratch.empty()) {
+    names["statsScratch"] = scratch;
+  }
   return names;
 }
 
 Result<RouterProgram> RouterProgram::FromClack(KnitPipeline& pipeline,
                                                const std::string& top_unit, Diagnostics& diags,
                                                const CostModel& cost) {
+  return FromKnit(pipeline, ClackKnit(), ClackSources(), top_unit, diags, cost);
+}
+
+Result<RouterProgram> RouterProgram::FromKnit(KnitPipeline& pipeline,
+                                              const std::string& knit_text,
+                                              const SourceMap& sources,
+                                              const std::string& top_unit, Diagnostics& diags,
+                                              const CostModel& cost) {
   RouterProgram program;
-  Result<LinkedImage> built = pipeline.Build(ClackKnit(), ClackSources(), top_unit, diags);
+  Result<LinkedImage> built = pipeline.Build(knit_text, sources, top_unit, diags);
   if (!built.ok()) {
     return Result<RouterProgram>::Failure();
   }

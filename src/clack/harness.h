@@ -47,6 +47,13 @@ class RouterProgram {
                                          const KnitcOptions& options, Diagnostics& diags,
                                          const CostModel& cost = CostModel());
 
+  // Like FromClack, but over caller-provided knit text and sources — the entry
+  // point for configurations derived from the corpus, e.g. RewriteAllocProvider
+  // output (`knitc run --alloc=NAME`) or bench-generated variants.
+  static Result<RouterProgram> FromKnit(KnitPipeline& pipeline, const std::string& knit_text,
+                                        const SourceMap& sources, const std::string& top_unit,
+                                        Diagnostics& diags, const CostModel& cost = CostModel());
+
   // Wraps an already-linked image. `entry_names` maps the harness's logical names
   // (in0, in1, statsIn0, statsIn1, statsIp, statsOut, statsDrop) to image symbols;
   // the image must import the native named by `dev_native`.

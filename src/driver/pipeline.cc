@@ -324,7 +324,8 @@ ProfileMeta MakeProfileMeta(const ElaboratedConfig& config, int opt_level) {
 
 const std::vector<std::string>& IntrinsicNatives() {
   static const std::vector<std::string> kIntrinsics = {
-      "__sbrk", "__putchar", "__cycles", "__abort", "__vararg", "__vararg_count", "__trace",
+      "__sbrk",   "__putchar",       "__cycles", "__abort",      "__vararg",
+      "__vararg_count", "__trace",   "__alloc_note", "__free_note",
   };
   return kIntrinsics;
 }
@@ -829,7 +830,7 @@ class CompileStage {
 
   uint64_t UnitCacheKey(const UnitDecl& unit) const {
     Fnv64 hasher;
-    hasher.Update("unit-object-v4");  // v4: profile digest joined the key
+    hasher.Update("unit-object-v5");  // v5: implicit malloc/free lowering
     HashUnitInterface(elaboration_, unit, hasher);
     std::set<std::string> visited;
     for (const std::string& file : unit.files) {
@@ -842,7 +843,7 @@ class CompileStage {
   uint64_t GroupCacheKey(int group, const std::vector<int>& members,
                          const std::vector<InstanceNames>& names) const {
     Fnv64 hasher;
-    hasher.Update("flatten-group-v4");  // v4: profile digest joined the key
+    hasher.Update("flatten-group-v6");  // v6: seeded malloc/free import prototypes
     hasher.Update("flatten" + std::to_string(group) + ".o");
     hasher.Update(options_.sort_definitions);
     hasher.Update(options_.callers_first_definitions);
@@ -959,6 +960,47 @@ class CompileStage {
     }
   }
 
+  // The implicit allocator builtins (`malloc`/`free`, seeded by sema) are
+  // callable with no declaration, so a member TU can reference them without any
+  // top-level name the flattener's scope-aware renamer would touch. When the
+  // instance's rename map binds them (the unit imports an Alloc bundle), seed
+  // explicit extern prototypes so those references follow the map exactly like
+  // a declared import; the merged TU drops the prototype again if the provider
+  // is flattened into the same group.
+  static void SeedAllocBuiltinPrototypes(TranslationUnit& unit,
+                                         const std::map<std::string, std::string>& renames,
+                                         TypeTable& types) {
+    for (const char* name : {"malloc", "free"}) {
+      if (renames.count(name) == 0) {
+        continue;
+      }
+      bool declared = false;
+      for (const Decl& decl : unit.decls) {
+        if ((decl.kind == Decl::Kind::kFunction || decl.kind == Decl::Kind::kGlobalVar) &&
+            decl.name == name) {
+          declared = true;
+          break;
+        }
+      }
+      if (declared) {
+        continue;
+      }
+      Decl proto;
+      proto.kind = Decl::Kind::kFunction;
+      proto.name = name;
+      if (std::string(name) == "malloc") {
+        proto.func_type = types.Function(types.PointerTo(types.Void()),
+                                         {FuncParam{types.Unsigned()}}, false);
+        proto.params = {ParamDecl{"n", types.Unsigned()}};
+      } else {
+        proto.func_type = types.Function(types.Void(),
+                                         {FuncParam{types.PointerTo(types.Void())}}, false);
+        proto.params = {ParamDecl{"p", types.PointerTo(types.Void())}};
+      }
+      unit.decls.push_back(std::move(proto));
+    }
+  }
+
   // Merges one flatten group's member sources into a single TU and compiles it.
   void CompileGroupTask(int group, TaskResult& out) {
     std::vector<int> members;
@@ -1000,6 +1042,7 @@ class CompileStage {
       FlattenInput input;
       input.instance_path = instance.path;
       input.unit = tu.take();
+      SeedAllocBuiltinPrototypes(input.unit, names[m].renames, types);
       input.renames = names[m].renames;  // copied: AttributeGroupFunctions reads it
       input.keep_global.assign(names[m].keep_global.begin(), names[m].keep_global.end());
       inputs.push_back(std::move(input));

@@ -15,6 +15,7 @@ class Sema {
     if (!CollectToplevel()) {
       return Result<SemaInfo>::Failure();
     }
+    DeclareAllocBuiltins();
     for (Decl& decl : unit_.decls) {
       if (decl.kind == Decl::Kind::kFunction && decl.is_definition) {
         if (!CheckFunction(decl)) {
@@ -99,6 +100,24 @@ class Sema {
       }
     }
     return ok;
+  }
+
+  // Implicit allocator builtins: `malloc(n)` / `free(p)` are callable without a
+  // declaration. They lower to ordinary undefined-symbol calls, which the link
+  // stage resolves against the unit's `Alloc` bundle import exactly like any
+  // other cross-component call (so devirtualization, cross-unit inlining, and
+  // PGO apply unchanged). A TU's own declaration or definition — the allocator
+  // units themselves define malloc/free — always wins; the builtins are seeded
+  // only when the name is entirely absent.
+  void DeclareAllocBuiltins() {
+    if (info_.functions.count("malloc") == 0 && info_.globals.count("malloc") == 0) {
+      info_.functions["malloc"] = types_.Function(
+          types_.PointerTo(types_.Void()), {FuncParam{types_.Unsigned()}}, false);
+    }
+    if (info_.functions.count("free") == 0 && info_.globals.count("free") == 0) {
+      info_.functions["free"] = types_.Function(
+          types_.Void(), {FuncParam{types_.PointerTo(types_.Void())}}, false);
+    }
   }
 
   // ---- scopes ----------------------------------------------------------------

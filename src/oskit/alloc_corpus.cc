@@ -1,0 +1,443 @@
+#include "src/oskit/alloc_corpus.h"
+
+namespace knit {
+
+namespace {
+
+SourceMap BuildAllocSources() {
+  SourceMap sources;
+
+  // Slab bump pointer: the old hard-coded VM heap, now an ordinary unit. free
+  // is a no-op (a bump heap never reuses); reset abandons the current slab so
+  // the accounting reconciles, at the price of leaking the pages.
+  sources["alloc_bump.c"] = R"(
+extern unsigned __sbrk(unsigned n);
+extern void __alloc_note(unsigned n);
+extern void __free_note(unsigned n);
+
+enum { SLAB_BYTES = 65536 };
+
+static unsigned g_cur;
+static unsigned g_end;
+static unsigned g_live;
+
+void *malloc(unsigned n) {
+  if (n == 0) n = 1;
+  n = (n + 7) & ~7u;
+  if (g_cur + n > g_end) {
+    unsigned want = SLAB_BYTES;
+    if (n > want) want = n;
+    unsigned base = __sbrk(want);
+    if (base == 0) return (void *)0;
+    g_cur = base;
+    g_end = base + ((want + 4095) & ~4095u);
+  }
+  unsigned p = g_cur;
+  g_cur = g_cur + n;
+  g_live = g_live + n;
+  __alloc_note(n);
+  return (void *)p;
+}
+
+void free(void *p) {
+  (void)p;
+}
+
+void alloc_reset(void) {
+  __free_note(g_live);
+  g_live = 0;
+  g_cur = 0;
+  g_end = 0;
+}
+
+void alloc_init(void) {
+  g_cur = 0;
+  g_end = 0;
+  g_live = 0;
+}
+)";
+
+  // Arena: a chain of slabs with O(1) reset. Reset rewinds to the first slab
+  // and REUSES the whole chain, so a serving shard can recycle its arena
+  // between batches without touching __sbrk again.
+  sources["alloc_arena.c"] = R"(
+extern unsigned __sbrk(unsigned n);
+extern void __alloc_note(unsigned n);
+extern void __free_note(unsigned n);
+
+enum { SLAB_BYTES = 65536, SLAB_HDR = 16 };
+
+struct slab {
+  unsigned next;
+  unsigned cap;
+  unsigned pad0;
+  unsigned pad1;
+};
+
+static unsigned g_first;
+static unsigned g_cur;
+static unsigned g_off;
+static unsigned g_live;
+
+static unsigned arena_grow(unsigned need) {
+  unsigned want = need + SLAB_HDR;
+  if (want < SLAB_BYTES) want = SLAB_BYTES;
+  unsigned base = __sbrk(want);
+  if (base == 0) return 0;
+  struct slab *s = (struct slab *)base;
+  s->next = 0;
+  s->cap = ((want + 4095) & ~4095u) - SLAB_HDR;
+  return base;
+}
+
+void *malloc(unsigned n) {
+  if (n == 0) n = 1;
+  n = (n + 7) & ~7u;
+  if (g_cur == 0) {
+    g_first = arena_grow(n);
+    if (g_first == 0) return (void *)0;
+    g_cur = g_first;
+    g_off = 0;
+  }
+  struct slab *s = (struct slab *)g_cur;
+  while (g_off + n > s->cap) {
+    if (s->next == 0) {
+      unsigned grown = arena_grow(n);
+      if (grown == 0) return (void *)0;
+      s->next = grown;
+    }
+    g_cur = s->next;
+    g_off = 0;
+    s = (struct slab *)g_cur;
+  }
+  unsigned p = g_cur + SLAB_HDR + g_off;
+  g_off = g_off + n;
+  g_live = g_live + n;
+  __alloc_note(n);
+  return (void *)p;
+}
+
+void free(void *p) {
+  (void)p;
+}
+
+void alloc_reset(void) {
+  __free_note(g_live);
+  g_live = 0;
+  g_cur = g_first;
+  g_off = 0;
+}
+
+void alloc_init(void) {
+  g_first = 0;
+  g_cur = 0;
+  g_off = 0;
+  g_live = 0;
+}
+)";
+
+  // Size-class free lists: power-of-two bins from 8 to 2048 bytes; each block
+  // carries an 8-byte header (word0 capacity, word1 free-list next) so free
+  // knows the class without being told. Requests above 2048 get a dedicated
+  // grant and are never binned.
+  sources["alloc_freelist.c"] = R"(
+extern unsigned __sbrk(unsigned n);
+extern void __alloc_note(unsigned n);
+extern void __free_note(unsigned n);
+
+enum { NBINS = 9, HDR = 8, SLAB_BYTES = 65536, MAX_CLASS = 2048 };
+
+static unsigned g_bins[NBINS];
+static unsigned g_cur;
+static unsigned g_end;
+static unsigned g_live;
+
+static unsigned class_of(unsigned n) {
+  unsigned c = 0;
+  unsigned sz = 8;
+  while (sz < n) {
+    sz = sz << 1;
+    c = c + 1;
+  }
+  return c;
+}
+
+static unsigned carve(unsigned bytes) {
+  if (g_cur + bytes > g_end) {
+    unsigned want = SLAB_BYTES;
+    if (bytes > want) want = bytes;
+    unsigned base = __sbrk(want);
+    if (base == 0) return 0;
+    g_cur = base;
+    g_end = base + ((want + 4095) & ~4095u);
+  }
+  unsigned p = g_cur;
+  g_cur = g_cur + bytes;
+  return p;
+}
+
+void *malloc(unsigned n) {
+  if (n == 0) n = 1;
+  if (n > MAX_CLASS) {
+    unsigned big = carve((n + HDR + 7) & ~7u);
+    if (big == 0) return (void *)0;
+    unsigned *hdr = (unsigned *)big;
+    hdr[0] = (n + 7) & ~7u;
+    hdr[1] = 0;
+    g_live = g_live + hdr[0];
+    __alloc_note(hdr[0]);
+    return (void *)(big + HDR);
+  }
+  unsigned c = class_of(n);
+  unsigned cap = 8u << c;
+  unsigned block = g_bins[c];
+  if (block != 0) {
+    unsigned *hdr = (unsigned *)block;
+    g_bins[c] = hdr[1];
+    hdr[1] = 0;
+    g_live = g_live + cap;
+    __alloc_note(cap);
+    return (void *)(block + HDR);
+  }
+  block = carve(cap + HDR);
+  if (block == 0) return (void *)0;
+  unsigned *hdr = (unsigned *)block;
+  hdr[0] = cap;
+  hdr[1] = 0;
+  g_live = g_live + cap;
+  __alloc_note(cap);
+  return (void *)(block + HDR);
+}
+
+void free(void *p) {
+  if (!p) return;
+  unsigned block = (unsigned)p - HDR;
+  unsigned *hdr = (unsigned *)block;
+  unsigned cap = hdr[0];
+  __free_note(cap);
+  g_live = g_live - cap;
+  if (cap <= MAX_CLASS) {
+    unsigned c = class_of(cap);
+    hdr[1] = g_bins[c];
+    g_bins[c] = block;
+  }
+}
+
+void alloc_reset(void) {
+  __free_note(g_live);
+  g_live = 0;
+}
+
+void alloc_init(void) {
+  for (int i = 0; i < NBINS; i++) g_bins[i] = 0;
+  g_cur = 0;
+  g_end = 0;
+  g_live = 0;
+}
+)";
+
+  // Binary buddy over one 256 KB region grabbed at init: min block 16 bytes
+  // (order 0), split on alloc, coalesce with the buddy on free. The buddy of
+  // a block at offset `off` and order o sits at off with bit order_size(o)
+  // flipped; merging walks up while the buddy is free at the same order.
+  sources["alloc_buddy.c"] = R"(
+extern unsigned __sbrk(unsigned n);
+extern void __alloc_note(unsigned n);
+extern void __free_note(unsigned n);
+
+enum { MIN_BLOCK = 16, MAX_ORDER = 14, ORDERS = 15, REGION_BYTES = 262144 };
+
+static unsigned g_base;
+static unsigned g_free[ORDERS];
+static unsigned g_live;
+
+static unsigned order_size(unsigned o) {
+  return (unsigned)MIN_BLOCK << o;
+}
+
+static void push_free(unsigned o, unsigned block) {
+  unsigned *hdr = (unsigned *)block;
+  hdr[0] = o;
+  hdr[1] = g_free[o];
+  g_free[o] = block;
+}
+
+static int pop_specific(unsigned o, unsigned block) {
+  unsigned cur = g_free[o];
+  unsigned prev = 0;
+  while (cur != 0) {
+    unsigned *hdr = (unsigned *)cur;
+    if (cur == block) {
+      if (prev == 0) {
+        g_free[o] = hdr[1];
+      } else {
+        unsigned *ph = (unsigned *)prev;
+        ph[1] = hdr[1];
+      }
+      return 1;
+    }
+    prev = cur;
+    cur = hdr[1];
+  }
+  return 0;
+}
+
+void *malloc(unsigned n) {
+  if (g_base == 0) return (void *)0;
+  if (n == 0) n = 1;
+  unsigned need = n + 8;
+  unsigned o = 0;
+  while (o <= MAX_ORDER && order_size(o) < need) o = o + 1;
+  if (o > MAX_ORDER) return (void *)0;
+  unsigned have = o;
+  while (have <= MAX_ORDER && g_free[have] == 0) have = have + 1;
+  if (have > MAX_ORDER) return (void *)0;
+  unsigned block = g_free[have];
+  unsigned *hdr = (unsigned *)block;
+  g_free[have] = hdr[1];
+  while (have > o) {
+    have = have - 1;
+    push_free(have, block + order_size(have));
+  }
+  hdr[0] = o;
+  hdr[1] = 0xFFFFFFFFu;
+  unsigned cap = order_size(o) - 8;
+  g_live = g_live + cap;
+  __alloc_note(cap);
+  return (void *)(block + 8);
+}
+
+void free(void *p) {
+  if (!p) return;
+  unsigned block = (unsigned)p - 8;
+  unsigned *hdr = (unsigned *)block;
+  unsigned o = hdr[0];
+  unsigned cap = order_size(o) - 8;
+  __free_note(cap);
+  g_live = g_live - cap;
+  while (o < MAX_ORDER) {
+    unsigned off = block - g_base;
+    unsigned buddy;
+    if ((off & order_size(o)) != 0) {
+      buddy = block - order_size(o);
+    } else {
+      buddy = block + order_size(o);
+    }
+    if (!pop_specific(o, buddy)) break;
+    if (buddy < block) block = buddy;
+    o = o + 1;
+  }
+  push_free(o, block);
+}
+
+void alloc_reset(void) {
+  __free_note(g_live);
+  g_live = 0;
+  for (int i = 0; i <= MAX_ORDER; i++) g_free[i] = 0;
+  if (g_base != 0) push_free(MAX_ORDER, g_base);
+}
+
+void alloc_init(void) {
+  for (int i = 0; i <= MAX_ORDER; i++) g_free[i] = 0;
+  g_live = 0;
+  g_base = __sbrk(REGION_BYTES);
+  if (g_base != 0) push_free(MAX_ORDER, g_base);
+}
+)";
+
+  return sources;
+}
+
+std::string BuildAllocKnit() {
+  return R"KNIT(
+// ---- the allocator unit family (see src/oskit/alloc_corpus.h) ----------------
+bundletype Alloc = { malloc, free, alloc_reset }
+
+flags AllocFlags = { "-O2" }
+
+unit AllocBump = {
+  imports [];
+  exports [ alloc : Alloc ];
+  initializer alloc_init for alloc;
+  files { "alloc_bump.c" } with flags AllocFlags;
+}
+
+unit AllocArena = {
+  imports [];
+  exports [ alloc : Alloc ];
+  initializer alloc_init for alloc;
+  files { "alloc_arena.c" } with flags AllocFlags;
+}
+
+unit AllocFreelist = {
+  imports [];
+  exports [ alloc : Alloc ];
+  initializer alloc_init for alloc;
+  files { "alloc_freelist.c" } with flags AllocFlags;
+}
+
+unit AllocBuddy = {
+  imports [];
+  exports [ alloc : Alloc ];
+  initializer alloc_init for alloc;
+  files { "alloc_buddy.c" } with flags AllocFlags;
+}
+)KNIT";
+}
+
+}  // namespace
+
+const SourceMap& AllocSources() {
+  static const SourceMap kSources = BuildAllocSources();
+  return kSources;
+}
+
+const std::string& AllocKnit() {
+  static const std::string kKnit = BuildAllocKnit();
+  return kKnit;
+}
+
+const std::vector<std::string>& AllocUnitNames() {
+  static const std::vector<std::string> kNames = {"AllocBump", "AllocArena", "AllocFreelist",
+                                                  "AllocBuddy"};
+  return kNames;
+}
+
+std::string AllocUnitForShortName(const std::string& name) {
+  if (name == "bump") return "AllocBump";
+  if (name == "arena") return "AllocArena";
+  if (name == "freelist") return "AllocFreelist";
+  if (name == "buddy") return "AllocBuddy";
+  return "";
+}
+
+std::string AllocShortNameList() { return "bump, arena, freelist, buddy"; }
+
+int RewriteAllocProvider(std::string& knit_text, const std::string& unit_name) {
+  // Single left-to-right scan (never re-examining replaced text) so a site
+  // already rewritten to `unit_name` is not matched and counted again.
+  int rewritten = 0;
+  const std::string to = "<- " + unit_name + " ";
+  size_t at = 0;
+  while (true) {
+    size_t best = std::string::npos;
+    size_t best_len = 0;
+    for (const std::string& name : AllocUnitNames()) {
+      const std::string from = "<- " + name + " ";
+      size_t pos = knit_text.find(from, at);
+      if (pos < best) {
+        best = pos;
+        best_len = from.size();
+      }
+    }
+    if (best == std::string::npos) {
+      break;
+    }
+    knit_text.replace(best, best_len, to);
+    at = best + to.size();
+    ++rewritten;
+  }
+  return rewritten;
+}
+
+}  // namespace knit

@@ -1,0 +1,64 @@
+// The allocator unit family: four interchangeable heap allocators written in
+// MiniC behind one shared `Alloc` bundle type, lifting the VM's historical
+// hard-coded bump heap into the component model (the paper's "memory as
+// components" claim). The VM keeps only the page-grant primitive (__sbrk,
+// 4 KB pages, null on exhaustion); everything an application calls malloc/free
+// on is carved by one of these units.
+//
+//   bundletype Alloc = { malloc, free, alloc_reset }
+//
+// Shared contract (property-tested in tests/alloc_units_test.cc):
+//   * malloc returns 8-byte-aligned storage, disjoint from every other live
+//     block, or null on exhaustion — allocation failure NEVER traps;
+//   * free accepts any live malloc result (and null, as a no-op);
+//   * alloc_reset invalidates every outstanding block in O(1) or better and
+//     restarts the allocator (arena rewinds its slab chain; the others at
+//     least reconcile the live-byte accounting);
+//   * every successful malloc/free reports its bytes through the
+//     __alloc_note/__free_note intrinsics, so Machine::bytes_allocated() and
+//     the per-component profile rows stay exact sums.
+//
+// Units:
+//   AllocBump      — slab bump pointer; free is a no-op (never reuses)
+//   AllocArena     — slab chain with O(1) reset that rewinds and reuses slabs
+//   AllocFreelist  — size-class bins (8..2048 bytes, power of two) with
+//                    per-class free lists; large blocks get their own grant
+//   AllocBuddy     — binary buddy over a 256 KB region, min block 16 bytes,
+//                    split on alloc / coalesce with the buddy on free
+#ifndef SRC_OSKIT_ALLOC_CORPUS_H_
+#define SRC_OSKIT_ALLOC_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/minic/clexer.h"
+
+namespace knit {
+
+// MiniC sources of the four allocator units.
+const SourceMap& AllocSources();
+
+// Knit declarations: the Alloc bundle type and the four unit declarations.
+// Self-contained — append to any knit program that wants the family.
+const std::string& AllocKnit();
+
+// The family, in config-name form: {"AllocBump", "AllocArena", "AllocFreelist",
+// "AllocBuddy"}.
+const std::vector<std::string>& AllocUnitNames();
+
+// Maps a CLI short name (bump, arena, freelist, buddy) to the unit name, or ""
+// when unknown.
+std::string AllocUnitForShortName(const std::string& name);
+
+// Comma-separated CLI short names, for error messages ("bump, arena, ...").
+std::string AllocShortNameList();
+
+// Rewrites every Alloc-family provider site ("<- AllocX <-", i.e. link-block
+// instantiations — never the unit declarations) in `knit_text` to `unit_name`.
+// Returns the number of rewritten sites. This is the one-line config change
+// behind `knitc run --alloc=NAME`.
+int RewriteAllocProvider(std::string& knit_text, const std::string& unit_name);
+
+}  // namespace knit
+
+#endif  // SRC_OSKIT_ALLOC_CORPUS_H_

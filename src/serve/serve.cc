@@ -44,6 +44,11 @@ ComponentProfile MergeProfiles(const std::vector<const ComponentProfile*>& parts
       slot.insns += entry.insns;
       slot.calls_in += entry.calls_in;
       slot.calls_out += entry.calls_out;
+      slot.bytes_alloc += entry.bytes_alloc;
+      slot.bytes_freed += entry.bytes_freed;
+      // Shards have disjoint heaps, so their peaks need not coincide in time:
+      // the fleet-level peak is the max shard peak, not a sum.
+      slot.live_peak = std::max(slot.live_peak, entry.live_peak);
     }
     for (const BoundaryEdge& edge : part->edges) {
       edges[{edge.caller, edge.callee}] += edge.calls;
@@ -51,6 +56,8 @@ ComponentProfile MergeProfiles(const std::vector<const ComponentProfile*>& parts
     merged.total_cycles += part->total_cycles;
     merged.total_ifetch_stalls += part->total_ifetch_stalls;
     merged.total_insns += part->total_insns;
+    merged.total_bytes_alloc += part->total_bytes_alloc;
+    merged.total_bytes_freed += part->total_bytes_freed;
     merged.events_truncated = merged.events_truncated || part->events_truncated;
   }
   for (auto& [name, entry] : components) {
@@ -124,6 +131,12 @@ Result<std::unique_ptr<RouterFleet>> RouterFleet::FromBuild(
   auto fleet = std::unique_ptr<RouterFleet>(new RouterFleet());
   fleet->build_ = std::move(build);
   fleet->options_ = options;
+  if (options.reset_alloc_per_batch) {
+    auto reset = entry_names.find("allocReset");
+    if (reset != entry_names.end()) {
+      fleet->alloc_reset_symbol_ = reset->second;
+    }
+  }
   for (int i = 0; i < options.shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->index = i;
@@ -214,6 +227,20 @@ void RouterFleet::WorkerLoop(Shard& shard) {
       stop_.store(true, std::memory_order_relaxed);
       shard.queue->Close();
       break;
+    }
+    // Batch boundary is a quiescent point for this shard (no router frame
+    // live), so recycling its private arena here is race-free by construction.
+    if (!alloc_reset_symbol_.empty()) {
+      RunResult reset = shard.machine->Call(alloc_reset_symbol_);
+      if (!reset.ok) {
+        shard.diags.Error(SourceLoc::Unknown(),
+                          "serve: alloc_reset failed on shard " +
+                              std::to_string(shard.index) + ": " + reset.error);
+        shard.failed = true;
+        stop_.store(true, std::memory_order_relaxed);
+        shard.queue->Close();
+        break;
+      }
     }
   }
   shard.report.max_queue_depth = shard.queue->max_depth();

@@ -65,6 +65,15 @@ struct ServeOptions {
   // default 2e9.
   long long fuel = 0;
 
+  // Call the configuration's allocator-reset export (entry map key
+  // "allocReset", exported by e.g. ClackAllocRouter) on a shard after each
+  // drained batch. Every cloned machine owns a private Alloc instance, so a
+  // reset recycles that shard's arena without touching its neighbours — and
+  // since the elements forward packets unchanged whether malloc succeeds or
+  // not, resets never change the tx hash. Ignored when the configuration
+  // exports no allocator.
+  bool reset_alloc_per_batch = false;
+
   CostModel cost;
 };
 
@@ -144,6 +153,7 @@ class RouterFleet {
 
   std::shared_ptr<const KnitBuildResult> build_;
   ServeOptions options_;
+  std::string alloc_reset_symbol_;  // "" when the config exports no allocator
   std::vector<std::unique_ptr<Shard>> shards_;
   ServeReport report_;
   bool served_ = false;

@@ -30,6 +30,20 @@ std::string ComponentProfile::ToText(size_t max_edges) const {
   out += line;
   std::snprintf(line, sizeof(line), "  boundary calls: %lld\n", boundary_calls);
   out += line;
+  if (total_bytes_alloc > 0 || total_bytes_freed > 0) {
+    std::snprintf(line, sizeof(line), "  heap: %lld bytes allocated, %lld freed\n",
+                  total_bytes_alloc, total_bytes_freed);
+    out += line;
+    for (const ComponentProfileEntry& entry : components) {
+      if (entry.bytes_alloc == 0 && entry.bytes_freed == 0) {
+        continue;
+      }
+      std::snprintf(line, sizeof(line), "    %-30s alloc %10lld  freed %10lld  peak %10lld\n",
+                    entry.component.c_str(), entry.bytes_alloc, entry.bytes_freed,
+                    entry.live_peak);
+      out += line;
+    }
+  }
   size_t shown = 0;
   for (const BoundaryEdge& edge : edges) {
     if (edge.caller == edge.callee) {
@@ -92,6 +106,17 @@ void Machine::BindBuiltins() {
                   "]";
     return 0u;
   });
+  // Heap accounting intrinsics: allocator units report each SUCCESSFUL
+  // malloc/free so the machine can keep exact totals (and, while profiling,
+  // per-requester attribution) without knowing any allocator's internals.
+  BindNative("__alloc_note", [](Machine& m, const std::vector<uint32_t>& args) {
+    m.NoteAlloc(args.empty() ? 0 : args[0]);
+    return 0u;
+  });
+  BindNative("__free_note", [](Machine& m, const std::vector<uint32_t>& args) {
+    m.NoteFree(args.empty() ? 0 : args[0]);
+    return 0u;
+  });
 }
 
 void Machine::BindNative(const std::string& name, NativeFn fn) {
@@ -129,6 +154,10 @@ void Machine::ResetProfile() {
   profile_cycles_.assign(profile_components_.size(), 0);
   profile_stalls_.assign(profile_components_.size(), 0);
   profile_insns_.assign(profile_components_.size(), 0);
+  profile_alloc_.assign(profile_components_.size(), 0);
+  profile_freed_.assign(profile_components_.size(), 0);
+  profile_live_.assign(profile_components_.size(), 0);
+  profile_live_peak_.assign(profile_components_.size(), 0);
   profile_fn_calls_.assign(image_.functions.size(), 0);
   profile_edges_.clear();
   profile_events_.clear();
@@ -179,7 +208,8 @@ ComponentProfile Machine::Profile(bool include_events) const {
   });
   for (size_t c = 0; c < count; ++c) {
     if (profile_cycles_[c] == 0 && profile_insns_[c] == 0 && profile_stalls_[c] == 0 &&
-        calls_in[c] == 0 && calls_out[c] == 0) {
+        calls_in[c] == 0 && calls_out[c] == 0 && profile_alloc_[c] == 0 &&
+        profile_freed_[c] == 0) {
       continue;  // component never entered during the profiled window
     }
     ComponentProfileEntry entry;
@@ -189,9 +219,14 @@ ComponentProfile Machine::Profile(bool include_events) const {
     entry.insns = profile_insns_[c];
     entry.calls_in = calls_in[c];
     entry.calls_out = calls_out[c];
+    entry.bytes_alloc = profile_alloc_[c];
+    entry.bytes_freed = profile_freed_[c];
+    entry.live_peak = profile_live_peak_[c];
     out.total_cycles += entry.cycles;
     out.total_ifetch_stalls += entry.ifetch_stalls;
     out.total_insns += entry.insns;
+    out.total_bytes_alloc += entry.bytes_alloc;
+    out.total_bytes_freed += entry.bytes_freed;
     out.components.push_back(std::move(entry));
   }
   std::sort(out.components.begin(), out.components.end(),
@@ -335,14 +370,63 @@ std::string Machine::ReadCString(uint32_t address, uint32_t max_length) {
 }
 
 uint32_t Machine::Sbrk(uint32_t bytes) {
+  // Page-grant primitive (see machine.h): requests round up to whole 4 KB
+  // pages, and exhaustion returns 0 — allocator units turn that into a null
+  // malloc result; only dereferencing null traps. The granted size is part of
+  // the contract: a caller asking for N bytes owns (N + 0xFFF) & ~0xFFF.
   uint32_t base = heap_end_;
-  uint32_t aligned = (bytes + 7) & ~7u;
-  if (heap_end_ + aligned >= stack_pointer_ - kStackBytes) {
-    Trap("heap exhausted (sbrk of " + std::to_string(bytes) + " bytes)");
+  uint64_t granted = (static_cast<uint64_t>(bytes) + 0xFFF) & ~uint64_t{0xFFF};
+  if (granted == 0) {
+    granted = 0x1000;
+  }
+  if (static_cast<uint64_t>(heap_end_) + granted >= stack_pointer_ - kStackBytes) {
     return 0;
   }
-  heap_end_ += aligned;
+  heap_end_ += static_cast<uint32_t>(granted);
   return base;
+}
+
+int Machine::RequesterComponent() const {
+  if (frames_.empty()) {
+    return -1;
+  }
+  int allocator = function_component_[frames_.back().function];
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    int component = function_component_[it->function];
+    if (component != allocator) {
+      return component;
+    }
+  }
+  return allocator;  // the allocator allocated for itself (e.g. its initializer)
+}
+
+void Machine::NoteAlloc(uint32_t bytes) {
+  bytes_allocated_ += bytes;
+  long long live = bytes_allocated_ - bytes_freed_;
+  if (live > live_peak_) {
+    live_peak_ = live;
+  }
+  if (profiling_) {
+    int component = RequesterComponent();
+    if (component >= 0) {
+      profile_alloc_[component] += bytes;
+      profile_live_[component] += bytes;
+      if (profile_live_[component] > profile_live_peak_[component]) {
+        profile_live_peak_[component] = profile_live_[component];
+      }
+    }
+  }
+}
+
+void Machine::NoteFree(uint32_t bytes) {
+  bytes_freed_ += bytes;
+  if (profiling_) {
+    int component = RequesterComponent();
+    if (component >= 0) {
+      profile_freed_[component] += bytes;
+      profile_live_[component] -= bytes;
+    }
+  }
 }
 
 int Machine::CurrentVarargCount() const {
@@ -402,6 +486,10 @@ void Machine::RefreshAfterImageGrowth() {
       profile_cycles_.push_back(0);
       profile_stalls_.push_back(0);
       profile_insns_.push_back(0);
+      profile_alloc_.push_back(0);
+      profile_freed_.push_back(0);
+      profile_live_.push_back(0);
+      profile_live_peak_.push_back(0);
     }
     return it->second;
   };

@@ -117,6 +117,14 @@ struct ComponentProfileEntry {
   long long insns = 0;
   long long calls_in = 0;   // calls entering from a different component
   long long calls_out = 0;  // calls leaving to a different component (incl. <env>)
+  // Heap attribution (filled when an allocator unit reports through the
+  // __alloc_note/__free_note intrinsics): bytes this component requested and
+  // released, and the peak of its own live-byte count. Allocations are charged
+  // to the REQUESTER — the innermost live frame whose component differs from
+  // the allocator's — so the allocator unit itself stays a thin service row.
+  long long bytes_alloc = 0;
+  long long bytes_freed = 0;
+  long long live_peak = 0;
 };
 
 // Call counts at component granularity. Rows with caller == callee are
@@ -158,6 +166,11 @@ struct ComponentProfile {
   long long total_ifetch_stalls = 0;  // Machine counter deltas over the profiled
   long long total_insns = 0;          // window — attribution never loses a cycle
   long long boundary_calls = 0;       // sum of edges with caller != callee
+  // Exact sums of the per-component bytes_alloc/bytes_freed rows; equal to the
+  // Machine's bytes_allocated()/bytes_freed() deltas over the profiled window
+  // (live peaks are per-component maxima and deliberately have no sum row).
+  long long total_bytes_alloc = 0;
+  long long total_bytes_freed = 0;
 
   // Renders the per-component table and the top boundary edges as fixed-width
   // text (benches and knitc share this format).
@@ -183,7 +196,8 @@ class Machine {
 
   // Binds an implementation to a native name from the image. Unbound natives trap
   // when called. Built-ins (__sbrk, __putchar, __puthex, __cycles, __vararg,
-  // __vararg_count, __abort, __trace) are pre-bound when present in the image.
+  // __vararg_count, __abort, __trace, __alloc_note, __free_note) are pre-bound
+  // when present in the image.
   void BindNative(const std::string& name, NativeFn fn);
 
   // Calls a function by global symbol name or id. Runs to completion.
@@ -238,8 +252,27 @@ class Machine {
   void AppendConsole(char c) { console_ += c; }
   void ClearConsole() { console_.clear(); }
 
-  // Heap: bump allocator exposed to programs via the __sbrk native.
+  // Heap page-grant primitive, exposed to programs via the __sbrk native. This
+  // is NOT an allocator: it hands out page-aligned regions (requests round up
+  // to 4 KB pages) and never reuses them. Allocator UNITS (src/oskit
+  // alloc_corpus) call it to grow their slabs and carve objects out themselves.
+  // Exhaustion (the grant would run into the stack guard) returns 0 — the null
+  // page — so allocators can surface failure as a null pointer, never a trap.
   uint32_t Sbrk(uint32_t bytes);
+  uint32_t heap_end() const { return heap_end_; }
+
+  // Heap accounting, reported by allocator units through the __alloc_note /
+  // __free_note intrinsics on every SUCCESSFUL malloc/free. The totals are
+  // always on (cumulative over the machine's lifetime — ResetCounters leaves
+  // them alone so live_bytes stays truthful); per-component buckets fill only
+  // while profiling, attributed to the requesting component (see
+  // ComponentProfileEntry). Σ per-component == total by construction.
+  void NoteAlloc(uint32_t bytes);
+  void NoteFree(uint32_t bytes);
+  long long bytes_allocated() const { return bytes_allocated_; }
+  long long bytes_freed() const { return bytes_freed_; }
+  long long live_bytes() const { return bytes_allocated_ - bytes_freed_; }
+  long long live_peak() const { return live_peak_; }
 
   // Variadic support for natives implementing __vararg/__vararg_count: the current
   // frame's variadic arguments.
@@ -297,6 +330,11 @@ class Machine {
   // Profiling helpers (only called when profiling_).
   void ProfileCall(int caller_component, int callee_component);
   void ProfileMark(int component, bool begin);
+  // The component a heap note is charged to: walking frames innermost-first,
+  // the first frame whose component differs from the innermost's (the
+  // allocator unit running the note); the allocator's own component when no
+  // caller crosses a boundary; -1 with no frames (host-driven notes).
+  int RequesterComponent() const;
   RunResult FinishRun(RunResult result);  // attach the profile snapshot if enabled
 
   const Image& image_;
@@ -316,6 +354,12 @@ class Machine {
   long long insns_ = 0;
   long long max_insns_;  // initialized from CostModel::max_insns
 
+  // Heap accounting totals (see NoteAlloc/NoteFree): cumulative, monotonic,
+  // and survive ResetCounters so live_bytes() is always allocated - freed.
+  long long bytes_allocated_ = 0;
+  long long bytes_freed_ = 0;
+  long long live_peak_ = 0;
+
   bool trapped_ = false;
   std::string trap_message_;
   std::vector<std::string> trap_backtrace_;
@@ -333,6 +377,10 @@ class Machine {
   std::vector<long long> profile_cycles_;
   std::vector<long long> profile_stalls_;
   std::vector<long long> profile_insns_;
+  std::vector<long long> profile_alloc_;      // bytes requested, per component
+  std::vector<long long> profile_freed_;      // bytes released, per component
+  std::vector<long long> profile_live_;       // current live bytes, per component
+  std::vector<long long> profile_live_peak_;  // max of profile_live_ per component
   std::map<std::pair<int, int>, long long> profile_edges_;  // (caller, callee) -> calls
   std::vector<long long> profile_fn_calls_;                 // function id -> entries
   std::vector<ProfileEvent> profile_events_;

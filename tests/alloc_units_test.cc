@@ -1,0 +1,341 @@
+// The shared Alloc-family property suite (src/oskit/alloc_corpus.h): every unit
+// in the family must hand out 8-byte-aligned, pairwise-disjoint live blocks,
+// return null on exhaustion instead of trapping, reconcile its live-byte
+// accounting on alloc_reset, and report every byte through the note intrinsics
+// so the per-component heap attribution sums exactly to the machine counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/knitc.h"
+#include "src/oskit/alloc_corpus.h"
+#include "src/vm/machine.h"
+
+namespace knit {
+namespace {
+
+// Host unit re-exporting one allocator instance; RewriteAllocProvider swaps the
+// provider, which is exactly the one-line config change the family promises.
+constexpr const char* kHostKnit = R"(
+unit AllocHost = {
+  imports [];
+  exports [ a : Alloc ];
+  link { [a] <- AllocBump <- []; };
+}
+)";
+
+struct AllocProgram {
+  std::unique_ptr<KnitBuildResult> build;
+  std::unique_ptr<Machine> machine;
+  std::string error;
+
+  bool ok() const { return machine != nullptr; }
+
+  uint32_t Malloc(uint32_t n) {
+    RunResult r = machine->Call(build->ExportedSymbol("a", "malloc"), {n});
+    EXPECT_TRUE(r.ok) << "malloc(" << n << "): " << r.error;
+    return r.value;
+  }
+
+  void Free(uint32_t p) {
+    RunResult r = machine->Call(build->ExportedSymbol("a", "free"), {p});
+    EXPECT_TRUE(r.ok) << "free: " << r.error;
+  }
+
+  void Reset() {
+    RunResult r = machine->Call(build->ExportedSymbol("a", "alloc_reset"), {});
+    EXPECT_TRUE(r.ok) << "alloc_reset: " << r.error;
+  }
+};
+
+AllocProgram BuildAlloc(const std::string& unit_name, uint32_t memory_bytes = 1 << 24) {
+  AllocProgram program;
+  std::string knit_text = AllocKnit() + kHostKnit;
+  EXPECT_EQ(RewriteAllocProvider(knit_text, unit_name), 1) << unit_name;
+  Diagnostics diags;
+  Result<KnitBuildResult> build =
+      KnitBuild(knit_text, AllocSources(), "AllocHost", KnitcOptions(), diags);
+  if (!build.ok()) {
+    program.error = diags.ToString();
+    return program;
+  }
+  program.build = std::make_unique<KnitBuildResult>(std::move(build.value()));
+  program.machine =
+      std::make_unique<Machine>(program.build->image, CostModel(), memory_bytes);
+  RunResult init = program.machine->Call(program.build->init_function);
+  EXPECT_TRUE(init.ok) << unit_name << " init: " << init.error;
+  return program;
+}
+
+// Deterministic size sequence (LCG): a mix of tiny, medium, and odd sizes.
+std::vector<uint32_t> SizeSequence(int count) {
+  std::vector<uint32_t> sizes;
+  uint32_t state = 0x2545F491u;
+  for (int i = 0; i < count; ++i) {
+    state = state * 1664525u + 1013904223u;
+    sizes.push_back(1 + (state >> 20) % 200);
+  }
+  return sizes;
+}
+
+TEST(AllocUnits, BlocksAreAlignedDisjointAndRetainTheirBytes) {
+  for (const std::string& unit : AllocUnitNames()) {
+    SCOPED_TRACE(unit);
+    AllocProgram p = BuildAlloc(unit);
+    ASSERT_TRUE(p.ok()) << p.error;
+
+    struct Block {
+      uint32_t at;
+      uint32_t size;
+      uint8_t tag;
+    };
+    std::vector<Block> live;
+    uint8_t tag = 1;
+    for (uint32_t size : SizeSequence(64)) {
+      uint32_t at = p.Malloc(size);
+      ASSERT_NE(at, 0u) << "allocation of " << size << " failed far below exhaustion";
+      EXPECT_EQ(at % 8, 0u) << "misaligned block of " << size;
+      for (uint32_t i = 0; i < size; ++i) {
+        p.machine->WriteByte(at + i, tag);
+      }
+      live.push_back({at, size, tag});
+      ++tag;
+    }
+
+    // Free every other block, then allocate more: the survivors' bytes must be
+    // untouched (catches overlap with both live blocks and recycled storage).
+    std::vector<Block> kept;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (i % 2 == 0) {
+        p.Free(live[i].at);
+      } else {
+        kept.push_back(live[i]);
+      }
+    }
+    for (uint32_t size : SizeSequence(32)) {
+      uint32_t at = p.Malloc(size + 3);
+      ASSERT_NE(at, 0u);
+      for (uint32_t i = 0; i < size + 3; ++i) {
+        p.machine->WriteByte(at + i, 0xEE);
+      }
+    }
+    for (const Block& block : kept) {
+      for (uint32_t i = 0; i < block.size; ++i) {
+        ASSERT_EQ(p.machine->ReadByte(block.at + i), block.tag)
+            << "byte " << i << " of the block at " << block.at << " was clobbered";
+      }
+    }
+  }
+}
+
+TEST(AllocUnits, ExhaustionReturnsNullAndNeverTraps) {
+  for (const std::string& unit : AllocUnitNames()) {
+    SCOPED_TRACE(unit);
+    // 2 MB machine: 1 MB stack reservation leaves well under 1 MB of grantable
+    // heap, so a few hundred 4 KB requests must hit the wall.
+    AllocProgram p = BuildAlloc(unit, /*memory_bytes=*/1 << 21);
+    ASSERT_TRUE(p.ok()) << p.error;
+
+    bool exhausted = false;
+    for (int i = 0; i < 4096; ++i) {
+      RunResult r = p.machine->Call(p.build->ExportedSymbol("a", "malloc"), {4096});
+      ASSERT_TRUE(r.ok) << "malloc trapped on exhaustion: " << r.error;
+      if (r.value == 0) {
+        exhausted = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(exhausted) << "never returned null inside a 2 MB machine";
+
+    // Exhaustion is not a poisoned state: further calls still return cleanly.
+    RunResult again = p.machine->Call(p.build->ExportedSymbol("a", "malloc"), {4096});
+    EXPECT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.value, 0u);
+    p.Free(0);  // free(null) is a no-op, not a trap
+  }
+}
+
+TEST(AllocUnits, ResetReconcilesLiveByteAccounting) {
+  for (const std::string& unit : AllocUnitNames()) {
+    SCOPED_TRACE(unit);
+    AllocProgram p = BuildAlloc(unit);
+    ASSERT_TRUE(p.ok()) << p.error;
+
+    for (uint32_t size : SizeSequence(48)) {
+      ASSERT_NE(p.Malloc(size), 0u);
+    }
+    EXPECT_GT(p.machine->live_bytes(), 0);
+    long long peak = p.machine->live_peak();
+    EXPECT_GE(peak, p.machine->live_bytes());
+
+    p.Reset();
+    EXPECT_EQ(p.machine->live_bytes(), 0)
+        << "alloc_reset must __free_note every outstanding byte";
+    EXPECT_EQ(p.machine->live_peak(), peak) << "reset must not rewrite history";
+    EXPECT_EQ(p.machine->bytes_allocated(), p.machine->bytes_freed());
+
+    // The allocator restarts cleanly after reset.
+    EXPECT_NE(p.Malloc(64), 0u);
+  }
+}
+
+TEST(AllocUnits, ArenaResetReusesItsSlabsWithoutNewGrants) {
+  AllocProgram p = BuildAlloc("AllocArena");
+  ASSERT_TRUE(p.ok()) << p.error;
+
+  std::vector<uint32_t> sizes = SizeSequence(128);
+  for (uint32_t size : sizes) {
+    ASSERT_NE(p.Malloc(size), 0u);
+  }
+  uint32_t grown = p.machine->heap_end();
+  for (int round = 0; round < 5; ++round) {
+    p.Reset();
+    for (uint32_t size : sizes) {
+      ASSERT_NE(p.Malloc(size), 0u);
+    }
+    EXPECT_EQ(p.machine->heap_end(), grown)
+        << "round " << round << ": arena reset must rewind, not regrow";
+  }
+}
+
+TEST(AllocUnits, FreelistRecyclesFreedBlocksWithoutNewGrants) {
+  AllocProgram p = BuildAlloc("AllocFreelist");
+  ASSERT_TRUE(p.ok()) << p.error;
+
+  std::vector<uint32_t> sizes = SizeSequence(96);
+  std::vector<uint32_t> blocks;
+  for (uint32_t size : sizes) {
+    uint32_t at = p.Malloc(size);
+    ASSERT_NE(at, 0u);
+    blocks.push_back(at);
+  }
+  uint32_t grown = p.machine->heap_end();
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t at : blocks) {
+      p.Free(at);
+    }
+    blocks.clear();
+    for (uint32_t size : sizes) {
+      uint32_t at = p.Malloc(size);
+      ASSERT_NE(at, 0u);
+      blocks.push_back(at);
+    }
+    EXPECT_EQ(p.machine->heap_end(), grown)
+        << "round " << round << ": same-class blocks must come from the bins";
+  }
+}
+
+TEST(AllocUnits, BuddyCoalescingRestoresTheFullRegion) {
+  AllocProgram p = BuildAlloc("AllocBuddy");
+  ASSERT_TRUE(p.ok()) << p.error;
+
+  // A 128 KB block needs order 13 of the 256 KB region: only possible when
+  // free() coalesced every split all the way back up.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<uint32_t> blocks;
+    for (uint32_t size : SizeSequence(64)) {
+      uint32_t at = p.Malloc(size);
+      ASSERT_NE(at, 0u);
+      blocks.push_back(at);
+    }
+    // Free in a shuffled-ish order (reverse of odd, then even) to exercise both
+    // buddy-low and buddy-high merges.
+    for (size_t i = blocks.size(); i-- > 0;) {
+      if (i % 2 == 1) p.Free(blocks[i]);
+    }
+    for (size_t i = 0; i < blocks.size(); i += 2) {
+      p.Free(blocks[i]);
+    }
+    uint32_t big = p.Malloc((128u << 10) - 8);
+    ASSERT_NE(big, 0u) << "round " << round << ": region did not coalesce";
+    p.Free(big);
+  }
+}
+
+// The exact-sum claim: with profiling on, per-component bytes_alloc/bytes_freed
+// rows sum to the profile totals, which equal the Machine counter deltas, and
+// the requester-walk charges the client component, not the allocator.
+TEST(AllocUnits, HeapAttributionSumsExactlyAndChargesTheRequester) {
+  constexpr const char* kClientKnit = R"(
+bundletype Api = { churn }
+unit Client = {
+  imports [ heap : Alloc ];
+  exports [ api : Api ];
+  depends { api needs heap; };
+  files { "client.c" };
+}
+unit Churner = {
+  imports [];
+  exports [ api : Api ];
+  link { [heap] <- AllocFreelist <- []; [api] <- Client <- [heap]; };
+}
+)";
+  for (const std::string& unit : AllocUnitNames()) {
+    SCOPED_TRACE(unit);
+    std::string knit_text = AllocKnit() + kClientKnit;
+    ASSERT_EQ(RewriteAllocProvider(knit_text, unit), 1);
+    SourceMap sources = AllocSources();
+    // Implicit malloc/free builtins: no declarations needed in client code.
+    sources["client.c"] = R"(
+int churn(int rounds) {
+  int kept = 0;
+  for (int r = 0; r < rounds; r++) {
+    int *a = (int *)malloc(24);
+    int *b = (int *)malloc(100);
+    if (a) {
+      a[0] = r;
+      kept = kept + a[0];
+      free((void *)a);
+    }
+    if (b) free((void *)b);
+  }
+  return kept;
+}
+)";
+    Diagnostics diags;
+    Result<KnitBuildResult> build =
+        KnitBuild(knit_text, sources, "Churner", KnitcOptions(), diags);
+    ASSERT_TRUE(build.ok()) << diags.ToString();
+    Machine machine(build.value().image);
+    ASSERT_TRUE(machine.Call(build.value().init_function).ok);
+
+    machine.EnableProfiling();
+    machine.ResetProfile();
+    long long alloc_before = machine.bytes_allocated();
+    long long freed_before = machine.bytes_freed();
+    RunResult r = machine.Call(build.value().ExportedSymbol("api", "churn"), {50});
+    ASSERT_TRUE(r.ok) << r.error;
+
+    ComponentProfile profile = machine.Profile(/*include_events=*/false);
+    EXPECT_GT(profile.total_bytes_alloc, 0);
+    EXPECT_EQ(profile.total_bytes_alloc, machine.bytes_allocated() - alloc_before);
+    EXPECT_EQ(profile.total_bytes_freed, machine.bytes_freed() - freed_before);
+
+    long long sum_alloc = 0;
+    long long sum_freed = 0;
+    long long client_alloc = 0;
+    long long allocator_alloc = 0;
+    for (const ComponentProfileEntry& entry : profile.components) {
+      sum_alloc += entry.bytes_alloc;
+      sum_freed += entry.bytes_freed;
+      if (entry.component.find("/Alloc") != std::string::npos) {
+        allocator_alloc += entry.bytes_alloc;
+      } else if (entry.component.find("/Client") != std::string::npos) {
+        client_alloc += entry.bytes_alloc;
+        EXPECT_GT(entry.live_peak, 0) << entry.component;
+      }
+    }
+    EXPECT_EQ(sum_alloc, profile.total_bytes_alloc) << "per-component rows must sum exactly";
+    EXPECT_EQ(sum_freed, profile.total_bytes_freed);
+    EXPECT_GT(client_alloc, 0) << "requester walk should charge the client";
+    EXPECT_EQ(allocator_alloc, 0)
+        << "the allocator is a service: its own row must stay at zero bytes";
+  }
+}
+
+}  // namespace
+}  // namespace knit

@@ -6,6 +6,7 @@
 #include "src/clack/corpus.h"
 #include "src/clack/harness.h"
 #include "src/clack/trace.h"
+#include "src/oskit/alloc_corpus.h"
 #include "src/support/mangle.h"
 
 namespace knit {
@@ -187,6 +188,100 @@ TEST(Clack, TtlIsActuallyDecremented) {
   // Ethernet type still IPv4 and destination MAC derived from the gateway.
   EXPECT_EQ(tx_frame[12], 8);
   EXPECT_EQ(tx_frame[13], 0);
+}
+
+// ---------------------------------------------------------------------------
+// ClackAllocRouter: the router with a heap on its IP path. Which allocator
+// serves the Alloc import is a one-line config change (RewriteAllocProvider);
+// the transmitted bytes must not depend on the choice.
+// ---------------------------------------------------------------------------
+
+Result<RouterProgram> BuildAllocRouter(const std::string& alloc_unit, Diagnostics& diags,
+                                       int opt_level = 1) {
+  KnitcOptions options;
+  options.opt_level = opt_level;
+  if (opt_level == 0) {
+    options.optimize = false;
+  }
+  std::string knit_text = ClackKnit();
+  EXPECT_EQ(RewriteAllocProvider(knit_text, alloc_unit), 1) << alloc_unit;
+  KnitPipeline pipeline(options);
+  return RouterProgram::FromKnit(pipeline, knit_text, ClackSources(), "ClackAllocRouter",
+                                 diags);
+}
+
+TEST(ClackAlloc, EveryAllocatorForwardsByteIdenticallyToThePlainRouter) {
+  TraceOptions trace_options;
+  trace_options.count = 250;
+  trace_options.seed = 99;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+  TraceExpectation expect = ExpectationOf(trace);
+
+  RouterStats baseline = RunConfig("ClackRouter", trace);
+  ASSERT_GT(baseline.tx_count, 0u);
+
+  for (const std::string& unit : AllocUnitNames()) {
+    SCOPED_TRACE(unit);
+    Diagnostics diags;
+    Result<RouterProgram> program = BuildAllocRouter(unit, diags);
+    ASSERT_TRUE(program.ok()) << diags.ToString();
+    Result<RouterStats> stats = program.value().RunTrace(trace, diags);
+    ASSERT_TRUE(stats.ok()) << diags.ToString();
+
+    // Same counters and the same transmitted bytes as the heap-less router.
+    EXPECT_EQ(stats.value().tx_hash, baseline.tx_hash);
+    EXPECT_EQ(stats.value().tx_count, expect.tx);
+    EXPECT_EQ(stats.value().out, expect.out);
+    EXPECT_EQ(stats.value().drop, expect.drop);
+
+    // The scratch element saw every post-check IP packet and really allocated.
+    Machine& machine = program.value().machine();
+    RunResult scratch =
+        machine.Call(program.value().build()->ExportedSymbol("statsScratch", "counter_value"));
+    ASSERT_TRUE(scratch.ok) << scratch.error;
+    EXPECT_GT(scratch.value, 0u);
+    EXPECT_GT(machine.bytes_allocated(), 0);
+    if (unit == "AllocFreelist" || unit == "AllocBuddy") {
+      // These reuse freed blocks: every scratch buffer was returned.
+      EXPECT_EQ(machine.live_bytes(), 0) << "allocated " << machine.bytes_allocated()
+                                         << ", freed " << machine.bytes_freed();
+    }
+  }
+}
+
+TEST(ClackAlloc, HeapAttributionChargesTheScratchElementNotTheAllocator) {
+  TraceOptions trace_options;
+  trace_options.count = 200;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+
+  Diagnostics diags;
+  Result<RouterProgram> program = BuildAllocRouter("AllocFreelist", diags);
+  ASSERT_TRUE(program.ok()) << diags.ToString();
+  program.value().EnableProfiling();
+  Result<RouterStats> stats = program.value().RunTrace(trace, diags);
+  ASSERT_TRUE(stats.ok()) << diags.ToString();
+
+  const ComponentProfile& profile = stats.value().profile;
+  ASSERT_GT(profile.total_bytes_alloc, 0);
+  long long sum_alloc = 0;
+  long long scratch_alloc = 0;
+  for (const ComponentProfileEntry& entry : profile.components) {
+    sum_alloc += entry.bytes_alloc;
+    if (entry.component.find("PayloadScratch") != std::string::npos) {
+      scratch_alloc = entry.bytes_alloc;
+      EXPECT_GT(entry.live_peak, 0);
+    }
+    if (entry.component.find("/AllocFreelist") != std::string::npos) {
+      EXPECT_EQ(entry.bytes_alloc, 0)
+          << "the requester walk must not charge the allocator unit";
+    }
+  }
+  EXPECT_EQ(sum_alloc, profile.total_bytes_alloc);
+  EXPECT_EQ(scratch_alloc, profile.total_bytes_alloc)
+      << "all scratch bytes belong to the scratch element";
+  // Exact sums against the machine counters for the profiled window.
+  EXPECT_EQ(profile.total_bytes_alloc, program.value().machine().bytes_allocated());
+  EXPECT_EQ(profile.total_bytes_freed, program.value().machine().bytes_freed());
 }
 
 }  // namespace

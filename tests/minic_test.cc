@@ -195,6 +195,37 @@ int unused_decl(int x);
   EXPECT_EQ(front.info.value().undefined.count("unused_decl"), 0u);  // never referenced
 }
 
+TEST(MiniCSema, ImplicitMallocFreeAreBuiltins) {
+  // malloc/free need no declaration: they lower to ordinary undefined-symbol
+  // calls the linker resolves against the unit's Alloc import.
+  Front front(R"(
+int f(void) {
+  int *p = (int *)malloc(sizeof(int) * 4);
+  if (!p) return -1;
+  p[0] = 7;
+  int v = p[0];
+  free((void *)p);
+  return v;
+}
+)");
+  ASSERT_TRUE(front.ok()) << front.error();
+  EXPECT_EQ(front.info.value().undefined.count("malloc"), 1u);
+  EXPECT_EQ(front.info.value().undefined.count("free"), 1u);
+}
+
+TEST(MiniCSema, ExplicitMallocDefinitionBeatsTheBuiltin) {
+  // Allocator units define malloc themselves; the builtin must not conflict.
+  Front front(R"(
+extern unsigned __sbrk(unsigned n);
+void *malloc(unsigned n) { return (void *)__sbrk(n); }
+void free(void *p) { (void)p; }
+void *g(void) { return malloc(8); }
+)");
+  ASSERT_TRUE(front.ok()) << front.error();
+  EXPECT_EQ(front.info.value().undefined.count("malloc"), 0u);
+  EXPECT_EQ(front.info.value().defined_functions.count("malloc"), 1u);
+}
+
 TEST(MiniCPrinter, RoundTripIsStable) {
   const char* source = R"(
 struct pkt { char *data; int len; };

@@ -535,5 +535,131 @@ TEST(ReconfigClack, SwapEveryElementUnderTrafficWithZeroDroppedPackets) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Allocator hot-swap: ClackAllocRouter's heap provider is an ordinary swappable
+// instance. Swapping alloc_freelist -> alloc_bump mid-trace must be invisible
+// in the transmitted bytes (PayloadScratch forwards packets unchanged whichever
+// allocator — or allocation failure — serves it).
+// ---------------------------------------------------------------------------
+
+TEST(ReconfigClack, SwapFreelistToBumpMidTraceKeepsTxHashByteIdentical) {
+  TraceOptions trace_options;
+  trace_options.count = 240;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+  TraceExpectation expect = ExpectationOf(trace);
+
+  KnitcOptions options;
+  options.swappable = {"ClackAllocRouter/AllocFreelist"};
+  Diagnostics diags;
+  KnitPipeline pipeline(options);
+
+  Result<RouterProgram> baseline =
+      RouterProgram::FromClack(pipeline, "ClackAllocRouter", diags);
+  ASSERT_TRUE(baseline.ok()) << diags.ToString();
+  Result<RouterStats> base = baseline.value().RunTrace(trace, diags);
+  ASSERT_TRUE(base.ok()) << diags.ToString();
+  ASSERT_EQ(base.value().tx_count, expect.tx);
+
+  Result<RouterProgram> built = RouterProgram::FromClack(pipeline, "ClackAllocRouter", diags);
+  ASSERT_TRUE(built.ok()) << diags.ToString();
+  RouterProgram& program = built.value();
+  ReconfigEngine engine(*program.mutable_build(), program.machine(), ClackSources());
+
+  bool swapped = false;
+  program.SetPacketHook([&](int packet) {
+    engine.Pump();
+    if (packet == 100 && !swapped) {
+      swapped = true;
+      SwapSpec spec;
+      spec.instance = "ClackAllocRouter/AllocFreelist";
+      spec.source_name = "alloc_bump.c";
+      spec.source = ClackSources().at("alloc_bump.c");
+      SwapReport report = engine.Request(spec);
+      EXPECT_TRUE(report.ok || report.deferred) << report.error;
+    }
+  });
+
+  Result<RouterStats> run = program.RunTrace(trace, diags);
+  ASSERT_TRUE(run.ok()) << diags.ToString();
+  ASSERT_TRUE(swapped);
+  EXPECT_FALSE(engine.HasPending());
+  ASSERT_EQ(engine.reports().size(), 1u);
+  EXPECT_TRUE(engine.reports()[0].ok) << engine.reports()[0].error;
+
+  EXPECT_EQ(run.value().packets, trace_options.count);
+  EXPECT_EQ(run.value().tx_count, base.value().tx_count);
+  EXPECT_EQ(run.value().tx_hash, base.value().tx_hash);
+  EXPECT_EQ(run.value().out, expect.out);
+  EXPECT_EQ(run.value().drop, expect.drop);
+}
+
+// Regression guard: a replacement allocator that allocates MORE than its
+// predecessor (alloc_buddy grabs a fresh 256 KB region in its initializer, on
+// the live machine's heap) must neither corrupt neighbouring heap state nor
+// change the tx hash. Heap growth is append-only by construction (Sbrk is
+// monotonic), and this test pins that down.
+TEST(ReconfigClack, SwappedInAllocatorGrowingTheHeapLeavesNeighborsIntact) {
+  TraceOptions trace_options;
+  trace_options.count = 200;
+  std::vector<TracePacket> trace = GenerateTrace(trace_options);
+
+  KnitcOptions options;
+  options.swappable = {"ClackAllocRouter/AllocFreelist"};
+  Diagnostics diags;
+  KnitPipeline pipeline(options);
+
+  Result<RouterProgram> baseline =
+      RouterProgram::FromClack(pipeline, "ClackAllocRouter", diags);
+  ASSERT_TRUE(baseline.ok()) << diags.ToString();
+  Result<RouterStats> base = baseline.value().RunTrace(trace, diags);
+  ASSERT_TRUE(base.ok()) << diags.ToString();
+
+  Result<RouterProgram> built = RouterProgram::FromClack(pipeline, "ClackAllocRouter", diags);
+  ASSERT_TRUE(built.ok()) << diags.ToString();
+  RouterProgram& program = built.value();
+  Machine& machine = program.machine();
+  ReconfigEngine engine(*program.mutable_build(), program.machine(), ClackSources());
+
+  // Neighbouring heap state: a host-owned region carved from the same heap the
+  // replacement's init will grow past. Any overlap shows up as a torn pattern.
+  const uint32_t kSentinelBytes = 4096;
+  uint32_t sentinel = machine.Sbrk(kSentinelBytes);
+  ASSERT_NE(sentinel, 0u);
+  for (uint32_t i = 0; i < kSentinelBytes; ++i) {
+    machine.WriteByte(sentinel + i, static_cast<uint8_t>(0xA5 ^ (i & 0xFF)));
+  }
+
+  uint32_t heap_before_swap = machine.heap_end();
+  bool swapped = false;
+  program.SetPacketHook([&](int packet) {
+    engine.Pump();
+    if (packet == 60 && !swapped) {
+      swapped = true;
+      SwapSpec spec;
+      spec.instance = "ClackAllocRouter/AllocFreelist";
+      spec.source_name = "alloc_buddy.c";
+      spec.source = ClackSources().at("alloc_buddy.c");
+      SwapReport report = engine.Request(spec);
+      EXPECT_TRUE(report.ok || report.deferred) << report.error;
+    }
+  });
+
+  Result<RouterStats> run = program.RunTrace(trace, diags);
+  ASSERT_TRUE(run.ok()) << diags.ToString();
+  ASSERT_TRUE(swapped);
+  ASSERT_EQ(engine.reports().size(), 1u);
+  ASSERT_TRUE(engine.reports()[0].ok) << engine.reports()[0].error;
+
+  // The replacement really did grow the heap (buddy's 256 KB region + its
+  // placed data), past where the sentinel lives.
+  EXPECT_GE(machine.heap_end(), heap_before_swap + (256u << 10));
+  for (uint32_t i = 0; i < kSentinelBytes; ++i) {
+    ASSERT_EQ(machine.ReadByte(sentinel + i), static_cast<uint8_t>(0xA5 ^ (i & 0xFF)))
+        << "sentinel byte " << i << " corrupted by the swapped-in allocator";
+  }
+  EXPECT_EQ(run.value().tx_count, base.value().tx_count);
+  EXPECT_EQ(run.value().tx_hash, base.value().tx_hash);
+}
+
 }  // namespace
 }  // namespace knit

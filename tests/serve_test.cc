@@ -5,6 +5,7 @@
 // batch size, opt level, and thread budget, including more shards than threads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "src/clack/corpus.h"
@@ -235,6 +236,73 @@ TEST(Serve, ProfileAggregationIsExact) {
     }
     EXPECT_EQ(merged.cycles, cycles) << merged.component;
   }
+}
+
+// Allocator-aware serving: ClackAllocRouter gives every shard a private heap
+// instance. Resetting those arenas at batch boundaries must be invisible in the
+// transmitted bytes, and the merged profile's memory columns must sum exactly.
+TEST(Serve, PerShardArenaResetKeepsTxHashAndSumsMemoryExactly) {
+  std::vector<TracePacket> trace = TestTrace(400);
+  KnitcOptions build_options;
+  build_options.opt_level = 1;
+
+  // Single-machine reference over the same configuration.
+  Diagnostics diags;
+  Result<RouterProgram> single =
+      RouterProgram::FromClack("ClackAllocRouter", build_options, diags);
+  ASSERT_TRUE(single.ok()) << diags.ToString();
+  Result<RouterStats> base = single.value().RunTrace(trace, diags);
+  ASSERT_TRUE(base.ok()) << diags.ToString();
+
+  ServeOptions options;
+  options.shards = 4;
+  options.batch = 16;
+  options.profile = true;
+  options.reset_alloc_per_batch = true;
+  Result<std::unique_ptr<RouterFleet>> fleet =
+      RouterFleet::FromClack("ClackAllocRouter", build_options, options, diags);
+  ASSERT_TRUE(fleet.ok()) << diags.ToString();
+  Result<ServeReport> served = fleet.value()->Serve(trace, diags);
+  ASSERT_TRUE(served.ok()) << diags.ToString();
+  const ServeReport& report = served.value();
+
+  // Resets between batches never change what was transmitted: the scratch
+  // element forwards the original packet whether its malloc succeeds or not.
+  EXPECT_EQ(report.total.tx_hash, base.value().tx_hash);
+  EXPECT_EQ(report.total.tx_count, base.value().tx_count);
+  EXPECT_EQ(report.total.out, base.value().out);
+  EXPECT_EQ(report.total.drop, base.value().drop);
+
+  // Memory attribution survives aggregation: the fleet really allocated, the
+  // merged totals are exact sums of the shard totals, and the merged rows are
+  // exact sums of the shard rows (live_peak merges as max — shard heaps are
+  // disjoint, so peaks never add).
+  EXPECT_GT(report.total.profile.total_bytes_alloc, 0u);
+  uint64_t shard_alloc = 0, shard_freed = 0;
+  for (const ShardReport& shard : report.shards) {
+    shard_alloc += shard.stats.profile.total_bytes_alloc;
+    shard_freed += shard.stats.profile.total_bytes_freed;
+  }
+  EXPECT_EQ(report.total.profile.total_bytes_alloc, shard_alloc);
+  EXPECT_EQ(report.total.profile.total_bytes_freed, shard_freed);
+  uint64_t row_alloc = 0;
+  for (const ComponentProfileEntry& merged : report.total.profile.components) {
+    row_alloc += merged.bytes_alloc;
+    uint64_t bytes = 0, freed = 0, peak = 0;
+    for (const ShardReport& shard : report.shards) {
+      for (const ComponentProfileEntry& entry : shard.stats.profile.components) {
+        if (entry.component == merged.component) {
+          bytes += entry.bytes_alloc;
+          freed += entry.bytes_freed;
+          peak = std::max<uint64_t>(peak, entry.live_peak);
+        }
+      }
+    }
+    EXPECT_EQ(merged.bytes_alloc, bytes) << merged.component;
+    EXPECT_EQ(merged.bytes_freed, freed) << merged.component;
+    EXPECT_EQ(merged.live_peak, peak) << merged.component;
+  }
+  EXPECT_EQ(report.total.profile.total_bytes_alloc, row_alloc);
 }
 
 TEST(Serve, FlowsStayOnTheirShard) {

@@ -72,8 +72,9 @@ inline TestProgram BuildProgram(const std::string& source, bool optimize,
   }
   Diagnostics diags;
   LinkOptions link_options;
-  link_options.natives = {"__sbrk",   "__putchar",      "__cycles", "__abort",
-                          "__vararg", "__vararg_count", "__trace"};
+  link_options.natives = {"__sbrk",   "__putchar",      "__cycles",      "__abort",
+                          "__vararg", "__vararg_count", "__trace",       "__alloc_note",
+                          "__free_note"};
   for (std::string& native : extra_natives) {
     link_options.natives.push_back(std::move(native));
   }

@@ -26,6 +26,7 @@
 #include "src/clack/corpus.h"
 #include "src/clack/trace.h"
 #include "src/driver/knitc.h"
+#include "src/oskit/alloc_corpus.h"
 #include "src/knitlang/parser.h"
 #include "src/knitlang/printer.h"
 #include "src/reconfig/reconfig.h"
@@ -54,6 +55,7 @@ struct CliOptions {
   std::string profile_file;  // "" = off: per-component run profile as trace JSON
   std::string profile_use_file;  // "" = off: recorded profile steering -O2 (PGO)
   std::string run;
+  std::string alloc_unit;  // "" = keep the configuration's allocator
   std::vector<uint32_t> run_args;
   long long fuel = 0;  // 0: leave the CostModel default
   FaultPlan fault_plan;
@@ -119,6 +121,13 @@ void PrintUsage(std::FILE* out) {
                "                        calls go through binding slots the reconfig engine\n"
                "                        can retarget at run time ('*' = every instance;\n"
                "                        repeatable; comma-separated lists accepted)\n"
+               "  --alloc=NAME          serve malloc/free from allocator NAME (bump, "
+               "arena,\n"
+               "                        freelist, buddy): the allocator unit library is\n"
+               "                        merged into the program and every Alloc-family\n"
+               "                        provider site in the link is rewritten to NAME "
+               "--\n"
+               "                        the one-line component swap from the paper\n"
                "\n"
                "Reporting:\n"
                "  --dump-units          print the parsed declarations back as canonical Knit\n"
@@ -341,6 +350,14 @@ int ParseArgs(int argc, char** argv, CliOptions& options) {
       options.print_map = true;
     } else if (arg.rfind("--run=", 0) == 0) {
       options.run = value_of("--run=");
+    } else if (arg.rfind("--alloc=", 0) == 0) {
+      std::string name = value_of("--alloc=");
+      options.alloc_unit = AllocUnitForShortName(name);
+      if (options.alloc_unit.empty()) {
+        std::fprintf(stderr, "knitc: error: unknown allocator '%s' (valid: %s)\n",
+                     name.c_str(), AllocShortNameList().c_str());
+        return 3;
+      }
     } else if (arg.rfind("--args=", 0) == 0) {
       for (const std::string& piece : Split(value_of("--args="), ',')) {
         options.run_args.push_back(static_cast<uint32_t>(std::stoll(piece)));
@@ -543,6 +560,35 @@ bool WriteStatsJson(const std::string& path, const PipelineMetrics& metrics) {
   return WriteTextOutput(path, metrics.ToJson());
 }
 
+// --alloc=NAME: the paper's one-line component swap, performed by the driver.
+// Merges the allocator unit library into the program (Knit declarations and
+// MiniC sources, neither overriding anything the user provided) and rewrites
+// every Alloc-family provider site in the link text to the requested unit.
+bool ApplyAllocChoice(const CliOptions& options, std::string& knit_text,
+                      SourceMap& sources) {
+  if (options.alloc_unit.empty()) {
+    return true;
+  }
+  if (knit_text.find("bundletype Alloc") == std::string::npos) {
+    knit_text += AllocKnit();
+  }
+  for (const auto& [name, text] : AllocSources()) {
+    if (sources.find(name) == sources.end()) {
+      sources[name] = text;
+    }
+  }
+  int sites = RewriteAllocProvider(knit_text, options.alloc_unit);
+  if (sites == 0) {
+    std::fprintf(stderr,
+                 "knitc: error: --alloc: the configuration instantiates no "
+                 "Alloc-family unit to replace\n");
+    return false;
+  }
+  std::printf("knitc: allocator %s (%d provider site%s rewritten)\n",
+              options.alloc_unit.c_str(), sites, sites == 1 ? "" : "s");
+  return true;
+}
+
 // `knitc serve`: build the router image once, clone it across a shard fleet,
 // and serve a synthetic two-port trace through it (src/serve/serve.h).
 int ServeMain(const CliOptions& options) {
@@ -559,6 +605,9 @@ int ServeMain(const CliOptions& options) {
     if (!LoadSources(options.src_dir, sources)) {
       return 1;
     }
+  }
+  if (!ApplyAllocChoice(options, knit_text, sources)) {
+    return 1;
   }
 
   Diagnostics diags;
@@ -684,6 +733,9 @@ int Main(int argc, char** argv) {
   }
   SourceMap sources;
   if (!LoadSources(options.src_dir, sources)) {
+    return 1;
+  }
+  if (!ApplyAllocChoice(options, knit_text, sources)) {
     return 1;
   }
 
